@@ -1,0 +1,157 @@
+/// Ablation study of the design choices DESIGN.md calls out.
+///
+/// Each section switches one mechanism off (or sweeps its strength) and
+/// reports the accuracy/margin cost on the full 40-individual workload:
+///
+///   1. template conditioning (standardise / norm-equalise / level-trim)
+///   2. the per-row dummy-column G_TS equalisation (Section 4A)
+///   3. memristor write accuracy (the paper's 3 % choice)
+///   4. DWN threshold vs accuracy-energy trade (Fig. 13a's knob)
+
+#include <cstdio>
+#include <vector>
+
+#include "amm/evaluation.hpp"
+#include "amm/spin_amm.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "energy/spin_power.hpp"
+#include "vision/dataset.hpp"
+
+namespace {
+
+using namespace spinsim;
+
+double spin_accuracy(const FaceDataset& dataset, const std::vector<FeatureVector>& templates,
+                     const SpinAmmConfig& config) {
+  SpinAmm amm(config);
+  amm.store_templates(templates);
+  const AccuracyResult result =
+      evaluate_classifier(dataset, config.features, [&](const FeatureVector& f) {
+        return amm.recognize(f).winner;
+      });
+  return result.accuracy();
+}
+
+SpinAmmConfig base_config() {
+  SpinAmmConfig c;
+  c.templates = 40;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = 31337;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spinsim;
+  const FaceDataset dataset = FaceDataset::paper_dataset();
+  const FeatureSpec spec;  // 16x8, 5-bit
+
+  bench::banner("ablation 1  --  template conditioning pipeline");
+  AsciiTable t1("spin-WTA accuracy vs template conditioning");
+  t1.set_header({"standardise", "norm-equalise", "level-trim", "accuracy"});
+  struct Combo {
+    bool standardize, equalize, trim;
+  };
+  std::vector<double> cond_acc;
+  for (const Combo combo : {Combo{true, true, true}, Combo{true, true, false},
+                            Combo{true, false, false}, Combo{false, false, false}}) {
+    TemplateOptions options;
+    options.standardize = combo.standardize;
+    options.norm_equalize = combo.equalize;
+    options.level_trim = combo.trim;
+    const auto templates = build_templates(dataset, spec, options);
+    const double acc = spin_accuracy(dataset, templates, base_config());
+    cond_acc.push_back(acc);
+    t1.add_row({combo.standardize ? "on" : "off", combo.equalize ? "on" : "off",
+                combo.trim ? "on" : "off", AsciiTable::num(100.0 * acc, 4) + " %"});
+  }
+  t1.add_note("dot-product matching needs equal-energy templates; each stage");
+  t1.add_note("removes one source of common-mode bias");
+  t1.print();
+  bench::verdict("full conditioning beats the raw pipeline",
+                 cond_acc.front() > cond_acc.back() + 0.1);
+
+  const auto templates = build_templates(dataset, spec);
+
+  bench::banner("ablation 2  --  dummy-column row equalisation (Section 4A)");
+  AsciiTable t2("accuracy with and without the per-row dummy device");
+  t2.set_header({"dummy column", "accuracy"});
+  SpinAmmConfig with_dummy = base_config();
+  SpinAmmConfig without_dummy = base_config();
+  without_dummy.dummy_column = false;
+  const double acc_dummy = spin_accuracy(dataset, templates, with_dummy);
+  const double acc_plain = spin_accuracy(dataset, templates, without_dummy);
+  t2.add_row({"on (paper)", AsciiTable::num(100.0 * acc_dummy, 4) + " %"});
+  t2.add_row({"off", AsciiTable::num(100.0 * acc_plain, 4) + " %"});
+  t2.add_note("without equalisation every row presents a data-dependent load");
+  t2.add_note("to its DAC, modulating the input currents");
+  t2.print();
+
+  bench::banner("ablation 3  --  memristor write accuracy");
+  AsciiTable t3("accuracy vs write sigma (paper: 3 % ~ 5-bit writes)");
+  t3.set_header({"write sigma", "accuracy"});
+  std::vector<double> noise_acc;
+  for (double sigma : {0.0, 0.01, 0.03, 0.06, 0.12, 0.25}) {
+    SpinAmmConfig c = base_config();
+    c.memristor.write_sigma = sigma;
+    const double acc = spin_accuracy(dataset, templates, c);
+    noise_acc.push_back(acc);
+    t3.add_row({AsciiTable::num(100.0 * sigma, 3) + " %",
+                AsciiTable::num(100.0 * acc, 4) + " %"});
+  }
+  t3.print();
+  bench::verdict("3 % writes cost little versus ideal writes",
+                 noise_acc[2] > noise_acc[0] - 0.08);
+  bench::verdict("very sloppy writes hurt", noise_acc.back() < noise_acc[0] - 0.05);
+
+  bench::banner("ablation 4  --  DWN threshold: accuracy vs power");
+  AsciiTable t4("threshold trade-off (barrier-scaled devices)");
+  t4.set_header({"E_b / kT", "I_th", "accuracy", "total power"});
+  for (double barrier : {5.0, 10.0, 20.0, 40.0}) {
+    SpinAmmConfig c = base_config();
+    c.dwn = DwnParams::from_barrier(barrier);
+    c.thermal_noise = true;  // low barriers must pay their thermal tax
+    const double acc = spin_accuracy(dataset, templates, c);
+    SpinAmmDesign d;
+    d.dwn_threshold = c.dwn.i_threshold;
+    t4.add_row({AsciiTable::num(barrier, 3), AsciiTable::eng(c.dwn.i_threshold, "A"),
+                AsciiTable::num(100.0 * acc, 4) + " %",
+                AsciiTable::eng(spin_amm_power(d).total(), "W")});
+  }
+  t4.add_note("lower barriers shrink static power (Fig. 13a) but raise the");
+  t4.add_note("thermal error rate; 20 kT is the paper's sweet spot");
+  t4.print();
+
+  bench::banner("ablation 5  --  yield: accuracy vs stuck-at fault count");
+  AsciiTable t5("accuracy vs dead cells in the 128x40 array (5120 devices)");
+  t5.set_header({"open faults", "fraction of array", "accuracy"});
+  std::vector<double> yield_acc;
+  for (std::size_t faults : {0ul, 16ul, 64ul, 256ul, 1024ul}) {
+    SpinAmmConfig c = base_config();
+    SpinAmm amm(c);
+    amm.store_templates(templates);
+    Rng rng(4242);
+    for (std::size_t k = 0; k < faults; ++k) {
+      const auto row = static_cast<std::size_t>(rng.uniform_int(0, 127));
+      const auto col = static_cast<std::size_t>(rng.uniform_int(0, 39));
+      amm.mutable_crossbar().inject_fault(row, col, RcmArray::StuckFault::kOpen);
+    }
+    const AccuracyResult result =
+        evaluate_classifier(dataset, c.features, [&](const FeatureVector& f) {
+          return amm.recognize(f).winner;
+        });
+    yield_acc.push_back(result.accuracy());
+    t5.add_row({std::to_string(faults),
+                AsciiTable::num(100.0 * static_cast<double>(faults) / 5120.0, 3) + " %",
+                AsciiTable::num(100.0 * result.accuracy(), 4) + " %"});
+  }
+  t5.add_note("the distributed dot product degrades gracefully: the array");
+  t5.add_note("tolerates percent-level cell mortality");
+  t5.print();
+  bench::verdict("graceful degradation under sparse faults",
+                 yield_acc[1] > yield_acc[0] - 0.05 && yield_acc.back() < yield_acc[0]);
+  return 0;
+}

@@ -1,0 +1,21 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment harnesses.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace spinsim::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// Prints a PASS/CHECK verdict line for a shape assertion.
+inline void verdict(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "shape OK" : "MISMATCH", claim.c_str());
+}
+
+}  // namespace spinsim::bench

@@ -1,0 +1,97 @@
+/// Reproduces paper Fig. 5b (DWM critical current falls with device
+/// scaling) and Fig. 5c (smaller devices switch faster at a fixed write
+/// current), from the 1-D LLG collective-coordinate model calibrated to
+/// the paper's Table-2 device (3x20x60 nm^3, I_c ~ 1 uA, ~1.5 ns at 2 I_c).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "device/llg.hpp"
+
+int main() {
+  using namespace spinsim;
+
+  const DwmParams paper = DwmParams::paper_device();
+
+  bench::banner("Fig. 5b  --  critical switching current vs device scaling");
+  std::printf("paper: scaling the DWM down reduces the critical current.\n\n");
+
+  AsciiTable fig5b("Fig. 5b: critical current vs cross-section scale");
+  fig5b.set_header({"scale", "cross-section", "I_c (simulated)", "I_c / I_c(1.0)"});
+  std::vector<double> ic_values;
+  const std::vector<double> scales = {0.5, 0.7, 1.0, 1.3, 1.6};
+  double ic_ref = 0.0;
+  for (double s : scales) {
+    DwmParams p = paper;
+    p.thickness = paper.thickness * s;
+    p.width = paper.width * s;
+    const DwmStripe stripe(p);
+    const double ic = stripe.critical_current(10e-6, 60e-9, 0.02e-6);
+    ic_values.push_back(ic);
+    if (s == 1.0) {
+      ic_ref = ic;
+    }
+  }
+  for (std::size_t k = 0; k < scales.size(); ++k) {
+    const double s = scales[k];
+    fig5b.add_row({AsciiTable::num(s, 2),
+                   AsciiTable::num(paper.thickness * s * 1e9, 3) + "x" +
+                       AsciiTable::num(paper.width * s * 1e9, 3) + " nm",
+                   AsciiTable::eng(ic_values[k], "A"),
+                   AsciiTable::num(ic_values[k] / ic_ref, 3)});
+  }
+  fig5b.add_note("paper Table 2: I_c ~ 1 uA at the 3x20 nm cross-section");
+  fig5b.print();
+
+  bool monotone = true;
+  for (std::size_t k = 1; k < ic_values.size(); ++k) {
+    monotone = monotone && ic_values[k] > ic_values[k - 1];
+  }
+  bench::verdict("critical current falls monotonically with scaling", monotone);
+  bench::verdict("paper device lands at ~1 uA",
+                 ic_values[2] > 0.8e-6 && ic_values[2] < 1.25e-6);
+
+  bench::banner("Fig. 5c  --  switching time vs dimensions at fixed current");
+  std::printf("paper: smaller device dimensions achieve faster switching for\n");
+  std::printf("a given write current.\n\n");
+
+  AsciiTable fig5c("Fig. 5c: switching time vs strip length at I = 2 uA");
+  fig5c.set_header({"free-domain length", "t_switch (simulated)"});
+  std::vector<double> times;
+  for (double length_nm : {30.0, 45.0, 60.0, 90.0, 120.0}) {
+    DwmParams p = paper;
+    p.length = length_nm * units::nm;
+    DwmStripe stripe(p);
+    const auto t = stripe.run_until_switched(2e-6, 60e-9);
+    times.push_back(t.value_or(-1.0));
+    fig5c.add_row({AsciiTable::num(length_nm, 3) + " nm",
+                   t ? AsciiTable::eng(*t, "s") : std::string("no switch")});
+  }
+  fig5c.add_note("paper Table 2: ~1.5 ns for the 60 nm device near 2 I_c");
+  fig5c.print();
+
+  bool faster_when_shorter = true;
+  for (std::size_t k = 1; k < times.size(); ++k) {
+    faster_when_shorter = faster_when_shorter && times[k] > times[k - 1] && times[k - 1] > 0.0;
+  }
+  bench::verdict("shorter strips switch faster at fixed current", faster_when_shorter);
+  bench::verdict("60 nm device switches in the ns regime",
+                 times[2] > 0.3e-9 && times[2] < 6e-9);
+
+  // Supporting sweep: switching time vs drive current for the paper device
+  // (the delay model the behavioral DWN distils).
+  bench::banner("supporting sweep: t_switch vs drive current (paper device)");
+  AsciiTable sweep("t_switch vs current");
+  sweep.set_header({"I / I_c", "t_switch"});
+  const DwmStripe stripe(paper);
+  for (double ratio : {1.2, 1.5, 2.0, 3.0, 4.0}) {
+    DwmStripe s(paper);
+    const auto t = s.run_until_switched(ratio * 1e-6, 100e-9);
+    sweep.add_row({AsciiTable::num(ratio, 2), t ? AsciiTable::eng(*t, "s") : "no switch"});
+  }
+  sweep.print();
+  return 0;
+}

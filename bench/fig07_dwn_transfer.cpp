@@ -1,0 +1,110 @@
+/// Reproduces paper Fig. 7a: the DWN's hysteretic transfer characteristic
+/// for an anisotropy barrier of 20 kT, plus the thermally assisted
+/// switching statistics that motivate the barrier choice.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "device/dwn.hpp"
+
+int main() {
+  using namespace spinsim;
+
+  bench::banner("Fig. 7a  --  DWN transfer characteristic (E_b = 20 kT)");
+  std::printf("paper: square hysteresis loop; switching at +/- I_c ~ 1 uA.\n\n");
+
+  const DwnParams params = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(params);
+
+  AsciiTable curve("quasi-static sweep: output state vs input current");
+  curve.set_header({"I_in", "up-sweep state", "down-sweep state"});
+
+  // Up sweep then down sweep, sampling a coarse grid for the table.
+  std::vector<double> grid;
+  for (double i = -2.0e-6; i <= 2.0e-6 + 1e-12; i += 0.25e-6) {
+    grid.push_back(i);
+  }
+  std::vector<bool> up_states;
+  dwn.reset(false);
+  for (double i : grid) {
+    up_states.push_back(dwn.evaluate(i));
+  }
+  std::vector<bool> down_states;
+  dwn.reset(true);
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {
+    down_states.push_back(dwn.evaluate(*it));
+  }
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    curve.add_row({AsciiTable::eng(grid[k], "A"),
+                   up_states[k] ? "1" : "0",
+                   down_states[grid.size() - 1 - k] ? "1" : "0"});
+  }
+  curve.print();
+
+  // Loop width from a fine sweep.
+  dwn.reset(false);
+  double up_switch = 0.0;
+  for (double i = -2e-6; i <= 2e-6; i += 1e-9) {
+    const bool before = dwn.state();
+    if (dwn.evaluate(i) && !before) {
+      up_switch = i;
+    }
+  }
+  double down_switch = 0.0;
+  for (double i = 2e-6; i >= -2e-6; i -= 1e-9) {
+    const bool before = dwn.state();
+    if (!dwn.evaluate(i) && before) {
+      down_switch = i;
+    }
+  }
+  std::printf("\n  measured loop: +I_c = %s, -I_c = %s, width = %s\n",
+              AsciiTable::eng(up_switch, "A").c_str(), AsciiTable::eng(down_switch, "A").c_str(),
+              AsciiTable::eng(up_switch - down_switch, "A").c_str());
+  bench::verdict("hysteresis loop width ~ 2 uA (two thresholds)",
+                 std::abs((up_switch - down_switch) - 2e-6) < 0.1e-6);
+
+  bench::banner("barrier scaling  --  threshold vs E_b (Section 3)");
+  std::printf("paper: lower anisotropy barriers reduce the switching threshold\n");
+  std::printf("(the knob behind Fig. 13a), at the cost of thermal stability.\n\n");
+
+  AsciiTable barrier("threshold and idle thermal flip rate vs barrier");
+  barrier.set_header({"E_b / kT", "I_c", "idle flip rate", "flips per 1e6 cycles (10 ns)"});
+  for (double eb : {10.0, 15.0, 20.0, 30.0, 40.0}) {
+    const DwnParams p = DwnParams::from_barrier(eb);
+    const double rate = p.thermal_flip_rate(0.0);
+    const double per_mc = rate * 10e-9 * 1e6;
+    barrier.add_row({AsciiTable::num(eb, 3), AsciiTable::eng(p.i_threshold, "A"),
+                     AsciiTable::eng(rate, "Hz"), AsciiTable::num(per_mc, 3)});
+  }
+  barrier.add_note("20 kT keeps idle flips negligible at the 100 MHz cycle");
+  barrier.print();
+
+  // Monte-Carlo check of the thermally assisted error rate just below
+  // threshold: the behavioral model the SPICE-level WTA consumes.
+  bench::banner("thermal switching probability below threshold (Monte-Carlo)");
+  AsciiTable mc("P(switch) within one 10 ns cycle vs drive (E_b = 20 kT)");
+  mc.set_header({"I / I_c", "P(switch), model", "P(switch), Monte-Carlo"});
+  Rng rng(7);
+  for (double ratio : {0.80, 0.90, 0.95, 0.99}) {
+    const double drive = ratio * params.i_threshold;
+    const double rate = params.thermal_flip_rate(drive);
+    const double p_model = -std::expm1(-rate * 10e-9);
+    int switches = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+      DomainWallNeuron neuron(params);
+      neuron.reset(false);
+      neuron.apply_current(drive, 10e-9, &rng);
+      switches += neuron.state() ? 1 : 0;
+    }
+    mc.add_row({AsciiTable::num(ratio, 3), AsciiTable::num(p_model, 3),
+                AsciiTable::num(static_cast<double>(switches) / trials, 3)});
+  }
+  mc.print();
+  return 0;
+}

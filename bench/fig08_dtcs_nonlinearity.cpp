@@ -1,0 +1,81 @@
+/// Reproduces paper Fig. 8b: the DTCS-DAC's transfer characteristic
+/// compresses when the crossbar row conductance G_TS is low (high
+/// memristor resistances), because the DAC conductance G_T ends up in
+/// series with G_TS: I = dV * G_T G_TS / (G_T + G_TS).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "datapath/dtcs_dac.hpp"
+#include "device/memristor.hpp"
+
+int main() {
+  using namespace spinsim;
+
+  bench::banner("Fig. 8b  --  DTCS-DAC non-linearity vs series conductance");
+  std::printf("paper: low G_TS (high memristor resistance) bends the DAC's\n");
+  std::printf("current-vs-code characteristic away from the ideal line.\n\n");
+
+  DtcsDacDesign design;  // 5-bit, 10 uA full scale, dV = 30 mV
+  const DtcsDac dac(design);
+
+  // Row conductance for 40 columns of memristors at mid-level, for the
+  // paper's two discussed ranges plus an ideal load.
+  const auto row_conductance = [](double r_min, double r_max) {
+    MemristorSpec spec;
+    spec.r_min = r_min;
+    spec.r_max = r_max;
+    return 40.0 * 0.5 * (spec.g_min() + spec.g_max());
+  };
+  const double g_paper = row_conductance(1e3, 32e3);      // 1k..32k (Table 2)
+  const double g_low = row_conductance(200.0, 6.4e3);     // 200..6.4k (Fig. 9 text)
+  const double g_high = row_conductance(5e3, 160e3);      // 5x paper resistances
+
+  AsciiTable curve("DAC output current vs code for different loads");
+  curve.set_header({"code", "ideal load", "G_TS = " + AsciiTable::eng(g_low, "S"),
+                    "G_TS = " + AsciiTable::eng(g_paper, "S"),
+                    "G_TS = " + AsciiTable::eng(g_high, "S")});
+  for (std::uint32_t code = 0; code <= 31; code += 4) {
+    curve.add_row({std::to_string(code), AsciiTable::eng(dac.output_current(code, 0.0), "A"),
+                   AsciiTable::eng(dac.output_current(code, g_low), "A"),
+                   AsciiTable::eng(dac.output_current(code, g_paper), "A"),
+                   AsciiTable::eng(dac.output_current(code, g_high), "A")});
+  }
+  curve.print();
+
+  AsciiTable inl("integral non-linearity (fraction of full scale)");
+  inl.set_header({"load", "INL"});
+  const double inl_ideal = dac.integral_nonlinearity(0.0);
+  const double inl_low = dac.integral_nonlinearity(g_low);
+  const double inl_paper = dac.integral_nonlinearity(g_paper);
+  const double inl_high = dac.integral_nonlinearity(g_high);
+  inl.add_row({"ideal load", AsciiTable::num(100.0 * inl_ideal, 3) + " %"});
+  inl.add_row({"200 Ohm .. 6.4 kOhm memristors", AsciiTable::num(100.0 * inl_low, 3) + " %"});
+  inl.add_row({"1 kOhm .. 32 kOhm memristors (Table 2)",
+               AsciiTable::num(100.0 * inl_paper, 3) + " %"});
+  inl.add_row({"5 kOhm .. 160 kOhm memristors", AsciiTable::num(100.0 * inl_high, 3) + " %"});
+  inl.print();
+
+  bench::verdict("non-linearity grows as G_TS shrinks",
+                 inl_low < inl_paper && inl_paper < inl_high);
+  bench::verdict("low-resistance range largely overcomes the non-linearity",
+                 inl_low < 0.01);
+  bench::verdict("ideal load is essentially linear", inl_ideal < 0.005);
+
+  // The dV lever of Fig. 9b: at a fixed current target, shrinking dV
+  // requires a proportionally larger G_T, worsening the series division.
+  bench::banner("supporting sweep: INL vs dV at fixed current target");
+  AsciiTable dv("INL vs dV (G_TS of the Table-2 range)");
+  dv.set_header({"dV", "INL"});
+  for (double dv_mv : {10.0, 20.0, 30.0, 50.0}) {
+    DtcsDacDesign d2 = design;
+    d2.delta_v = dv_mv * units::mV;
+    const DtcsDac dac2(d2);
+    dv.add_row({AsciiTable::num(dv_mv, 3) + " mV",
+                AsciiTable::num(100.0 * dac2.integral_nonlinearity(g_paper), 3) + " %"});
+  }
+  dv.print();
+  return 0;
+}

@@ -1,0 +1,135 @@
+/// Reproduces paper Fig. 9a (detection margin vs memristor conductance
+/// range: non-linearity hurts at high resistance, wire IR drops hurt at
+/// low resistance, optimum in between) and Fig. 9b (margin degradation as
+/// dV shrinks), using the full parasitic nodal model of the 128x40 array.
+
+#include <cstdio>
+#include <vector>
+
+#include "amm/evaluation.hpp"
+#include "amm/spin_amm.hpp"
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "vision/dataset.hpp"
+#include "wta/ideal_wta.hpp"
+
+namespace {
+
+using namespace spinsim;
+
+struct MarginPoint {
+  double mean_margin = 0.0;  // fraction of full scale
+  double min_margin = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Mean detection margin of the parasitic AMM over `n_inputs` images.
+MarginPoint measure(const FaceDataset& dataset, const MemristorSpec& memristor, double delta_v,
+                    std::size_t n_inputs) {
+  SpinAmmConfig c;
+  c.templates = 40;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.memristor = memristor;
+  c.delta_v = delta_v;
+  c.model = CrossbarModel::kParasitic;
+  c.seed = 99;
+  SpinAmm amm(c);
+  const auto templates = build_templates(dataset, c.features);
+  amm.store_templates(templates);
+
+  RunningStats margins;
+  std::size_t correct = 0;
+  std::size_t used = 0;
+  for (const auto& sample : dataset.all()) {
+    if (used >= n_inputs) {
+      break;
+    }
+    // One image per individual spreads the probe across classes.
+    if (sample.variant != 0) {
+      continue;
+    }
+    const FeatureVector f = extract_features(sample.image, c.features);
+    const std::vector<double> currents = amm.column_currents(f);
+    // Signed margin: correct template's current minus the best impostor
+    // (negative = the parasitics flipped the decision) — the "detection
+    // margin for a given input" of Fig. 9.
+    double best_other = 0.0;
+    for (std::size_t j = 0; j < currents.size(); ++j) {
+      if (j != sample.individual) {
+        best_other = std::max(best_other, currents[j]);
+      }
+    }
+    margins.add((currents[sample.individual] - best_other) / c.full_scale_current());
+    if (exact_winner(currents) == sample.individual) {
+      ++correct;
+    }
+    ++used;
+  }
+  MarginPoint out;
+  out.mean_margin = margins.mean();
+  out.min_margin = margins.min();
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(used);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spinsim;
+  const FaceDataset dataset = FaceDataset::paper_dataset();
+  const std::size_t n_inputs = 20;
+
+  bench::banner("Fig. 9a  --  detection margin vs memristor conductance range");
+  std::printf("paper: margin degrades for high resistances (DTCS non-linearity)\n");
+  std::printf("and for very low resistances (parasitic IR drops); the optimum\n");
+  std::printf("lies between (Table 2 uses 1 kOhm .. 32 kOhm).\n\n");
+
+  AsciiTable fig9a("Fig. 9a: margin vs resistance-range scale (dV = 30 mV)");
+  fig9a.set_header({"resistance range", "mean margin", "min margin", "argmax accuracy"});
+  std::vector<double> margins_a;
+  const std::vector<double> scales = {0.0625, 0.25, 1.0, 8.0, 64.0};
+  for (double s : scales) {
+    MemristorSpec spec;
+    spec.r_min = 1e3 * s;
+    spec.r_max = 32e3 * s;
+    const MarginPoint p = measure(dataset, spec, 30 * units::mV, n_inputs);
+    margins_a.push_back(p.mean_margin);
+    fig9a.add_row({AsciiTable::eng(spec.r_min, "Ohm") + " .. " + AsciiTable::eng(spec.r_max, "Ohm"),
+                   AsciiTable::num(100.0 * p.mean_margin, 3) + " %",
+                   AsciiTable::num(100.0 * p.min_margin, 3) + " %",
+                   AsciiTable::num(100.0 * p.accuracy, 3) + " %"});
+  }
+  fig9a.add_note("margins as a fraction of the 32 uA full scale; 20 probe images");
+  fig9a.print();
+
+  const double peak = *std::max_element(margins_a.begin(), margins_a.end());
+  bench::verdict("margin peaks at an intermediate conductance range",
+                 peak > margins_a.front() && peak > margins_a.back());
+  bench::verdict("paper's 1k..32k range sits near the optimum",
+                 margins_a[2] > 0.8 * peak);
+
+  bench::banner("Fig. 9b  --  detection margin vs dV");
+  std::printf("paper: reducing dV degrades the margin through parasitic\n");
+  std::printf("voltage drops; ~30 mV preserves accuracy for the 128x40 RCM.\n\n");
+
+  AsciiTable fig9b("Fig. 9b: margin vs dV (Table-2 resistance range)");
+  fig9b.set_header({"dV", "mean margin", "min margin", "argmax accuracy"});
+  std::vector<double> margins_b;
+  for (double dv_mv : {5.0, 10.0, 20.0, 30.0, 50.0}) {
+    const MarginPoint p = measure(dataset, MemristorSpec{}, dv_mv * units::mV, n_inputs);
+    margins_b.push_back(p.mean_margin);
+    fig9b.add_row({AsciiTable::num(dv_mv, 3) + " mV",
+                   AsciiTable::num(100.0 * p.mean_margin, 3) + " %",
+                   AsciiTable::num(100.0 * p.min_margin, 3) + " %",
+                   AsciiTable::num(100.0 * p.accuracy, 3) + " %"});
+  }
+  fig9b.add_note("lower dV forces larger DAC conductances into the same rows");
+  fig9b.print();
+
+  bench::verdict("margin at 30 mV is close to the 50 mV asymptote",
+                 margins_b[3] > 0.9 * margins_b[4]);
+  bench::verdict("margin degrades as dV shrinks", margins_b[0] < margins_b[4]);
+  return 0;
+}

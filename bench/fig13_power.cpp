@@ -1,0 +1,95 @@
+/// Reproduces paper Fig. 13a (power of the proposed design, static vs
+/// dynamic, as a function of the DWN threshold) and Fig. 13b (power-delay
+/// product ratio of MS-CMOS over the proposed design as transistor
+/// variations grow).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "energy/mscmos_power.hpp"
+#include "energy/spin_power.hpp"
+
+int main() {
+  using namespace spinsim;
+
+  bench::banner("Fig. 13a  --  proposed-design power vs DWN threshold");
+  std::printf("paper: static power scales with the threshold (all analog\n");
+  std::printf("currents are multiples of I_th); dynamic CV^2f power is flat\n");
+  std::printf("and dominates once the threshold is scaled down.\n\n");
+
+  AsciiTable fig13a("Fig. 13a: power breakdown vs I_th (5-bit, 100 MHz)");
+  fig13a.set_header({"I_th", "static", "dynamic", "total", "dominant"});
+  std::vector<double> statics;
+  std::vector<double> dynamics;
+  for (double ith_ua : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    SpinAmmDesign d;
+    d.dwn_threshold = ith_ua * units::uA;
+    const PowerReport r = spin_amm_power(d);
+    statics.push_back(r.static_total());
+    dynamics.push_back(r.dynamic_total());
+    fig13a.add_row({AsciiTable::eng(d.dwn_threshold, "A"),
+                    AsciiTable::eng(r.static_total(), "W"),
+                    AsciiTable::eng(r.dynamic_total(), "W"), AsciiTable::eng(r.total(), "W"),
+                    r.static_total() > r.dynamic_total() ? "static" : "dynamic"});
+  }
+  fig13a.add_note("paper Table 1: 65 uW total at I_th = 1 uA");
+  fig13a.print();
+
+  bool static_scales = true;
+  for (std::size_t k = 1; k < statics.size(); ++k) {
+    static_scales = static_scales && statics[k] > statics[k - 1];
+  }
+  bool dynamic_flat = true;
+  for (double dyn : dynamics) {
+    dynamic_flat = dynamic_flat && std::abs(dyn - dynamics.front()) < 1e-9;
+  }
+  bench::verdict("static power scales with the threshold", static_scales);
+  bench::verdict("dynamic power is threshold-independent", dynamic_flat);
+  bench::verdict("dynamic dominates at reduced thresholds", dynamics[0] > statics[0]);
+  bench::verdict("total at 1 uA lands near the paper's 65 uW",
+                 statics[2] + dynamics[2] > 40e-6 && statics[2] + dynamics[2] < 90e-6);
+
+  // Full power breakdown at the paper's operating point.
+  std::printf("\n  breakdown at I_th = 1 uA:\n%s\n",
+              spin_amm_power(SpinAmmDesign{}).str().c_str());
+
+  bench::banner("Fig. 13b  --  PD-product ratio (MS-CMOS / proposed) vs sigma_VT");
+  std::printf("paper: MS-CMOS suffers cumulatively from mirror mismatch, so\n");
+  std::printf("keeping 4%% resolution under growing sigma_VT inflates its\n");
+  std::printf("power-delay product; the spin design's only analog step is the\n");
+  std::printf("DTCS-DAC, so its PD product stays put.\n\n");
+
+  // 4 % resolution ~ between 4 and 5 bits; the paper plots at 4 %.
+  const unsigned resolution_bits = 5;  // 1/32 ~ 3.1 %, the conservative read
+
+  const SpinAmmDesign spin;
+  const PowerReport spin_power = spin_amm_power(spin);
+  const double spin_pd = spin_power.total() / spin.clock;
+
+  AsciiTable fig13b("Fig. 13b: PD ratio vs sigma_VT (min-size devices)");
+  fig13b.set_header({"sigma_VT", "MS-CMOS power", "MS-CMOS PD", "PD ratio vs spin"});
+  std::vector<double> ratios;
+  for (double sigma_mv : {5.0, 10.0, 15.0, 20.0, 30.0}) {
+    MsCmosDesign d;
+    d.topology = MsCmosTopology::kStandardBt;
+    d.resolution_bits = resolution_bits;
+    d.sigma_vt_min_size = sigma_mv * units::mV;
+    const MsCmosEvaluation eval = mscmos_wta_power(d);
+    const double pd = eval.power.total() / eval.max_clock;
+    ratios.push_back(pd / spin_pd);
+    fig13b.add_row({AsciiTable::num(sigma_mv, 3) + " mV",
+                    AsciiTable::eng(eval.power.total(), "W"), AsciiTable::eng(pd, "J"),
+                    AsciiTable::num(pd / spin_pd, 4)});
+  }
+  fig13b.add_note("spin PD reference: " + AsciiTable::eng(spin_pd, "J") +
+                  " (power / conversion rate)");
+  fig13b.print();
+
+  bench::verdict("PD ratio grows with sigma_VT", ratios.back() > 1.5 * ratios.front());
+  bench::verdict("two-orders-of-magnitude gap already at the near-ideal corner",
+                 ratios.front() > 50.0);
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// Library microbenchmarks (google-benchmark): throughput of the hot
+/// paths behind the experiment harnesses — crossbar evaluation (ideal and
+/// parasitic), the LLG integrator, SAR conversion, and a full end-to-end
+/// recognition.
+
+#include <benchmark/benchmark.h>
+
+#include "amm/spin_amm.hpp"
+#include "crossbar/rcm.hpp"
+#include "datapath/sar.hpp"
+#include "device/llg.hpp"
+#include "vision/dataset.hpp"
+#include "wta/spin_sar_wta.hpp"
+
+namespace {
+
+using namespace spinsim;
+
+std::vector<std::vector<double>> random_columns(std::size_t rows, std::size_t cols,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(cols, std::vector<double>(rows));
+  for (auto& col : w) {
+    for (auto& v : col) {
+      v = rng.uniform(0.0, 1.0);
+    }
+  }
+  return w;
+}
+
+void BM_CrossbarIdeal128x40(benchmark::State& state) {
+  RcmConfig config;
+  RcmArray rcm(config, Rng(1));
+  rcm.program(random_columns(config.rows, config.cols, 2));
+  std::vector<double> inputs(config.rows, 5e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcm.column_currents_ideal(inputs));
+  }
+}
+BENCHMARK(BM_CrossbarIdeal128x40);
+
+void BM_CrossbarParasitic128x40(benchmark::State& state) {
+  RcmConfig config;
+  RcmArray rcm(config, Rng(3));
+  rcm.program(random_columns(config.rows, config.cols, 4));
+  std::vector<double> inputs(config.rows, 5e-6);
+  Rng jitter(5);
+  for (auto _ : state) {
+    // Slightly perturb the drive so the warm start works but the solve
+    // is not a no-op.
+    inputs[0] = jitter.uniform(4e-6, 6e-6);
+    benchmark::DoNotOptimize(rcm.column_currents_parasitic(inputs));
+  }
+}
+BENCHMARK(BM_CrossbarParasitic128x40);
+
+void BM_LlgStep(benchmark::State& state) {
+  DwmStripe stripe(DwmParams::paper_device());
+  for (auto _ : state) {
+    stripe.step(1.5e-6, 1e-12);
+    if (stripe.position() >= stripe.params().length) {
+      stripe.reset(0.0);
+    }
+  }
+}
+BENCHMARK(BM_LlgStep);
+
+void BM_SarConversion5bit(benchmark::State& state) {
+  SarRegister sar(5);
+  std::uint32_t input = 0;
+  for (auto _ : state) {
+    sar.begin();
+    while (sar.feed(input >= sar.code())) {
+    }
+    benchmark::DoNotOptimize(sar.result());
+    input = (input + 1) & 31u;
+  }
+}
+BENCHMARK(BM_SarConversion5bit);
+
+void BM_SpinWta40Columns(benchmark::State& state) {
+  SpinWtaConfig config;
+  config.dwn = DwnParams::from_barrier(20.0);
+  SpinSarWta wta(config);
+  Rng rng(6);
+  std::vector<double> currents(config.columns);
+  for (auto& c : currents) {
+    c = rng.uniform(0.0, 30e-6);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wta.run(currents));
+  }
+}
+BENCHMARK(BM_SpinWta40Columns);
+
+void BM_FullRecognition(benchmark::State& state) {
+  static const FaceDataset* dataset = new FaceDataset(8, 3, [] {
+    FaceGeneratorConfig c;
+    c.image_height = 64;
+    c.image_width = 48;
+    return c;
+  }());
+  SpinAmmConfig config;
+  config.features.height = 8;
+  config.features.width = 6;
+  config.templates = 8;
+  config.dwn = DwnParams::from_barrier(20.0);
+  SpinAmm amm(config);
+  amm.store_templates(build_templates(*dataset, config.features));
+  const FeatureVector input = extract_features(dataset->image(0, 0), config.features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amm.recognize(input));
+  }
+}
+BENCHMARK(BM_FullRecognition);
+
+void BM_FaceGeneration(benchmark::State& state) {
+  const FaceGenerator generator{FaceGeneratorConfig{}};
+  std::size_t person = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(person, 0));
+    person = (person + 1) % 40;
+  }
+}
+BENCHMARK(BM_FaceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+/// Reproduces paper Table 1: power, frequency and normalised energy of
+/// the proposed spin-CMOS PE against the two MS-CMOS baselines ([18]
+/// Dlugosz min/max tree, [17] standard BT-WTA) and the 45 nm digital
+/// CMOS MAC design, at 5/4/3-bit WTA resolution.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "energy/digital_asic.hpp"
+#include "energy/mscmos_power.hpp"
+#include "energy/spin_power.hpp"
+
+namespace {
+
+using namespace spinsim;
+
+struct DesignPoint {
+  double power = 0.0;
+  double frequency = 0.0;
+  double energy() const { return power / frequency; }
+};
+
+DesignPoint spin_point(unsigned bits) {
+  SpinAmmDesign d;
+  d.resolution_bits = bits;
+  DesignPoint p;
+  p.power = spin_amm_power(d).total();
+  p.frequency = d.clock;
+  return p;
+}
+
+DesignPoint mscmos_point(MsCmosTopology topology, unsigned bits) {
+  MsCmosDesign d;
+  d.topology = topology;
+  d.resolution_bits = bits;
+  const MsCmosEvaluation eval = mscmos_wta_power(d);
+  DesignPoint p;
+  p.power = eval.power.total();
+  p.frequency = eval.max_clock;
+  return p;
+}
+
+DesignPoint digital_point(unsigned bits) {
+  DigitalAsicDesign d;
+  d.bits = bits;
+  const DigitalAsicEvaluation eval = digital_asic_power(d);
+  DesignPoint p;
+  p.power = eval.power.total();
+  p.frequency = eval.recognition_rate;
+  return p;
+}
+
+/// Paper's Table-1 numbers for the side-by-side comparison.
+struct PaperRow {
+  double spin_uw, d18_mw, d17_mw, dig_mw;
+  double e18, e17, edig;  // energy normalised to the spin design
+};
+
+PaperRow paper_row(unsigned bits) {
+  switch (bits) {
+    case 5:
+      return {65.0, 5.5, 8.0, 4.0, 160.0, 215.0, 2460.0};
+    case 4:
+      return {45.0, 2.9, 5.0, 2.8, 140.0, 221.0, 2300.0};
+    default:  // 3
+      return {32.0, 2.3, 3.2, 1.2, 155.0, 210.0, 1100.0};
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace spinsim;
+
+  bench::banner("Table 1  --  performance comparison (128 x 40 AMM)");
+
+  AsciiTable power_table("power and frequency: measured vs paper");
+  power_table.set_header({"resolution", "design", "power (measured)", "power (paper)",
+                          "frequency (measured)", "frequency (paper)"});
+
+  AsciiTable energy_table("normalised energy per recognition (spin = 1)");
+  energy_table.set_header({"resolution", "design", "energy ratio (measured)",
+                           "energy ratio (paper)"});
+
+  bool shapes_hold = true;
+  for (unsigned bits : {5u, 4u, 3u}) {
+    const DesignPoint spin = spin_point(bits);
+    const DesignPoint d18 = mscmos_point(MsCmosTopology::kAsyncMinMax, bits);
+    const DesignPoint d17 = mscmos_point(MsCmosTopology::kStandardBt, bits);
+    const DesignPoint dig = digital_point(bits);
+    const PaperRow paper = paper_row(bits);
+    const std::string res = std::to_string(bits) + "-bit";
+
+    power_table.add_row({res, "spin-CMOS PE", AsciiTable::eng(spin.power, "W"),
+                         AsciiTable::num(paper.spin_uw, 3) + " uW",
+                         AsciiTable::eng(spin.frequency, "Hz"), "100 MHz"});
+    power_table.add_row({res, "[18] min/max tree", AsciiTable::eng(d18.power, "W"),
+                         AsciiTable::num(paper.d18_mw, 3) + " mW",
+                         AsciiTable::eng(d18.frequency, "Hz"), "50 MHz"});
+    power_table.add_row({res, "[17] BT-WTA", AsciiTable::eng(d17.power, "W"),
+                         AsciiTable::num(paper.d17_mw, 3) + " mW",
+                         AsciiTable::eng(d17.frequency, "Hz"), "50 MHz"});
+    power_table.add_row({res, "45nm digital CMOS", AsciiTable::eng(dig.power, "W"),
+                         AsciiTable::num(paper.dig_mw, 3) + " mW",
+                         AsciiTable::eng(dig.frequency, "Hz"), "2.5 MHz"});
+    power_table.add_separator();
+
+    const double r18 = d18.energy() / spin.energy();
+    const double r17 = d17.energy() / spin.energy();
+    const double rdig = dig.energy() / spin.energy();
+    energy_table.add_row({res, "spin-CMOS PE", "1", "1"});
+    energy_table.add_row({res, "[18] min/max tree", AsciiTable::num(r18, 4),
+                          AsciiTable::num(paper.e18, 4)});
+    energy_table.add_row({res, "[17] BT-WTA", AsciiTable::num(r17, 4),
+                          AsciiTable::num(paper.e17, 4)});
+    energy_table.add_row({res, "45nm digital CMOS", AsciiTable::num(rdig, 4),
+                          AsciiTable::num(paper.edig, 4)});
+    energy_table.add_separator();
+
+    // Shape checks per resolution: ordering and order-of-magnitude.
+    shapes_hold = shapes_hold && spin.power < d18.power && d18.power < d17.power;
+    shapes_hold = shapes_hold && r18 > 30.0 && r17 > r18 && rdig > 300.0;
+  }
+  power_table.print();
+  std::printf("\n");
+  energy_table.print();
+
+  bench::verdict("spin PE beats both MS-CMOS baselines, [17] costliest", shapes_hold);
+
+  const double spin5 = spin_point(5).power;
+  const double dig5 = digital_point(5).power;
+  bench::verdict("~100x power gap vs MS-CMOS at 5-bit",
+                 mscmos_point(MsCmosTopology::kStandardBt, 5).power / spin5 > 30.0);
+  bench::verdict("~1000x energy gap vs digital at 5-bit",
+                 (dig5 / digital_point(5).frequency) / (spin5 / 100e6) > 800.0);
+  bench::verdict("MS-CMOS only ~10x better than digital (Section 5 remark)",
+                 [&] {
+                   const DesignPoint d17 = mscmos_point(MsCmosTopology::kStandardBt, 5);
+                   const DesignPoint dig = digital_point(5);
+                   const double ratio = dig.energy() / d17.energy();
+                   return ratio > 2.0 && ratio < 60.0;
+                 }());
+  return 0;
+}

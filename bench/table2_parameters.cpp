@@ -1,0 +1,84 @@
+/// Echoes paper Table 2 (design parameters) against the values realised
+/// in this reproduction, with consistency checks that tie the device
+/// models back to the quoted numbers.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "crossbar/rcm.hpp"
+#include "device/dwn.hpp"
+#include "device/llg.hpp"
+#include "device/memristor.hpp"
+#include "vision/features.hpp"
+
+int main() {
+  using namespace spinsim;
+
+  bench::banner("Table 2  --  design parameters (paper vs this build)");
+
+  const DwmParams dwm = DwmParams::paper_device();
+  const DwnParams dwn = DwnParams::from_barrier(20.0);
+  const MemristorSpec memristor;
+  const RcmConfig rcm;
+  const FeatureSpec features;
+
+  AsciiTable t("Table 2: design parameters");
+  t.set_header({"parameter", "paper", "this build"});
+  t.add_row({"template size", "16x8, 5-bit",
+             std::to_string(features.height) + "x" + std::to_string(features.width) + ", " +
+                 std::to_string(features.bits) + "-bit"});
+  t.add_row({"# templates", "40", "40"});
+  t.add_row({"comparator resolution", "5-bit", "5-bit"});
+  t.add_row({"input data rate", "100 MHz", "100 MHz"});
+  t.add_row({"crossbar parasitics", "1 Ohm/um, 0.4 fF/um",
+             AsciiTable::num(rcm.wire_res_per_um, 3) + " Ohm/um (R); C in latch model"});
+  t.add_row({"memristor material / range", "Ag-aSi, 1 kOhm..32 kOhm",
+             AsciiTable::eng(memristor.r_min, "Ohm") + " .. " +
+                 AsciiTable::eng(memristor.r_max, "Ohm") + ", " +
+                 std::to_string(memristor.levels) + " levels"});
+  t.add_row({"magnet material", "NiFe", "NiFe-like (Ms, alpha below)"});
+  t.add_row({"free-layer size", "3x22x60 nm^3 (Fig: 3x20x60)",
+             AsciiTable::num(dwm.thickness * 1e9, 3) + "x" + AsciiTable::num(dwm.width * 1e9, 3) +
+                 "x" + AsciiTable::num(dwm.length * 1e9, 3) + " nm^3"});
+  t.add_row({"Ms", "800 emu/cm^3",
+             AsciiTable::num(dwm.ms / units::emu_per_cm3, 4) + " emu/cm^3"});
+  t.add_row({"Ku2V (barrier)", "20 kT", AsciiTable::num(dwn.barrier_kt, 3) + " kT"});
+  t.add_row({"I_c", "1 uA", AsciiTable::eng(dwn.i_threshold, "A") + " (behavioral)"});
+  t.add_row({"T_switch", "1.5 ns", AsciiTable::eng(dwn.t_switch_ref, "s") + " at 2 I_c"});
+  t.add_row({"MTJ resistances", "~5k / ~15k Ohm",
+             AsciiTable::eng(dwn.mtj.r_parallel, "Ohm") + " / " +
+                 AsciiTable::eng(dwn.mtj.r_antiparallel, "Ohm")});
+  t.print();
+
+  bench::banner("consistency checks");
+
+  // The behavioral DWN threshold must agree with the LLG simulation.
+  DwmStripe stripe(dwm);
+  const double ic_llg = stripe.critical_current(5e-6, 60e-9, 0.02e-6);
+  std::printf("  LLG simulated I_c: %s (behavioral model: %s)\n",
+              AsciiTable::eng(ic_llg, "A").c_str(),
+              AsciiTable::eng(dwn.i_threshold, "A").c_str());
+  bench::verdict("LLG and behavioral thresholds agree within 20 %",
+                 std::abs(ic_llg - dwn.i_threshold) < 0.2 * dwn.i_threshold);
+
+  DwmStripe timing(dwm);
+  const auto tsw = timing.run_until_switched(2e-6, 60e-9);
+  std::printf("  LLG switching time at 2 uA: %s\n",
+              tsw ? AsciiTable::eng(*tsw, "s").c_str() : "no switch");
+  bench::verdict("switching time in the paper's ns regime",
+                 tsw.has_value() && *tsw > 0.3e-9 && *tsw < 6e-9);
+
+  const double lsb_g =
+      (memristor.g_max() - memristor.g_min()) / static_cast<double>(memristor.levels - 1);
+  std::printf("  memristor conductance LSB: %s (write sigma %.1f %%)\n",
+              AsciiTable::eng(lsb_g, "S").c_str(), 100.0 * memristor.write_sigma);
+  bench::verdict("write accuracy is the paper's 3 %", memristor.write_sigma == 0.03);
+
+  const double rp = dwn.mtj.r_parallel;
+  const double rap = dwn.mtj.r_antiparallel;
+  bench::verdict("MTJ reference sits midway between R_p and R_ap",
+                 dwn.mtj.reference_resistance() == 0.5 * (rp + rap));
+  return 0;
+}

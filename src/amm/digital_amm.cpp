@@ -1,0 +1,56 @@
+#include "amm/digital_amm.hpp"
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+DigitalAmm::DigitalAmm(const DigitalAmmConfig& config) : config_(config) {
+  require(config.templates >= 2, "DigitalAmm: need at least two templates");
+}
+
+void DigitalAmm::store_templates(const std::vector<FeatureVector>& templates) {
+  require(templates.size() == config_.templates,
+          "DigitalAmm::store_templates: template count mismatch");
+  template_levels_.clear();
+  template_levels_.reserve(templates.size());
+  for (const auto& t : templates) {
+    require(t.dimension() == config_.features.dimension(),
+            "DigitalAmm::store_templates: dimension mismatch");
+    template_levels_.push_back(t.digital);
+  }
+}
+
+DigitalRecognition DigitalAmm::recognize(const FeatureVector& input) const {
+  require(!template_levels_.empty(), "DigitalAmm: store_templates() before recognition");
+  require(input.dimension() == config_.features.dimension(),
+          "DigitalAmm::recognize: input dimension mismatch");
+
+  DigitalRecognition out;
+  out.scores.reserve(template_levels_.size());
+  std::uint64_t best = 0;
+  for (std::size_t j = 0; j < template_levels_.size(); ++j) {
+    std::uint64_t acc = 0;
+    const auto& tmpl = template_levels_[j];
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      acc += static_cast<std::uint64_t>(input.digital[i]) * tmpl[i];
+    }
+    out.scores.push_back(acc);
+    if (acc > best) {
+      best = acc;
+      out.winner = j;
+    }
+  }
+  out.score = best;
+  return out;
+}
+
+DigitalAsicEvaluation DigitalAmm::evaluation() const {
+  DigitalAsicDesign design;
+  design.dimension = config_.features.dimension();
+  design.templates = config_.templates;
+  design.bits = config_.features.bits;
+  design.clock = config_.clock;
+  return digital_asic_power(design);
+}
+
+}  // namespace spinsim

@@ -1,0 +1,53 @@
+/// \file digital_amm.hpp
+/// Baseline AMM: 45 nm digital CMOS multiply-accumulate ASIC.
+///
+/// Bit-exact integer correlation of the 5-bit input against every stored
+/// template, followed by an argmax — functionally the reference the
+/// analog designs approximate. Energy/performance figures come from the
+/// digital_asic_power model (Table 1's last column).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/digital_asic.hpp"
+#include "vision/features.hpp"
+
+namespace spinsim {
+
+/// Knobs of the digital baseline.
+struct DigitalAmmConfig {
+  FeatureSpec features;
+  std::size_t templates = 40;
+  double clock = 100e6;  ///< datapath clock [Hz]
+};
+
+/// Result of a digital recognition.
+struct DigitalRecognition {
+  std::size_t winner = 0;
+  std::uint64_t score = 0;              ///< integer dot product of the winner
+  std::vector<std::uint64_t> scores;    ///< all integer dot products
+};
+
+/// The digital baseline AMM.
+class DigitalAmm {
+ public:
+  explicit DigitalAmm(const DigitalAmmConfig& config);
+
+  const DigitalAmmConfig& config() const { return config_; }
+
+  void store_templates(const std::vector<FeatureVector>& templates);
+
+  /// Bit-exact recognition.
+  DigitalRecognition recognize(const FeatureVector& input) const;
+
+  /// Energy/performance evaluation of this design point.
+  DigitalAsicEvaluation evaluation() const;
+
+ private:
+  DigitalAmmConfig config_;
+  std::vector<std::vector<std::uint32_t>> template_levels_;
+};
+
+}  // namespace spinsim

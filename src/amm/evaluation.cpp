@@ -1,0 +1,50 @@
+#include "amm/evaluation.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+AccuracyResult evaluate_classifier(const FaceDataset& dataset, const FeatureSpec& spec,
+                                   const Classifier& classifier) {
+  require(static_cast<bool>(classifier), "evaluate_classifier: empty classifier");
+  AccuracyResult out;
+  for (const auto& sample : dataset.all()) {
+    const FeatureVector input = extract_features(sample.image, spec);
+    const std::size_t answer = classifier(input);
+    if (answer == sample.individual) {
+      ++out.correct;
+    }
+    ++out.total;
+  }
+  return out;
+}
+
+double detection_margin(const std::vector<double>& currents, double full_scale) {
+  require(currents.size() >= 2, "detection_margin: need at least two currents");
+  require(full_scale > 0.0, "detection_margin: full scale must be positive");
+  std::vector<double> sorted = currents;
+  std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
+  return (sorted[0] - sorted[1]) / full_scale;
+}
+
+RunningStats margin_statistics(
+    const FaceDataset& dataset, const FeatureSpec& spec,
+    const std::function<std::vector<double>(const FeatureVector&)>& front_end, double full_scale,
+    std::size_t max_inputs) {
+  require(static_cast<bool>(front_end), "margin_statistics: empty front end");
+  RunningStats stats;
+  std::size_t used = 0;
+  for (const auto& sample : dataset.all()) {
+    if (max_inputs != 0 && used >= max_inputs) {
+      break;
+    }
+    const FeatureVector input = extract_features(sample.image, spec);
+    stats.add(detection_margin(front_end(input), full_scale));
+    ++used;
+  }
+  return stats;
+}
+
+}  // namespace spinsim

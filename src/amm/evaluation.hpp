@@ -1,0 +1,42 @@
+/// \file evaluation.hpp
+/// Shared experiment harness: accuracy sweeps and margin statistics over
+/// the face dataset. Every bench binary builds on these helpers so the
+/// paper's figures are produced through one code path.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/statistics.hpp"
+#include "vision/dataset.hpp"
+#include "vision/features.hpp"
+
+namespace spinsim {
+
+/// A classifier maps a reduced input to a stored-template index.
+using Classifier = std::function<std::size_t(const FeatureVector&)>;
+
+/// Accuracy of a classifier over a dataset.
+struct AccuracyResult {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  double accuracy() const { return total == 0 ? 0.0 : static_cast<double>(correct) / total; }
+};
+
+/// Runs every image of `dataset` (reduced per `spec`) through
+/// `classifier`; an answer is correct when it names the image's
+/// individual (template index == individual index).
+AccuracyResult evaluate_classifier(const FaceDataset& dataset, const FeatureSpec& spec,
+                                   const Classifier& classifier);
+
+/// Detection margin of a current vector: (best - runner-up) / full_scale.
+double detection_margin(const std::vector<double>& currents, double full_scale);
+
+/// Margin statistics of a front end (column currents per input) over the
+/// dataset. `front_end` returns the column currents for a reduced input.
+RunningStats margin_statistics(const FaceDataset& dataset, const FeatureSpec& spec,
+                               const std::function<std::vector<double>(const FeatureVector&)>& front_end,
+                               double full_scale, std::size_t max_inputs = 0);
+
+}  // namespace spinsim

@@ -1,0 +1,169 @@
+#include "amm/hierarchical_amm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "energy/spin_power.hpp"
+
+namespace spinsim {
+
+namespace {
+
+/// Quantises a raw centroid onto the feature grid so it can be programmed
+/// like any template.
+FeatureVector centroid_to_template(const std::vector<double>& centroid, const FeatureSpec& spec) {
+  FeatureVector t;
+  t.spec = spec;
+  const double top = static_cast<double>((1u << spec.bits) - 1);
+  t.analog.resize(centroid.size());
+  t.digital.resize(centroid.size());
+  for (std::size_t i = 0; i < centroid.size(); ++i) {
+    const double clamped = std::clamp(centroid[i], 0.0, 1.0);
+    const auto level = static_cast<std::uint32_t>(std::lround(clamped * top));
+    t.digital[i] = level;
+    t.analog[i] = static_cast<double>(level) / top;
+  }
+  return t;
+}
+
+}  // namespace
+
+HierarchicalAmm::HierarchicalAmm(const HierarchicalAmmConfig& config) : config_(config) {
+  require(config.clusters >= 2, "HierarchicalAmm: need at least two clusters");
+}
+
+SpinAmmConfig HierarchicalAmm::module_config(std::size_t columns, std::uint64_t salt) const {
+  SpinAmmConfig c;
+  c.features = config_.features;
+  c.templates = columns;
+  c.memristor = config_.memristor;
+  c.wta_bits = config_.wta_bits;
+  c.dwn = config_.dwn;
+  c.delta_v = config_.delta_v;
+  c.clock = config_.clock;
+  c.sample_mismatch = config_.sample_mismatch;
+  c.seed = config_.seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0x1234);
+  return c;
+}
+
+void HierarchicalAmm::store_templates(const std::vector<FeatureVector>& templates) {
+  require(templates.size() >= config_.clusters,
+          "HierarchicalAmm::store_templates: fewer templates than clusters");
+  total_templates_ = templates.size();
+
+  // 1. Cluster the template vectors.
+  std::vector<std::vector<double>> points;
+  points.reserve(templates.size());
+  for (const auto& t : templates) {
+    require(t.dimension() == config_.features.dimension(),
+            "HierarchicalAmm::store_templates: template dimension mismatch");
+    points.push_back(t.analog);
+  }
+  Rng rng(config_.seed);
+  const KMeansResult clustering = kmeans(points, config_.clusters, rng,
+                                         config_.kmeans_iterations);
+
+  members_.assign(config_.clusters, {});
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    members_[clustering.assignment[i]].push_back(i);
+  }
+
+  // 2. Router module: one column per centroid.
+  std::vector<FeatureVector> router_templates;
+  router_templates.reserve(config_.clusters);
+  for (const auto& centroid : clustering.centroids) {
+    router_templates.push_back(centroid_to_template(centroid, config_.features));
+  }
+  router_ = std::make_unique<SpinAmm>(module_config(config_.clusters, 0));
+  router_->store_templates(router_templates);
+
+  // 3. Leaf modules: one per non-trivial cluster. A singleton cluster
+  //    needs no second-level search.
+  leaves_.clear();
+  leaves_.resize(config_.clusters);
+  for (std::size_t c = 0; c < config_.clusters; ++c) {
+    if (members_[c].size() < 2) {
+      continue;
+    }
+    std::vector<FeatureVector> leaf_templates;
+    leaf_templates.reserve(members_[c].size());
+    for (std::size_t global : members_[c]) {
+      leaf_templates.push_back(templates[global]);
+    }
+    leaves_[c] = std::make_unique<SpinAmm>(module_config(members_[c].size(), c + 1));
+    leaves_[c]->store_templates(leaf_templates);
+  }
+}
+
+HierarchicalRecognition HierarchicalAmm::recognize(const FeatureVector& input) {
+  require(router_ != nullptr, "HierarchicalAmm: store_templates() before recognition");
+
+  HierarchicalRecognition out;
+  const RecognitionResult routed = router_->recognize(input);
+  out.cluster = routed.winner;
+  out.router_dom = routed.dom;
+
+  const auto& member_list = members_[out.cluster];
+  SPINSIM_ASSERT(!member_list.empty(), "HierarchicalAmm: routed to an empty cluster");
+  if (member_list.size() == 1 || leaves_[out.cluster] == nullptr) {
+    out.winner = member_list.front();
+    out.leaf_dom = routed.dom;
+    out.unique = true;
+    return out;
+  }
+
+  const RecognitionResult leaf = leaves_[out.cluster]->recognize(input);
+  out.winner = member_list[leaf.winner];
+  out.leaf_dom = leaf.dom;
+  out.unique = leaf.unique;
+  return out;
+}
+
+const std::vector<std::size_t>& HierarchicalAmm::leaf_members(std::size_t cluster) const {
+  require(cluster < members_.size(), "HierarchicalAmm::leaf_members: out of range");
+  return members_[cluster];
+}
+
+PowerReport HierarchicalAmm::active_path_power() const {
+  require(router_ != nullptr, "HierarchicalAmm: store_templates() first");
+  std::size_t largest_leaf = 0;
+  for (const auto& m : members_) {
+    largest_leaf = std::max(largest_leaf, m.size());
+  }
+  // Router + worst-case leaf, evaluated through the same power model.
+  SpinAmmDesign router_design;
+  router_design.dimension = config_.features.dimension();
+  router_design.templates = config_.clusters;
+  router_design.resolution_bits = config_.wta_bits;
+  router_design.dwn_threshold = config_.dwn.i_threshold;
+  router_design.delta_v = config_.delta_v;
+  router_design.clock = config_.clock;
+
+  SpinAmmDesign leaf_design = router_design;
+  leaf_design.templates = std::max<std::size_t>(largest_leaf, 2);
+
+  PowerReport combined;
+  const PowerReport router_power = spin_amm_power(router_design);
+  for (const auto& item : router_power.items()) {
+    combined.add("router: " + item.name, item.kind, item.watts);
+  }
+  const PowerReport leaf_power = spin_amm_power(leaf_design);
+  for (const auto& item : leaf_power.items()) {
+    combined.add("leaf: " + item.name, item.kind, item.watts);
+  }
+  return combined;
+}
+
+PowerReport HierarchicalAmm::flat_equivalent_power() const {
+  SpinAmmDesign flat;
+  flat.dimension = config_.features.dimension();
+  flat.templates = std::max<std::size_t>(total_templates_, 2);
+  flat.resolution_bits = config_.wta_bits;
+  flat.dwn_threshold = config_.dwn.i_threshold;
+  flat.delta_v = config_.delta_v;
+  flat.clock = config_.clock;
+  return spin_amm_power(flat);
+}
+
+}  // namespace spinsim

@@ -1,0 +1,85 @@
+/// \file hierarchical_amm.hpp
+/// Hierarchical associative memory: the paper's Section-5 extension.
+///
+/// "Very large number of images can be grouped into smaller clusters
+/// [25], that can be hierarchically stored in the multiple RCM modules."
+///
+/// Templates are k-means-clustered in feature space. A *router* AMM
+/// stores the cluster centroids; one *leaf* AMM per cluster stores its
+/// member templates. Recognition first routes the input to the best
+/// cluster, then searches only that leaf — so instead of one huge WTA
+/// across N templates, each lookup activates a k-column router plus one
+/// ~N/k-column leaf. Power follows the active path, which is how the
+/// scheme scales the energy story to thousands of patterns.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "amm/spin_amm.hpp"
+#include "core/kmeans.hpp"
+
+namespace spinsim {
+
+/// Knobs of the hierarchical AMM.
+struct HierarchicalAmmConfig {
+  FeatureSpec features;
+  std::size_t clusters = 8;       ///< router fan-out (k)
+  unsigned wta_bits = 5;
+  DwnParams dwn;
+  MemristorSpec memristor;
+  double delta_v = 30e-3;
+  double clock = 100e6;
+  bool sample_mismatch = true;
+  std::size_t kmeans_iterations = 50;
+  std::uint64_t seed = 2013;
+};
+
+/// Result of a hierarchical recognition.
+struct HierarchicalRecognition {
+  std::size_t winner = 0;        ///< global template index
+  std::size_t cluster = 0;       ///< router decision
+  std::uint32_t router_dom = 0;  ///< centroid degree of match
+  std::uint32_t leaf_dom = 0;    ///< winning template's degree of match
+  bool unique = true;            ///< leaf winner uniqueness
+};
+
+/// Two-level AMM built from router + leaf SpinAmm modules.
+class HierarchicalAmm {
+ public:
+  explicit HierarchicalAmm(const HierarchicalAmmConfig& config);
+
+  const HierarchicalAmmConfig& config() const { return config_; }
+
+  /// Clusters the templates and programs the router + leaves. Must be
+  /// called before recognize().
+  void store_templates(const std::vector<FeatureVector>& templates);
+
+  /// Routed recognition.
+  HierarchicalRecognition recognize(const FeatureVector& input);
+
+  /// Number of leaf modules actually built (== clusters).
+  std::size_t leaf_count() const { return leaves_.size(); }
+
+  /// Global template indices stored in leaf `cluster`.
+  const std::vector<std::size_t>& leaf_members(std::size_t cluster) const;
+
+  /// Power of the active path: router + the largest leaf (worst case).
+  PowerReport active_path_power() const;
+
+  /// Power a *flat* AMM holding all templates would burn, for comparison.
+  PowerReport flat_equivalent_power() const;
+
+ private:
+  SpinAmmConfig module_config(std::size_t columns, std::uint64_t salt) const;
+
+  HierarchicalAmmConfig config_;
+  std::unique_ptr<SpinAmm> router_;
+  std::vector<std::unique_ptr<SpinAmm>> leaves_;
+  std::vector<std::vector<std::size_t>> members_;  // cluster -> global indices
+  std::size_t total_templates_ = 0;
+};
+
+}  // namespace spinsim

@@ -1,0 +1,67 @@
+/// \file mscmos_amm.hpp
+/// Baseline AMM: the same RCM front end detected by mixed-signal CMOS
+/// (regulated input mirrors + analog binary-tree WTA, paper Fig. 4).
+///
+/// Shares the crossbar model with SpinAmm; only the detection unit
+/// differs. The functional path corrupts each column current with the
+/// input mirror's sampled error and runs the mismatched tree of
+/// AnalogBtWta; the power/performance numbers come from the
+/// mscmos_wta_power sizing model.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amm/spin_amm.hpp"
+#include "energy/mscmos_power.hpp"
+#include "wta/analog_wta.hpp"
+
+namespace spinsim {
+
+/// Knobs of the MS-CMOS baseline.
+struct MsCmosAmmConfig {
+  FeatureSpec features;
+  std::size_t templates = 40;
+  MemristorSpec memristor;
+  MsCmosTopology topology = MsCmosTopology::kStandardBt;
+  unsigned resolution_bits = 5;
+  double sigma_vt_min_size = 5e-3;  ///< process mismatch (Fig. 13b sweep)
+  std::uint64_t seed = 11;
+};
+
+/// Result of a baseline recognition.
+struct MsCmosRecognition {
+  std::size_t winner = 0;
+  double margin = 0.0;  ///< analog margin before the detection unit
+};
+
+/// The MS-CMOS baseline AMM.
+class MsCmosAmm {
+ public:
+  explicit MsCmosAmm(const MsCmosAmmConfig& config);
+
+  const MsCmosAmmConfig& config() const { return config_; }
+
+  /// Programs the stored templates.
+  void store_templates(const std::vector<FeatureVector>& templates);
+
+  /// Full recognition through the mismatched analog detection unit.
+  MsCmosRecognition recognize(const FeatureVector& input);
+
+  /// The sizing/power evaluation of this design point.
+  const MsCmosEvaluation& evaluation() const { return evaluation_; }
+
+ private:
+  MsCmosAmmConfig config_;
+  Rng rng_;
+  std::unique_ptr<RcmArray> rcm_;
+  std::vector<double> input_mirror_gain_;  // per-column sampled copy error
+  std::unique_ptr<AnalogBtWta> wta_;
+  MsCmosEvaluation evaluation_;
+  double input_full_scale_;
+  bool templates_stored_ = false;
+};
+
+}  // namespace spinsim

@@ -1,0 +1,165 @@
+#include "amm/spin_amm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double SpinAmmConfig::full_scale_current() const {
+  return std::ldexp(dwn.i_threshold, static_cast<int>(wta_bits));
+}
+
+double SpinAmmConfig::input_full_scale_current() const {
+  // See SpinAmmDesign::max_input_current: the best column collects about
+  // 1/templates of every input current, so per-input peak =
+  // full_scale * templates / dimension.
+  return full_scale_current() * static_cast<double>(templates) /
+         static_cast<double>(features.dimension());
+}
+
+SpinAmm::SpinAmm(const SpinAmmConfig& config) : config_(config), rng_(config.seed) {
+  require(config.templates >= 2, "SpinAmm: need at least two templates");
+  require(config.features.dimension() >= 1, "SpinAmm: empty feature space");
+
+  RcmConfig rcm_config;
+  rcm_config.rows = config.features.dimension();
+  rcm_config.cols = config.templates;
+  rcm_config.memristor = config.memristor;
+  rcm_config.dummy_column = config.dummy_column;
+  rcm_ = std::make_unique<RcmArray>(rcm_config, rng_.fork());
+
+  DtcsDacDesign dac_design;
+  dac_design.bits = config.features.bits;
+  dac_design.full_scale_current = config.input_full_scale_current();
+  dac_design.delta_v = config.delta_v;
+
+  Rng dac_rng = rng_.fork();
+  input_dacs_.reserve(rcm_config.rows);
+  for (std::size_t row = 0; row < rcm_config.rows; ++row) {
+    if (config.sample_mismatch) {
+      input_dacs_.emplace_back(dac_design, dac_rng);
+    } else {
+      input_dacs_.emplace_back(dac_design);
+    }
+  }
+
+  SpinWtaConfig wta_config;
+  wta_config.columns = config.templates;
+  wta_config.bits = config.wta_bits;
+  wta_config.dwn = config.dwn;
+  wta_config.latch = config.latch;
+  wta_config.delta_v = config.delta_v;
+  wta_config.cycle_time = 1.0 / config.clock;
+  wta_config.thermal_noise = config.thermal_noise;
+  wta_config.sample_mismatch = config.sample_mismatch;
+  wta_config.seed = rng_.next_u64();
+  wta_ = std::make_unique<SpinSarWta>(wta_config);
+}
+
+void SpinAmm::store_templates(const std::vector<FeatureVector>& templates) {
+  require(templates.size() == config_.templates,
+          "SpinAmm::store_templates: template count mismatch");
+  std::vector<std::vector<double>> columns;
+  columns.reserve(templates.size());
+  for (const auto& t : templates) {
+    require(t.dimension() == config_.features.dimension(),
+            "SpinAmm::store_templates: template dimension mismatch");
+    columns.push_back(t.analog);
+  }
+  rcm_->program(columns);
+  templates_stored_ = true;
+  calibrate_input_gain(templates);
+}
+
+void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) {
+  // Feed each stored pattern through the real front end and find the
+  // strongest self-match; then rebuild the input DACs so that current
+  // sits at ~90 % of the WTA full scale (headroom against clipping).
+  double best = 0.0;
+  for (std::size_t j = 0; j < templates.size(); ++j) {
+    const std::vector<double> currents = column_currents(templates[j]);
+    best = std::max(best, currents[j]);
+  }
+  if (best <= 0.0) {
+    return;  // degenerate (all-zero templates); keep the analytic sizing
+  }
+  const double scale = 0.95 * config_.full_scale_current() / best;
+
+  DtcsDacDesign dac_design;
+  dac_design.bits = config_.features.bits;
+  dac_design.full_scale_current = config_.input_full_scale_current() * scale;
+  dac_design.delta_v = config_.delta_v;
+  Rng dac_rng = rng_.fork();
+  input_dacs_.clear();
+  for (std::size_t row = 0; row < config_.features.dimension(); ++row) {
+    if (config_.sample_mismatch) {
+      input_dacs_.emplace_back(dac_design, dac_rng);
+    } else {
+      input_dacs_.emplace_back(dac_design);
+    }
+  }
+}
+
+std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
+  require(templates_stored_, "SpinAmm: store_templates() before recognition");
+  require(input.dimension() == config_.features.dimension(),
+          "SpinAmm::column_currents: input dimension mismatch");
+
+  // Per-row DTCS DACs: the realised current depends on the row's total
+  // conductance (series division, Fig. 8b).
+  std::vector<double> input_currents(input.dimension(), 0.0);
+  for (std::size_t row = 0; row < input.dimension(); ++row) {
+    input_currents[row] =
+        input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
+  }
+
+  if (config_.model == CrossbarModel::kIdeal) {
+    return rcm_->column_currents_ideal(input_currents);
+  }
+  return rcm_->column_currents_parasitic(input_currents, /*v_bias=*/0.0);
+}
+
+RecognitionResult SpinAmm::recognize(const FeatureVector& input) {
+  RecognitionResult out;
+  out.column_currents = column_currents(input);
+  out.wta = wta_->run(out.column_currents);
+  out.winner = out.wta.winner;
+  out.unique = out.wta.unique;
+  out.dom = out.wta.winner_dom;
+  out.accepted = out.dom >= config_.accept_threshold;
+
+  // Analog detection margin: best minus runner-up over full scale.
+  if (out.column_currents.size() >= 2) {
+    std::vector<double> sorted = out.column_currents;
+    std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
+    out.margin = (sorted[0] - sorted[1]) / config_.full_scale_current();
+  }
+  return out;
+}
+
+const RcmArray& SpinAmm::crossbar() const {
+  require(rcm_ != nullptr, "SpinAmm: no crossbar");
+  return *rcm_;
+}
+
+RcmArray& SpinAmm::mutable_crossbar() {
+  require(rcm_ != nullptr, "SpinAmm: no crossbar");
+  return *rcm_;
+}
+
+SpinAmmDesign SpinAmm::power_design() const {
+  SpinAmmDesign d;
+  d.dimension = config_.features.dimension();
+  d.templates = config_.templates;
+  d.resolution_bits = config_.wta_bits;
+  d.dwn_threshold = config_.dwn.i_threshold;
+  d.delta_v = config_.delta_v;
+  d.clock = config_.clock;
+  return d;
+}
+
+PowerReport SpinAmm::power() const { return spin_amm_power(power_design()); }
+
+}  // namespace spinsim

@@ -1,0 +1,113 @@
+/// \file spin_amm.hpp
+/// The proposed associative memory module (AMM): RCM + spin neurons.
+///
+/// End-to-end pipeline of paper Section 4: per-row DTCS input DACs drive
+/// the crossbar with the reduced 5-bit input image; each column's dot-
+/// product current feeds a spin PE; the SAR + winner-tracking WTA returns
+/// the best-matching stored template and its degree of match. This class
+/// wires the substrates together and owns the experiment knobs (ideal vs
+/// parasitic crossbar, thermal noise, mismatch, dV, DWN threshold).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crossbar/rcm.hpp"
+#include "datapath/dtcs_dac.hpp"
+#include "energy/power_report.hpp"
+#include "energy/spin_power.hpp"
+#include "vision/features.hpp"
+#include "wta/spin_sar_wta.hpp"
+
+namespace spinsim {
+
+/// Which crossbar evaluation path to use.
+enum class CrossbarModel {
+  kIdeal,      ///< closed-form current division (fast; no wire parasitics)
+  kParasitic,  ///< full nodal solve with Cu bar resistance
+};
+
+/// Design/simulation knobs of one SpinAmm instance.
+struct SpinAmmConfig {
+  FeatureSpec features;          ///< input/template geometry (16x8, 5-bit)
+  std::size_t templates = 40;    ///< stored patterns
+  MemristorSpec memristor;       ///< crosspoint devices
+  unsigned wta_bits = 5;         ///< WTA resolution M
+  DwnParams dwn;                 ///< spin neuron (threshold 1 uA @ 20 kT)
+  ReadLatchDesign latch;
+  double delta_v = 30e-3;        ///< crossbar bias dV [V]
+  double clock = 100e6;          ///< conversion clock [Hz]
+  CrossbarModel model = CrossbarModel::kIdeal;
+  bool thermal_noise = false;
+  bool sample_mismatch = true;
+  bool dummy_column = true;  ///< per-row G_TS equalisation (Section 4A)
+  std::uint32_t accept_threshold = 0;  ///< DOM below this rejects the match
+  std::uint64_t seed = 1;
+
+  /// Full-scale column current 2^M I_th [A].
+  double full_scale_current() const;
+
+  /// Peak input-DAC current so the best match reaches full scale [A]
+  /// (paper: ~10 uA for the 128x40, 5-bit design).
+  double input_full_scale_current() const;
+};
+
+/// Result of one recognition.
+struct RecognitionResult {
+  std::size_t winner = 0;
+  bool unique = true;
+  std::uint32_t dom = 0;            ///< winner's degree of match
+  bool accepted = true;             ///< dom >= accept_threshold
+  double margin = 0.0;              ///< (best - runner-up) / full scale, analog
+  std::vector<double> column_currents;
+  SpinWtaOutcome wta;
+};
+
+/// The proposed spin-CMOS associative memory module.
+class SpinAmm {
+ public:
+  explicit SpinAmm(const SpinAmmConfig& config);
+
+  const SpinAmmConfig& config() const { return config_; }
+
+  /// Programs the stored templates (one per column) and calibrates the
+  /// input-DAC gain so the best match lands just under the WTA's full
+  /// scale — the paper's "required range of DAC output current was found
+  /// to be ~10 uA" sizing step, done against the realised row conductance
+  /// (dummy padding included). Must be called before recognize().
+  void store_templates(const std::vector<FeatureVector>& templates);
+
+  /// Analog front end only: per-column dot-product currents for an input.
+  std::vector<double> column_currents(const FeatureVector& input);
+
+  /// Full recognition: front end + spin WTA.
+  RecognitionResult recognize(const FeatureVector& input);
+
+  /// The programmed crossbar (inspection / experiments).
+  const RcmArray& crossbar() const;
+
+  /// Mutable crossbar access for in-field experiments (fault injection,
+  /// drift studies). The AMM keeps functioning with the altered array.
+  RcmArray& mutable_crossbar();
+
+  /// Analytic power breakdown of this design point.
+  PowerReport power() const;
+
+  /// The design-point parameters fed to the power model.
+  SpinAmmDesign power_design() const;
+
+ private:
+  void calibrate_input_gain(const std::vector<FeatureVector>& templates);
+
+  SpinAmmConfig config_;
+  Rng rng_;
+  std::unique_ptr<RcmArray> rcm_;
+  std::vector<DtcsDac> input_dacs_;  // one per row
+  std::unique_ptr<SpinSarWta> wta_;
+  bool templates_stored_ = false;
+};
+
+}  // namespace spinsim

@@ -1,0 +1,112 @@
+/// \file netlist.hpp
+/// Linear circuit netlist: the input format of spinsim's SPICE-lite.
+///
+/// Node 0 is ground. Elements are linear (R, C, independent I and V
+/// sources, VCCS); non-linear devices (MOSFETs, memristors, DWNs) are
+/// linearised by their owning models before stamping, which is all the
+/// crossbar/latch analyses in this project require.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+/// Index of a circuit node. Node 0 is always ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// Two-terminal resistor.
+struct Resistor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double resistance = 0.0;  ///< [Ohm], must be > 0
+  std::string name;
+};
+
+/// Two-terminal capacitor (used by transient analysis only; open in DC).
+struct Capacitor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double capacitance = 0.0;  ///< [F], must be > 0
+  double initial_voltage = 0.0;  ///< v(a) - v(b) at t = 0
+  std::string name;
+};
+
+/// Independent current source driving `value` amps from node a into node b
+/// (current flows a -> b through the source).
+struct CurrentSource {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double value = 0.0;  ///< [A]
+  std::string name;
+};
+
+/// Independent voltage source; v(p) - v(n) = value.
+struct VoltageSource {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  double value = 0.0;  ///< [V]
+  std::string name;
+};
+
+/// Voltage-controlled current source: i(a->b) = gm * (v(cp) - v(cn)).
+/// Used for small-signal MOSFET models.
+struct Vccs {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  NodeId cp = kGround;
+  NodeId cn = kGround;
+  double gm = 0.0;  ///< [S]
+  std::string name;
+};
+
+/// A linear circuit description.
+class Netlist {
+ public:
+  /// Creates a netlist with a ground node only.
+  Netlist() = default;
+
+  /// Allocates and returns a fresh node id.
+  NodeId add_node(const std::string& label = {});
+
+  /// Number of nodes including ground.
+  std::size_t node_count() const { return labels_.size() + 1; }
+
+  /// Label of node `n` (empty if never labelled; "gnd" for ground).
+  std::string node_label(NodeId n) const;
+
+  void add_resistor(NodeId a, NodeId b, double resistance, std::string name = {});
+  void add_capacitor(NodeId a, NodeId b, double capacitance, double initial_voltage = 0.0,
+                     std::string name = {});
+  void add_current_source(NodeId from, NodeId to, double amps, std::string name = {});
+  /// Returns the index of the created source (for current readback).
+  std::size_t add_voltage_source(NodeId p, NodeId n, double volts, std::string name = {});
+  void add_vccs(NodeId a, NodeId b, NodeId cp, NodeId cn, double gm, std::string name = {});
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<CurrentSource>& current_sources() const { return current_sources_; }
+  const std::vector<VoltageSource>& voltage_sources() const { return voltage_sources_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+
+  /// Mutable access used by sweeps that update source values in place.
+  std::vector<CurrentSource>& mutable_current_sources() { return current_sources_; }
+  std::vector<VoltageSource>& mutable_voltage_sources() { return voltage_sources_; }
+
+ private:
+  void check_node(NodeId n, const char* context) const;
+
+  std::vector<std::string> labels_;  // labels_[i] is node i+1
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<CurrentSource> current_sources_;
+  std::vector<VoltageSource> voltage_sources_;
+  std::vector<Vccs> vccs_;
+};
+
+}  // namespace spinsim

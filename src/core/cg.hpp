@@ -1,0 +1,40 @@
+/// \file cg.hpp
+/// Preconditioned conjugate-gradient solver for sparse SPD systems.
+///
+/// The grounded resistive network of a crossbar (voltage-source nodes
+/// eliminated) yields a symmetric positive-definite conductance matrix;
+/// Jacobi-preconditioned CG solves the 10k-node 128x40 array in a few
+/// hundred iterations.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sparse.hpp"
+
+namespace spinsim {
+
+/// Options for conjugate_gradient().
+struct CgOptions {
+  double tolerance = 1e-10;      ///< relative residual ||r|| / ||b|| target
+  std::size_t max_iterations = 20000;
+  bool jacobi_preconditioner = true;
+};
+
+/// Result of conjugate_gradient().
+struct CgResult {
+  std::vector<double> x;      ///< solution
+  double residual = 0.0;      ///< final relative residual
+  std::size_t iterations = 0; ///< iterations consumed
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A. `x0` (optional) seeds the iteration — passing
+/// the previous operating point cuts iterations dramatically during sweeps.
+/// Throws NumericalError on dimension mismatch or a breakdown (non-SPD A).
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            const CgOptions& options = {},
+                            const std::vector<double>* x0 = nullptr);
+
+}  // namespace spinsim

@@ -1,0 +1,14 @@
+#include "core/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spinsim::detail {
+
+void assert_fail(const char* expr, const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "spinsim internal assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace spinsim::detail

@@ -1,0 +1,58 @@
+/// \file error.hpp
+/// Error handling primitives for spinsim.
+///
+/// Policy (per C++ Core Guidelines E.*): throw exceptions for API misuse and
+/// unrecoverable environment failures; use SPINSIM_ASSERT for internal
+/// invariants that indicate a bug in spinsim itself.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spinsim {
+
+/// Thrown when a caller passes arguments that violate a documented
+/// precondition (bad dimensions, out-of-range parameters, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular / indefinite system it cannot handle.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation is driven into a state the model does not
+/// support (e.g. programming a memristor outside its conductance range).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Aborts with a diagnostic; used by SPINSIM_ASSERT. Never returns.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line, const char* msg);
+}  // namespace detail
+
+/// Validates a documented precondition of a public API and throws
+/// InvalidArgument with the given message if it does not hold.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw InvalidArgument(message);
+  }
+}
+
+}  // namespace spinsim
+
+/// Internal invariant check. Active in all build types: the simulator is a
+/// measurement instrument, so silent state corruption is worse than an abort.
+#define SPINSIM_ASSERT(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::spinsim::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,135 @@
+#include "core/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "squared_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then each subsequent one
+/// drawn proportionally to the squared distance from the nearest chosen.
+std::vector<std::vector<double>> seed_centroids(const std::vector<std::vector<double>>& points,
+                                                std::size_t k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+
+  std::vector<double> best_d2(points.size(), std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      best_d2[i] = std::min(best_d2[i], squared_distance(points[i], centroids.back()));
+      total += best_d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      centroids.push_back(points[centroids.size() % points.size()]);
+      continue;
+    }
+    double draw = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      draw -= best_d2[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, std::size_t k, Rng& rng,
+                    std::size_t max_iterations) {
+  require(!points.empty(), "kmeans: no points");
+  require(k >= 1 && k <= points.size(), "kmeans: k must be in [1, #points]");
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    require(p.size() == dim, "kmeans: ragged points");
+  }
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_distance(points[i], result.centroids[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[c][d] += points[i][d];
+      }
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the overall farthest point.
+        std::size_t farthest = 0;
+        double far_d2 = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d2 =
+              squared_distance(points[i], result.centroids[result.assignment[i]]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            farthest = i;
+          }
+        }
+        result.centroids[c] = points[farthest];
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += squared_distance(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace spinsim

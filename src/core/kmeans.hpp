@@ -1,0 +1,37 @@
+/// \file kmeans.hpp
+/// Small k-means implementation (k-means++ seeding, Lloyd iterations).
+///
+/// Substrate for the paper's Section-5 extension: "very large number of
+/// images can be grouped into smaller clusters [25] that can be
+/// hierarchically stored in the multiple RCM modules". The hierarchical
+/// AMM clusters stored templates with this routine.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace spinsim {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k centroids
+  std::vector<std::size_t> assignment;         ///< point -> centroid index
+  double inertia = 0.0;                        ///< sum of squared distances
+  std::size_t iterations = 0;                  ///< Lloyd iterations executed
+};
+
+/// Clusters `points` (all of equal dimension) into `k` groups.
+/// k-means++ seeding from `rng`, then Lloyd iterations until assignments
+/// stop changing or `max_iterations` is reached. Empty clusters are
+/// reseeded with the point farthest from its centroid.
+/// Throws InvalidArgument for k == 0 or k > points.size().
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, std::size_t k, Rng& rng,
+                    std::size_t max_iterations = 50);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace spinsim

@@ -1,0 +1,38 @@
+#include "core/log.hpp"
+
+#include <cstdio>
+
+namespace spinsim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level) || level == LogLevel::kOff) {
+    return;
+  }
+  std::fprintf(stderr, "[spinsim %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace spinsim

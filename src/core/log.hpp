@@ -1,0 +1,24 @@
+/// \file log.hpp
+/// Minimal leveled logging to stderr. Experiment harnesses narrate with
+/// info(); library code stays quiet below `warn` by default.
+
+#pragma once
+
+#include <string>
+
+namespace spinsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace spinsim

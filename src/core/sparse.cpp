@@ -1,0 +1,99 @@
+#include "core/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spinsim {
+
+std::vector<double> CsrMatrix::multiply(const std::vector<double>& x) const {
+  std::vector<double> y;
+  multiply_into(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_into(const std::vector<double>& x, std::vector<double>& y) const {
+  require(x.size() == cols_, "CsrMatrix::multiply: dimension mismatch");
+  y.assign(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) {
+        d[r] = values_[k];
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows() && c < cols_, "CsrMatrix::at: index out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) {
+    return 0.0;
+  }
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+void CooBuilder::add(std::size_t r, std::size_t c, double value) {
+  SPINSIM_ASSERT(r < rows_ && c < cols_, "CooBuilder::add: index out of range");
+  if (value == 0.0) {
+    return;
+  }
+  r_.push_back(r);
+  c_.push_back(c);
+  v_.push_back(value);
+}
+
+CsrMatrix CooBuilder::compress() const {
+  // Sort triplets by (row, col) via an index permutation, then merge
+  // duplicates while emitting CSR arrays.
+  std::vector<std::size_t> order(v_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (r_[a] != r_[b]) {
+      return r_[a] < r_[b];
+    }
+    return c_[a] < c_[b];
+  });
+
+  CsrMatrix out;
+  out.cols_ = cols_;
+  out.row_ptr_.assign(rows_ + 1, 0);
+  out.col_idx_.reserve(v_.size());
+  out.values_.reserve(v_.size());
+
+  std::size_t current_row = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t k = order[i];
+    while (current_row < r_[k]) {
+      out.row_ptr_[++current_row] = out.values_.size();
+    }
+    const bool row_has_entries = out.values_.size() > out.row_ptr_[current_row];
+    if (row_has_entries && out.col_idx_.back() == c_[k]) {
+      // Same (row, col) as the previous emitted entry: accumulate the stamp.
+      out.values_.back() += v_[k];
+    } else {
+      out.col_idx_.push_back(c_[k]);
+      out.values_.push_back(v_[k]);
+    }
+  }
+  while (current_row < rows_) {
+    out.row_ptr_[++current_row] = out.values_.size();
+  }
+  return out;
+}
+
+}  // namespace spinsim

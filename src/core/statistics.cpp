@@ -1,0 +1,121 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  require(n_ > 0, "RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStats::min() const {
+  require(n_ > 0, "RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  require(n_ > 0, "RunningStats::max: no samples");
+  return max_;
+}
+
+double mean(const std::vector<double>& v) {
+  require(!v.empty(), "mean: empty input");
+  double acc = 0.0;
+  for (double x : v) {
+    acc += x;
+  }
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double percentile(std::vector<double> v, double p) {
+  require(!v.empty(), "percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::sort(v.begin(), v.end());
+  const double pos = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "pearson: size mismatch");
+  require(a.size() >= 2, "pearson: need at least 2 samples");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) {
+    return 0.0;
+  }
+  return num / std::sqrt(da * db);
+}
+
+Histogram Histogram::build(const std::vector<double>& v, std::size_t bins) {
+  require(!v.empty(), "Histogram::build: empty input");
+  const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+  return build(v, bins, *lo_it, *hi_it);
+}
+
+Histogram Histogram::build(const std::vector<double>& v, std::size_t bins, double lo, double hi) {
+  require(bins > 0, "Histogram::build: bins must be positive");
+  require(hi >= lo, "Histogram::build: hi must be >= lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi > lo) ? (hi - lo) / static_cast<double>(bins) : 1.0;
+  for (double x : v) {
+    if (x < lo || x > hi) {
+      continue;
+    }
+    auto bin = static_cast<std::size_t>((x - lo) / width);
+    bin = std::min(bin, bins - 1);
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+}  // namespace spinsim

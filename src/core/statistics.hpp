@@ -1,0 +1,56 @@
+/// \file statistics.hpp
+/// Small statistics helpers used by experiment harnesses and variation
+/// studies (Monte-Carlo margins, accuracy summaries).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spinsim {
+
+/// Running mean / variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `v`; requires non-empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation of `v` (0 for size < 2).
+double stddev(const std::vector<double>& v);
+
+/// Linear-interpolation percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Simple equal-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  /// Builds a histogram of `v` with `bins` equal-width bins spanning
+  /// [min, max] of the data (or [lo, hi] if provided).
+  static Histogram build(const std::vector<double>& v, std::size_t bins);
+  static Histogram build(const std::vector<double>& v, std::size_t bins, double lo, double hi);
+};
+
+}  // namespace spinsim

@@ -1,0 +1,113 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+void AsciiTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  require(header_.empty() || row.size() == header_.size(),
+          "AsciiTable::add_row: column count mismatch");
+  require(!row.empty(), "AsciiTable::add_row: empty row");
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+void AsciiTable::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string AsciiTable::str() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& row : rows_) {
+    ncols = std::max(ncols, row.size());
+  }
+  std::vector<std::size_t> width(ncols, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) {
+    measure(header_);
+  }
+  for (const auto& row : rows_) {
+    measure(row);
+  }
+
+  std::size_t total = 1;  // leading '|'
+  for (std::size_t w : width) {
+    total += w + 3;  // " cell |"
+  }
+
+  std::ostringstream out;
+  const std::string rule(total, '-');
+  out << title_ << "\n" << rule << "\n";
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    out << rule << "\n";
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << rule << "\n";
+    } else {
+      emit(row);
+    }
+  }
+  out << rule << "\n";
+  for (const auto& note : notes_) {
+    out << "  * " << note << "\n";
+  }
+  return out.str();
+}
+
+void AsciiTable::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string AsciiTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+std::string AsciiTable::eng(double value, const std::string& unit, int digits) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix prefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},    {1e-3, "m"},
+      {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  };
+  if (value == 0.0) {
+    return "0 " + unit;
+  }
+  const double mag = std::abs(value);
+  for (const auto& p : prefixes) {
+    if (mag >= p.scale) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*g %s%s", digits, value / p.scale, p.name, unit.c_str());
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g a%s", digits, value / 1e-18, unit.c_str());
+  return buf;
+}
+
+}  // namespace spinsim

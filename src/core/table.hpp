@@ -1,0 +1,51 @@
+/// \file table.hpp
+/// ASCII table formatting for experiment harnesses.
+///
+/// Every bench/* binary prints "paper vs measured" rows through this class
+/// so that the reproduction output is uniform and diffable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spinsim {
+
+/// Column-aligned ASCII table with a title and optional footnotes.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers (fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count if one is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Appends a footnote printed under the table.
+  void add_note(std::string note);
+
+  /// Renders the table.
+  std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant digits (helper for rows).
+  static std::string num(double value, int digits = 4);
+
+  /// Formats a value in engineering notation with a unit suffix, e.g.
+  /// eng(6.5e-05, "W") -> "65 uW".
+  static std::string eng(double value, const std::string& unit, int digits = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+  std::vector<std::string> notes_;
+};
+
+}  // namespace spinsim

@@ -1,0 +1,97 @@
+/// \file units.hpp
+/// SI unit multipliers and physical constants used throughout spinsim.
+///
+/// All spinsim quantities are stored in plain SI base units (metre, second,
+/// ampere, volt, ohm, farad, joule, kelvin). The constants below make the
+/// intent of literals explicit at the point of use:
+///
+///     double strip_length = 60.0 * units::nm;
+///     double threshold    = 1.0 * units::uA;
+
+#pragma once
+
+namespace spinsim::units {
+
+// --- length ---
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// --- time ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- frequency ---
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- electrical ---
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double uV = 1e-6;
+inline constexpr double Ohm = 1.0;
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+inline constexpr double S = 1.0;   // siemens
+inline constexpr double mS = 1e-3;
+inline constexpr double uS = 1e-6;
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// --- energy / power ---
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+inline constexpr double aJ = 1e-18;
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+
+// --- magnetics ---
+/// emu/cm^3 expressed in A/m (CGS magnetisation unit used in the paper:
+/// Ms = 800 emu/cm^3 for NiFe).
+inline constexpr double emu_per_cm3 = 1e3;
+inline constexpr double tesla = 1.0;
+inline constexpr double oersted = 1e-4 / (4e-7 * 3.14159265358979323846);  // A/m -> T uses mu0
+
+// --- temperature ---
+inline constexpr double K = 1.0;
+
+}  // namespace spinsim::units
+
+namespace spinsim::constants {
+
+/// Elementary charge [C].
+inline constexpr double q_e = 1.602176634e-19;
+/// Boltzmann constant [J/K].
+inline constexpr double k_B = 1.380649e-23;
+/// Reduced Planck constant [J s].
+inline constexpr double hbar = 1.054571817e-34;
+/// Bohr magneton [J/T].
+inline constexpr double mu_B = 9.2740100783e-24;
+/// Vacuum permeability [T m / A].
+inline constexpr double mu_0 = 1.25663706212e-6;
+/// Electron gyromagnetic ratio [rad / (s T)] (gamma = g * mu_B / hbar).
+inline constexpr double gamma_e = 1.760859630e11;
+/// Room temperature used throughout the paper [K].
+inline constexpr double T_room = 300.0;
+/// Thermal energy at room temperature [J].
+inline constexpr double kT_room = k_B * T_room;
+
+}  // namespace spinsim::constants

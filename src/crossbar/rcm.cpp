@@ -1,0 +1,200 @@
+#include "crossbar/rcm.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+RcmArray::RcmArray(const RcmConfig& config, Rng rng) : config_(config), rng_(rng) {
+  require(config.rows > 0 && config.cols > 0, "RcmArray: dimensions must be positive");
+  cells_.reserve(config.rows * config.cols);
+  for (std::size_t i = 0; i < config.rows * config.cols; ++i) {
+    cells_.emplace_back(config.memristor, rng_);
+  }
+  dummy_g_.assign(config.rows, 0.0);
+}
+
+void RcmArray::program_column(std::size_t col, const std::vector<double>& weights) {
+  require(col < config_.cols, "RcmArray::program_column: column out of range");
+  require(weights.size() == config_.rows,
+          "RcmArray::program_column: weight count must equal rows");
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    cells_[row * config_.cols + col].program_weight(weights[row], rng_);
+  }
+  invalidate_parasitic_cache();
+}
+
+void RcmArray::program(const std::vector<std::vector<double>>& columns) {
+  require(columns.size() == config_.cols, "RcmArray::program: column count mismatch");
+  for (std::size_t col = 0; col < config_.cols; ++col) {
+    program_column(col, columns[col]);
+  }
+  programmed_ = true;
+  equalize_rows();
+}
+
+void RcmArray::equalize_rows() {
+  if (!config_.dummy_column) {
+    dummy_g_.assign(config_.rows, 0.0);
+    return;
+  }
+  // Pad every row to the largest row sum (plus one LSB of conductance so
+  // no dummy is exactly zero, which would make the pad unprogrammable).
+  double target = 0.0;
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    double sum = 0.0;
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      sum += cells_[row * config_.cols + col].conductance();
+    }
+    target = std::max(target, sum);
+  }
+  target += config_.memristor.g_min();
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    double sum = 0.0;
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      sum += cells_[row * config_.cols + col].conductance();
+    }
+    dummy_g_[row] = target - sum;
+    SPINSIM_ASSERT(dummy_g_[row] > 0.0, "RcmArray::equalize_rows: negative dummy conductance");
+  }
+  invalidate_parasitic_cache();
+}
+
+void RcmArray::inject_fault(std::size_t row, std::size_t col, StuckFault fault) {
+  require(row < config_.rows && col < config_.cols, "RcmArray::inject_fault: out of range");
+  // Faults happen in the field, after programming and row equalisation,
+  // so the dummy pads are deliberately *not* recomputed: the damaged
+  // row's G_TS shifts, which is part of the fault's signature.
+  MemristorSpec fault_spec = config_.memristor;
+  if (fault == StuckFault::kOpen) {
+    // Filament lost: ~100x the highest programmable resistance.
+    fault_spec.r_min = config_.memristor.r_max * 99.0;
+    fault_spec.r_max = config_.memristor.r_max * 100.0;
+  } else {
+    // Over-formed filament: stuck well below the lowest resistance.
+    fault_spec.r_min = config_.memristor.r_min * 0.25;
+    fault_spec.r_max = config_.memristor.r_min * 0.5;
+  }
+  Memristor& cell = cells_[row * config_.cols + col];
+  cell = Memristor(fault_spec);
+  cell.program_ideal(fault == StuckFault::kOpen ? 0 : fault_spec.levels - 1);
+  invalidate_parasitic_cache();
+}
+
+double RcmArray::conductance(std::size_t row, std::size_t col) const {
+  require(row < config_.rows && col < config_.cols, "RcmArray::conductance: out of range");
+  return cells_[row * config_.cols + col].conductance();
+}
+
+double RcmArray::row_conductance(std::size_t row) const {
+  require(row < config_.rows, "RcmArray::row_conductance: out of range");
+  double sum = dummy_g_[row];
+  for (std::size_t col = 0; col < config_.cols; ++col) {
+    sum += cells_[row * config_.cols + col].conductance();
+  }
+  return sum;
+}
+
+std::vector<double> RcmArray::column_currents_ideal(
+    const std::vector<double>& input_currents) const {
+  require(input_currents.size() == config_.rows,
+          "RcmArray::column_currents_ideal: need one input current per row");
+  std::vector<double> out(config_.cols, 0.0);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    const double g_total = row_conductance(row);
+    SPINSIM_ASSERT(g_total > 0.0, "RcmArray: row with zero conductance");
+    const double scale = input_currents[row] / g_total;
+    const Memristor* row_cells = &cells_[row * config_.cols];
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      out[col] += scale * row_cells[col].conductance();
+    }
+  }
+  return out;
+}
+
+void RcmArray::build_parasitic_network(double v_bias) {
+  net_ = std::make_unique<ResistiveNetwork>();
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  const double g_seg = 1.0 / config_.segment_resistance();
+
+  // Node layout: row-bar junctions then column-bar junctions, then the
+  // per-column terminations and the shared dummy bar.
+  const RNode row_base = net_->add_nodes(rows * cols);
+  const RNode col_base = net_->add_nodes(rows * cols);
+  const auto row_node = [&](std::size_t i, std::size_t j) { return row_base + i * cols + j; };
+  const auto col_node = [&](std::size_t i, std::size_t j) { return col_base + i * cols + j; };
+
+  col_term_nodes_.clear();
+  col_last_nodes_.clear();
+  row_input_nodes_.clear();
+
+  // Row bars: input at the left edge (j = 0), segments along the bar.
+  for (std::size_t i = 0; i < rows; ++i) {
+    row_input_nodes_.push_back(row_node(i, 0));
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      net_->add_conductance(row_node(i, j), row_node(i, j + 1), g_seg);
+    }
+  }
+
+  // Column bars: segments down the bar, termination pinned at v_bias.
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i + 1 < rows; ++i) {
+      net_->add_conductance(col_node(i, j), col_node(i + 1, j), g_seg);
+    }
+    const RNode term = net_->add_node();
+    net_->fix_voltage(term, v_bias);
+    net_->add_conductance(col_node(rows - 1, j), term, g_seg);
+    col_term_nodes_.push_back(term);
+    col_last_nodes_.push_back(col_node(rows - 1, j));
+  }
+
+  // Crosspoint memristors.
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      net_->add_conductance(row_node(i, j), col_node(i, j),
+                            cells_[i * cols + j].conductance());
+    }
+  }
+
+  // Dummy devices: from the far end of each row bar to a shared wide bar
+  // held at the same bias (its own wire resistance is negligible).
+  if (config_.dummy_column) {
+    const RNode dummy_bar = net_->add_node();
+    net_->fix_voltage(dummy_bar, v_bias);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (dummy_g_[i] > 0.0) {
+        net_->add_conductance(row_node(i, cols - 1), dummy_bar, dummy_g_[i]);
+      }
+    }
+  }
+  net_v_bias_ = v_bias;
+}
+
+std::vector<double> RcmArray::column_currents_parasitic(
+    const std::vector<double>& input_currents, double v_bias) {
+  require(input_currents.size() == config_.rows,
+          "RcmArray::column_currents_parasitic: need one input current per row");
+  if (!net_ || net_v_bias_ != v_bias) {
+    build_parasitic_network(v_bias);
+  }
+  for (std::size_t i = 0; i < config_.rows; ++i) {
+    net_->set_injection(row_input_nodes_[i], input_currents[i]);
+  }
+  net_->solve();
+
+  // The termination pin hangs off a single wire segment, so the column
+  // current is just that segment's current.
+  const double g_seg = 1.0 / config_.segment_resistance();
+  std::vector<double> out(config_.cols, 0.0);
+  for (std::size_t j = 0; j < config_.cols; ++j) {
+    out[j] = (net_->voltage(col_last_nodes_[j]) - v_bias) * g_seg;
+  }
+  return out;
+}
+
+void RcmArray::invalidate_parasitic_cache() { net_.reset(); }
+
+}  // namespace spinsim

@@ -1,0 +1,124 @@
+/// \file rcm.hpp
+/// Resistive crossbar memory (RCM) array model.
+///
+/// `rows` horizontal input bars cross `cols` in-plane output bars with an
+/// Ag-Si memristor at every junction (paper Fig. 1). One analog template
+/// is programmed per column; driving the rows with input currents makes
+/// each column collect a current proportional to the input-template dot
+/// product.
+///
+/// Two evaluation paths:
+///  * ideal: current division I(i,j) = I_in(i) g_ij / G_TS(i) summed per
+///    column — the closed form the paper's Section 4A derives, exact when
+///    wire parasitics vanish and all column ends sit at the same bias.
+///  * parasitic: a full nodal solve over the 2 * rows * cols wire-junction
+///    network with per-segment Cu bar resistance (Table 2: 1 Ohm/um),
+///    which produces the IR-drop margin degradation of Fig. 9.
+///
+/// A per-row *dummy memristor* pads every row's total conductance G_TS to
+/// a common value so the DTCS-DAC sees a data-independent load (Section
+/// 4A).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "circuit/resistive_network.hpp"
+#include "core/random.hpp"
+#include "device/memristor.hpp"
+
+namespace spinsim {
+
+/// Geometry and technology of one RCM array.
+struct RcmConfig {
+  std::size_t rows = 128;        ///< input bars (feature dimension)
+  std::size_t cols = 40;         ///< output bars (stored templates)
+  MemristorSpec memristor;       ///< crosspoint device spec
+  bool dummy_column = true;      ///< equalise G_TS with a dummy device per row
+
+  // Cu bar parasitics (paper Table 2: 1 Ohm/um, 0.4 fF/um). The pitch is
+  // the high-density nano-crossbar assumption (~2F at F = 50 nm); at
+  // coarser pitches the cumulative column IR drop overtakes the
+  // per-memristor signal drop and the Fig. 9a optimum shifts to higher
+  // resistances.
+  double wire_res_per_um = 1.0;  ///< [Ohm/um]
+  double cell_pitch_um = 0.1;    ///< junction pitch [um]
+
+  /// Wire resistance of one cell-to-cell segment [Ohm].
+  double segment_resistance() const { return wire_res_per_um * cell_pitch_um; }
+};
+
+/// One programmed crossbar.
+class RcmArray {
+ public:
+  /// Builds an unprogrammed array; `rng` seeds the write-noise stream.
+  RcmArray(const RcmConfig& config, Rng rng);
+
+  const RcmConfig& config() const { return config_; }
+  std::size_t rows() const { return config_.rows; }
+  std::size_t cols() const { return config_.cols; }
+
+  /// Programs column `col` with `weights` (one value in [0, 1] per row).
+  /// Weights are quantised to the memristor level grid; realised
+  /// conductances include write noise per the spec.
+  void program_column(std::size_t col, const std::vector<double>& weights);
+
+  /// Programs all columns; `columns[j]` holds column j's weights.
+  void program(const std::vector<std::vector<double>>& columns);
+
+  /// Re-pads the per-row dummy conductances so every row's total
+  /// conductance equals the largest row sum. Called automatically by
+  /// program(); exposed for incremental programming.
+  void equalize_rows();
+
+  /// Fault types for yield studies: a stuck-open device loses its
+  /// filament (conductance collapses to ~0), a stuck-short device is
+  /// pinned at an over-formed low resistance.
+  enum class StuckFault { kOpen, kShort };
+
+  /// Injects a permanent device fault at (row, col) and re-equalises the
+  /// rows; recognition continues with the damaged array.
+  void inject_fault(std::size_t row, std::size_t col, StuckFault fault);
+
+  /// Realised conductance of junction (row, col) [S].
+  double conductance(std::size_t row, std::size_t col) const;
+
+  /// Total conductance hanging off input bar `row`, including the dummy
+  /// device [S] — the G_TS the DTCS-DAC model needs.
+  double row_conductance(std::size_t row) const;
+
+  /// Ideal column dot-product currents for the given per-row input
+  /// currents [A]: I_j = sum_i I_in(i) g_ij / G_TS(i).
+  std::vector<double> column_currents_ideal(const std::vector<double>& input_currents) const;
+
+  /// Full parasitic nodal solve. Input currents are injected at the left
+  /// edge of each row bar; every column bar terminates at `v_bias` (the
+  /// DWN clamp) at the bottom edge. Returns the current delivered into
+  /// each column termination [A]. cost: one sparse CG solve over
+  /// ~2*rows*cols nodes (warm-started across calls).
+  std::vector<double> column_currents_parasitic(const std::vector<double>& input_currents,
+                                                double v_bias = 0.0);
+
+  /// Drops the cached parasitic network (after reprogramming).
+  void invalidate_parasitic_cache();
+
+ private:
+  void build_parasitic_network(double v_bias);
+
+  RcmConfig config_;
+  Rng rng_;
+  std::vector<Memristor> cells_;       // row-major rows x cols
+  std::vector<double> dummy_g_;        // per-row pad conductance
+  bool programmed_ = false;
+
+  // Cached parasitic network (topology fixed after programming).
+  std::unique_ptr<ResistiveNetwork> net_;
+  double net_v_bias_ = 0.0;
+  std::vector<RNode> row_input_nodes_;
+  std::vector<RNode> col_term_nodes_;
+  std::vector<RNode> col_last_nodes_;
+};
+
+}  // namespace spinsim

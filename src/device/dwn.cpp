@@ -1,0 +1,95 @@
+#include "device/dwn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace spinsim {
+
+DwnParams DwnParams::from_barrier(double barrier) {
+  require(barrier > 0.0, "DwnParams::from_barrier: barrier must be positive");
+  DwnParams p;
+  p.barrier_kt = barrier;
+  // Macrospin STT proportionality I_c ~ alpha E_b / P, anchored at the
+  // paper's calibration point: 20 kT -> 1 uA.
+  p.i_threshold = 1.0 * units::uA * (barrier / 20.0);
+  return p;
+}
+
+double DwnParams::switching_delay(double current_magnitude) const {
+  require(current_magnitude > i_threshold,
+          "DwnParams::switching_delay: current must exceed the threshold");
+  return t_switch_ref * i_threshold / (current_magnitude - i_threshold);
+}
+
+double DwnParams::thermal_flip_rate(double current_magnitude, double temperature) const {
+  (void)temperature;  // barrier_kt is already expressed in units of kT
+  const double drive = std::min(current_magnitude / i_threshold, 1.0);
+  const double eff_barrier = barrier_kt * (1.0 - drive) * (1.0 - drive);
+  return attempt_rate * std::exp(-eff_barrier);
+}
+
+DomainWallNeuron::DomainWallNeuron(const DwnParams& params)
+    : params_(params), mtj_(params.mtj) {
+  require(params.i_threshold > 0.0, "DomainWallNeuron: threshold must be positive");
+  require(params.t_switch_ref > 0.0, "DomainWallNeuron: switching time must be positive");
+}
+
+void DomainWallNeuron::reset(bool state) {
+  state_ = state;
+  transit_ = 0.0;
+}
+
+bool DomainWallNeuron::apply_current(double current, double dt, Rng* rng) {
+  require(dt > 0.0, "DomainWallNeuron::apply_current: dt must be positive");
+
+  const bool toward_one = current > 0.0;
+  const double magnitude = std::abs(current);
+
+  if (magnitude > params_.i_threshold) {
+    if (toward_one == state_) {
+      // Drive reinforces the present state; any partial transit relaxes.
+      transit_ = 0.0;
+    } else {
+      // Wall advances toward the opposite end; switching completes when
+      // the accumulated transit reaches 1.
+      const double delay = params_.switching_delay(magnitude);
+      transit_ += dt / delay;
+      if (transit_ >= 1.0) {
+        state_ = toward_one;
+        transit_ = 0.0;
+      }
+    }
+  } else {
+    // Sub-threshold: hysteresis holds the state, except for thermal flips.
+    if (rng != nullptr) {
+      // The drive lowers the barrier in its own direction only.
+      const double assisted =
+          (toward_one != state_) ? magnitude : 0.0;
+      const double rate = params_.thermal_flip_rate(assisted);
+      const double p_flip = -std::expm1(-rate * dt);
+      if (rng->bernoulli(p_flip)) {
+        state_ = !state_;
+        transit_ = 0.0;
+      }
+    }
+  }
+  return state_;
+}
+
+bool DomainWallNeuron::evaluate(double current) {
+  if (current > params_.i_threshold) {
+    state_ = true;
+    transit_ = 0.0;
+  } else if (current < -params_.i_threshold) {
+    state_ = false;
+    transit_ = 0.0;
+  }
+  return state_;
+}
+
+double DomainWallNeuron::mtj_resistance() const { return mtj_.resistance(state_); }
+
+}  // namespace spinsim

@@ -1,0 +1,192 @@
+#include "device/llg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace spinsim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double DwmParams::drift_velocity(double current) const {
+  const double j = current / cross_section();
+  return eta_stt * polarization * constants::mu_B * j / (constants::q_e * ms);
+}
+
+double DwmParams::walker_velocity() const {
+  const double denom = 2.0 * std::abs(beta - alpha);
+  if (denom == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return alpha * constants::gamma_e * b_hard * wall_width / denom;
+}
+
+double DwmParams::analytic_critical_current() const {
+  const double u_c = constants::gamma_e * pinning_field * wall_width / beta;
+  // Invert drift_velocity(I) = u_c.
+  const double u_per_amp = drift_velocity(1.0);
+  require(u_per_amp > 0.0, "DwmParams: drift velocity must increase with current");
+  return u_c / u_per_amp;
+}
+
+DwmParams DwmParams::paper_device() {
+  static const DwmParams calibrated = [] {
+    DwmParams p;
+    p.calibrate_numeric(1.0 * units::uA, 1.5 * units::ns);
+    return p;
+  }();
+  return calibrated;
+}
+
+void DwmParams::calibrate(double critical_current, double switch_time_at_2ic) {
+  require(critical_current > 0.0, "DwmParams::calibrate: critical current must be positive");
+  require(switch_time_at_2ic > 0.0, "DwmParams::calibrate: switch time must be positive");
+
+  // Terminal velocity needed at I = 2 Ic: the wall crosses `length` in the
+  // target time while fighting the pinning landscape. Below the Walker
+  // limit v = (beta/alpha) * sqrt(u^2 - u_c^2) averaged over a period; at
+  // u = 2 u_c that average is sqrt(3) u_c (beta/alpha).
+  const double v_needed = length / switch_time_at_2ic;
+  const double u_c = v_needed * (alpha / beta) / std::sqrt(3.0);
+
+  // u(I) = eta * P * mu_B * I / (e * Ms * A): solve for eta at I = Ic.
+  const double u_per_amp_unit_eta =
+      polarization * constants::mu_B / (constants::q_e * ms * cross_section());
+  eta_stt = u_c / (u_per_amp_unit_eta * critical_current);
+
+  // Depinning condition u_c = gamma * B_p0 * Delta / beta -> B_p0.
+  pinning_field = beta * u_c / (constants::gamma_e * wall_width);
+}
+
+void DwmParams::calibrate_numeric(double critical_current, double switch_time_at_2ic) {
+  calibrate(critical_current, switch_time_at_2ic);
+  // Kinetic depinning puts the simulated threshold below the static
+  // estimate; threshold scales ~linearly with pinning strength, so a
+  // couple of proportional corrections converge.
+  DwmParams cold = *this;
+  cold.temperature = 0.0;
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    const double ic_sim =
+        DwmStripe(cold).critical_current(8.0 * critical_current, 60e-9, 0.01 * critical_current);
+    const double ratio = critical_current / ic_sim;
+    if (std::abs(ratio - 1.0) < 0.03) {
+      break;
+    }
+    cold.pinning_field *= ratio;
+  }
+  pinning_field = cold.pinning_field;
+}
+
+DwmStripe::DwmStripe(const DwmParams& params) : params_(params) {
+  require(params.length > 0.0 && params.cross_section() > 0.0,
+          "DwmStripe: geometry must be positive");
+  require(params.wall_width > 0.0, "DwmStripe: wall width must be positive");
+  require(params.alpha > 0.0, "DwmStripe: damping must be positive");
+}
+
+void DwmStripe::reset(double position) {
+  require(position >= 0.0 && position <= params_.length, "DwmStripe::reset: position outside strip");
+  q_ = position;
+  psi_ = 0.0;
+}
+
+void DwmStripe::derivatives(double q, double psi, double u, double b_thermal, double& dq,
+                            double& dpsi) const {
+  const double gamma = constants::gamma_e;
+  const double delta = params_.wall_width;
+  const double alpha = params_.alpha;
+
+  const double b_pin = -params_.pinning_field * std::sin(2.0 * kPi * q / params_.pinning_period);
+  const double b_eff = b_pin + b_thermal;
+
+  const double a_term = gamma * b_eff + params_.beta * u / delta;
+  const double b_term = 0.5 * gamma * params_.b_hard * std::sin(2.0 * psi) + u / delta;
+  const double inv = 1.0 / (1.0 + alpha * alpha);
+
+  dpsi = (a_term - alpha * b_term) * inv;
+  dq = delta * (b_term + alpha * a_term) * inv;
+}
+
+void DwmStripe::step(double current, double dt, Rng* rng) {
+  require(dt > 0.0, "DwmStripe::step: dt must be positive");
+  const double u = params_.drift_velocity(current);
+
+  // Thermal easy-axis field, constant across the step (Euler-Maruyama in
+  // the noise, RK4 in the drift). Fluctuation-dissipation for the wall
+  // volume V_w = A_cs * Delta.
+  double b_thermal = 0.0;
+  if (params_.temperature > 0.0 && rng != nullptr) {
+    const double v_wall = params_.cross_section() * params_.wall_width;
+    const double var = 2.0 * params_.alpha * constants::k_B * params_.temperature /
+                       (constants::gamma_e * params_.ms * v_wall * dt);
+    b_thermal = rng->normal(0.0, std::sqrt(var));
+  }
+
+  double k1q;
+  double k1p;
+  derivatives(q_, psi_, u, b_thermal, k1q, k1p);
+  double k2q;
+  double k2p;
+  derivatives(q_ + 0.5 * dt * k1q, psi_ + 0.5 * dt * k1p, u, b_thermal, k2q, k2p);
+  double k3q;
+  double k3p;
+  derivatives(q_ + 0.5 * dt * k2q, psi_ + 0.5 * dt * k2p, u, b_thermal, k3q, k3p);
+  double k4q;
+  double k4p;
+  derivatives(q_ + dt * k3q, psi_ + dt * k3p, u, b_thermal, k4q, k4p);
+
+  q_ += dt / 6.0 * (k1q + 2.0 * k2q + 2.0 * k3q + k4q);
+  psi_ += dt / 6.0 * (k1p + 2.0 * k2p + 2.0 * k3p + k4p);
+
+  // The fixed domains d1/d3 bound the wall inside the free segment.
+  q_ = std::clamp(q_, 0.0, params_.length);
+}
+
+std::optional<double> DwmStripe::run_until_switched(double current, double t_max, double dt,
+                                                    Rng* rng) {
+  require(t_max > 0.0, "DwmStripe::run_until_switched: t_max must be positive");
+  double t = 0.0;
+  while (t < t_max) {
+    step(current, dt, rng);
+    t += dt;
+    if (q_ >= params_.length) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+double DwmStripe::critical_current(double i_max, double t_max, double tolerance) const {
+  require(i_max > 0.0 && tolerance > 0.0, "DwmStripe::critical_current: bad search bounds");
+  double lo = 0.0;
+  double hi = i_max;
+
+  const auto switches = [&](double current) {
+    DwmStripe trial(params_);
+    DwmParams cold = params_;
+    cold.temperature = 0.0;
+    trial = DwmStripe(cold);
+    trial.reset(0.0);
+    return trial.run_until_switched(current, t_max).has_value();
+  };
+
+  if (!switches(hi)) {
+    throw NumericalError("DwmStripe::critical_current: no switching up to i_max");
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (switches(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace spinsim

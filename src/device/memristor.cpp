@@ -1,0 +1,55 @@
+#include "device/memristor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double MemristorSpec::level_conductance(std::size_t level) const {
+  require(level < levels, "MemristorSpec::level_conductance: level out of range");
+  require(r_min > 0.0 && r_max > r_min, "MemristorSpec: invalid resistance range");
+  require(levels >= 2, "MemristorSpec: need at least 2 levels");
+  const double t = static_cast<double>(level) / static_cast<double>(levels - 1);
+  return g_min() + t * (g_max() - g_min());
+}
+
+std::size_t MemristorSpec::weight_to_level(double weight) const {
+  const double clamped = std::clamp(weight, 0.0, 1.0);
+  const auto level = static_cast<std::size_t>(
+      std::lround(clamped * static_cast<double>(levels - 1)));
+  return std::min(level, levels - 1);
+}
+
+Memristor::Memristor(const MemristorSpec& spec) : spec_(spec), g_(spec.g_min()) {
+  require(spec.r_min > 0.0 && spec.r_max > spec.r_min, "Memristor: invalid resistance range");
+}
+
+Memristor::Memristor(const MemristorSpec& spec, Rng& rng) : Memristor(spec) {
+  if (spec.d2d_sigma > 0.0) {
+    range_scale_ = rng.lognormal_rel(1.0, spec.d2d_sigma);
+  }
+}
+
+void Memristor::program(std::size_t level, Rng& rng) {
+  const double target = spec_.level_conductance(level) * range_scale_;
+  double realised = target;
+  if (spec_.write_sigma > 0.0) {
+    realised = rng.lognormal_rel(target, spec_.write_sigma);
+  }
+  // A real write loop verifies against the programmable window.
+  g_ = std::clamp(realised, 0.25 * spec_.g_min(), 4.0 * spec_.g_max());
+  level_ = level;
+}
+
+void Memristor::program_ideal(std::size_t level) {
+  g_ = spec_.level_conductance(level) * range_scale_;
+  level_ = level;
+}
+
+void Memristor::program_weight(double weight, Rng& rng) {
+  program(spec_.weight_to_level(weight), rng);
+}
+
+}  // namespace spinsim

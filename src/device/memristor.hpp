@@ -1,0 +1,74 @@
+/// \file memristor.hpp
+/// Behavioral Ag-Si memristor model.
+///
+/// The paper treats the memristor as a multi-level programmable
+/// conductance: targets are quantised to `levels` values across the
+/// [g_min, g_max] range and each write lands within a multiplicative
+/// `write_sigma` of the target (3 % ~= 5-bit accuracy, after [8]).
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/random.hpp"
+
+namespace spinsim {
+
+/// Programming/rating parameters shared by all devices in an array.
+struct MemristorSpec {
+  double r_min = 1e3;        ///< lowest programmable resistance [Ohm] (paper: 1 kOhm)
+  double r_max = 32e3;       ///< highest programmable resistance [Ohm] (paper: 32 kOhm)
+  std::size_t levels = 32;   ///< programmable levels (5-bit)
+  double write_sigma = 0.03; ///< multiplicative write error (3 %)
+  double d2d_sigma = 0.0;    ///< device-to-device range variation (multiplicative)
+
+  double g_min() const { return 1.0 / r_max; }
+  double g_max() const { return 1.0 / r_min; }
+
+  /// Ideal conductance of `level` (0 .. levels-1), linear in conductance:
+  /// level 0 -> g_min, top level -> g_max.
+  double level_conductance(std::size_t level) const;
+
+  /// Nearest programmable level for a normalised weight in [0, 1].
+  std::size_t weight_to_level(double weight) const;
+};
+
+/// One crosspoint device.
+class Memristor {
+ public:
+  /// Unprogrammed device starts at g_min (high resistance).
+  explicit Memristor(const MemristorSpec& spec);
+
+  /// Device with sampled device-to-device variation.
+  Memristor(const MemristorSpec& spec, Rng& rng);
+
+  const MemristorSpec& spec() const { return spec_; }
+
+  /// Programs the device to `level`; the realised conductance includes
+  /// write noise drawn from `rng`. Throws InvalidArgument for a level
+  /// outside the spec.
+  void program(std::size_t level, Rng& rng);
+
+  /// Programs without write noise (ideal write, used in ablations).
+  void program_ideal(std::size_t level);
+
+  /// Programs to the level nearest `weight` in [0, 1].
+  void program_weight(double weight, Rng& rng);
+
+  /// Realised conductance [S].
+  double conductance() const { return g_; }
+
+  /// Realised resistance [Ohm].
+  double resistance() const { return 1.0 / g_; }
+
+  /// Last programmed level.
+  std::size_t level() const { return level_; }
+
+ private:
+  MemristorSpec spec_;
+  double range_scale_ = 1.0;  // device-to-device multiplicative skew
+  double g_;
+  std::size_t level_ = 0;
+};
+
+}  // namespace spinsim

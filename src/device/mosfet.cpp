@@ -1,0 +1,84 @@
+#include "device/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+namespace {
+double nominal_vt(const MosGeometry& g, const Tech45& tech) {
+  return g.type == MosType::kNmos ? tech.vt_n : tech.vt_p;
+}
+double kprime(const MosGeometry& g, const Tech45& tech) {
+  return g.type == MosType::kNmos ? tech.kp_n : tech.kp_p;
+}
+double lambda(const MosGeometry& g, const Tech45& tech) {
+  // Channel-length modulation weakens with longer channels.
+  const double base = g.type == MosType::kNmos ? tech.lambda_n : tech.lambda_p;
+  return base * (tech.l_min / g.l);
+}
+}  // namespace
+
+Mosfet::Mosfet(const MosGeometry& geometry, const Tech45& tech)
+    : geometry_(geometry), tech_(&tech), vt_(nominal_vt(geometry, tech)), kp_factor_(1.0) {
+  require(geometry.w > 0.0 && geometry.l > 0.0, "Mosfet: geometry must be positive");
+}
+
+Mosfet::Mosfet(const MosGeometry& geometry, Rng& rng, const Tech45& tech,
+               double sigma_vt_override)
+    : Mosfet(geometry, tech) {
+  const double area_sigma = tech.sigma_vt(geometry.w, geometry.l);
+  // An override models a *process* whose min-size sigma_VT is the given
+  // value; it still improves with sqrt(area).
+  double sigma = area_sigma;
+  if (sigma_vt_override > 0.0) {
+    const double min_area = tech.w_min * tech.l_min;
+    sigma = sigma_vt_override * std::sqrt(min_area / (geometry.w * geometry.l));
+  }
+  vt_ += rng.normal(0.0, sigma);
+  const double sigma_beta = tech.a_beta / std::sqrt(geometry.w * geometry.l);
+  kp_factor_ = std::max(0.1, 1.0 + rng.normal(0.0, sigma_beta));
+}
+
+double Mosfet::drain_current(double vgs, double vds) const {
+  require(vgs >= 0.0 && vds >= 0.0, "Mosfet::drain_current: use magnitudes (>= 0)");
+  const double vov = vgs - vt_;
+  if (vov <= 0.0) {
+    return 0.0;  // subthreshold leakage is accounted for in the energy model
+  }
+  const double kwl = kp_factor_ * kprime(geometry_, *tech_) * geometry_.w / geometry_.l;
+  if (vds < vov) {
+    return kwl * (vov * vds - 0.5 * vds * vds);
+  }
+  return 0.5 * kwl * vov * vov * (1.0 + lambda(geometry_, *tech_) * (vds - vov));
+}
+
+double Mosfet::output_conductance(double vgs, double vds) const {
+  const double vov = vgs - vt_;
+  if (vov <= 0.0) {
+    return 0.0;
+  }
+  const double kwl = kp_factor_ * kprime(geometry_, *tech_) * geometry_.w / geometry_.l;
+  if (vds < vov) {
+    return kwl * (vov - vds);
+  }
+  return 0.5 * kwl * vov * vov * lambda(geometry_, *tech_);
+}
+
+double Mosfet::triode_conductance(double vgs) const {
+  const double vov = vgs - vt_;
+  if (vov <= 0.0) {
+    return 0.0;
+  }
+  return kp_factor_ * kprime(geometry_, *tech_) * (geometry_.w / geometry_.l) * vov;
+}
+
+double Mosfet::saturation_current(double vgs) const {
+  return drain_current(vgs, std::max(vgs, 0.0));
+}
+
+double Mosfet::gate_cap() const { return tech_->gate_cap(geometry_.w, geometry_.l); }
+
+}  // namespace spinsim

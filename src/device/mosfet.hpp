@@ -1,0 +1,70 @@
+/// \file mosfet.hpp
+/// Square-law MOSFET model with Pelgrom mismatch.
+///
+/// The paper's DTCS-DAC uses PMOS devices in *deep triode* (|VDS| ~ 30 mV),
+/// where the transistor is an almost-linear conductance
+/// g = k' (W/L)(|VGS| - |VT|). The same model, in saturation, underpins
+/// the current-mirror stages of the MS-CMOS baseline WTAs. All voltages in
+/// the API are magnitudes (source-referred), so NMOS and PMOS share code.
+
+#pragma once
+
+#include "core/random.hpp"
+#include "device/tech45.hpp"
+
+namespace spinsim {
+
+enum class MosType { kNmos, kPmos };
+
+/// Geometry + type of one transistor instance.
+struct MosGeometry {
+  MosType type = MosType::kNmos;
+  double w = 1e-6;  ///< channel width [m]
+  double l = 45e-9; ///< channel length [m]
+};
+
+/// One MOSFET instance. Construction samples its local VT and current-
+/// factor mismatch from the technology's Pelgrom model, so two instances
+/// built from the same geometry differ the way two adjacent devices on a
+/// die would.
+class Mosfet {
+ public:
+  /// Nominal (mismatch-free) device.
+  Mosfet(const MosGeometry& geometry, const Tech45& tech = Tech45::nominal());
+
+  /// Device with sampled mismatch. `sigma_vt_override`, if positive,
+  /// replaces the Pelgrom sigma (used for the Fig. 13b sigma_VT sweep).
+  Mosfet(const MosGeometry& geometry, Rng& rng, const Tech45& tech = Tech45::nominal(),
+         double sigma_vt_override = -1.0);
+
+  const MosGeometry& geometry() const { return geometry_; }
+
+  /// Effective threshold magnitude including sampled mismatch [V].
+  double vt() const { return vt_; }
+
+  /// Drain current magnitude for source-referred |VGS|, |VDS| >= 0 [A].
+  /// Piecewise square law: cutoff / triode / saturation, with channel-
+  /// length modulation in saturation.
+  double drain_current(double vgs, double vds) const;
+
+  /// Small-signal output conductance dId/dVds at the given bias [S].
+  double output_conductance(double vgs, double vds) const;
+
+  /// Deep-triode channel conductance k'(W/L)(|VGS| - |VT|) [S]; the
+  /// linearisation the DTCS-DAC design relies on. 0 when cut off.
+  double triode_conductance(double vgs) const;
+
+  /// Saturation current at the given |VGS| with VDS = VGS (diode) [A].
+  double saturation_current(double vgs) const;
+
+  /// Gate capacitance [F].
+  double gate_cap() const;
+
+ private:
+  MosGeometry geometry_;
+  const Tech45* tech_;
+  double vt_;          // sampled threshold magnitude
+  double kp_factor_;   // sampled multiplicative current-factor error
+};
+
+}  // namespace spinsim

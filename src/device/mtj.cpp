@@ -1,0 +1,29 @@
+#include "device/mtj.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+Mtj::Mtj(const MtjSpec& spec) : spec_(spec) {
+  require(spec.r_parallel > 0.0 && spec.r_antiparallel > spec.r_parallel,
+          "Mtj: need 0 < r_parallel < r_antiparallel");
+}
+
+Mtj::Mtj(const MtjSpec& spec, Rng& rng) : Mtj(spec) {
+  if (spec.resistance_sigma > 0.0) {
+    scale_ = rng.lognormal_rel(1.0, spec.resistance_sigma);
+  }
+}
+
+double Mtj::resistance(bool parallel) const {
+  return scale_ * (parallel ? spec_.r_parallel : spec_.r_antiparallel);
+}
+
+double Mtj::read_margin(bool parallel) const {
+  const double r_ref = spec_.reference_resistance();
+  return std::abs(resistance(parallel) - r_ref) / r_ref;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,46 @@
+/// \file mtj.hpp
+/// Magnetic tunnel junction read-stack model.
+///
+/// The DWN's free domain d2 is read through an MTJ formed with the fixed
+/// magnet m1 (paper Fig. 6): R_parallel ~ 5 kOhm, R_antiparallel ~ 15 kOhm.
+/// The reference junction of the read latch sits midway between the two.
+
+#pragma once
+
+#include "core/random.hpp"
+
+namespace spinsim {
+
+/// MTJ resistance parameters.
+struct MtjSpec {
+  double r_parallel = 5e3;        ///< [Ohm]
+  double r_antiparallel = 15e3;   ///< [Ohm]
+  double resistance_sigma = 0.0;  ///< device-to-device multiplicative spread
+
+  /// Tunnelling magnetoresistance ratio (Rap - Rp) / Rp.
+  double tmr() const { return (r_antiparallel - r_parallel) / r_parallel; }
+
+  /// Midway reference resistance used by the read latch [Ohm].
+  double reference_resistance() const { return 0.5 * (r_parallel + r_antiparallel); }
+};
+
+/// One MTJ instance with sampled variation.
+class Mtj {
+ public:
+  explicit Mtj(const MtjSpec& spec);
+  Mtj(const MtjSpec& spec, Rng& rng);
+
+  const MtjSpec& spec() const { return spec_; }
+
+  /// Resistance for the given free-layer alignment [Ohm].
+  double resistance(bool parallel) const;
+
+  /// Read-margin |R_state - R_ref| / R_ref for the given alignment.
+  double read_margin(bool parallel) const;
+
+ private:
+  MtjSpec spec_;
+  double scale_ = 1.0;
+};
+
+}  // namespace spinsim

@@ -1,0 +1,24 @@
+#include "device/tech45.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double Tech45::sigma_vt(double w, double l) const {
+  require(w > 0.0 && l > 0.0, "Tech45::sigma_vt: geometry must be positive");
+  return a_vt / std::sqrt(w * l);
+}
+
+double Tech45::gate_cap(double w, double l) const {
+  require(w > 0.0 && l > 0.0, "Tech45::gate_cap: geometry must be positive");
+  return c_gate_per_area * w * l + c_overlap_per_w * w;
+}
+
+const Tech45& Tech45::nominal() {
+  static const Tech45 instance{};
+  return instance;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,62 @@
+/// \file tech45.hpp
+/// 45 nm CMOS technology constants used by all transistor-level models.
+///
+/// Values are representative of a 45 nm low-power process (PTM-like) and
+/// are the single source of truth for both the MS-CMOS baseline models and
+/// the digital-ASIC energy model, so that every comparison in the paper's
+/// Table 1 / Fig. 13 uses the same technology assumptions.
+
+#pragma once
+
+namespace spinsim {
+
+/// 45 nm process corner used throughout the reproduction.
+struct Tech45 {
+  // --- supplies ---
+  double vdd = 1.0;               ///< nominal supply [V]
+
+  // --- square-law transistor parameters ---
+  double kp_n = 300e-6;           ///< NMOS transconductance factor k' = mu Cox [A/V^2]
+  double kp_p = 120e-6;           ///< PMOS transconductance factor [A/V^2]
+  double vt_n = 0.35;             ///< NMOS threshold magnitude [V]
+  double vt_p = 0.35;             ///< PMOS threshold magnitude [V]
+  double lambda_n = 0.15;         ///< NMOS channel-length modulation at L_min [1/V]
+  double lambda_p = 0.20;         ///< PMOS channel-length modulation at L_min [1/V]
+
+  // --- geometry ---
+  double l_min = 45e-9;           ///< minimum channel length [m]
+  double w_min = 90e-9;           ///< minimum width [m]
+
+  // --- mismatch (Pelgrom) ---
+  double a_vt = 3.5e-3 * 1e-6;    ///< A_VT [V * m] (3.5 mV*um)
+  double a_beta = 0.01 * 1e-6;    ///< current-factor mismatch coefficient [m]
+
+  // --- capacitance ---
+  double c_gate_per_area = 0.009; ///< gate capacitance [F/m^2] (~9 fF/um^2)
+  double c_overlap_per_w = 0.3e-9;///< overlap + fringe capacitance [F/m]
+  double c_wire_per_len = 0.2e-9; ///< local interconnect capacitance [F/m] (0.2 fF/um)
+
+  // --- digital energy model ---
+  /// Switching energy of a minimum-size inverter-equivalent gate output
+  /// (C V^2, full swing) [J]. ~0.1 fJ at 45 nm / 1 V.
+  double gate_switch_energy = 0.10e-15;
+  /// Leakage power of a minimum-size gate [W].
+  double gate_leakage = 1.0e-9;
+  /// Energy of a single-bit full-adder operation [J].
+  double full_adder_energy = 0.8e-15;
+  /// Energy of reading one bit from a local SRAM array [J].
+  double sram_read_energy_per_bit = 2.0e-15;
+  /// Energy of a flip-flop toggle [J].
+  double flop_energy = 0.5e-15;
+
+  /// Pelgrom sigma_VT for a device of the given geometry [V].
+  double sigma_vt(double w, double l) const;
+
+  /// Gate capacitance of a W x L device [F].
+  double gate_cap(double w, double l) const;
+
+  /// Returns the process-default instance.
+  static const Tech45& nominal();
+};
+
+}  // namespace spinsim

@@ -1,0 +1,47 @@
+#include "device/variation.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double saturation_current_mismatch(double vov, double sigma_vt) {
+  require(vov > 0.0, "saturation_current_mismatch: overdrive must be positive");
+  require(sigma_vt >= 0.0, "saturation_current_mismatch: sigma must be non-negative");
+  return 2.0 * sigma_vt / vov;
+}
+
+double triode_conductance_mismatch(double vov, double sigma_vt) {
+  require(vov > 0.0, "triode_conductance_mismatch: overdrive must be positive");
+  require(sigma_vt >= 0.0, "triode_conductance_mismatch: sigma must be non-negative");
+  return sigma_vt / vov;
+}
+
+void MismatchBudget::add(double relative_sigma) {
+  require(relative_sigma >= 0.0, "MismatchBudget::add: sigma must be non-negative");
+  contributions_.push_back(relative_sigma);
+}
+
+void MismatchBudget::add_stages(double relative_sigma, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    add(relative_sigma);
+  }
+}
+
+double MismatchBudget::total() const {
+  double acc = 0.0;
+  for (double s : contributions_) {
+    acc += s * s;
+  }
+  return std::sqrt(acc);
+}
+
+double min_area_for_mirror_accuracy(double vov, double target_rel_sigma, const Tech45& tech) {
+  require(vov > 0.0, "min_area_for_mirror_accuracy: overdrive must be positive");
+  require(target_rel_sigma > 0.0, "min_area_for_mirror_accuracy: target must be positive");
+  const double ratio = 2.0 * tech.a_vt / (vov * target_rel_sigma);
+  return ratio * ratio;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,52 @@
+/// \file variation.hpp
+/// Mismatch budgeting utilities shared by the analog models.
+///
+/// Analog current-mode circuits accumulate random mismatch along the
+/// signal path; resolution studies (paper Fig. 13b, Section 2) need the
+/// total rms error of a path and the device sizing required to keep that
+/// error below a target LSB. These helpers centralise the arithmetic so
+/// the DTCS-DAC model and the MS-CMOS WTA baselines agree on it.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/tech45.hpp"
+
+namespace spinsim {
+
+/// Relative drain-current mismatch (sigma_I / I) of a *saturated* device
+/// at overdrive `vov` with threshold spread `sigma_vt`:
+/// delta_I / I = gm / I * sigma_vt = 2 sigma_vt / vov.
+double saturation_current_mismatch(double vov, double sigma_vt);
+
+/// Relative conductance mismatch of a *deep-triode* device:
+/// delta_g / g = sigma_vt / vov.
+double triode_conductance_mismatch(double vov, double sigma_vt);
+
+/// Accumulates independent relative error contributions in quadrature.
+class MismatchBudget {
+ public:
+  /// Adds an independent relative-sigma contribution.
+  void add(double relative_sigma);
+
+  /// Adds `count` identical independent contributions.
+  void add_stages(double relative_sigma, std::size_t count);
+
+  /// Root-sum-square of all contributions.
+  double total() const;
+
+  /// Number of contributions recorded.
+  std::size_t count() const { return contributions_.size(); }
+
+ private:
+  std::vector<double> contributions_;
+};
+
+/// Minimum gate area (W*L) for which Pelgrom mismatch keeps a saturated
+/// mirror's relative error below `target_rel_sigma` at overdrive `vov`:
+/// area = (2 A_VT / (vov * target))^2.
+double min_area_for_mirror_accuracy(double vov, double target_rel_sigma, const Tech45& tech);
+
+}  // namespace spinsim

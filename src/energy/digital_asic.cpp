@@ -1,0 +1,57 @@
+#include "energy/digital_asic.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+DigitalAsicEvaluation digital_asic_power(const DigitalAsicDesign& d, const Tech45& tech) {
+  require(d.dimension > 0 && d.templates > 0, "digital_asic_power: empty design");
+  require(d.bits >= 1 && d.bits <= 16, "digital_asic_power: bits must be 1..16");
+  require(d.clock > 0.0, "digital_asic_power: clock must be positive");
+
+  DigitalAsicEvaluation eval;
+  const double b = static_cast<double>(d.bits);
+  const double n_mac = static_cast<double>(d.dimension) * static_cast<double>(d.templates);
+
+  // One b x b multiply is ~b^2 full-adder cells; the accumulator adds a
+  // (2b + log2(templates))-bit addition per MAC.
+  const double acc_bits = 2.0 * b + std::ceil(std::log2(static_cast<double>(d.templates)));
+  const double e_multiply = b * b * tech.full_adder_energy;
+  const double e_accumulate = acc_bits * tech.full_adder_energy;
+  const double e_register = acc_bits * tech.flop_energy;
+
+  eval.energy_per_mac =
+      d.activity * d.overhead_factor * (e_multiply + e_accumulate) + e_register;
+
+  // Winner search: a comparator pass over the scores.
+  const double e_compare =
+      static_cast<double>(d.templates) * acc_bits * tech.full_adder_energy * d.overhead_factor *
+      d.activity;
+
+  eval.energy_per_recognition = n_mac * eval.energy_per_mac + e_compare;
+
+  double e_memory = 0.0;
+  if (d.include_memory_read) {
+    e_memory = n_mac * b * tech.sram_read_energy_per_bit;
+    eval.energy_per_recognition += e_memory;
+  }
+
+  // `dimension` parallel lanes: one template per cycle.
+  eval.recognition_rate = d.clock / static_cast<double>(d.templates);
+
+  eval.power.add("MAC datapath", PowerKind::kDynamic,
+                 n_mac * eval.energy_per_mac * eval.recognition_rate);
+  eval.power.add("winner comparator", PowerKind::kDynamic, e_compare * eval.recognition_rate);
+  if (d.include_memory_read) {
+    eval.power.add("template SRAM read", PowerKind::kDynamic, e_memory * eval.recognition_rate);
+  }
+  // Leakage of the ~dimension * bits^2 gate-equivalents.
+  const double gate_count = static_cast<double>(d.dimension) * b * b * 3.0;
+  eval.power.add("leakage", PowerKind::kStatic, gate_count * tech.gate_leakage);
+
+  return eval;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,47 @@
+/// \file digital_asic.hpp
+/// Energy model of the 45 nm digital CMOS baseline.
+///
+/// The paper's digital comparison point is a multiply-and-accumulate
+/// datapath correlating the 5-bit, 128-element input against 40 stored
+/// templates, followed by a max search. We model `dimension` parallel MAC
+/// lanes clocked at `clock`; one template is accumulated per cycle, so a
+/// recognition takes `templates` cycles and the recognition rate is
+/// clock / templates (paper: 2.5 MHz). Energy constants come from
+/// Tech45; a routing/control overhead multiplier (calibrated once,
+/// documented in DESIGN.md) covers clock tree, muxing and wiring that a
+/// gate-level count misses. Memory-read energy is reported separately and
+/// *excluded* from the headline number, matching the paper's note.
+
+#pragma once
+
+#include <cstddef>
+
+#include "device/tech45.hpp"
+#include "energy/power_report.hpp"
+
+namespace spinsim {
+
+/// Design point of the digital MAC ASIC.
+struct DigitalAsicDesign {
+  std::size_t dimension = 128;   ///< MAC lanes (feature elements)
+  std::size_t templates = 40;    ///< patterns correlated per recognition
+  unsigned bits = 5;             ///< operand precision
+  double clock = 100e6;          ///< datapath clock [Hz]
+  double activity = 0.5;         ///< datapath switching activity
+  double overhead_factor = 14.0; ///< routing/control/clock multiplier
+  bool include_memory_read = false;  ///< add template SRAM read energy
+};
+
+/// Evaluated digital design.
+struct DigitalAsicEvaluation {
+  double recognition_rate = 0.0;       ///< recognitions per second [Hz]
+  double energy_per_recognition = 0.0; ///< [J]
+  double energy_per_mac = 0.0;         ///< [J]
+  PowerReport power;
+};
+
+/// Evaluates the digital baseline.
+DigitalAsicEvaluation digital_asic_power(const DigitalAsicDesign& design,
+                                         const Tech45& tech = Tech45::nominal());
+
+}  // namespace spinsim

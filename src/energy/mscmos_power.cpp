@@ -1,0 +1,92 @@
+#include "energy/mscmos_power.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+namespace {
+
+/// Per-topology circuit constants (see header for the model).
+struct TopologyConstants {
+  double mirror_factor;   ///< total tree current / (N * unit current)
+  double bias_current;    ///< fixed regulated-mirror bias per input [A]
+  double wiring_cap;      ///< fixed interconnect + diffusion cap per stage [F]
+  double devices_per_stage;
+  double min_analog_area; ///< layout floor for matched analog devices [m^2]
+};
+
+TopologyConstants constants_for(MsCmosTopology topology) {
+  switch (topology) {
+    case MsCmosTopology::kStandardBt:
+      // [17]: full binary tree, every stage copies and propagates the
+      // winning current; regulated cascode input mirrors.
+      return {3.5, 25e-6, 8e-15, 4.0, 0.30e-12};
+    case MsCmosTopology::kAsyncMinMax:
+      // [18]: asynchronous Min/Max tree, fewer mirror branches per
+      // comparison and lighter input stage.
+      return {2.2, 18e-6, 6e-15, 4.0, 0.30e-12};
+  }
+  throw InvalidArgument("mscmos: unknown topology");
+}
+
+}  // namespace
+
+MsCmosEvaluation mscmos_wta_power(const MsCmosDesign& d, const Tech45& tech) {
+  require(d.inputs >= 2, "mscmos_wta_power: need at least two inputs");
+  require(d.resolution_bits >= 1 && d.resolution_bits <= 10,
+          "mscmos_wta_power: resolution must be 1..10 bits");
+  require(d.sigma_vt_min_size > 0.0, "mscmos_wta_power: sigma_vt must be positive");
+  require(d.overdrive > 0.0 && d.target_clock > 0.0,
+          "mscmos_wta_power: overdrive and clock must be positive");
+
+  const TopologyConstants topo = constants_for(d.topology);
+  MsCmosEvaluation eval;
+
+  // 1. Mismatch -> area. A path crosses the input mirror plus the tree
+  //    depth; independent stage errors add in quadrature.
+  const double depth = std::ceil(std::log2(static_cast<double>(d.inputs)));
+  const double path_stages = depth + 1.0;
+  const double lsb = std::ldexp(1.0, -static_cast<int>(d.resolution_bits));
+  const double sigma_path_target = 0.5 * lsb;
+  const double sigma_stage_target = sigma_path_target / std::sqrt(path_stages);
+
+  // Stage error = 2 sigma_VT / V_ov; sigma_VT improves with sqrt(area)
+  // from the quoted minimum-size value.
+  const double sigma_vt_required = 0.5 * d.overdrive * sigma_stage_target;
+  const double area_min_size = tech.w_min * tech.l_min;
+  const double area_required =
+      area_min_size * (d.sigma_vt_min_size / sigma_vt_required) *
+      (d.sigma_vt_min_size / sigma_vt_required);
+  eval.mirror_area = std::max(area_required, topo.min_analog_area);
+
+  const double sigma_vt_realised =
+      d.sigma_vt_min_size * std::sqrt(area_min_size / eval.mirror_area);
+  eval.stage_rel_sigma = 2.0 * sigma_vt_realised / d.overdrive;
+  eval.path_rel_sigma = eval.stage_rel_sigma * std::sqrt(path_stages);
+  eval.meets_resolution = eval.path_rel_sigma <= sigma_path_target * 1.0001;
+
+  // 2. Area -> capacitance per comparison stage.
+  const double device_w = std::sqrt(eval.mirror_area * 5.0);  // W/L = 5 aspect
+  const double c_gate = tech.c_gate_per_area * eval.mirror_area + tech.c_overlap_per_w * device_w;
+  eval.stage_capacitance = topo.devices_per_stage * c_gate + topo.wiring_cap;
+
+  // 3. Clock -> full-scale current. The binding constraint is the
+  //    worst-case decision: a 1/2-LSB difference current must slew the
+  //    stage capacitance through ~V_ov at every level of the tree within
+  //    the clock period: I_fs = f * C * V_ov * depth * 2^(M+1).
+  eval.unit_current = d.target_clock * eval.stage_capacitance * d.overdrive * depth *
+                      std::ldexp(1.0, static_cast<int>(d.resolution_bits) + 1);
+  eval.max_clock = d.target_clock;  // sized exactly for the target
+
+  // 4. Currents -> power at full VDD.
+  const double n = static_cast<double>(d.inputs);
+  eval.power.add("tree mirrors (winner propagation)", PowerKind::kStatic,
+                 topo.mirror_factor * n * eval.unit_current * tech.vdd);
+  eval.power.add("regulated input-mirror bias", PowerKind::kStatic,
+                 topo.bias_current * n * tech.vdd);
+  return eval;
+}
+
+}  // namespace spinsim

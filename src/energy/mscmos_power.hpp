@@ -1,0 +1,63 @@
+/// \file mscmos_power.hpp
+/// Power/performance model of the mixed-signal CMOS baseline WTAs.
+///
+/// Both baselines are binary trees of current-mirror comparison stages
+/// fed by regulated input mirrors (paper Fig. 4, refs [17] and [18]).
+/// The model derives the design from first principles:
+///
+///  1. Resolution sets the device area. A path through the tree crosses
+///     ~log2(N) mirror stages whose random errors add in quadrature; each
+///     stage's relative error is 2 sigma_VT(W,L) / V_ov, and Pelgrom gives
+///     sigma_VT = A_VT / sqrt(WL). Meeting sigma_path < 1/2 LSB fixes WL.
+///  2. Area sets capacitance, and the target clock then sets the branch
+///     current through the mirror pole: f ~ gm / (2 pi C kappa) with
+///     gm = 2 I / V_ov and kappa the number of cascaded poles.
+///  3. Power is the propagated branch currents at full VDD: the tree
+///     carries roughly (input stage + winner propagation) ~ 3.5 N I.
+///
+/// Larger sigma_VT (Fig. 13b) inflates the area, hence C, hence the
+/// current needed to keep speed — power grows ~ sigma_VT^2 while the spin
+/// design is untouched (its only analog step is the single DTCS-DAC).
+
+#pragma once
+
+#include <cstddef>
+
+#include "device/tech45.hpp"
+#include "energy/power_report.hpp"
+
+namespace spinsim {
+
+/// Which published design the constants follow.
+enum class MsCmosTopology {
+  kStandardBt,   ///< [17] Andreou-style binary-tree WTA
+  kAsyncMinMax,  ///< [18] Dlugosz current-mode asynchronous Min/Max tree
+};
+
+/// Design-point parameters of an MS-CMOS WTA front end.
+struct MsCmosDesign {
+  MsCmosTopology topology = MsCmosTopology::kStandardBt;
+  std::size_t inputs = 40;       ///< WTA fan-in (stored templates)
+  unsigned resolution_bits = 5;  ///< required current resolution
+  double sigma_vt_min_size = 5e-3;  ///< process sigma_VT for a min-size device [V]
+  double overdrive = 0.15;       ///< mirror overdrive V_ov [V]
+  double target_clock = 50e6;    ///< throughput target [Hz]
+};
+
+/// Evaluated design.
+struct MsCmosEvaluation {
+  double mirror_area = 0.0;      ///< per-device W*L [m^2]
+  double stage_capacitance = 0.0;///< switched capacitance per stage [F]
+  double unit_current = 0.0;     ///< branch current per input [A]
+  double max_clock = 0.0;        ///< achievable clock at that current [Hz]
+  double stage_rel_sigma = 0.0;  ///< realised per-stage relative mismatch
+  double path_rel_sigma = 0.0;   ///< accumulated path mismatch
+  bool meets_resolution = false; ///< path sigma < 1/2 LSB
+  PowerReport power;
+};
+
+/// Sizes and evaluates the baseline WTA for the given design point.
+MsCmosEvaluation mscmos_wta_power(const MsCmosDesign& design,
+                                  const Tech45& tech = Tech45::nominal());
+
+}  // namespace spinsim

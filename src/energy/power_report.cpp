@@ -1,0 +1,52 @@
+#include "energy/power_report.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+
+namespace spinsim {
+
+void PowerReport::add(std::string name, PowerKind kind, double watts) {
+  require(watts >= 0.0, "PowerReport::add: negative power for '" + name + "'");
+  items_.push_back({std::move(name), kind, watts});
+}
+
+double PowerReport::static_total() const {
+  double acc = 0.0;
+  for (const auto& item : items_) {
+    if (item.kind == PowerKind::kStatic) {
+      acc += item.watts;
+    }
+  }
+  return acc;
+}
+
+double PowerReport::dynamic_total() const {
+  double acc = 0.0;
+  for (const auto& item : items_) {
+    if (item.kind == PowerKind::kDynamic) {
+      acc += item.watts;
+    }
+  }
+  return acc;
+}
+
+double PowerReport::energy_per_op(double op_rate_hz) const {
+  require(op_rate_hz > 0.0, "PowerReport::energy_per_op: rate must be positive");
+  return total() / op_rate_hz;
+}
+
+std::string PowerReport::str() const {
+  std::ostringstream out;
+  for (const auto& item : items_) {
+    out << "  " << (item.kind == PowerKind::kStatic ? "[static]  " : "[dynamic] ") << item.name
+        << ": " << AsciiTable::eng(item.watts, "W") << "\n";
+  }
+  out << "  static total:  " << AsciiTable::eng(static_total(), "W") << "\n";
+  out << "  dynamic total: " << AsciiTable::eng(dynamic_total(), "W") << "\n";
+  out << "  total:         " << AsciiTable::eng(total(), "W") << "\n";
+  return out.str();
+}
+
+}  // namespace spinsim

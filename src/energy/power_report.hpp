@@ -1,0 +1,45 @@
+/// \file power_report.hpp
+/// Named power accounting shared by all design-point models.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+/// Whether a contribution burns power continuously or per clock edge.
+enum class PowerKind { kStatic, kDynamic };
+
+/// One named power contribution [W].
+struct PowerItem {
+  std::string name;
+  PowerKind kind = PowerKind::kStatic;
+  double watts = 0.0;
+};
+
+/// A named collection of power contributions for one design point.
+class PowerReport {
+ public:
+  /// Adds a contribution; negative values are rejected.
+  void add(std::string name, PowerKind kind, double watts);
+
+  double static_total() const;
+  double dynamic_total() const;
+  double total() const { return static_total() + dynamic_total(); }
+
+  const std::vector<PowerItem>& items() const { return items_; }
+
+  /// Energy per operation at the given operation rate [J].
+  double energy_per_op(double op_rate_hz) const;
+
+  /// Multi-line human-readable breakdown.
+  std::string str() const;
+
+ private:
+  std::vector<PowerItem> items_;
+};
+
+}  // namespace spinsim

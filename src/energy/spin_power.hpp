@@ -1,0 +1,56 @@
+/// \file spin_power.hpp
+/// Power model of the proposed spin-CMOS associative memory module.
+///
+/// Two physical facts drive the numbers (paper Section 4/5):
+///
+///  * Static power: every current in the design flows across at most
+///    2 * dV ~ 60 mV. RCM input currents (DTCS-DAC into the crossbar held
+///    at V) burn I * dV; the SAR-DAC component sunk at V - dV burns
+///    I * 2 dV. All currents scale with the DWN threshold, because the
+///    full-scale column current must be 2^M * I_th for an M-bit WTA.
+///
+///  * Dynamic power: the read latch, SAR registers, multiplexers and the
+///    digital winner-tracking logic switch every conversion cycle at
+///    full CMOS swing; this CV^2 f component is independent of I_th,
+///    which is why Fig. 13a flattens at low thresholds.
+
+#pragma once
+
+#include <cstddef>
+
+#include "device/tech45.hpp"
+#include "energy/power_report.hpp"
+
+namespace spinsim {
+
+/// Design-point parameters of the proposed AMM.
+struct SpinAmmDesign {
+  std::size_t dimension = 128;   ///< feature elements (crossbar rows)
+  std::size_t templates = 40;    ///< stored patterns (crossbar columns)
+  unsigned resolution_bits = 5;  ///< WTA / SAR resolution M
+  double dwn_threshold = 1e-6;   ///< DWN critical current I_th [A]
+  double delta_v = 30e-3;        ///< crossbar bias dV [V]
+  double clock = 100e6;          ///< conversion clock = input data rate [Hz]
+
+  // Activity factors (averaged over the dataset).
+  double input_activity = 0.5;    ///< mean input code / full scale
+  double sar_dac_activity = 0.25; ///< mean SAR-DAC current / full scale
+
+  // Dynamic-energy coefficients at the 45 nm node.
+  double latch_cap = 2e-15;              ///< read-latch switched cap [F]
+  double sar_logic_energy = 2.5e-15;     ///< SAR logic per column per cycle [J]
+  double tracking_logic_energy = 1.0e-15;///< TR/DR/DL per column per cycle [J]
+  double dac_driver_energy = 1.0e-15;    ///< DTCS gate drivers per column per cycle [J]
+
+  /// Full-scale column current 2^M * I_th [A].
+  double full_scale_current() const;
+
+  /// Peak DTCS-DAC output current per input such that the max dot product
+  /// reaches full scale [A].
+  double max_input_current() const;
+};
+
+/// Evaluates the power breakdown of the design point.
+PowerReport spin_amm_power(const SpinAmmDesign& design, const Tech45& tech = Tech45::nominal());
+
+}  // namespace spinsim

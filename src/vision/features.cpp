@@ -1,0 +1,245 @@
+#include "vision/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/matrix.hpp"
+
+namespace spinsim {
+
+namespace {
+
+/// Rescales pixel contrast around the mid-level so the vector's L2 norm
+/// hits `target_norm` exactly (a few fixed-point iterations absorb the
+/// clamping non-linearity). Equal-norm templates make the crossbar's dot
+/// product rank patterns by correlation rather than by stored energy —
+/// the hardware analogue is a per-column conductance scaling applied
+/// while programming.
+void equalize_norm(std::vector<double>& pixels, double target_mean, double target_norm) {
+  const double base = target_mean;
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    double mean = 0.0;
+    for (double p : pixels) {
+      mean += p;
+    }
+    mean /= static_cast<double>(pixels.size());
+    double common = 0.0;
+    double diff2 = 0.0;
+    for (double p : pixels) {
+      const double d = p - mean;
+      diff2 += d * d;
+    }
+    common = static_cast<double>(pixels.size()) * mean * mean;
+    if (diff2 <= 0.0) {
+      return;  // constant image: nothing to scale
+    }
+    const double need = target_norm * target_norm - common;
+    if (need <= 0.0) {
+      return;  // target unreachable without breaking the mean
+    }
+    const double s = std::sqrt(need / diff2);
+    for (double& p : pixels) {
+      // Recentre on mid-level and scale the contrast.
+      p = std::clamp(base + (p - mean) * s, 0.0, 1.0);
+    }
+    double norm2_now = 0.0;
+    for (double p : pixels) {
+      norm2_now += p * p;
+    }
+    if (std::abs(std::sqrt(norm2_now) - target_norm) < 1e-4 * target_norm) {
+      return;
+    }
+  }
+}
+
+/// Post-quantisation trim: nudges individual pixels by one level so the
+/// template's total digital level sum hits `target_sum` exactly. Facial
+/// images are bimodal, so per-pixel rounding errors correlate and can
+/// shift a template's mean by ~1 % — enough to bias the crossbar's
+/// common-mode dot-product term. The hardware analogue is the standard
+/// write-verify trim loop of multi-level memristor programming. Pixels
+/// whose pre-quantisation residual already leaned the right way are
+/// nudged first, so the trim *reduces* total quantisation error.
+void trim_level_sum(std::vector<std::uint32_t>& levels, const std::vector<double>& analog_target,
+                    std::uint32_t top, long target_sum) {
+  long sum = 0;
+  for (auto v : levels) {
+    sum += v;
+  }
+  long diff = target_sum - sum;  // +: need increments, -: decrements
+  if (diff == 0) {
+    return;
+  }
+  const int step = diff > 0 ? 1 : -1;
+  // Residual = desired analog value minus realised level (in level units);
+  // adjust the pixels with the largest residual in the needed direction.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double residual =
+        analog_target[i] * static_cast<double>(top) - static_cast<double>(levels[i]);
+    order.emplace_back(static_cast<double>(step) * residual, i);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [score, idx] : order) {
+    if (diff == 0) {
+      break;
+    }
+    const long next = static_cast<long>(levels[idx]) + step;
+    if (next < 0 || next > static_cast<long>(top)) {
+      continue;
+    }
+    levels[idx] = static_cast<std::uint32_t>(next);
+    diff -= step;
+  }
+}
+
+/// Second trim pass: sum-preserving level swaps (+1 on one pixel, -1 on
+/// another) steer the template's squared level norm to `target_norm2`.
+/// A swap raising pixel at level a and lowering one at level b changes
+/// sum(l^2) by 2(a - b) + 2 while leaving sum(l) unchanged, so both the
+/// common-mode and the stored-energy terms of the crossbar dot product
+/// end up identical across templates.
+void trim_level_norm(std::vector<std::uint32_t>& levels, std::uint32_t top, long target_norm2) {
+  // Bucket the pixels by level once; every swap moves one pixel between
+  // buckets, so the per-iteration search is O(levels^2), independent of
+  // the vector length.
+  std::vector<std::vector<std::size_t>> bucket(top + 1);
+  long norm2 = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    bucket[levels[i]].push_back(i);
+    norm2 += static_cast<long>(levels[i]) * static_cast<long>(levels[i]);
+  }
+
+  const long max_iterations = static_cast<long>(levels.size()) * 4 + 64;
+  for (long iteration = 0; iteration < max_iterations; ++iteration) {
+    const long diff = target_norm2 - norm2;
+    if (std::abs(diff) <= 2) {
+      return;
+    }
+    // Find the level pair (a raised, b lowered) whose delta
+    // 2(a - b) + 2 best approaches diff without overshooting.
+    long best_delta = 0;
+    int best_a = -1;
+    int best_b = -1;
+    for (std::uint32_t a = 0; a < top; ++a) {
+      if (bucket[a].empty()) {
+        continue;
+      }
+      for (std::uint32_t b = 1; b <= top; ++b) {
+        if (bucket[b].empty() || (a == b && bucket[a].size() < 2)) {
+          continue;
+        }
+        const long delta = 2 * (static_cast<long>(a) - static_cast<long>(b)) + 2;
+        if (delta == 0 || ((delta > 0) != (diff > 0))) {
+          continue;
+        }
+        if (std::abs(delta) <= std::abs(diff) + 2 &&
+            std::abs(diff - delta) < std::abs(diff - best_delta)) {
+          best_delta = delta;
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_a < 0 || best_delta == 0) {
+      return;  // no productive swap available
+    }
+    // Raise one pixel from level best_a, lower one from level best_b.
+    const std::size_t p = bucket[static_cast<std::size_t>(best_a)].back();
+    bucket[static_cast<std::size_t>(best_a)].pop_back();
+    ++levels[p];
+    bucket[levels[p]].push_back(p);
+    const std::size_t q = bucket[static_cast<std::size_t>(best_b)].back();
+    bucket[static_cast<std::size_t>(best_b)].pop_back();
+    --levels[q];
+    bucket[levels[q]].push_back(q);
+    norm2 += best_delta;
+  }
+}
+
+}  // namespace
+
+FeatureVector extract_features(const Image& image, const FeatureSpec& spec) {
+  require(spec.height > 0 && spec.width > 0, "extract_features: bad feature spec");
+  // Normalise (photometric standardisation), down-size, quantise — the
+  // paper's Fig. 2 pipeline. Standardisation keeps the dot-product
+  // correlation sensitive to facial structure, not global brightness.
+  const Image reduced =
+      image.downsized(spec.height, spec.width).standardized().quantized(spec.bits);
+  FeatureVector out;
+  out.spec = spec;
+  out.analog = reduced.pixels();
+  out.digital = reduced.levels(spec.bits);
+  return out;
+}
+
+std::vector<FeatureVector> build_templates(const FaceDataset& dataset, const FeatureSpec& spec,
+                                           const TemplateOptions& options) {
+  std::vector<FeatureVector> templates;
+  templates.reserve(dataset.individuals());
+  for (std::size_t person = 0; person < dataset.individuals(); ++person) {
+    // Reduce each variant first, then average in feature space — matches
+    // the paper's "pixel wise average of the 10 reduced images".
+    std::vector<Image> reduced;
+    reduced.reserve(dataset.variants_per_individual());
+    for (std::size_t v = 0; v < dataset.variants_per_individual(); ++v) {
+      const Image down = dataset.image(person, v).downsized(spec.height, spec.width);
+      reduced.push_back(options.standardize ? down.standardized() : down.normalized());
+    }
+    // Re-standardise the average (averaging shrinks contrast) and pin the
+    // stored energy exactly: with equal-norm templates the crossbar's dot
+    // product ranks patterns by correlation, not by stored brightness.
+    // Statistics targets must match Image::standardized's defaults.
+    constexpr double kMean = 0.36;
+    constexpr double kStd = 0.32;
+    Image mean_image = Image::average(reduced);
+    if (options.standardize) {
+      mean_image = mean_image.standardized();
+    }
+    const double n = static_cast<double>(spec.dimension());
+    if (options.norm_equalize) {
+      const double target_norm = std::sqrt(n * (kMean * kMean + kStd * kStd));
+      equalize_norm(mean_image.pixels(), kMean, target_norm);
+    }
+
+    FeatureVector t;
+    t.spec = spec;
+    t.digital = mean_image.levels(spec.bits);
+    const std::uint32_t top = (1u << spec.bits) - 1;
+    const double top_d = static_cast<double>(top);
+    if (options.level_trim) {
+      const long target_sum = std::lround(kMean * top_d * n);
+      trim_level_sum(t.digital, mean_image.pixels(), top, target_sum);
+      const long target_norm2 =
+          std::lround(n * (kMean * kMean + kStd * kStd) * top_d * top_d);
+      trim_level_norm(t.digital, top, target_norm2);
+    }
+    t.analog.resize(t.digital.size());
+    for (std::size_t i = 0; i < t.digital.size(); ++i) {
+      t.analog[i] = static_cast<double>(t.digital[i]) / static_cast<double>(top);
+    }
+    templates.push_back(std::move(t));
+  }
+  return templates;
+}
+
+double correlation(const FeatureVector& a, const FeatureVector& b) {
+  require(a.dimension() == b.dimension(), "correlation: dimension mismatch");
+  return dot(a.analog, b.analog);
+}
+
+std::size_t classify_ideal(const FeatureVector& input,
+                           const std::vector<FeatureVector>& templates) {
+  require(!templates.empty(), "classify_ideal: no templates");
+  std::vector<double> scores;
+  scores.reserve(templates.size());
+  for (const auto& t : templates) {
+    scores.push_back(correlation(input, t));
+  }
+  return argmax(scores);
+}
+
+}  // namespace spinsim

@@ -1,0 +1,69 @@
+/// \file features.hpp
+/// Feature reduction: image -> analog feature vector -> stored template.
+///
+/// The paper's pipeline (Fig. 2): normalise, down-size 128x96 -> 16x8 by
+/// box averaging, quantise to 5 bits. Templates are the pixel-wise average
+/// of an individual's 10 reduced images, re-quantised to the memristor's
+/// level grid.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/dataset.hpp"
+#include "vision/image.hpp"
+
+namespace spinsim {
+
+/// Feature-space geometry: target size and precision.
+struct FeatureSpec {
+  std::size_t height = 16;  ///< paper: 16 x 8 = 128 elements
+  std::size_t width = 8;
+  unsigned bits = 5;        ///< paper: 5-bit pixels
+
+  std::size_t dimension() const { return height * width; }
+  std::uint32_t levels() const { return 1u << bits; }
+};
+
+/// A reduced, quantised feature vector.
+struct FeatureVector {
+  FeatureSpec spec;
+  std::vector<double> analog;          ///< values in [0, 1] on the level grid
+  std::vector<std::uint32_t> digital;  ///< 0 .. 2^bits - 1
+
+  std::size_t dimension() const { return analog.size(); }
+};
+
+/// Applies the paper's reduction to one image.
+FeatureVector extract_features(const Image& image, const FeatureSpec& spec);
+
+/// Knobs of the template-conditioning pipeline; defaults reproduce the
+/// paper's operating point. The ablation benches switch the stages off
+/// one by one to show what each buys (see bench/ablation_design_choices).
+struct TemplateOptions {
+  /// Photometric standardisation of the averaged template.
+  bool standardize = true;
+  /// Contrast rescale to a common analog L2 norm.
+  bool norm_equalize = true;
+  /// Post-quantisation write-verify trims (exact level sum and level
+  /// norm) that remove correlated rounding bias.
+  bool level_trim = true;
+};
+
+/// Builds one stored template per individual: average of all that
+/// individual's reduced images, conditioned per `options`, quantised to
+/// the feature grid.
+std::vector<FeatureVector> build_templates(const FaceDataset& dataset, const FeatureSpec& spec,
+                                           const TemplateOptions& options = {});
+
+/// Ideal (software) correlation between a feature vector and a template:
+/// the dot product of their analog values. This is the quantity the RCM
+/// evaluates in the current domain.
+double correlation(const FeatureVector& a, const FeatureVector& b);
+
+/// Classifies `input` against `templates` by the highest ideal
+/// correlation; returns the winning template index.
+std::size_t classify_ideal(const FeatureVector& input, const std::vector<FeatureVector>& templates);
+
+}  // namespace spinsim

@@ -1,0 +1,136 @@
+#include "vision/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spinsim {
+
+Image::Image(std::size_t height, std::size_t width, double fill)
+    : height_(height), width_(width), data_(height * width, fill) {
+  require(height > 0 && width > 0, "Image: dimensions must be positive");
+}
+
+void Image::clamp() {
+  for (auto& p : data_) {
+    p = std::clamp(p, 0.0, 1.0);
+  }
+}
+
+Image Image::normalized() const {
+  require(!data_.empty(), "Image::normalized: empty image");
+  const auto [lo_it, hi_it] = std::minmax_element(data_.begin(), data_.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  Image out(height_, width_);
+  if (hi <= lo) {
+    std::fill(out.data_.begin(), out.data_.end(), 0.5);
+    return out;
+  }
+  const double inv = 1.0 / (hi - lo);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = (data_[i] - lo) * inv;
+  }
+  return out;
+}
+
+Image Image::standardized(double target_mean, double target_std) const {
+  require(!data_.empty(), "Image::standardized: empty image");
+  require(target_std >= 0.0, "Image::standardized: target std must be non-negative");
+  const double m = mean();
+  double var = 0.0;
+  for (double p : data_) {
+    var += (p - m) * (p - m);
+  }
+  const double sd = std::sqrt(var / static_cast<double>(data_.size()));
+  Image out(height_, width_);
+  const double scale = sd > 1e-12 ? target_std / sd : 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = std::clamp(target_mean + (data_[i] - m) * scale, 0.0, 1.0);
+  }
+  return out;
+}
+
+Image Image::downsized(std::size_t new_height, std::size_t new_width) const {
+  require(new_height > 0 && new_width > 0, "Image::downsized: target dimensions must be positive");
+  require(height_ % new_height == 0 && width_ % new_width == 0,
+          "Image::downsized: source must be an integer multiple of the target");
+  const std::size_t block_h = height_ / new_height;
+  const std::size_t block_w = width_ / new_width;
+  const double inv_count = 1.0 / static_cast<double>(block_h * block_w);
+
+  Image out(new_height, new_width);
+  for (std::size_t r = 0; r < new_height; ++r) {
+    for (std::size_t c = 0; c < new_width; ++c) {
+      double acc = 0.0;
+      for (std::size_t dr = 0; dr < block_h; ++dr) {
+        for (std::size_t dc = 0; dc < block_w; ++dc) {
+          acc += at(r * block_h + dr, c * block_w + dc);
+        }
+      }
+      out.at(r, c) = acc * inv_count;
+    }
+  }
+  return out;
+}
+
+Image Image::quantized(unsigned bits) const {
+  require(bits >= 1 && bits <= 16, "Image::quantized: bits must be in [1, 16]");
+  const double top = static_cast<double>((1u << bits) - 1);
+  Image out(height_, width_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double clamped = std::clamp(data_[i], 0.0, 1.0);
+    out.data_[i] = std::round(clamped * top) / top;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Image::levels(unsigned bits) const {
+  require(bits >= 1 && bits <= 16, "Image::levels: bits must be in [1, 16]");
+  const double top = static_cast<double>((1u << bits) - 1);
+  std::vector<std::uint32_t> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double clamped = std::clamp(data_[i], 0.0, 1.0);
+    out[i] = static_cast<std::uint32_t>(std::lround(clamped * top));
+  }
+  return out;
+}
+
+Image Image::average(const std::vector<Image>& images) {
+  require(!images.empty(), "Image::average: need at least one image");
+  const std::size_t h = images.front().height();
+  const std::size_t w = images.front().width();
+  Image out(h, w);
+  for (const auto& img : images) {
+    require(img.height() == h && img.width() == w, "Image::average: size mismatch");
+    for (std::size_t i = 0; i < out.data_.size(); ++i) {
+      out.data_[i] += img.data_[i];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(images.size());
+  for (auto& p : out.data_) {
+    p *= inv;
+  }
+  return out;
+}
+
+double Image::mean() const {
+  require(!data_.empty(), "Image::mean: empty image");
+  double acc = 0.0;
+  for (double p : data_) {
+    acc += p;
+  }
+  return acc / static_cast<double>(data_.size());
+}
+
+double Image::rms_difference(const Image& other) const {
+  require(height_ == other.height_ && width_ == other.width_,
+          "Image::rms_difference: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(data_.size()));
+}
+
+}  // namespace spinsim

@@ -1,0 +1,93 @@
+#include "vision/pgm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw ModelError("write_pgm: cannot open '" + path + "' for writing");
+  }
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  for (std::size_t r = 0; r < image.height(); ++r) {
+    for (std::size_t c = 0; c < image.width(); ++c) {
+      const double v = std::clamp(image.at(r, c), 0.0, 1.0);
+      const auto byte = static_cast<unsigned char>(std::lround(v * 255.0));
+      out.put(static_cast<char>(byte));
+    }
+  }
+  if (!out) {
+    throw ModelError("write_pgm: write to '" + path + "' failed");
+  }
+}
+
+namespace {
+
+/// Reads the next whitespace-delimited token, skipping '#' comments.
+std::string next_token(std::istream& in) {
+  std::string token;
+  while (in) {
+    const int ch = in.peek();
+    if (ch == '#') {
+      std::string comment;
+      std::getline(in, comment);
+      continue;
+    }
+    if (std::isspace(ch)) {
+      in.get();
+      continue;
+    }
+    break;
+  }
+  in >> token;
+  return token;
+}
+
+}  // namespace
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ModelError("read_pgm: cannot open '" + path + "'");
+  }
+  if (next_token(in) != "P5") {
+    throw ModelError("read_pgm: '" + path + "' is not a binary PGM (P5)");
+  }
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+  try {
+    width = std::stoul(next_token(in));
+    height = std::stoul(next_token(in));
+    maxval = std::stoi(next_token(in));
+  } catch (const std::exception&) {
+    throw ModelError("read_pgm: malformed header in '" + path + "'");
+  }
+  if (width == 0 || height == 0 || maxval <= 0 || maxval > 255) {
+    throw ModelError("read_pgm: unsupported geometry/depth in '" + path + "'");
+  }
+  in.get();  // single whitespace after maxval
+
+  Image image(height, width);
+  std::vector<char> row(width);
+  for (std::size_t r = 0; r < height; ++r) {
+    in.read(row.data(), static_cast<std::streamsize>(width));
+    if (!in) {
+      throw ModelError("read_pgm: truncated pixel data in '" + path + "'");
+    }
+    for (std::size_t c = 0; c < width; ++c) {
+      image.at(r, c) =
+          static_cast<double>(static_cast<unsigned char>(row[c])) / static_cast<double>(maxval);
+    }
+  }
+  return image;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,25 @@
+/// \file pgm_io.hpp
+/// Binary PGM (P5) image input/output.
+///
+/// Lets users export the synthetic faces for inspection and, more
+/// importantly, feed *real* grayscale datasets (e.g. the actual ATT/ORL
+/// files, which ship as PGM) through the exact pipeline of this
+/// reproduction.
+
+#pragma once
+
+#include <string>
+
+#include "vision/image.hpp"
+
+namespace spinsim {
+
+/// Writes `image` as an 8-bit binary PGM (P5). Throws ModelError on I/O
+/// failure.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Reads an 8-bit binary PGM (P5) into an Image with pixels in [0, 1].
+/// Throws ModelError on malformed input or I/O failure.
+Image read_pgm(const std::string& path);
+
+}  // namespace spinsim

@@ -1,0 +1,123 @@
+#include "wta/analog_wta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+AnalogBtWta::AnalogBtWta(const AnalogWtaConfig& config) : config_(config) {
+  require(config.inputs >= 2, "AnalogBtWta: need at least two inputs");
+  require(config.stage_rel_sigma >= 0.0, "AnalogBtWta: sigma must be non-negative");
+
+  padded_size_ = 1;
+  while (padded_size_ < config.inputs) {
+    padded_size_ <<= 1;
+  }
+
+  Rng rng(config.seed);
+  std::size_t level_size = padded_size_;
+  while (level_size >= 1) {
+    std::vector<double> level(level_size);
+    for (auto& g : level) {
+      g = 1.0 + rng.normal(0.0, config.stage_rel_sigma);
+    }
+    gains_.push_back(std::move(level));
+    if (level_size == 1) {
+      break;
+    }
+    level_size >>= 1;
+  }
+}
+
+AnalogWtaResult AnalogBtWta::select(const std::vector<double>& currents) const {
+  require(currents.size() == config_.inputs, "AnalogBtWta::select: input count mismatch");
+
+  // Leaf level: input mirrors copy each current once.
+  std::vector<double> value(padded_size_, 0.0);
+  std::vector<std::size_t> index(padded_size_);
+  for (std::size_t i = 0; i < padded_size_; ++i) {
+    index[i] = i < currents.size() ? i : 0;
+    value[i] = i < currents.size() ? currents[i] * gains_[0][i] : 0.0;
+  }
+
+  // Tournament: each stage propagates the larger (corrupted) current.
+  std::size_t level = 1;
+  std::size_t width = padded_size_ >> 1;
+  while (width >= 1) {
+    for (std::size_t k = 0; k < width; ++k) {
+      const std::size_t a = 2 * k;
+      const std::size_t b = 2 * k + 1;
+      const bool a_wins = value[a] >= value[b];
+      const std::size_t src = a_wins ? a : b;
+      value[k] = value[src] * gains_[level][k];
+      index[k] = index[src];
+    }
+    if (width == 1) {
+      break;
+    }
+    width >>= 1;
+    ++level;
+  }
+
+  AnalogWtaResult out;
+  out.winner = index[0];
+  out.winning_current = value[0];
+  return out;
+}
+
+AnalogCcWta::AnalogCcWta(const AnalogWtaConfig& config) : config_(config) {
+  require(config.inputs >= 2, "AnalogCcWta: need at least two inputs");
+  require(config.stage_rel_sigma >= 0.0, "AnalogCcWta: sigma must be non-negative");
+  Rng rng(config.seed);
+  cell_gain_.reserve(config.inputs);
+  for (std::size_t i = 0; i < config.inputs; ++i) {
+    cell_gain_.push_back(1.0 + rng.normal(0.0, config.stage_rel_sigma));
+  }
+}
+
+double AnalogCcWta::discrimination_floor() const {
+  // The shared line's loop gain divides among the competing cells, so
+  // the margin needed to fully steer the bias grows with fan-in.
+  return config_.stage_rel_sigma *
+         std::sqrt(std::log2(static_cast<double>(config_.inputs)));
+}
+
+AnalogWtaResult AnalogCcWta::select(const std::vector<double>& currents) const {
+  require(currents.size() == config_.inputs, "AnalogCcWta::select: input count mismatch");
+  AnalogWtaResult out;
+  double best = -1.0;
+  for (std::size_t i = 0; i < currents.size(); ++i) {
+    const double seen = currents[i] * cell_gain_[i];
+    if (seen > best) {
+      best = seen;
+      out.winner = i;
+    }
+  }
+  out.winning_current = best;
+  return out;
+}
+
+double AnalogBtWta::effective_resolution_bits() const {
+  // A margin m (relative to the signal) survives the tree when it exceeds
+  // the worst accumulated path gain error. Estimate that error from the
+  // sampled gains: for each leaf, multiply the gains along its path to
+  // the root, and take the worst-case spread between any two leaves.
+  std::vector<double> path_gain(padded_size_, 1.0);
+  for (std::size_t leaf = 0; leaf < padded_size_; ++leaf) {
+    std::size_t pos = leaf;
+    for (std::size_t level = 0; level < gains_.size(); ++level) {
+      path_gain[leaf] *= gains_[level][pos];
+      pos >>= 1;
+    }
+  }
+  const auto [lo, hi] = std::minmax_element(path_gain.begin(), path_gain.end());
+  const double spread = (*hi - *lo) / *hi;
+  if (spread <= 0.0) {
+    return 16.0;
+  }
+  return std::min(16.0, -std::log2(spread));
+}
+
+}  // namespace spinsim

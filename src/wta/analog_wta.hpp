@@ -1,0 +1,84 @@
+/// \file analog_wta.hpp
+/// Functional model of the mixed-signal CMOS binary-tree WTA baselines.
+///
+/// A binary tree of 2-input current comparison stages: each stage copies
+/// its inputs through current mirrors (incurring a sampled relative gain
+/// error), picks the larger, and propagates the *corrupted* winning
+/// current upward (paper Fig. 4, refs [17],[18]). Mismatch therefore
+/// accumulates along the propagation path — the mechanism that limits
+/// MS-CMOS resolution in Section 2 and Fig. 13b. Mismatch is sampled once
+/// at construction (it is a static property of the die).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace spinsim {
+
+/// Configuration of one analog WTA instance.
+struct AnalogWtaConfig {
+  std::size_t inputs = 40;
+  double stage_rel_sigma = 0.005;  ///< per-mirror relative gain error (sigma)
+  std::uint64_t seed = 7;
+};
+
+/// Result of an analog winner search.
+struct AnalogWtaResult {
+  std::size_t winner = 0;
+  double winning_current = 0.0;  ///< corrupted current seen at the root
+};
+
+/// One sampled-die instance of the binary-tree WTA.
+class AnalogBtWta {
+ public:
+  explicit AnalogBtWta(const AnalogWtaConfig& config);
+
+  const AnalogWtaConfig& config() const { return config_; }
+
+  /// Selects the winner of `currents` through the mismatched tree.
+  AnalogWtaResult select(const std::vector<double>& currents) const;
+
+  /// Effective resolution of this die in bits: the largest M such that a
+  /// full-scale-relative margin of 2^-M is still resolved for all input
+  /// pairs, estimated from the sampled path errors.
+  double effective_resolution_bits() const;
+
+ private:
+  AnalogWtaConfig config_;
+  // gain_[level][k] is the mirror gain applied to the k-th propagated
+  // current at that tree level.
+  std::vector<std::vector<double>> gains_;
+  std::size_t padded_size_;
+};
+
+/// The paper's *other* analog WTA category (Section 2): the
+/// current-conveyor WTA (Lazzaro-style). All cells share one common
+/// line; each cell's input transistor competes for the shared bias, and
+/// the cell with the largest input current wins. Mismatch enters once
+/// per cell (no tree accumulation), but the shared-line competition has
+/// poorer discrimination for large fan-in: the common-line gain divides
+/// among cells, so the usable resolution degrades ~log2(N) faster than a
+/// per-pair comparison. Modelled as a single sampled offset per cell
+/// plus a fan-in-dependent discrimination floor below which near-ties
+/// resolve by the sampled offsets alone.
+class AnalogCcWta {
+ public:
+  explicit AnalogCcWta(const AnalogWtaConfig& config);
+
+  const AnalogWtaConfig& config() const { return config_; }
+
+  /// Selects the winner through the shared-line competition.
+  AnalogWtaResult select(const std::vector<double>& currents) const;
+
+  /// Smallest relative margin this die reliably resolves.
+  double discrimination_floor() const;
+
+ private:
+  AnalogWtaConfig config_;
+  std::vector<double> cell_gain_;  // per-cell sampled input-stage gain
+};
+
+}  // namespace spinsim

@@ -1,0 +1,36 @@
+#include "wta/ideal_wta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/matrix.hpp"
+
+namespace spinsim {
+
+IdealWtaResult ideal_wta(const std::vector<double>& currents, unsigned bits, double full_scale) {
+  require(!currents.empty(), "ideal_wta: no inputs");
+  require(bits >= 1 && bits <= 16, "ideal_wta: bits must be 1..16");
+  require(full_scale > 0.0, "ideal_wta: full scale must be positive");
+
+  const double lsb = full_scale / std::ldexp(1.0, static_cast<int>(bits));
+  const std::uint32_t top = (1u << bits) - 1;
+
+  IdealWtaResult out;
+  out.codes.reserve(currents.size());
+  for (double i : currents) {
+    const double clamped = std::clamp(i, 0.0, full_scale);
+    out.codes.push_back(std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(clamped / lsb), top));
+  }
+  out.winner = static_cast<std::size_t>(
+      std::max_element(out.codes.begin(), out.codes.end()) - out.codes.begin());
+  out.winner_code = out.codes[out.winner];
+  out.unique =
+      std::count(out.codes.begin(), out.codes.end(), out.winner_code) == 1;
+  return out;
+}
+
+std::size_t exact_winner(const std::vector<double>& currents) { return argmax(currents); }
+
+}  // namespace spinsim

@@ -1,0 +1,31 @@
+/// \file ideal_wta.hpp
+/// Reference winner-take-all: an ideal M-bit flash quantiser + argmax.
+///
+/// Every hardware WTA in this library is benchmarked against this model:
+/// it quantises the column currents to the same LSB the hardware would
+/// (full_scale / 2^M) and picks the largest code. Fig. 3b sweeps M here.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spinsim {
+
+/// Result of a quantised winner search.
+struct IdealWtaResult {
+  std::size_t winner = 0;               ///< first index with the top code
+  bool unique = true;                   ///< false if several columns tie
+  std::uint32_t winner_code = 0;        ///< degree of match (DOM)
+  std::vector<std::uint32_t> codes;     ///< all quantised DOMs
+};
+
+/// Quantises `currents` to `bits` with the given full-scale and returns
+/// the winner. Currents above full scale clip to the top code; negative
+/// currents clip to zero.
+IdealWtaResult ideal_wta(const std::vector<double>& currents, unsigned bits, double full_scale);
+
+/// Unquantised argmax winner (infinite resolution reference).
+std::size_t exact_winner(const std::vector<double>& currents);
+
+}  // namespace spinsim

@@ -1,0 +1,136 @@
+#include "wta/spin_sar_wta.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+double SpinWtaConfig::full_scale_current() const {
+  return std::ldexp(dwn.i_threshold, static_cast<int>(bits));
+}
+
+SpinSarWta::SpinSarWta(const SpinWtaConfig& config)
+    : config_(config), rng_(config.seed), r_reference_(config.dwn.mtj.reference_resistance()) {
+  require(config.columns >= 1, "SpinSarWta: need at least one column");
+  require(config.bits >= 1 && config.bits <= 10, "SpinSarWta: bits must be 1..10");
+  require(config.cycle_time > 0.0, "SpinSarWta: cycle time must be positive");
+
+  DtcsDacDesign dac_design;
+  dac_design.bits = config.bits;
+  // Top code = (2^M - 1) * I_th so every DAC level lands on an integer
+  // multiple of the DWN threshold: the comparator then quantises the
+  // column current with LSB = I_th, as the paper's sizing rule requires
+  // ("max dot product > 32 uA for 5-bit resolution at I_th = 1 uA").
+  dac_design.full_scale_current =
+      config.dwn.i_threshold * (std::ldexp(1.0, static_cast<int>(config.bits)) - 1.0);
+  dac_design.delta_v = config.delta_v;
+
+  neurons_.reserve(config.columns);
+  dacs_.reserve(config.columns);
+  latches_.reserve(config.columns);
+  sars_.reserve(config.columns);
+  for (std::size_t j = 0; j < config.columns; ++j) {
+    neurons_.emplace_back(config.dwn);
+    if (config.sample_mismatch) {
+      dacs_.emplace_back(dac_design, rng_);
+      latches_.emplace_back(config.latch, rng_);
+    } else {
+      dacs_.emplace_back(dac_design);
+      latches_.emplace_back(config.latch);
+    }
+    sars_.emplace_back(config.bits);
+  }
+}
+
+const DtcsDac& SpinSarWta::dac(std::size_t column) const {
+  require(column < dacs_.size(), "SpinSarWta::dac: column out of range");
+  return dacs_[column];
+}
+
+SpinWtaOutcome SpinSarWta::run(const std::vector<double>& column_currents) {
+  require(column_currents.size() == config_.columns,
+          "SpinSarWta::run: need one current per column");
+
+  const std::size_t n = config_.columns;
+  SpinWtaOutcome out;
+  out.tracking.assign(n, true);  // TRs preset high (see header)
+  out.dom_codes.assign(n, 0);
+
+  for (auto& sar : sars_) {
+    sar.begin();
+  }
+
+  std::vector<bool> bit_decision(n, false);
+  Rng* thermal = config_.thermal_noise ? &rng_ : nullptr;
+
+  for (unsigned cycle = 0; cycle < config_.bits; ++cycle) {
+    // --- analog compare + digitise step (all PEs in parallel) ---
+    for (std::size_t j = 0; j < n; ++j) {
+      // The DWN is preset to 0 each cycle; the net current (column minus
+      // SAR-DAC sink) must exceed +I_th to write a 1.
+      neurons_[j].reset(false);
+      const double i_dac = dacs_[j].output_current(sars_[j].code(), /*g_load=*/0.0);
+      const double i_net = column_currents[j] - i_dac;
+      neurons_[j].apply_current(i_net, config_.cycle_time, thermal);
+
+      // Latch senses the DWN MTJ against the reference junction.
+      const bool above = latches_[j].decide(neurons_[j].mtj_resistance(), r_reference_);
+      ++out.latch_decisions;
+
+      bit_decision[j] = above;
+      sars_[j].feed(above);
+    }
+
+    // --- digital winner tracking (Fig. 12) ---
+    // DL precharged; DR(j) = TR(j) & bit(j) can pull it low.
+    bool dl_discharged = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (out.tracking[j] && bit_decision[j]) {
+        dl_discharged = true;
+        break;
+      }
+    }
+    if (dl_discharged) {
+      ++out.dl_discharges;
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool next = out.tracking[j] && bit_decision[j];
+        if (next != out.tracking[j]) {
+          ++out.tr_writes;
+        }
+        out.tracking[j] = next;
+      }
+    }
+    // If nobody pulled DL, every surviving column had a 0 in this bit:
+    // the TRs stay as they are.
+    ++out.cycles;
+  }
+
+  // Collect SAR results and the survivor.
+  std::size_t survivor_count = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    out.dom_codes[j] = sars_[j].result();
+    if (out.tracking[j]) {
+      if (survivor_count == 0) {
+        out.winner = j;
+      }
+      ++survivor_count;
+    }
+  }
+  out.unique = survivor_count == 1;
+  if (survivor_count == 0) {
+    // All-zero MSBs and no later discharge: fall back to the largest DOM.
+    std::uint32_t best = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (out.dom_codes[j] > best) {
+        best = out.dom_codes[j];
+        out.winner = j;
+      }
+    }
+    out.unique = false;
+  }
+  out.winner_dom = out.dom_codes[out.winner];
+  return out;
+}
+
+}  // namespace spinsim

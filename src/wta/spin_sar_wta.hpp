@@ -1,0 +1,91 @@
+/// \file spin_sar_wta.hpp
+/// The paper's contribution: spin-CMOS hybrid WTA (Figs. 10-12).
+///
+/// Each crossbar column owns a *processing element* (PE): a DWN current
+/// comparator, a DTCS SAR-DAC, a dynamic read latch and a SAR register.
+/// All PEs digitise their column current in parallel (M cycles), while a
+/// fully digital winner-tracking network runs alongside:
+///
+///   The tracking registers TR(j) are preset high. Every cycle the
+///   detection line DL is precharged; any column whose TR is high *and*
+///   whose new bit resolved to 1 pulls DL low through its discharge
+///   register DR. If DL fell, all TRs are rewritten to TR(j) & bit(j);
+///   if nobody pulled, the TRs are left untouched (all survivors had a
+///   0 in this bit). With at least one MSB = 1 this reduces exactly to
+///   the paper's Fig. 12 sequence; presetting high also keeps the search
+///   alive when every column's MSB is 0 (inputs below half scale), which
+///   the paper's sizing rule normally prevents but a library must handle.
+///
+/// After M cycles exactly the columns holding the maximum code keep
+/// TR = 1; a unique survivor is the winner and its SAR code is the degree
+/// of match (DOM). The logic is static-power-free and scales with column
+/// count — the heart of the paper's energy claim.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+#include "datapath/dtcs_dac.hpp"
+#include "datapath/read_latch.hpp"
+#include "datapath/sar.hpp"
+#include "device/dwn.hpp"
+
+namespace spinsim {
+
+/// Configuration of the spin WTA bank.
+struct SpinWtaConfig {
+  std::size_t columns = 40;
+  unsigned bits = 5;
+  DwnParams dwn;                   ///< spin-neuron parameters
+  ReadLatchDesign latch;           ///< read-latch parameters
+  double delta_v = 30e-3;          ///< SAR-DAC terminal drop [V]
+  double cycle_time = 10e-9;       ///< conversion clock period [s]
+  bool thermal_noise = false;      ///< sample DWN thermal flips
+  bool sample_mismatch = true;     ///< sample DAC/latch mismatch
+  std::uint64_t seed = 99;
+
+  /// Full-scale column current 2^M * I_th [A].
+  double full_scale_current() const;
+};
+
+/// Outcome of one winner search.
+struct SpinWtaOutcome {
+  std::size_t winner = 0;                 ///< surviving column (first if tied)
+  bool unique = true;                     ///< exactly one survivor
+  std::uint32_t winner_dom = 0;           ///< winner's degree of match
+  std::vector<std::uint32_t> dom_codes;   ///< all SAR results
+  std::vector<bool> tracking;             ///< final TR values
+  std::size_t cycles = 0;
+
+  // Activity counters for the energy model.
+  std::size_t latch_decisions = 0;
+  std::size_t dl_discharges = 0;
+  std::size_t tr_writes = 0;
+};
+
+/// A bank of spin PEs plus the tracking network.
+class SpinSarWta {
+ public:
+  explicit SpinSarWta(const SpinWtaConfig& config);
+
+  const SpinWtaConfig& config() const { return config_; }
+
+  /// Runs a full M-cycle winner search over static column currents.
+  SpinWtaOutcome run(const std::vector<double>& column_currents);
+
+  /// The per-column SAR DAC (exposed for calibration/ablation studies).
+  const DtcsDac& dac(std::size_t column) const;
+
+ private:
+  SpinWtaConfig config_;
+  Rng rng_;
+  std::vector<DomainWallNeuron> neurons_;
+  std::vector<DtcsDac> dacs_;
+  std::vector<ReadLatch> latches_;
+  std::vector<SarRegister> sars_;
+  double r_reference_;
+};
+
+}  // namespace spinsim

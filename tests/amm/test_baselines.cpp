@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "amm/digital_amm.hpp"
+#include "amm/mscmos_amm.hpp"
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+FeatureSpec small_spec() {
+  FeatureSpec s;
+  s.height = 8;
+  s.width = 6;
+  return s;
+}
+
+TEST(DigitalAmm, MatchesIdealClassifierExactly) {
+  // The digital MAC design is bit-exact: it must agree with the software
+  // integer classifier on every input.
+  DigitalAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  DigitalAmm amm(c);
+  const auto templates = build_templates(testing::small_dataset(), c.features);
+  amm.store_templates(templates);
+
+  for (const auto& sample : testing::small_dataset().all()) {
+    const FeatureVector f = extract_features(sample.image, c.features);
+    const auto r = amm.recognize(f);
+    // Compute the reference integer argmax directly.
+    std::uint64_t best = 0;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < templates.size(); ++j) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < f.digital.size(); ++i) {
+        acc += static_cast<std::uint64_t>(f.digital[i]) * templates[j].digital[i];
+      }
+      if (acc > best) {
+        best = acc;
+        best_j = j;
+      }
+    }
+    EXPECT_EQ(r.winner, best_j);
+    EXPECT_EQ(r.score, best);
+  }
+}
+
+TEST(DigitalAmm, ScoresVectorComplete) {
+  DigitalAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  DigitalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  const auto f = extract_features(testing::small_dataset().image(0, 0), c.features);
+  const auto r = amm.recognize(f);
+  EXPECT_EQ(r.scores.size(), 10u);
+}
+
+TEST(DigitalAmm, EvaluationRatesFollowClock) {
+  DigitalAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  c.clock = 50e6;
+  DigitalAmm amm(c);
+  EXPECT_NEAR(amm.evaluation().recognition_rate, 5e6, 1.0);
+}
+
+TEST(MsCmosAmm, NearIdealAccuracyAtCleanProcess) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  c.sigma_vt_min_size = 5e-3;
+  MsCmosAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+
+  const FaceDataset& ds = testing::small_dataset();
+  int correct = 0;
+  int total = 0;
+  for (const auto& sample : ds.all()) {
+    const auto f = extract_features(sample.image, c.features);
+    if (amm.recognize(f).winner == sample.individual) {
+      ++correct;
+    }
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST(MsCmosAmm, SizingMeetsResolutionAtCleanProcess) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  MsCmosAmm amm(c);
+  EXPECT_TRUE(amm.evaluation().meets_resolution);
+}
+
+TEST(MsCmosAmm, MarginReportedBeforeDetection) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  MsCmosAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  const auto f = extract_features(testing::small_dataset().image(1, 1), c.features);
+  const auto r = amm.recognize(f);
+  EXPECT_GT(r.margin, -1.0);
+  EXPECT_LT(r.margin, 1.0);
+}
+
+TEST(MsCmosAmm, RecognizeBeforeStoreThrows) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  MsCmosAmm amm(c);
+  FeatureVector f;
+  f.analog.assign(48, 0.5);
+  f.digital.assign(48, 16);
+  EXPECT_THROW(amm.recognize(f), InvalidArgument);
+}
+
+TEST(Baselines, TopologiesProduceDifferentPower) {
+  MsCmosAmmConfig bt;
+  bt.features = small_spec();
+  bt.templates = 10;
+  bt.topology = MsCmosTopology::kStandardBt;
+  MsCmosAmmConfig mm = bt;
+  mm.topology = MsCmosTopology::kAsyncMinMax;
+  EXPECT_GT(MsCmosAmm(bt).evaluation().power.total(),
+            MsCmosAmm(mm).evaluation().power.total());
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,135 @@
+#include "amm/hierarchical_amm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+HierarchicalAmmConfig small_config(std::size_t clusters = 3) {
+  HierarchicalAmmConfig c;
+  c.features.height = 8;
+  c.features.width = 6;
+  c.clusters = clusters;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = 5;
+  return c;
+}
+
+TEST(HierarchicalAmm, RejectsDegenerateConfigs) {
+  HierarchicalAmmConfig c = small_config();
+  c.clusters = 1;
+  EXPECT_THROW(HierarchicalAmm amm(c), InvalidArgument);
+}
+
+TEST(HierarchicalAmm, StoreRequiresEnoughTemplates) {
+  HierarchicalAmm amm(small_config(5));
+  const auto templates = build_templates(testing::small_dataset(), small_config().features);
+  std::vector<FeatureVector> too_few(templates.begin(), templates.begin() + 3);
+  EXPECT_THROW(amm.store_templates(too_few), InvalidArgument);
+}
+
+TEST(HierarchicalAmm, RecognizeBeforeStoreThrows) {
+  HierarchicalAmm amm(small_config());
+  FeatureVector f;
+  f.analog.assign(48, 0.5);
+  f.digital.assign(48, 16);
+  EXPECT_THROW(amm.recognize(f), InvalidArgument);
+}
+
+TEST(HierarchicalAmm, EveryTemplateLandsInExactlyOneLeaf) {
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < amm.leaf_count(); ++k) {
+    for (std::size_t global : amm.leaf_members(k)) {
+      EXPECT_TRUE(seen.insert(global).second) << "template in two leaves";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(HierarchicalAmm, RoutedRecognitionMostlyCorrect) {
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+
+  const FaceDataset& ds = testing::small_dataset();
+  int correct = 0;
+  int total = 0;
+  for (const auto& sample : ds.all()) {
+    const FeatureVector f = extract_features(sample.image, c.features);
+    const HierarchicalRecognition r = amm.recognize(f);
+    correct += r.winner == sample.individual ? 1 : 0;
+    ++total;
+  }
+  // Routing adds a failure mode (wrong cluster), so the bar sits below
+  // the flat AMM's but must stay far above chance (10 %).
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(HierarchicalAmm, WinnerBelongsToReportedCluster) {
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  const FeatureVector f =
+      extract_features(testing::small_dataset().image(4, 1), c.features);
+  const HierarchicalRecognition r = amm.recognize(f);
+  const auto& members = amm.leaf_members(r.cluster);
+  EXPECT_NE(std::find(members.begin(), members.end(), r.winner), members.end());
+}
+
+TEST(HierarchicalAmm, ActivePathPowerBelowFlatForLargeBanks) {
+  // The energy argument of Section 5: router (k columns) + one leaf
+  // (~N/k columns) burns less than a flat N-column AMM once N >> k.
+  HierarchicalAmmConfig c = small_config(4);
+  HierarchicalAmm amm(c);
+
+  // Synthetic bank of 64 templates: reuse the paper dataset's templates.
+  FeatureSpec spec = c.features;
+  const auto base = build_templates(testing::paper_dataset(), spec);
+  std::vector<FeatureVector> bank;
+  for (std::size_t i = 0; i < 40; ++i) {
+    bank.push_back(base[i]);
+  }
+  amm.store_templates(bank);
+
+  const double active = amm.active_path_power().total();
+  const double flat = amm.flat_equivalent_power().total();
+  EXPECT_LT(active, flat);
+}
+
+TEST(HierarchicalAmm, DeterministicForFixedSeed) {
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm a(c);
+  HierarchicalAmm b(c);
+  const auto templates = build_templates(testing::small_dataset(), c.features);
+  a.store_templates(templates);
+  b.store_templates(templates);
+  const FeatureVector f =
+      extract_features(testing::small_dataset().image(7, 2), c.features);
+  const auto ra = a.recognize(f);
+  const auto rb = b.recognize(f);
+  EXPECT_EQ(ra.winner, rb.winner);
+  EXPECT_EQ(ra.cluster, rb.cluster);
+}
+
+TEST(HierarchicalAmm, RouterDomReported) {
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  const FeatureVector f =
+      extract_features(testing::small_dataset().image(0, 0), c.features);
+  const auto r = amm.recognize(f);
+  EXPECT_LE(r.router_dom, 31u);
+  EXPECT_LE(r.leaf_dom, 31u);
+}
+
+}  // namespace
+}  // namespace spinsim

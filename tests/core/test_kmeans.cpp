@@ -1,0 +1,107 @@
+#include "core/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spinsim {
+namespace {
+
+std::vector<std::vector<double>> three_blobs(Rng& rng, std::size_t per_blob) {
+  const std::vector<std::vector<double>> centres = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<std::vector<double>> points;
+  for (const auto& c : centres) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + rng.normal(0.0, 0.3), c[1] + rng.normal(0.0, 0.3)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_THROW(squared_distance({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  const auto points = three_blobs(rng, 20);
+  const KMeansResult r = kmeans(points, 3, rng);
+  // All points of one blob must share an assignment, and the three blobs
+  // must use three distinct clusters.
+  std::set<std::size_t> labels;
+  for (std::size_t blob = 0; blob < 3; ++blob) {
+    const std::size_t label = r.assignment[blob * 20];
+    labels.insert(label);
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(r.assignment[blob * 20 + i], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, CentroidsNearBlobCentres) {
+  Rng rng(2);
+  const auto points = three_blobs(rng, 30);
+  const KMeansResult r = kmeans(points, 3, rng);
+  // Every true centre must have a centroid within 1.0.
+  for (const auto& centre : {std::vector<double>{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}) {
+    double best = 1e18;
+    for (const auto& c : r.centroids) {
+      best = std::min(best, squared_distance(centre, c));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeans, KEqualsOneGivesMean) {
+  Rng rng(3);
+  const std::vector<std::vector<double>> points = {{0.0}, {2.0}, {4.0}};
+  const KMeansResult r = kmeans(points, 1, rng);
+  EXPECT_NEAR(r.centroids[0][0], 2.0, 1e-12);
+  EXPECT_NEAR(r.inertia, 8.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNIsZeroInertia) {
+  Rng rng(4);
+  const std::vector<std::vector<double>> points = {{0.0}, {5.0}, {9.0}};
+  const KMeansResult r = kmeans(points, 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  Rng rng(5);
+  const auto points = three_blobs(rng, 15);
+  const double i1 = kmeans(points, 1, rng).inertia;
+  const double i3 = kmeans(points, 3, rng).inertia;
+  EXPECT_LT(i3, i1 * 0.2);
+}
+
+TEST(KMeans, RejectsBadArguments) {
+  Rng rng(6);
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  EXPECT_THROW(kmeans(points, 0, rng), InvalidArgument);
+  EXPECT_THROW(kmeans(points, 3, rng), InvalidArgument);
+  EXPECT_THROW(kmeans({}, 1, rng), InvalidArgument);
+  EXPECT_THROW(kmeans({{1.0}, {1.0, 2.0}}, 1, rng), InvalidArgument);
+}
+
+TEST(KMeans, DeterministicForFixedRng) {
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}, {8.0}, {9.0}, {20.0}};
+  Rng a(7);
+  Rng b(7);
+  const KMeansResult ra = kmeans(points, 2, a);
+  const KMeansResult rb = kmeans(points, 2, b);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  Rng rng(8);
+  const std::vector<std::vector<double>> points(6, std::vector<double>{3.0, 3.0});
+  const KMeansResult r = kmeans(points, 2, rng);
+  EXPECT_EQ(r.assignment.size(), 6u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,46 @@
+#include "core/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spinsim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultThresholdIsWarn) {
+  // The library must stay quiet below warn unless asked.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+                         LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmittingDoesNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_debug("debug message");
+  log_info("info message");
+  log_warn("warn message");
+  log_error("error message");
+  log(LogLevel::kOff, "never printed");
+  set_log_level(LogLevel::kDebug);
+  log_debug("now visible (stderr)");
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,181 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lu.hpp"
+#include "core/random.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, MatVec) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MatVecDimensionMismatch) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Matrix, MatMat) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = Matrix::identity(2);
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 2.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, NormAndMaxAbs) {
+  Matrix a{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(VectorHelpers, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(VectorHelpers, Axpy) {
+  std::vector<double> y{1.0, 1.0};
+  axpy(2.0, {1.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorHelpers, ArgmaxArgmin) {
+  const std::vector<double> v{1.0, 5.0, 5.0, -2.0};
+  EXPECT_EQ(argmax(v), 1u);  // first of ties
+  EXPECT_EQ(argmin(v), 3u);
+  EXPECT_THROW(argmax(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(VectorHelpers, Subtract) {
+  const auto d = subtract({3.0, 2.0}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], -3.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolvesWithPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition lu(a), NumericalError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuDecomposition lu(a), InvalidArgument);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 6.0, 1e-12);
+  Matrix swap{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(swap).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ReusableForMultipleRhs) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const LuDecomposition lu(a);
+  const auto x1 = lu.solve({5.0, 4.0});
+  const auto x2 = lu.solve({9.0, 7.0});
+  EXPECT_NEAR(4.0 * x1[0] + x1[1], 5.0, 1e-12);
+  EXPECT_NEAR(4.0 * x2[0] + x2[1], 9.0, 1e-12);
+}
+
+/// Property: LU solves random well-conditioned systems to high accuracy.
+class LuRandomSystem : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSystem, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const auto x = solve_dense(a, b);
+  const auto ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystem, ::testing::Values(1, 2, 5, 16, 47, 128));
+
+}  // namespace
+}  // namespace spinsim

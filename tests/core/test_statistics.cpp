@@ -1,0 +1,89 @@
+#include "core/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(RunningStats, MeanAndStddev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+}
+
+TEST(Statistics, MeanStddev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Statistics, Percentile) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_THROW(percentile(v, 101.0), InvalidArgument);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(Histogram, BinsAndCounts) {
+  const std::vector<double> v{0.0, 0.1, 0.2, 0.9, 1.0};
+  const Histogram h = Histogram::build(v, 2);
+  EXPECT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 3u);
+  EXPECT_EQ(h.counts[1], 2u);  // 1.0 lands in the last bin
+}
+
+TEST(Histogram, ExplicitRangeDropsOutliers) {
+  const std::vector<double> v{-1.0, 0.5, 2.0};
+  const Histogram h = Histogram::build(v, 4, 0.0, 1.0);
+  std::size_t total = 0;
+  for (auto c : h.counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(Histogram, RejectsBadArgs) {
+  EXPECT_THROW(Histogram::build({1.0}, 0), InvalidArgument);
+  EXPECT_THROW(Histogram::build(std::vector<double>{}, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

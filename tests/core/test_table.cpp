@@ -1,0 +1,84 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t("Demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnWidthsAlign) {
+  AsciiTable t("T");
+  t.set_header({"name", "v"});
+  t.add_row({"x", "123456"});
+  const std::string s = t.str();
+  // Every data line must have the same length.
+  std::size_t len = 0;
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::string line = s.substr(start, end - start);
+    if (!line.empty() && line.front() == '|') {
+      if (len == 0) {
+        len = line.size();
+      }
+      EXPECT_EQ(line.size(), len);
+      ++lines;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(AsciiTable, RowColumnMismatchThrows) {
+  AsciiTable t("T");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(AsciiTable, NotesAppear) {
+  AsciiTable t("T");
+  t.add_row({"x"});
+  t.add_note("footnote");
+  EXPECT_NE(t.str().find("* footnote"), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(1.5), "1.5");
+  EXPECT_EQ(AsciiTable::num(0.000123, 3), "0.000123");
+}
+
+TEST(AsciiTable, EngNotation) {
+  EXPECT_EQ(AsciiTable::eng(65e-6, "W"), "65 uW");
+  EXPECT_EQ(AsciiTable::eng(5.5e-3, "W", 2), "5.5 mW");
+  EXPECT_EQ(AsciiTable::eng(1e6, "Hz", 3), "1 MHz");
+  EXPECT_EQ(AsciiTable::eng(0.0, "A"), "0 A");
+  EXPECT_EQ(AsciiTable::eng(1.5e-9, "s", 2), "1.5 ns");
+}
+
+TEST(AsciiTable, EngNegativeValues) {
+  EXPECT_EQ(AsciiTable::eng(-3e-3, "V", 2), "-3 mV");
+}
+
+TEST(AsciiTable, SeparatorRenders) {
+  AsciiTable t("T");
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spinsim

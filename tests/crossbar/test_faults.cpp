@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "amm/evaluation.hpp"
+#include "amm/spin_amm.hpp"
+#include "crossbar/rcm.hpp"
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+RcmConfig clean_config() {
+  RcmConfig c;
+  c.rows = 8;
+  c.cols = 4;
+  c.memristor.write_sigma = 0.0;
+  return c;
+}
+
+std::vector<std::vector<double>> mid_weights(std::size_t rows, std::size_t cols) {
+  return std::vector<std::vector<double>>(cols, std::vector<double>(rows, 0.5));
+}
+
+TEST(RcmFaults, OpenFaultCollapsesConductance) {
+  RcmArray rcm(clean_config(), Rng(1));
+  rcm.program(mid_weights(8, 4));
+  const double before = rcm.conductance(2, 1);
+  rcm.inject_fault(2, 1, RcmArray::StuckFault::kOpen);
+  EXPECT_LT(rcm.conductance(2, 1), before / 50.0);
+}
+
+TEST(RcmFaults, ShortFaultExceedsProgrammableWindow) {
+  RcmArray rcm(clean_config(), Rng(2));
+  rcm.program(mid_weights(8, 4));
+  rcm.inject_fault(3, 0, RcmArray::StuckFault::kShort);
+  EXPECT_GT(rcm.conductance(3, 0), clean_config().memristor.g_max() * 1.5);
+}
+
+TEST(RcmFaults, FaultOnlyTouchesOneCell) {
+  RcmArray rcm(clean_config(), Rng(3));
+  rcm.program(mid_weights(8, 4));
+  const double neighbour = rcm.conductance(2, 2);
+  rcm.inject_fault(2, 1, RcmArray::StuckFault::kOpen);
+  EXPECT_DOUBLE_EQ(rcm.conductance(2, 2), neighbour);
+}
+
+TEST(RcmFaults, ShortFaultStealsRowCurrent) {
+  RcmArray rcm(clean_config(), Rng(4));
+  rcm.program(mid_weights(8, 4));
+  std::vector<double> inputs(8, 4e-6);
+  const auto before = rcm.column_currents_ideal(inputs);
+  rcm.inject_fault(0, 3, RcmArray::StuckFault::kShort);
+  const auto after = rcm.column_currents_ideal(inputs);
+  // The shorted column grabs more of row 0's current; the other columns
+  // lose their share of that row.
+  EXPECT_GT(after[3], before[3]);
+  EXPECT_LT(after[0], before[0]);
+}
+
+TEST(RcmFaults, OutOfRangeRejected) {
+  RcmArray rcm(clean_config(), Rng(5));
+  EXPECT_THROW(rcm.inject_fault(99, 0, RcmArray::StuckFault::kOpen), InvalidArgument);
+}
+
+TEST(RcmFaults, RecognitionSurvivesAFewOpenFaults) {
+  // Yield property: the distributed dot product tolerates sparse dead
+  // cells — a handful of opens in a 48x10 array costs a few points, not
+  // a collapse.
+  const FaceDataset& ds = testing::small_dataset();
+  FeatureSpec spec;
+  spec.height = 8;
+  spec.width = 6;
+  SpinAmmConfig c;
+  c.features = spec;
+  c.templates = 10;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = 6;
+  SpinAmm amm(c);
+  const auto templates = build_templates(ds, spec);
+  amm.store_templates(templates);
+
+  const auto accuracy = [&](SpinAmm& machine) {
+    const AccuracyResult r = evaluate_classifier(ds, spec, [&](const FeatureVector& f) {
+      return machine.recognize(f).winner;
+    });
+    return r.accuracy();
+  };
+  const double healthy = accuracy(amm);
+
+  // Damage 5 random cells (~1 % of the array).
+  Rng rng(7);
+  RcmArray& rcm = amm.mutable_crossbar();
+  for (int k = 0; k < 5; ++k) {
+    const auto row = static_cast<std::size_t>(rng.uniform_int(0, 47));
+    const auto col = static_cast<std::size_t>(rng.uniform_int(0, 9));
+    rcm.inject_fault(row, col, RcmArray::StuckFault::kOpen);
+  }
+  const double damaged = accuracy(amm);
+  EXPECT_GT(damaged, healthy - 0.15);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,132 @@
+#include "datapath/dtcs_dac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.hpp"
+#include "core/units.hpp"
+
+namespace spinsim {
+namespace {
+
+DtcsDacDesign paper_design() {
+  DtcsDacDesign d;
+  d.bits = 5;
+  d.full_scale_current = 10 * units::uA;
+  d.delta_v = 30 * units::mV;
+  return d;
+}
+
+TEST(DtcsDacDesign, UnitConductance) {
+  const DtcsDacDesign d = paper_design();
+  // g_unit * 31 * 30 mV = 10 uA.
+  EXPECT_NEAR(d.unit_conductance() * 31.0 * 30e-3, 10e-6, 1e-12);
+  EXPECT_EQ(d.max_code(), 31u);
+}
+
+TEST(DtcsDac, ZeroCodeGivesZeroCurrent) {
+  const DtcsDac dac(paper_design());
+  EXPECT_DOUBLE_EQ(dac.output_current(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.conductance(0), 0.0);
+}
+
+TEST(DtcsDac, FullScaleIntoIdealLoad) {
+  const DtcsDac dac(paper_design());
+  EXPECT_NEAR(dac.output_current(31, 0.0), 10e-6, 0.3e-6);
+}
+
+TEST(DtcsDac, MonotoneInCode) {
+  const DtcsDac dac(paper_design());
+  double last = -1.0;
+  for (std::uint32_t code = 0; code <= 31; ++code) {
+    const double i = dac.output_current(code, 20e-3);
+    EXPECT_GT(i, last);
+    last = i;
+  }
+}
+
+TEST(DtcsDac, BinaryWeightingHolds) {
+  const DtcsDac dac(paper_design());
+  // Conductance of code 2^k doubles with k.
+  for (unsigned k = 0; k + 1 < 5; ++k) {
+    const double g_k = dac.conductance(1u << k);
+    const double g_k1 = dac.conductance(1u << (k + 1));
+    EXPECT_NEAR(g_k1 / g_k, 2.0, 0.02);
+  }
+}
+
+TEST(DtcsDac, IdealLoadIsLinear) {
+  const DtcsDac dac(paper_design());
+  EXPECT_LT(dac.integral_nonlinearity(0.0), 0.01);
+}
+
+TEST(DtcsDac, NonlinearityGrowsAsLoadShrinks) {
+  // Paper Fig. 8b: smaller G_TS (higher memristor resistance) compresses
+  // the transfer characteristic.
+  const DtcsDac dac(paper_design());
+  const double inl_strong = dac.integral_nonlinearity(50e-3);  // G_TS = 50 mS
+  const double inl_weak = dac.integral_nonlinearity(1e-3);     // G_TS = 1 mS
+  EXPECT_GT(inl_weak, 3.0 * inl_strong);
+}
+
+TEST(DtcsDac, SeriesDivisionFormulaExact) {
+  const DtcsDac dac(paper_design());
+  const double g_t = dac.conductance(17);
+  const double g_l = 5e-3;
+  const double expected = 30e-3 * g_t * g_l / (g_t + g_l);
+  EXPECT_NEAR(dac.output_current(17, g_l), expected, 1e-15);
+}
+
+TEST(DtcsDac, IdealCurrentStraightLine) {
+  const DtcsDac dac(paper_design());
+  EXPECT_DOUBLE_EQ(dac.ideal_current(0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.ideal_current(31), 10e-6);
+  EXPECT_NEAR(dac.ideal_current(16), 10e-6 * 16.0 / 31.0, 1e-18);
+}
+
+TEST(DtcsDac, MismatchSpreadsFullScale) {
+  DtcsDacDesign d = paper_design();
+  d.sigma_vt_override = 20e-3;  // exaggerate for the test
+  Rng rng(42);
+  RunningStats stats;
+  for (int i = 0; i < 400; ++i) {
+    const DtcsDac dac(d, rng);
+    stats.add(dac.output_current(31, 0.0));
+  }
+  EXPECT_GT(stats.stddev(), 0.0);
+  EXPECT_NEAR(stats.mean(), 10e-6, 1e-6);
+}
+
+TEST(DtcsDac, MismatchAffectsSingleStepOnly) {
+  // The paper argues the DTCS-DAC's variation is a single-step error;
+  // verify two dies differ by a static gain-like error, not cumulative.
+  DtcsDacDesign d = paper_design();
+  d.sigma_vt_override = 10e-3;
+  Rng rng(43);
+  const DtcsDac a(d, rng);
+  const DtcsDac b(d, rng);
+  // Their transfer curves differ, but each stays monotone.
+  double last_a = -1.0;
+  for (std::uint32_t code = 0; code <= 31; ++code) {
+    const double ia = a.output_current(code, 20e-3);
+    EXPECT_GT(ia, last_a);
+    last_a = ia;
+  }
+  EXPECT_NE(a.output_current(31, 0.0), b.output_current(31, 0.0));
+}
+
+TEST(DtcsDac, CodeOutOfRangeThrows) {
+  const DtcsDac dac(paper_design());
+  EXPECT_THROW(dac.conductance(32), InvalidArgument);
+  EXPECT_THROW(dac.ideal_current(99), InvalidArgument);
+}
+
+TEST(DtcsDac, ThreeBitVariant) {
+  DtcsDacDesign d = paper_design();
+  d.bits = 3;
+  const DtcsDac dac(d);
+  EXPECT_EQ(d.max_code(), 7u);
+  EXPECT_NEAR(dac.output_current(7, 0.0), 10e-6, 0.3e-6);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,103 @@
+#include "datapath/sar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spinsim {
+namespace {
+
+/// Drives a SAR conversion against an ideal comparator for `input`.
+std::uint32_t convert(unsigned bits, std::uint32_t input) {
+  SarRegister sar(bits);
+  sar.begin();
+  bool more = true;
+  while (more) {
+    more = sar.feed(input >= sar.code());
+  }
+  return sar.result();
+}
+
+TEST(Sar, BeginSetsMidScale) {
+  SarRegister sar(5);
+  sar.begin();
+  EXPECT_EQ(sar.code(), 16u);
+  EXPECT_TRUE(sar.converting());
+}
+
+TEST(Sar, FeedWithoutBeginThrows) {
+  SarRegister sar(5);
+  EXPECT_THROW(sar.feed(true), InvalidArgument);
+}
+
+TEST(Sar, BadBitCountThrows) {
+  EXPECT_THROW(SarRegister sar(0), InvalidArgument);
+  EXPECT_THROW(SarRegister sar(17), InvalidArgument);
+}
+
+TEST(Sar, ConvergesForEveryFiveBitCode) {
+  for (std::uint32_t input = 0; input < 32; ++input) {
+    EXPECT_EQ(convert(5, input), input) << "input=" << input;
+  }
+}
+
+TEST(Sar, ConvergesForEveryThreeBitCode) {
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    EXPECT_EQ(convert(3, input), input);
+  }
+}
+
+TEST(Sar, SingleBit) {
+  EXPECT_EQ(convert(1, 0), 0u);
+  EXPECT_EQ(convert(1, 1), 1u);
+}
+
+TEST(Sar, TakesExactlyBitsCycles) {
+  SarRegister sar(5);
+  sar.begin();
+  int cycles = 0;
+  bool more = true;
+  while (more) {
+    more = sar.feed(true);
+    ++cycles;
+  }
+  EXPECT_EQ(cycles, 5);
+  EXPECT_FALSE(sar.converting());
+  EXPECT_EQ(sar.result(), 31u);
+}
+
+TEST(Sar, LastDecisionTracksBit) {
+  SarRegister sar(3);
+  sar.begin();           // testing bit 2, code = 100
+  sar.feed(true);        // bit 2 kept
+  EXPECT_EQ(sar.last_decided_bit(), 2);
+  EXPECT_TRUE(sar.last_decision());
+  sar.feed(false);       // bit 1 cleared
+  EXPECT_EQ(sar.last_decided_bit(), 1);
+  EXPECT_FALSE(sar.last_decision());
+}
+
+TEST(Sar, RestartableAfterConversion) {
+  SarRegister sar(4);
+  EXPECT_EQ(convert(4, 9), 9u);
+  sar.begin();
+  EXPECT_TRUE(sar.converting());
+  EXPECT_EQ(sar.code(), 8u);
+}
+
+TEST(Sar, CodeSequenceIsStandard) {
+  // For input 10 (01010) with 5 bits, the DAC codes seen each cycle are:
+  // 16 -> 8 -> 12 -> 10 -> 11, result 10.
+  SarRegister sar(5);
+  sar.begin();
+  const std::uint32_t input = 10;
+  std::vector<std::uint32_t> codes;
+  codes.push_back(sar.code());
+  while (sar.feed(input >= sar.code())) {
+    codes.push_back(sar.code());
+  }
+  const std::vector<std::uint32_t> expected{16, 8, 12, 10, 11};
+  EXPECT_EQ(codes, expected);
+  EXPECT_EQ(sar.result(), 10u);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,185 @@
+#include "device/dwn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(DwnParams, FromBarrierAnchorsPaperPoint) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  EXPECT_NEAR(p.i_threshold, 1.0 * units::uA, 1e-12);
+}
+
+TEST(DwnParams, ThresholdScalesLinearlyWithBarrier) {
+  EXPECT_NEAR(DwnParams::from_barrier(10.0).i_threshold, 0.5 * units::uA, 1e-12);
+  EXPECT_NEAR(DwnParams::from_barrier(40.0).i_threshold, 2.0 * units::uA, 1e-12);
+}
+
+TEST(DwnParams, SwitchingDelayAtTwiceThreshold) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  EXPECT_NEAR(p.switching_delay(2.0 * p.i_threshold), p.t_switch_ref, 1e-15);
+}
+
+TEST(DwnParams, SwitchingDelayDivergesNearThreshold) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  EXPECT_GT(p.switching_delay(1.01 * p.i_threshold), 10.0 * p.t_switch_ref);
+  EXPECT_THROW(p.switching_delay(0.5 * p.i_threshold), InvalidArgument);
+}
+
+TEST(DwnParams, ThermalRateAtZeroDrive) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  // Neel-Brown: f0 * exp(-20) ~ 2 Hz at f0 = 1 GHz.
+  EXPECT_NEAR(p.thermal_flip_rate(0.0), 1e9 * std::exp(-20.0), 1.0);
+}
+
+TEST(DwnParams, ThermalRateGrowsWithDrive) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  EXPECT_GT(p.thermal_flip_rate(0.9 * p.i_threshold), p.thermal_flip_rate(0.1 * p.i_threshold));
+  // At threshold the barrier collapses entirely.
+  EXPECT_NEAR(p.thermal_flip_rate(p.i_threshold), p.attempt_rate, 1.0);
+}
+
+TEST(Dwn, QuasistaticThresholdBehaviour) {
+  DomainWallNeuron dwn(DwnParams::from_barrier(20.0));
+  dwn.reset(false);
+  EXPECT_FALSE(dwn.evaluate(0.9e-6));   // below threshold: holds 0
+  EXPECT_TRUE(dwn.evaluate(1.1e-6));    // above: switches to 1
+  EXPECT_TRUE(dwn.evaluate(-0.9e-6));   // hysteresis: holds 1
+  EXPECT_FALSE(dwn.evaluate(-1.1e-6));  // switches back
+}
+
+TEST(Dwn, HysteresisLoopWidth) {
+  // Sweep up then down (paper Fig. 7a): transitions at +/- I_c.
+  DomainWallNeuron dwn(DwnParams::from_barrier(20.0));
+  dwn.reset(false);
+  double up_switch = 0.0;
+  for (double i = -3e-6; i <= 3e-6; i += 0.01e-6) {
+    const bool before = dwn.state();
+    if (dwn.evaluate(i) && !before) {
+      up_switch = i;
+    }
+  }
+  double down_switch = 0.0;
+  for (double i = 3e-6; i >= -3e-6; i -= 0.01e-6) {
+    const bool before = dwn.state();
+    if (!dwn.evaluate(i) && before) {
+      down_switch = i;
+    }
+  }
+  EXPECT_NEAR(up_switch, 1e-6, 0.02e-6);
+  EXPECT_NEAR(down_switch, -1e-6, 0.02e-6);
+  EXPECT_NEAR(up_switch - down_switch, 2e-6, 0.04e-6);  // loop width 2 I_c
+}
+
+TEST(Dwn, ApplyCurrentCompletesAfterDelay) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(p);
+  dwn.reset(false);
+  const double i = 2.0 * p.i_threshold;  // delay = t_switch_ref
+  // Half the delay: not switched yet.
+  dwn.apply_current(i, 0.5 * p.t_switch_ref);
+  EXPECT_FALSE(dwn.state());
+  // The rest completes the transit.
+  dwn.apply_current(i, 0.6 * p.t_switch_ref);
+  EXPECT_TRUE(dwn.state());
+}
+
+TEST(Dwn, ReinforcingDriveResetsPartialTransit) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(p);
+  dwn.reset(false);
+  const double i = 2.0 * p.i_threshold;
+  dwn.apply_current(i, 0.9 * p.t_switch_ref);  // almost switched
+  EXPECT_GT(dwn.transit_fraction(), 0.5);
+  dwn.apply_current(-i, 0.1e-9);  // opposite (reinforces state 0)
+  EXPECT_DOUBLE_EQ(dwn.transit_fraction(), 0.0);
+}
+
+TEST(Dwn, SubThresholdHoldsWithoutRng) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(p);
+  dwn.reset(true);
+  for (int k = 0; k < 100; ++k) {
+    dwn.apply_current(-0.5 * p.i_threshold, 1e-9);
+  }
+  EXPECT_TRUE(dwn.state());
+}
+
+TEST(Dwn, ThermalFlipsAreRareAtFullBarrier) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(p);
+  Rng rng(5);
+  dwn.reset(true);
+  int flips = 0;
+  for (int k = 0; k < 100000; ++k) {
+    const bool before = dwn.state();
+    dwn.apply_current(0.0, 1e-9, &rng);
+    if (dwn.state() != before) {
+      ++flips;
+    }
+  }
+  // Rate ~ 2 Hz for 100 us of simulated time -> ~0 flips expected.
+  EXPECT_LE(flips, 1);
+}
+
+TEST(Dwn, ThermalFlipsFrequentAtLowBarrier) {
+  const DwnParams p = DwnParams::from_barrier(2.0);  // weak device
+  DomainWallNeuron dwn(p);
+  Rng rng(6);
+  dwn.reset(true);
+  int flips = 0;
+  for (int k = 0; k < 10000; ++k) {
+    const bool before = dwn.state();
+    dwn.apply_current(0.0, 1e-9, &rng);
+    if (dwn.state() != before) {
+      ++flips;
+    }
+  }
+  // Rate f0 exp(-2) ~ 1.4e8 Hz over 10 us -> hundreds of flips.
+  EXPECT_GT(flips, 100);
+}
+
+TEST(Dwn, MtjResistanceTracksState) {
+  const DwnParams p = DwnParams::from_barrier(20.0);
+  DomainWallNeuron dwn(p);
+  dwn.reset(true);
+  EXPECT_DOUBLE_EQ(dwn.mtj_resistance(), p.mtj.r_parallel);
+  dwn.reset(false);
+  EXPECT_DOUBLE_EQ(dwn.mtj_resistance(), p.mtj.r_antiparallel);
+}
+
+TEST(Mtj, ReferenceIsMidway) {
+  const MtjSpec spec;
+  EXPECT_DOUBLE_EQ(spec.reference_resistance(), 10e3);
+  EXPECT_DOUBLE_EQ(spec.tmr(), 2.0);
+}
+
+TEST(Mtj, ReadMarginSymmetric) {
+  const Mtj mtj{MtjSpec{}};
+  EXPECT_NEAR(mtj.read_margin(true), 0.5, 1e-12);
+  EXPECT_NEAR(mtj.read_margin(false), 0.5, 1e-12);
+}
+
+TEST(Mtj, VariationSampling) {
+  MtjSpec spec;
+  spec.resistance_sigma = 0.05;
+  Rng rng(9);
+  const Mtj a(spec, rng);
+  const Mtj b(spec, rng);
+  EXPECT_NE(a.resistance(true), b.resistance(true));
+}
+
+TEST(Mtj, RejectsInvertedResistances) {
+  MtjSpec spec;
+  spec.r_parallel = 20e3;
+  spec.r_antiparallel = 10e3;
+  EXPECT_THROW(Mtj m(spec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,126 @@
+#include "device/memristor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(MemristorSpec, PaperRange) {
+  const MemristorSpec spec;
+  EXPECT_DOUBLE_EQ(spec.g_min(), 1.0 / 32e3);
+  EXPECT_DOUBLE_EQ(spec.g_max(), 1.0 / 1e3);
+  EXPECT_EQ(spec.levels, 32u);
+}
+
+TEST(MemristorSpec, LevelGridEndpoints) {
+  const MemristorSpec spec;
+  EXPECT_DOUBLE_EQ(spec.level_conductance(0), spec.g_min());
+  EXPECT_DOUBLE_EQ(spec.level_conductance(31), spec.g_max());
+}
+
+TEST(MemristorSpec, LevelGridIsUniform) {
+  const MemristorSpec spec;
+  const double step = spec.level_conductance(1) - spec.level_conductance(0);
+  for (std::size_t k = 1; k < 31; ++k) {
+    EXPECT_NEAR(spec.level_conductance(k + 1) - spec.level_conductance(k), step, 1e-15);
+  }
+}
+
+TEST(MemristorSpec, LevelOutOfRangeThrows) {
+  const MemristorSpec spec;
+  EXPECT_THROW(spec.level_conductance(32), InvalidArgument);
+}
+
+TEST(MemristorSpec, WeightToLevelMapping) {
+  const MemristorSpec spec;
+  EXPECT_EQ(spec.weight_to_level(0.0), 0u);
+  EXPECT_EQ(spec.weight_to_level(1.0), 31u);
+  EXPECT_EQ(spec.weight_to_level(0.5), 16u);  // round(15.5) = 16
+  EXPECT_EQ(spec.weight_to_level(-3.0), 0u);  // clamped
+  EXPECT_EQ(spec.weight_to_level(9.0), 31u);  // clamped
+}
+
+TEST(Memristor, StartsAtHighResistance) {
+  const MemristorSpec spec;
+  const Memristor m(spec);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.g_min());
+}
+
+TEST(Memristor, IdealProgramHitsGrid) {
+  const MemristorSpec spec;
+  Memristor m(spec);
+  m.program_ideal(17);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.level_conductance(17));
+  EXPECT_EQ(m.level(), 17u);
+  EXPECT_DOUBLE_EQ(m.resistance(), 1.0 / spec.level_conductance(17));
+}
+
+TEST(Memristor, WriteNoiseHasPaperSigma) {
+  MemristorSpec spec;  // 3 % write accuracy
+  Rng rng(123);
+  RunningStats stats;
+  const double target = spec.level_conductance(20);
+  for (int i = 0; i < 5000; ++i) {
+    Memristor m(spec);
+    m.program(20, rng);
+    stats.add(m.conductance() / target);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.03, 0.005);
+}
+
+TEST(Memristor, ZeroWriteSigmaIsExact) {
+  MemristorSpec spec;
+  spec.write_sigma = 0.0;
+  Rng rng(1);
+  Memristor m(spec);
+  m.program(5, rng);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.level_conductance(5));
+}
+
+TEST(Memristor, ProgramWeightQuantises) {
+  MemristorSpec spec;
+  spec.write_sigma = 0.0;
+  Rng rng(2);
+  Memristor m(spec);
+  m.program_weight(0.4839, rng);  // 0.4839 * 31 = 15.0009 -> level 15
+  EXPECT_EQ(m.level(), 15u);
+}
+
+TEST(Memristor, DeviceToDeviceVariation) {
+  MemristorSpec spec;
+  spec.write_sigma = 0.0;
+  spec.d2d_sigma = 0.10;
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 3000; ++i) {
+    Memristor m(spec, rng);
+    m.program_ideal(31);
+    stats.add(m.conductance() / spec.g_max());
+  }
+  EXPECT_NEAR(stats.stddev(), 0.10, 0.02);
+}
+
+TEST(Memristor, BadRangeRejected) {
+  MemristorSpec spec;
+  spec.r_min = 10e3;
+  spec.r_max = 1e3;  // inverted
+  EXPECT_THROW(Memristor m(spec), InvalidArgument);
+}
+
+TEST(Memristor, WriteClampStaysInsidePhysicalWindow) {
+  MemristorSpec spec;
+  spec.write_sigma = 2.0;  // absurd write noise
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    Memristor m(spec);
+    m.program(31, rng);
+    EXPECT_GE(m.conductance(), 0.25 * spec.g_min());
+    EXPECT_LE(m.conductance(), 4.0 * spec.g_max());
+  }
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,142 @@
+#include "device/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.hpp"
+
+namespace spinsim {
+namespace {
+
+MosGeometry pmos_1u() {
+  MosGeometry g;
+  g.type = MosType::kPmos;
+  g.w = 1e-6;
+  g.l = 90e-9;
+  return g;
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  const Mosfet m(pmos_1u());
+  EXPECT_DOUBLE_EQ(m.drain_current(0.2, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.triode_conductance(0.2), 0.0);
+}
+
+TEST(Mosfet, TriodeCurrentFormula) {
+  const Mosfet m(pmos_1u());
+  const Tech45& t = Tech45::nominal();
+  const double vgs = 0.8;
+  const double vds = 0.05;
+  const double vov = vgs - t.vt_p;
+  const double expected = t.kp_p * (1e-6 / 90e-9) * (vov * vds - 0.5 * vds * vds);
+  EXPECT_NEAR(m.drain_current(vgs, vds), expected, 1e-12);
+}
+
+TEST(Mosfet, SaturationCurrentFormula) {
+  const Mosfet m(pmos_1u());
+  const Tech45& t = Tech45::nominal();
+  const double vgs = 0.8;
+  const double vov = vgs - t.vt_p;
+  const double vds = vov;  // at the edge: no lambda contribution
+  const double expected = 0.5 * t.kp_p * (1e-6 / 90e-9) * vov * vov;
+  EXPECT_NEAR(m.drain_current(vgs, vds), expected, expected * 1e-9);
+}
+
+TEST(Mosfet, ContinuousAtSaturationEdge) {
+  const Mosfet m(pmos_1u());
+  const double vgs = 0.7;
+  const double vov = vgs - m.vt();
+  const double below = m.drain_current(vgs, vov - 1e-9);
+  const double above = m.drain_current(vgs, vov + 1e-9);
+  EXPECT_NEAR(below, above, below * 1e-6);
+}
+
+TEST(Mosfet, ChannelLengthModulationIncreasesCurrent) {
+  const Mosfet m(pmos_1u());
+  const double vgs = 0.7;
+  const double vov = vgs - m.vt();
+  EXPECT_GT(m.drain_current(vgs, vov + 0.3), m.drain_current(vgs, vov + 0.01));
+}
+
+TEST(Mosfet, LongerChannelWeakensLambda) {
+  MosGeometry short_l = pmos_1u();
+  MosGeometry long_l = pmos_1u();
+  long_l.l = 4 * short_l.l;
+  long_l.w = 4 * short_l.w;  // same W/L
+  const Mosfet ms(short_l);
+  const Mosfet ml(long_l);
+  const double vgs = 0.7;
+  const double vds = 0.6;
+  const double gds_short = ms.output_conductance(vgs, vds);
+  const double gds_long = ml.output_conductance(vgs, vds);
+  EXPECT_GT(gds_short, gds_long);
+}
+
+TEST(Mosfet, TriodeConductanceLinearInCode) {
+  const Mosfet m(pmos_1u());
+  const double g1 = m.triode_conductance(0.6);
+  const double g2 = m.triode_conductance(0.85);
+  // g = k(W/L)(vgs - vt): linear in overdrive.
+  EXPECT_NEAR((g2 - g1) / (0.85 - 0.6), Tech45::nominal().kp_p * (1e-6 / 90e-9), 1e-9);
+}
+
+TEST(Mosfet, MonotoneInVds) {
+  const Mosfet m(pmos_1u());
+  double last = 0.0;
+  for (double vds = 0.01; vds < 1.0; vds += 0.01) {
+    const double i = m.drain_current(0.8, vds);
+    EXPECT_GE(i, last);
+    last = i;
+  }
+}
+
+TEST(Mosfet, MismatchSamplingStats) {
+  Rng rng(77);
+  const Tech45& t = Tech45::nominal();
+  RunningStats vt_stats;
+  const MosGeometry g = pmos_1u();
+  for (int i = 0; i < 3000; ++i) {
+    const Mosfet m(g, rng);
+    vt_stats.add(m.vt());
+  }
+  EXPECT_NEAR(vt_stats.mean(), t.vt_p, 6e-4);
+  EXPECT_NEAR(vt_stats.stddev(), t.sigma_vt(g.w, g.l), 6e-4);
+}
+
+TEST(Mosfet, SigmaOverrideScalesWithArea) {
+  Rng rng(78);
+  const Tech45& t = Tech45::nominal();
+  // A device 100x the min area should show 10x less sigma than min size.
+  MosGeometry big = pmos_1u();
+  big.w = t.w_min * 100;
+  big.l = t.l_min;
+  RunningStats s;
+  for (int i = 0; i < 4000; ++i) {
+    const Mosfet m(big, rng, t, /*sigma_vt_override=*/10e-3);
+    s.add(m.vt());
+  }
+  EXPECT_NEAR(s.stddev(), 1e-3, 2e-4);
+}
+
+TEST(Mosfet, GateCapScalesWithArea) {
+  MosGeometry small = pmos_1u();
+  MosGeometry big = pmos_1u();
+  big.w *= 4;
+  EXPECT_GT(Mosfet(big).gate_cap(), 3.0 * Mosfet(small).gate_cap());
+}
+
+TEST(Mosfet, RejectsNegativeVoltages) {
+  const Mosfet m(pmos_1u());
+  EXPECT_THROW(m.drain_current(-0.1, 0.1), InvalidArgument);
+  EXPECT_THROW(m.drain_current(0.5, -0.1), InvalidArgument);
+}
+
+TEST(Tech45, PelgromSigma) {
+  const Tech45& t = Tech45::nominal();
+  const double s1 = t.sigma_vt(1e-6, 1e-6);
+  const double s2 = t.sigma_vt(4e-6, 1e-6);
+  EXPECT_NEAR(s1, t.a_vt / 1e-6, 1e-9);
+  EXPECT_NEAR(s1 / s2, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,66 @@
+#include "device/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(Variation, SaturationMismatchFormula) {
+  EXPECT_NEAR(saturation_current_mismatch(0.2, 5e-3), 0.05, 1e-12);
+}
+
+TEST(Variation, TriodeMismatchIsHalfSaturation) {
+  const double vov = 0.15;
+  const double sigma = 4e-3;
+  EXPECT_NEAR(saturation_current_mismatch(vov, sigma),
+              2.0 * triode_conductance_mismatch(vov, sigma), 1e-12);
+}
+
+TEST(Variation, RejectsBadArgs) {
+  EXPECT_THROW(saturation_current_mismatch(0.0, 1e-3), InvalidArgument);
+  EXPECT_THROW(triode_conductance_mismatch(0.1, -1e-3), InvalidArgument);
+}
+
+TEST(MismatchBudget, QuadratureSum) {
+  MismatchBudget b;
+  b.add(0.03);
+  b.add(0.04);
+  EXPECT_NEAR(b.total(), 0.05, 1e-12);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MismatchBudget, IdenticalStages) {
+  MismatchBudget b;
+  b.add_stages(0.01, 16);
+  EXPECT_NEAR(b.total(), 0.04, 1e-12);  // sqrt(16) * 0.01
+}
+
+TEST(MismatchBudget, EmptyIsZero) {
+  MismatchBudget b;
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+TEST(MismatchBudget, RejectsNegative) {
+  MismatchBudget b;
+  EXPECT_THROW(b.add(-0.01), InvalidArgument);
+}
+
+TEST(Variation, MinAreaForMirrorAccuracy) {
+  const Tech45& t = Tech45::nominal();
+  const double area = min_area_for_mirror_accuracy(0.2, 0.01, t);
+  // Check the defining relation: 2 * A_VT / sqrt(area) / vov == target.
+  EXPECT_NEAR(2.0 * t.a_vt / std::sqrt(area) / 0.2, 0.01, 1e-9);
+}
+
+TEST(Variation, TighterTargetNeedsMoreArea) {
+  const Tech45& t = Tech45::nominal();
+  EXPECT_GT(min_area_for_mirror_accuracy(0.2, 0.005, t),
+            min_area_for_mirror_accuracy(0.2, 0.01, t));
+}
+
+}  // namespace
+}  // namespace spinsim

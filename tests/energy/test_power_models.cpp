@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+#include "energy/digital_asic.hpp"
+#include "energy/mscmos_power.hpp"
+#include "energy/power_report.hpp"
+#include "energy/spin_power.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(PowerReport, Accounting) {
+  PowerReport r;
+  r.add("a", PowerKind::kStatic, 1e-6);
+  r.add("b", PowerKind::kDynamic, 2e-6);
+  r.add("c", PowerKind::kStatic, 3e-6);
+  EXPECT_NEAR(r.static_total(), 4e-6, 1e-18);
+  EXPECT_NEAR(r.dynamic_total(), 2e-6, 1e-18);
+  EXPECT_NEAR(r.total(), 6e-6, 1e-18);
+  EXPECT_NEAR(r.energy_per_op(1e6), 6e-12, 1e-20);
+  EXPECT_THROW(r.add("bad", PowerKind::kStatic, -1.0), InvalidArgument);
+}
+
+// --- proposed design (paper Table 1: 65 uW at 5-bit / 1 uA / 100 MHz) ---
+
+TEST(SpinPower, PaperDesignPointLandsNearTable1) {
+  const SpinAmmDesign d;  // defaults are the paper's point
+  const PowerReport r = spin_amm_power(d);
+  EXPECT_GT(r.total(), 40e-6);
+  EXPECT_LT(r.total(), 90e-6);
+}
+
+TEST(SpinPower, MaxInputCurrentNearTenMicroamp) {
+  const SpinAmmDesign d;
+  EXPECT_NEAR(d.max_input_current(), 10e-6, 0.5e-6);  // paper Section 4A
+  EXPECT_NEAR(d.full_scale_current(), 32e-6, 1e-12);
+}
+
+TEST(SpinPower, StaticScalesWithThreshold) {
+  SpinAmmDesign lo;
+  lo.dwn_threshold = 0.25e-6;
+  SpinAmmDesign hi;
+  hi.dwn_threshold = 4e-6;
+  const PowerReport r_lo = spin_amm_power(lo);
+  const PowerReport r_hi = spin_amm_power(hi);
+  EXPECT_NEAR(r_hi.static_total() / r_lo.static_total(), 16.0, 0.1);
+  // Dynamic power is threshold-independent (Fig. 13a flattening).
+  EXPECT_NEAR(r_hi.dynamic_total(), r_lo.dynamic_total(), 1e-12);
+}
+
+TEST(SpinPower, DynamicDominatesAtLowThreshold) {
+  SpinAmmDesign d;
+  d.dwn_threshold = 0.1e-6;
+  const PowerReport r = spin_amm_power(d);
+  EXPECT_GT(r.dynamic_total(), r.static_total());
+}
+
+TEST(SpinPower, StaticDominatesAtHighThreshold) {
+  SpinAmmDesign d;
+  d.dwn_threshold = 4e-6;
+  const PowerReport r = spin_amm_power(d);
+  EXPECT_GT(r.static_total(), r.dynamic_total());
+}
+
+TEST(SpinPower, PowerFallsWithResolution) {
+  SpinAmmDesign b5;
+  SpinAmmDesign b4 = b5;
+  b4.resolution_bits = 4;
+  SpinAmmDesign b3 = b5;
+  b3.resolution_bits = 3;
+  const double p5 = spin_amm_power(b5).total();
+  const double p4 = spin_amm_power(b4).total();
+  const double p3 = spin_amm_power(b3).total();
+  EXPECT_GT(p5, p4);
+  EXPECT_GT(p4, p3);
+}
+
+TEST(SpinPower, ScalesWithDeltaV) {
+  SpinAmmDesign d;
+  SpinAmmDesign d2 = d;
+  d2.delta_v = 60e-3;
+  EXPECT_NEAR(spin_amm_power(d2).static_total() / spin_amm_power(d).static_total(), 2.0, 1e-9);
+}
+
+// --- MS-CMOS baselines (paper Table 1: 5.5-8 mW at 5-bit, 50 MHz) ---
+
+TEST(MsCmosPower, FiveBitDesignsLandInTable1Band) {
+  MsCmosDesign d17;
+  d17.topology = MsCmosTopology::kStandardBt;
+  const double p17 = mscmos_wta_power(d17).power.total();
+  EXPECT_GT(p17, 3e-3);
+  EXPECT_LT(p17, 20e-3);
+
+  MsCmosDesign d18;
+  d18.topology = MsCmosTopology::kAsyncMinMax;
+  const double p18 = mscmos_wta_power(d18).power.total();
+  EXPECT_GT(p18, 2e-3);
+  EXPECT_LT(p18, 15e-3);
+  EXPECT_LT(p18, p17);  // [18] is the lower-power design
+}
+
+TEST(MsCmosPower, MeetsResolutionAtNearIdealSigma) {
+  MsCmosDesign d;
+  d.sigma_vt_min_size = 5e-3;
+  const MsCmosEvaluation e = mscmos_wta_power(d);
+  EXPECT_TRUE(e.meets_resolution);
+  EXPECT_LE(e.path_rel_sigma, 0.5 / 32.0 * 1.001);
+}
+
+TEST(MsCmosPower, PowerFallsWithResolution) {
+  MsCmosDesign b5;
+  MsCmosDesign b4 = b5;
+  b4.resolution_bits = 4;
+  MsCmosDesign b3 = b5;
+  b3.resolution_bits = 3;
+  const double p5 = mscmos_wta_power(b5).power.total();
+  const double p4 = mscmos_wta_power(b4).power.total();
+  const double p3 = mscmos_wta_power(b3).power.total();
+  EXPECT_GT(p5, p4);
+  EXPECT_GT(p4, p3);
+}
+
+TEST(MsCmosPower, AreaGrowsWithSigmaVt) {
+  MsCmosDesign clean;
+  clean.sigma_vt_min_size = 5e-3;
+  MsCmosDesign dirty = clean;
+  dirty.sigma_vt_min_size = 30e-3;
+  EXPECT_GT(mscmos_wta_power(dirty).mirror_area, mscmos_wta_power(clean).mirror_area);
+}
+
+TEST(MsCmosPower, PowerGrowsWithSigmaVt) {
+  MsCmosDesign clean;
+  clean.sigma_vt_min_size = 5e-3;
+  MsCmosDesign dirty = clean;
+  dirty.sigma_vt_min_size = 30e-3;
+  EXPECT_GT(mscmos_wta_power(dirty).power.total(), mscmos_wta_power(clean).power.total());
+}
+
+TEST(MsCmosPower, HundredXGapVersusSpin) {
+  // The headline claim: spin PE ~100x lower power than MS-CMOS.
+  const double p_spin = spin_amm_power(SpinAmmDesign{}).total();
+  const double p_ms = mscmos_wta_power(MsCmosDesign{}).power.total();
+  EXPECT_GT(p_ms / p_spin, 30.0);
+  EXPECT_LT(p_ms / p_spin, 500.0);
+}
+
+// --- digital ASIC (paper Table 1: 4 mW / 2.5 MHz at 5-bit) ---
+
+TEST(DigitalPower, PaperDesignPoint) {
+  const DigitalAsicDesign d;  // 128 x 40, 5-bit, 100 MHz
+  const DigitalAsicEvaluation e = digital_asic_power(d);
+  EXPECT_NEAR(e.recognition_rate, 2.5e6, 1.0);  // clock / templates
+  EXPECT_GT(e.power.total(), 1e-3);
+  EXPECT_LT(e.power.total(), 10e-3);
+}
+
+TEST(DigitalPower, EnergyFallsWithPrecision) {
+  DigitalAsicDesign b5;
+  DigitalAsicDesign b3 = b5;
+  b3.bits = 3;
+  EXPECT_GT(digital_asic_power(b5).energy_per_recognition,
+            digital_asic_power(b3).energy_per_recognition);
+}
+
+TEST(DigitalPower, ThousandXEnergyGapVersusSpin) {
+  // Table 1's headline: ~2460x at 5-bit (energy per recognition).
+  const SpinAmmDesign spin;
+  const double e_spin = spin_amm_power(spin).energy_per_op(spin.clock);
+  const DigitalAsicEvaluation digital = digital_asic_power(DigitalAsicDesign{});
+  const double e_dig = digital.energy_per_recognition;
+  EXPECT_GT(e_dig / e_spin, 800.0);
+  EXPECT_LT(e_dig / e_spin, 8000.0);
+}
+
+TEST(DigitalPower, MemoryReadAddsEnergy) {
+  DigitalAsicDesign with;
+  with.include_memory_read = true;
+  DigitalAsicDesign without;
+  EXPECT_GT(digital_asic_power(with).energy_per_recognition,
+            digital_asic_power(without).energy_per_recognition);
+}
+
+TEST(DigitalPower, MsCmosBarely10xBetterThanDigital) {
+  // Paper Section 5: MS-CMOS in RCM performs only ~10x better than the
+  // digital implementation (energy per op).
+  MsCmosDesign ms;
+  const MsCmosEvaluation ems = mscmos_wta_power(ms);
+  const double e_ms = ems.power.total() / ms.target_clock;
+  const DigitalAsicEvaluation dig = digital_asic_power(DigitalAsicDesign{});
+  const double ratio = dig.energy_per_recognition / e_ms;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(DigitalPower, RejectsBadDesign) {
+  DigitalAsicDesign d;
+  d.bits = 0;
+  EXPECT_THROW(digital_asic_power(d), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

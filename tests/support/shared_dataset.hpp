@@ -1,0 +1,30 @@
+/// \file shared_dataset.hpp
+/// Lazily built datasets shared across test binaries to keep suite
+/// runtime down. Each accessor builds its dataset once per process.
+
+#pragma once
+
+#include "vision/dataset.hpp"
+
+namespace spinsim::testing {
+
+/// The paper's full 40 x 10 dataset at 128 x 96.
+inline const FaceDataset& paper_dataset() {
+  static const FaceDataset dataset = FaceDataset::paper_dataset();
+  return dataset;
+}
+
+/// A small, fast dataset (10 individuals x 4 variants, 64 x 48) for
+/// end-to-end tests that exercise the pipeline rather than accuracy.
+inline const FaceDataset& small_dataset() {
+  static const FaceDataset dataset = [] {
+    FaceGeneratorConfig config;
+    config.image_height = 64;
+    config.image_width = 48;
+    config.seed = 424242;
+    return FaceDataset(10, 4, config);
+  }();
+  return dataset;
+}
+
+}  // namespace spinsim::testing

@@ -1,0 +1,113 @@
+#include "vision/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(Features, ExtractDimensions) {
+  const FaceDataset& ds = testing::paper_dataset();
+  FeatureSpec spec;  // 16 x 8, 5-bit
+  const FeatureVector f = extract_features(ds.image(0, 0), spec);
+  EXPECT_EQ(f.dimension(), 128u);
+  EXPECT_EQ(f.digital.size(), 128u);
+  EXPECT_EQ(spec.levels(), 32u);
+}
+
+TEST(Features, AnalogOnLevelGrid) {
+  const FaceDataset& ds = testing::paper_dataset();
+  const FeatureVector f = extract_features(ds.image(1, 1), FeatureSpec{});
+  for (std::size_t i = 0; i < f.dimension(); ++i) {
+    EXPECT_NEAR(f.analog[i] * 31.0, static_cast<double>(f.digital[i]), 1e-9);
+  }
+}
+
+TEST(Features, TemplatesOnePerIndividual) {
+  const FaceDataset& ds = testing::small_dataset();
+  const auto templates = build_templates(ds, FeatureSpec{});
+  EXPECT_EQ(templates.size(), ds.individuals());
+}
+
+TEST(Features, TemplateIsCentroidLike) {
+  // A template must correlate better with its own class's images than the
+  // class's images correlate with other templates, for most images.
+  const FaceDataset& ds = testing::small_dataset();
+  FeatureSpec spec;
+  const auto templates = build_templates(ds, spec);
+  int correct = 0;
+  int total = 0;
+  for (std::size_t p = 0; p < ds.individuals(); ++p) {
+    for (std::size_t v = 0; v < ds.variants_per_individual(); ++v) {
+      const FeatureVector f = extract_features(ds.image(p, v), spec);
+      if (classify_ideal(f, templates) == p) {
+        ++correct;
+      }
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(Features, PaperOperatingPointAccuracyHigh) {
+  // Fig. 3a: at 16x8 / 5-bit the ideal pipeline recognises nearly all of
+  // the 400 images.
+  const FaceDataset& ds = testing::paper_dataset();
+  FeatureSpec spec;
+  const auto templates = build_templates(ds, spec);
+  int correct = 0;
+  for (const auto& sample : ds.all()) {
+    const FeatureVector f = extract_features(sample.image, spec);
+    if (classify_ideal(f, templates) == sample.individual) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 360);  // > 90 %
+}
+
+TEST(Features, TinyFeaturesLoseAccuracy) {
+  // Fig. 3a's knee: 4x2 features cannot separate 40 people.
+  const FaceDataset& ds = testing::paper_dataset();
+  FeatureSpec tiny;
+  tiny.height = 4;
+  tiny.width = 2;
+  const auto templates = build_templates(ds, tiny);
+  int correct = 0;
+  for (const auto& sample : ds.all()) {
+    const FeatureVector f = extract_features(sample.image, tiny);
+    if (classify_ideal(f, templates) == sample.individual) {
+      ++correct;
+    }
+  }
+  FeatureSpec full;
+  const auto templates_full = build_templates(ds, full);
+  int correct_full = 0;
+  for (const auto& sample : ds.all()) {
+    const FeatureVector f = extract_features(sample.image, full);
+    if (classify_ideal(f, templates_full) == sample.individual) {
+      ++correct_full;
+    }
+  }
+  EXPECT_LT(correct, correct_full);
+}
+
+TEST(Features, CorrelationIsDotProduct) {
+  FeatureVector a;
+  a.analog = {0.5, 1.0};
+  FeatureVector b;
+  b.analog = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(correlation(a, b), 1.0);
+  FeatureVector c;
+  c.analog = {1.0};
+  EXPECT_THROW(correlation(a, c), InvalidArgument);
+}
+
+TEST(Features, ClassifyIdealRequiresTemplates) {
+  FeatureVector f;
+  f.analog = {1.0};
+  EXPECT_THROW(classify_ideal(f, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

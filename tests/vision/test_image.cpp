@@ -1,0 +1,130 @@
+#include "vision/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spinsim {
+namespace {
+
+TEST(Image, ConstructAndIndex) {
+  Image img(4, 6, 0.5);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.width(), 6u);
+  EXPECT_EQ(img.pixel_count(), 24u);
+  img.at(2, 3) = 0.9;
+  EXPECT_DOUBLE_EQ(img.at(2, 3), 0.9);
+}
+
+TEST(Image, ZeroDimensionThrows) {
+  EXPECT_THROW(Image(0, 5), InvalidArgument);
+}
+
+TEST(Image, ClampBoundsPixels) {
+  Image img(1, 3);
+  img.at(0, 0) = -0.5;
+  img.at(0, 1) = 0.5;
+  img.at(0, 2) = 1.7;
+  img.clamp();
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(img.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(img.at(0, 2), 1.0);
+}
+
+TEST(Image, NormalizeSpansUnitRange) {
+  Image img(1, 3);
+  img.at(0, 0) = 0.2;
+  img.at(0, 1) = 0.4;
+  img.at(0, 2) = 0.6;
+  const Image n = img.normalized();
+  EXPECT_DOUBLE_EQ(n.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(n.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(n.at(0, 2), 1.0);
+}
+
+TEST(Image, NormalizeConstantImageIsHalf) {
+  Image img(2, 2, 0.7);
+  const Image n = img.normalized();
+  EXPECT_DOUBLE_EQ(n.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(n.at(1, 1), 0.5);
+}
+
+TEST(Image, DownsizeAveragesBlocks) {
+  Image img(2, 4);
+  // Left 2x2 block: all 1.0; right block: all 0.0.
+  img.at(0, 0) = img.at(0, 1) = img.at(1, 0) = img.at(1, 1) = 1.0;
+  const Image small = img.downsized(1, 2);
+  EXPECT_DOUBLE_EQ(small.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(small.at(0, 1), 0.0);
+}
+
+TEST(Image, DownsizePreservesMean) {
+  Image img(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      img.at(r, c) = static_cast<double>(r * 8 + c) / 63.0;
+    }
+  }
+  const Image small = img.downsized(2, 2);
+  EXPECT_NEAR(small.mean(), img.mean(), 1e-12);
+}
+
+TEST(Image, DownsizeNonDivisibleThrows) {
+  Image img(9, 8);
+  EXPECT_THROW(img.downsized(2, 2), InvalidArgument);
+}
+
+TEST(Image, PaperReductionDimensions) {
+  // 128 x 96 -> 16 x 8 (the paper's feature size) divides evenly.
+  Image img(128, 96, 0.3);
+  const Image small = img.downsized(16, 8);
+  EXPECT_EQ(small.height(), 16u);
+  EXPECT_EQ(small.width(), 8u);
+}
+
+TEST(Image, QuantizeSnapsToLevels) {
+  Image img(1, 2);
+  img.at(0, 0) = 0.49;
+  img.at(0, 1) = 0.51;
+  const Image q = img.quantized(1);  // levels {0, 1}
+  EXPECT_DOUBLE_EQ(q.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 1.0);
+}
+
+TEST(Image, QuantizeFiveBitGrid) {
+  Image img(1, 1);
+  img.at(0, 0) = 0.5;
+  const Image q = img.quantized(5);
+  EXPECT_NEAR(q.at(0, 0), 16.0 / 31.0, 1e-12);
+}
+
+TEST(Image, LevelsMatchQuantized) {
+  Image img(1, 3);
+  img.at(0, 0) = 0.0;
+  img.at(0, 1) = 0.5;
+  img.at(0, 2) = 1.0;
+  const auto levels = img.levels(5);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 16u);
+  EXPECT_EQ(levels[2], 31u);
+}
+
+TEST(Image, AverageOfImages) {
+  Image a(1, 2, 0.0);
+  Image b(1, 2, 1.0);
+  const Image avg = Image::average({a, b});
+  EXPECT_DOUBLE_EQ(avg.at(0, 0), 0.5);
+}
+
+TEST(Image, AverageSizeMismatchThrows) {
+  EXPECT_THROW(Image::average({Image(1, 2), Image(2, 1)}), InvalidArgument);
+  EXPECT_THROW(Image::average({}), InvalidArgument);
+}
+
+TEST(Image, RmsDifference) {
+  Image a(1, 2, 0.0);
+  Image b(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(a.rms_difference(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.rms_difference(a), 0.0);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,92 @@
+#include "vision/pgm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "vision/face_generator.hpp"
+
+namespace spinsim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PgmIo, RoundTripPreservesPixels) {
+  Image img(4, 6);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      img.at(r, c) = static_cast<double>(r * 6 + c) / 23.0;
+    }
+  }
+  const std::string path = temp_path("roundtrip.pgm");
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  ASSERT_EQ(back.height(), 4u);
+  ASSERT_EQ(back.width(), 6u);
+  // 8-bit quantisation allows 1/255 error.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(back.at(r, c), img.at(r, c), 1.0 / 255.0 + 1e-9);
+    }
+  }
+}
+
+TEST(PgmIo, SyntheticFaceRoundTrip) {
+  const FaceGenerator gen{FaceGeneratorConfig{}};
+  const Image face = gen.generate(3, 1);
+  const std::string path = temp_path("face.pgm");
+  write_pgm(face, path);
+  const Image back = read_pgm(path);
+  EXPECT_LT(face.rms_difference(back), 2.0 / 255.0);
+}
+
+TEST(PgmIo, HeaderCommentsSkipped) {
+  const std::string path = temp_path("comment.pgm");
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n# a comment line\n2 1\n255\n";
+  out.put(static_cast<char>(0));
+  out.put(static_cast<char>(255));
+  out.close();
+  const Image img = read_pgm(path);
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(img.at(0, 1), 1.0);
+}
+
+TEST(PgmIo, NonPgmRejected) {
+  const std::string path = temp_path("not_a_pgm.txt");
+  std::ofstream out(path);
+  out << "P2\n2 2\n255\n0 0 0 0\n";  // ASCII PGM unsupported
+  out.close();
+  EXPECT_THROW(read_pgm(path), ModelError);
+}
+
+TEST(PgmIo, TruncatedDataRejected) {
+  const std::string path = temp_path("truncated.pgm");
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n4 4\n255\n";
+  out.put(static_cast<char>(1));  // only 1 of 16 pixels
+  out.close();
+  EXPECT_THROW(read_pgm(path), ModelError);
+}
+
+TEST(PgmIo, MissingFileRejected) {
+  EXPECT_THROW(read_pgm(temp_path("does_not_exist.pgm")), ModelError);
+  const Image img(2, 2, 0.5);
+  EXPECT_THROW(write_pgm(img, "/nonexistent_dir_xyz/out.pgm"), ModelError);
+}
+
+TEST(PgmIo, SmallMaxvalScales) {
+  const std::string path = temp_path("maxval.pgm");
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n1 1\n15\n";
+  out.put(static_cast<char>(15));
+  out.close();
+  const Image img = read_pgm(path);
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace spinsim

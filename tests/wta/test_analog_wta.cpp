@@ -1,0 +1,124 @@
+#include "wta/analog_wta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+#include "core/random.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(AnalogBtWta, ZeroMismatchIsExactArgmax) {
+  AnalogWtaConfig c;
+  c.inputs = 40;
+  c.stage_rel_sigma = 0.0;
+  const AnalogBtWta wta(c);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> currents(40);
+    for (auto& i : currents) {
+      i = rng.uniform(0.0, 32e-6);
+    }
+    EXPECT_EQ(wta.select(currents).winner, argmax(currents));
+  }
+}
+
+TEST(AnalogBtWta, NonPowerOfTwoInputs) {
+  AnalogWtaConfig c;
+  c.inputs = 11;
+  c.stage_rel_sigma = 0.0;
+  const AnalogBtWta wta(c);
+  std::vector<double> currents(11, 1e-6);
+  currents[10] = 5e-6;  // winner in the padded tail region
+  EXPECT_EQ(wta.select(currents).winner, 10u);
+}
+
+TEST(AnalogBtWta, LargeMarginSurvivesMismatch) {
+  AnalogWtaConfig c;
+  c.inputs = 40;
+  c.stage_rel_sigma = 0.02;
+  const AnalogBtWta wta(c);
+  std::vector<double> currents(40, 5e-6);
+  currents[17] = 30e-6;  // 6x margin
+  EXPECT_EQ(wta.select(currents).winner, 17u);
+}
+
+TEST(AnalogBtWta, TinyMarginLostUnderHeavyMismatch) {
+  // With 5 % stage mismatch a 0.1 % margin is hopeless on most dies.
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    AnalogWtaConfig c;
+    c.inputs = 40;
+    c.stage_rel_sigma = 0.05;
+    c.seed = seed;
+    const AnalogBtWta wta(c);
+    std::vector<double> currents(40, 10e-6);
+    currents[3] = 10.01e-6;
+    if (wta.select(currents).winner != 3u) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 5);
+}
+
+TEST(AnalogBtWta, WinningCurrentNearMax) {
+  AnalogWtaConfig c;
+  c.inputs = 16;
+  c.stage_rel_sigma = 0.01;
+  const AnalogBtWta wta(c);
+  std::vector<double> currents(16, 1e-6);
+  currents[5] = 20e-6;
+  const auto r = wta.select(currents);
+  EXPECT_NEAR(r.winning_current, 20e-6, 2e-6);  // few mirror copies of 1 %
+}
+
+TEST(AnalogBtWta, EffectiveResolutionDecreasesWithSigma) {
+  AnalogWtaConfig fine;
+  fine.inputs = 40;
+  fine.stage_rel_sigma = 0.002;
+  AnalogWtaConfig coarse = fine;
+  coarse.stage_rel_sigma = 0.05;
+  EXPECT_GT(AnalogBtWta(fine).effective_resolution_bits(),
+            AnalogBtWta(coarse).effective_resolution_bits());
+}
+
+TEST(AnalogBtWta, ZeroSigmaResolutionIsMax) {
+  AnalogWtaConfig c;
+  c.inputs = 8;
+  c.stage_rel_sigma = 0.0;
+  EXPECT_DOUBLE_EQ(AnalogBtWta(c).effective_resolution_bits(), 16.0);
+}
+
+TEST(AnalogBtWta, DifferentSeedsDifferentDies) {
+  AnalogWtaConfig a;
+  a.inputs = 40;
+  a.stage_rel_sigma = 0.05;
+  a.seed = 1;
+  AnalogWtaConfig b = a;
+  b.seed = 2;
+  // A uniform input exposes each die's sampled gain table: the corrupted
+  // root currents must differ between dies.
+  const std::vector<double> currents(40, 10e-6);
+  const double ia = AnalogBtWta(a).select(currents).winning_current;
+  const double ib = AnalogBtWta(b).select(currents).winning_current;
+  EXPECT_NE(ia, ib);
+}
+
+TEST(AnalogBtWta, InputCountMismatchThrows) {
+  AnalogWtaConfig c;
+  c.inputs = 8;
+  const AnalogBtWta wta(c);
+  EXPECT_THROW(wta.select(std::vector<double>(7, 1.0)), InvalidArgument);
+}
+
+TEST(AnalogBtWta, RejectsDegenerateConfig) {
+  AnalogWtaConfig c;
+  c.inputs = 1;
+  EXPECT_THROW(AnalogBtWta wta(c), InvalidArgument);
+  c.inputs = 4;
+  c.stage_rel_sigma = -0.1;
+  EXPECT_THROW(AnalogBtWta wta(c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

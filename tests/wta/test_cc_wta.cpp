@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+#include "wta/analog_wta.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(AnalogCcWta, ZeroMismatchIsExactArgmax) {
+  AnalogWtaConfig c;
+  c.inputs = 40;
+  c.stage_rel_sigma = 0.0;
+  const AnalogCcWta wta(c);
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> currents(40);
+    for (auto& i : currents) {
+      i = rng.uniform(0.0, 32e-6);
+    }
+    EXPECT_EQ(wta.select(currents).winner, argmax(currents));
+  }
+}
+
+TEST(AnalogCcWta, LargeMarginSurvivesMismatch) {
+  AnalogWtaConfig c;
+  c.inputs = 40;
+  c.stage_rel_sigma = 0.02;
+  const AnalogCcWta wta(c);
+  std::vector<double> currents(40, 5e-6);
+  currents[11] = 25e-6;
+  EXPECT_EQ(wta.select(currents).winner, 11u);
+}
+
+TEST(AnalogCcWta, SubFloorMarginUnreliable) {
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    AnalogWtaConfig c;
+    c.inputs = 40;
+    c.stage_rel_sigma = 0.05;
+    c.seed = seed;
+    const AnalogCcWta wta(c);
+    std::vector<double> currents(40, 10e-6);
+    currents[7] = 10.02e-6;  // 0.2 % margin << 5 % mismatch
+    failures += wta.select(currents).winner != 7u ? 1 : 0;
+  }
+  EXPECT_GT(failures, 10);
+}
+
+TEST(AnalogCcWta, DiscriminationFloorGrowsWithFanIn) {
+  AnalogWtaConfig small;
+  small.inputs = 4;
+  small.stage_rel_sigma = 0.01;
+  AnalogWtaConfig big = small;
+  big.inputs = 64;
+  EXPECT_GT(AnalogCcWta(big).discrimination_floor(),
+            AnalogCcWta(small).discrimination_floor());
+}
+
+TEST(AnalogCcWta, SingleMismatchStageBeatsTreeAccumulation) {
+  // The CC topology corrupts each input once; the BT tree corrupts the
+  // winner along log2(N) levels. For the same per-stage sigma, the CC
+  // die's worst pairwise skew must be statistically smaller.
+  double cc_spread = 0.0;
+  double bt_spread = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AnalogWtaConfig c;
+    c.inputs = 32;
+    c.stage_rel_sigma = 0.03;
+    c.seed = seed;
+    const AnalogCcWta cc(c);
+    const AnalogBtWta bt(c);
+    // Probe with a uniform input: the corrupted winner current reveals
+    // the accumulated gain of the winning path.
+    const std::vector<double> uniform(32, 10e-6);
+    cc_spread += std::abs(cc.select(uniform).winning_current - 10e-6);
+    bt_spread += std::abs(bt.select(uniform).winning_current - 10e-6);
+  }
+  EXPECT_LT(cc_spread, bt_spread);
+}
+
+TEST(AnalogCcWta, RejectsDegenerateConfigs) {
+  AnalogWtaConfig c;
+  c.inputs = 1;
+  EXPECT_THROW(AnalogCcWta wta(c), InvalidArgument);
+  c.inputs = 4;
+  c.stage_rel_sigma = -1.0;
+  EXPECT_THROW(AnalogCcWta wta(c), InvalidArgument);
+}
+
+TEST(AnalogCcWta, InputCountMismatchThrows) {
+  AnalogWtaConfig c;
+  c.inputs = 8;
+  const AnalogCcWta wta(c);
+  EXPECT_THROW(wta.select(std::vector<double>(9, 1.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,71 @@
+#include "wta/ideal_wta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+namespace {
+
+TEST(IdealWta, PicksLargest) {
+  const auto r = ideal_wta({1e-6, 5e-6, 3e-6}, 5, 32e-6);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_TRUE(r.unique);
+}
+
+TEST(IdealWta, QuantisationCodes) {
+  // LSB = 32 uA / 32 = 1 uA.
+  const auto r = ideal_wta({0.5e-6, 1.5e-6, 31.9e-6}, 5, 32e-6);
+  EXPECT_EQ(r.codes[0], 0u);
+  EXPECT_EQ(r.codes[1], 1u);
+  EXPECT_EQ(r.codes[2], 31u);
+}
+
+TEST(IdealWta, SubLsbMarginTies) {
+  // Two currents within one LSB quantise to the same code.
+  const auto r = ideal_wta({10.2e-6, 10.7e-6}, 5, 32e-6);
+  EXPECT_EQ(r.codes[0], r.codes[1]);
+  EXPECT_FALSE(r.unique);
+}
+
+TEST(IdealWta, HigherResolutionSeparatesCloseInputs) {
+  const std::vector<double> currents{10.2e-6, 10.7e-6};
+  EXPECT_FALSE(ideal_wta(currents, 5, 32e-6).unique);
+  EXPECT_TRUE(ideal_wta(currents, 8, 32e-6).unique);
+}
+
+TEST(IdealWta, ClipsAboveFullScale) {
+  const auto r = ideal_wta({100e-6, 1e-6}, 5, 32e-6);
+  EXPECT_EQ(r.codes[0], 31u);
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(IdealWta, NegativeCurrentsClampToZero) {
+  const auto r = ideal_wta({-5e-6, 2e-6}, 5, 32e-6);
+  EXPECT_EQ(r.codes[0], 0u);
+  EXPECT_EQ(r.winner, 1u);
+}
+
+TEST(IdealWta, FirstIndexWinsOnTie) {
+  const auto r = ideal_wta({7e-6, 7e-6, 1e-6}, 5, 32e-6);
+  EXPECT_EQ(r.winner, 0u);
+  EXPECT_FALSE(r.unique);
+}
+
+TEST(IdealWta, WinnerCodeIsDom) {
+  const auto r = ideal_wta({3.2e-6, 17.4e-6}, 5, 32e-6);
+  EXPECT_EQ(r.winner_code, 17u);
+}
+
+TEST(IdealWta, RejectsBadArgs) {
+  EXPECT_THROW(ideal_wta({}, 5, 1e-6), InvalidArgument);
+  EXPECT_THROW(ideal_wta({1e-6}, 0, 1e-6), InvalidArgument);
+  EXPECT_THROW(ideal_wta({1e-6}, 5, 0.0), InvalidArgument);
+}
+
+TEST(ExactWinner, MatchesArgmax) {
+  EXPECT_EQ(exact_winner({0.1, 0.9, 0.5}), 1u);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,0 +1,172 @@
+#include "wta/spin_sar_wta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "wta/ideal_wta.hpp"
+
+namespace spinsim {
+namespace {
+
+SpinWtaConfig clean_config(std::size_t columns = 8, unsigned bits = 5) {
+  SpinWtaConfig c;
+  c.columns = columns;
+  c.bits = bits;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.sample_mismatch = false;  // exact components unless a test wants noise
+  c.thermal_noise = false;
+  return c;
+}
+
+TEST(SpinWtaConfig, FullScale) {
+  const SpinWtaConfig c = clean_config();
+  EXPECT_NEAR(c.full_scale_current(), 32 * units::uA, 1e-12);
+}
+
+TEST(SpinSarWta, FindsObviousWinner) {
+  SpinSarWta wta(clean_config(4));
+  const auto out = wta.run({5e-6, 20e-6, 9e-6, 1e-6});
+  EXPECT_EQ(out.winner, 1u);
+  EXPECT_TRUE(out.unique);
+}
+
+TEST(SpinSarWta, DomMatchesIdealQuantisation) {
+  const SpinWtaConfig c = clean_config(4);
+  SpinSarWta wta(c);
+  const std::vector<double> currents{5e-6, 20e-6, 9e-6, 1e-6};
+  const auto out = wta.run(currents);
+  const auto ref = ideal_wta(currents, c.bits, c.full_scale_current());
+  for (std::size_t j = 0; j < currents.size(); ++j) {
+    // The spin comparator only resolves differences above its threshold
+    // (one LSB) and needs ~0.15 LSB extra to finish switching within the
+    // cycle, so codes sit up to 2 LSB below the ideal quantisation.
+    const int diff = static_cast<int>(ref.codes[j]) - static_cast<int>(out.dom_codes[j]);
+    EXPECT_GE(diff, 0) << "column " << j;
+    EXPECT_LE(diff, 2) << "column " << j;
+  }
+}
+
+TEST(SpinSarWta, RunsExactlyMBitCycles) {
+  SpinSarWta wta(clean_config(4, 3));
+  const auto out = wta.run({5e-6, 2e-6, 3e-6, 1e-6});
+  EXPECT_EQ(out.cycles, 3u);
+  EXPECT_EQ(out.latch_decisions, 4u * 3u);
+}
+
+/// Property: with clean components, the WTA finds the argmax whenever the
+/// margin exceeds one LSB.
+class SpinWtaRandomCurrents : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpinWtaRandomCurrents, WinnerIsArgmaxWhenMarginAboveLsb) {
+  const SpinWtaConfig c = clean_config(16);
+  SpinSarWta wta(c);
+  Rng rng(GetParam());
+  const double lsb = c.full_scale_current() / 32.0;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> currents(16);
+    for (auto& i : currents) {
+      i = rng.uniform(0.0, 26e-6);
+    }
+    // Force a clear winner: boost a random column 3.5 LSB above the rest
+    // (the spin quantiser's dead zone spans ~2 LSB).
+    const auto boosted = static_cast<std::size_t>(rng.uniform_int(0, 15));
+    double best_other = 0.0;
+    for (std::size_t j = 0; j < currents.size(); ++j) {
+      if (j != boosted) {
+        best_other = std::max(best_other, currents[j]);
+      }
+    }
+    currents[boosted] = best_other + 3.5 * lsb;
+
+    const auto out = wta.run(currents);
+    EXPECT_EQ(out.winner, boosted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpinWtaRandomCurrents, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SpinSarWta, SubLsbMarginMayTie) {
+  const SpinWtaConfig c = clean_config(4);
+  SpinSarWta wta(c);
+  // Two inputs inside the same quantiser bucket (the spin comparator's
+  // decision levels sit at c * I_th + ~1.15 I_th).
+  const auto out = wta.run({20.35e-6, 20.45e-6, 1e-6, 2e-6});
+  EXPECT_EQ(out.dom_codes[0], out.dom_codes[1]);
+  EXPECT_FALSE(out.unique);
+}
+
+TEST(SpinSarWta, TrackingSurvivorsAllHoldMaxCode) {
+  const SpinWtaConfig c = clean_config(8);
+  SpinSarWta wta(c);
+  std::vector<double> currents{3e-6, 15.2e-6, 15.4e-6, 7e-6, 1e-6, 9e-6, 15.3e-6, 0.5e-6};
+  const auto out = wta.run(currents);
+  std::uint32_t best = 0;
+  for (auto code : out.dom_codes) {
+    best = std::max(best, code);
+  }
+  for (std::size_t j = 0; j < currents.size(); ++j) {
+    EXPECT_EQ(out.tracking[j], out.dom_codes[j] == best) << "column " << j;
+  }
+}
+
+TEST(SpinSarWta, AllZeroInputs) {
+  SpinSarWta wta(clean_config(4));
+  const auto out = wta.run({0.0, 0.0, 0.0, 0.0});
+  EXPECT_FALSE(out.unique);  // nobody above threshold
+  for (auto code : out.dom_codes) {
+    EXPECT_EQ(code, 0u);
+  }
+}
+
+TEST(SpinSarWta, ThermalNoiseKeepsClearWinners) {
+  SpinWtaConfig c = clean_config(8);
+  c.thermal_noise = true;  // Eb = 20 kT: flips are astronomically rare
+  SpinSarWta wta(c);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto out = wta.run({2e-6, 4e-6, 28e-6, 1e-6, 3e-6, 5e-6, 6e-6, 7e-6});
+    EXPECT_EQ(out.winner, 2u);
+  }
+}
+
+TEST(SpinSarWta, MismatchShiftsCodesSlightly) {
+  SpinWtaConfig noisy = clean_config(8);
+  noisy.sample_mismatch = true;
+  SpinSarWta wta_noisy(noisy);
+  SpinSarWta wta_clean(clean_config(8));
+  const std::vector<double> currents{2e-6, 4e-6, 18e-6, 1e-6, 3e-6, 5e-6, 6e-6, 7e-6};
+  const auto a = wta_noisy.run(currents);
+  const auto b = wta_clean.run(currents);
+  EXPECT_EQ(a.winner, b.winner);  // 12-LSB margin survives mismatch
+  for (std::size_t j = 0; j < currents.size(); ++j) {
+    const int diff = static_cast<int>(a.dom_codes[j]) - static_cast<int>(b.dom_codes[j]);
+    EXPECT_LE(std::abs(diff), 2);
+  }
+}
+
+TEST(SpinSarWta, ActivityCountersPlausible) {
+  SpinSarWta wta(clean_config(8));
+  const auto out = wta.run({2e-6, 4e-6, 28e-6, 1e-6, 3e-6, 5e-6, 6e-6, 7e-6});
+  EXPECT_EQ(out.latch_decisions, 8u * 5u);
+  EXPECT_GE(out.dl_discharges, 1u);
+  EXPECT_LE(out.dl_discharges, 4u);
+  EXPECT_GE(out.tr_writes, 1u);
+}
+
+TEST(SpinSarWta, InputCountMismatchThrows) {
+  SpinSarWta wta(clean_config(4));
+  EXPECT_THROW(wta.run({1e-6, 2e-6}), InvalidArgument);
+}
+
+TEST(SpinSarWta, LowerThresholdDeviceScalesFullScale) {
+  SpinWtaConfig c = clean_config(4);
+  c.dwn = DwnParams::from_barrier(10.0);  // I_th = 0.5 uA
+  EXPECT_NEAR(c.full_scale_current(), 16e-6, 1e-12);
+  SpinSarWta wta(c);
+  const auto out = wta.run({1e-6, 14e-6, 3e-6, 2e-6});
+  EXPECT_EQ(out.winner, 1u);
+}
+
+}  // namespace
+}  // namespace spinsim

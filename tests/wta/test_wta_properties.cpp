@@ -1,0 +1,130 @@
+/// Exhaustive/brute-force property checks on the spin SAR WTA: for small
+/// configurations we can enumerate the entire input space and compare
+/// against a reference model of the comparator's quantiser.
+
+#include <gtest/gtest.h>
+
+#include "wta/spin_sar_wta.hpp"
+
+namespace spinsim {
+namespace {
+
+SpinWtaConfig clean_config(std::size_t columns, unsigned bits) {
+  SpinWtaConfig c;
+  c.columns = columns;
+  c.bits = bits;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.sample_mismatch = false;
+  c.thermal_noise = false;
+  return c;
+}
+
+/// Reference quantiser of the clean spin PE: the DWN decision for code c
+/// is `current > c * I_th + deadzone`, with the dead zone set by the
+/// threshold plus the switching-delay budget of one cycle.
+std::uint32_t reference_code(double current, const SpinWtaConfig& c) {
+  const double ith = c.dwn.i_threshold;
+  const double deadzone = ith * (1.0 + c.dwn.t_switch_ref / c.cycle_time);
+  std::uint32_t code = 0;
+  for (int bit = static_cast<int>(c.bits) - 1; bit >= 0; --bit) {
+    const std::uint32_t trial = code | (1u << bit);
+    if (current - static_cast<double>(trial) * ith > deadzone) {
+      code = trial;
+    }
+  }
+  return code;
+}
+
+TEST(SpinWtaProperties, ExhaustiveThreeBitCodesMatchReference) {
+  // Every 3-bit input level on a 2-column bank, enumerated exhaustively.
+  const SpinWtaConfig c = clean_config(2, 3);
+  SpinSarWta wta(c);
+  const double ith = c.dwn.i_threshold;
+  for (int a = 0; a <= 8; ++a) {
+    for (int b = 0; b <= 8; ++b) {
+      const std::vector<double> currents = {(a + 0.5) * ith, (b + 0.5) * ith};
+      const auto out = wta.run(currents);
+      EXPECT_EQ(out.dom_codes[0], reference_code(currents[0], c))
+          << "a=" << a << " b=" << b;
+      EXPECT_EQ(out.dom_codes[1], reference_code(currents[1], c))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(SpinWtaProperties, ExhaustiveWinnerIsMaxCode) {
+  const SpinWtaConfig c = clean_config(3, 3);
+  SpinSarWta wta(c);
+  const double ith = c.dwn.i_threshold;
+  for (int a = 0; a <= 8; a += 2) {
+    for (int b = 0; b <= 8; b += 2) {
+      for (int d = 0; d <= 8; d += 2) {
+        const std::vector<double> currents = {(a + 0.4) * ith, (b + 0.4) * ith,
+                                              (d + 0.4) * ith};
+        const auto out = wta.run(currents);
+        std::uint32_t best = 0;
+        for (auto code : out.dom_codes) {
+          best = std::max(best, code);
+        }
+        EXPECT_EQ(out.dom_codes[out.winner], best);
+        // Every surviving tracker must hold the max code.
+        for (std::size_t j = 0; j < 3; ++j) {
+          EXPECT_EQ(out.tracking[j], out.dom_codes[j] == best);
+        }
+      }
+    }
+  }
+}
+
+/// Monotonicity: raising one column's current never lowers its code.
+TEST(SpinWtaProperties, CodesMonotoneInCurrent) {
+  const SpinWtaConfig c = clean_config(2, 5);
+  SpinSarWta wta(c);
+  std::uint32_t last = 0;
+  for (double i = 0.0; i <= 33e-6; i += 0.37e-6) {
+    const auto out = wta.run({i, 5e-6});
+    EXPECT_GE(out.dom_codes[0], last) << "at I = " << i;
+    last = out.dom_codes[0];
+  }
+}
+
+/// Permutation equivariance: shuffling the columns shuffles the winner.
+TEST(SpinWtaProperties, PermutationEquivariant) {
+  const SpinWtaConfig c = clean_config(4, 5);
+  SpinSarWta wta(c);
+  const std::vector<double> base = {3e-6, 27e-6, 9e-6, 14e-6};
+  const auto ref = wta.run(base);
+  const std::vector<std::size_t> perm = {2, 0, 3, 1};
+  std::vector<double> shuffled(4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    shuffled[perm[j]] = base[j];
+  }
+  const auto out = wta.run(shuffled);
+  EXPECT_EQ(out.winner, perm[ref.winner]);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.dom_codes[perm[j]], ref.dom_codes[j]);
+  }
+}
+
+/// Scale families: a bank built from a barrier-scaled device quantises
+/// with an LSB proportional to its threshold.
+class SpinWtaBarrierSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpinWtaBarrierSweep, LsbTracksThreshold) {
+  const double barrier = GetParam();
+  SpinWtaConfig c = clean_config(2, 4);
+  c.dwn = DwnParams::from_barrier(barrier);
+  SpinSarWta wta(c);
+  const double ith = c.dwn.i_threshold;
+  // An input of k * I_th (plus a hair) must land near code k - 1.
+  for (std::uint32_t k = 3; k <= 12; k += 3) {
+    const auto out = wta.run({(k + 0.5) * ith, 0.0});
+    EXPECT_NEAR(static_cast<double>(out.dom_codes[0]), static_cast<double>(k) - 1.0, 1.01)
+        << "k=" << k << " barrier=" << barrier;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Barriers, SpinWtaBarrierSweep, ::testing::Values(10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace spinsim
