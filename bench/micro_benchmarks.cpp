@@ -1,9 +1,18 @@
 /// Library microbenchmarks (google-benchmark): throughput of the hot
 /// paths behind the experiment harnesses — crossbar evaluation (ideal and
-/// parasitic), the LLG integrator, SAR conversion, and a full end-to-end
-/// recognition.
+/// parasitic, across all three parasitic solvers), the LLG integrator,
+/// SAR conversion, and a full end-to-end recognition.
+///
+/// `--json [path]` switches to a self-timed recognition comparison that
+/// writes queries/sec for the CG, factored and transfer-operator paths
+/// (plus batched amortized throughput) to BENCH_recognition.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "amm/spin_amm.hpp"
 #include "crossbar/rcm.hpp"
@@ -39,20 +48,29 @@ void BM_CrossbarIdeal128x40(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarIdeal128x40);
 
-void BM_CrossbarParasitic128x40(benchmark::State& state) {
+void BM_CrossbarParasitic(benchmark::State& state, CrossbarSolver solver, std::size_t rows,
+                          std::size_t cols) {
   RcmConfig config;
+  config.rows = rows;
+  config.cols = cols;
   RcmArray rcm(config, Rng(3));
   rcm.program(random_columns(config.rows, config.cols, 4));
+  rcm.set_parasitic_solver(solver);
   std::vector<double> inputs(config.rows, 5e-6);
   Rng jitter(5);
   for (auto _ : state) {
-    // Slightly perturb the drive so the warm start works but the solve
-    // is not a no-op.
+    // Slightly perturb the drive so the CG warm start works but the
+    // solve is not a no-op (exact paths are insensitive either way).
     inputs[0] = jitter.uniform(4e-6, 6e-6);
     benchmark::DoNotOptimize(rcm.column_currents_parasitic(inputs));
   }
 }
-BENCHMARK(BM_CrossbarParasitic128x40);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Cg128x40, CrossbarSolver::kCg, 128, 40);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Factored128x40, CrossbarSolver::kFactored, 128, 40);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Transfer128x40, CrossbarSolver::kTransfer, 128, 40);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Cg64x20, CrossbarSolver::kCg, 64, 20);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Factored64x20, CrossbarSolver::kFactored, 64, 20);
+BENCHMARK_CAPTURE(BM_CrossbarParasitic, Transfer64x20, CrossbarSolver::kTransfer, 64, 20);
 
 void BM_LlgStep(benchmark::State& state) {
   DwmStripe stripe(DwmParams::paper_device());
@@ -124,6 +142,150 @@ void BM_FaceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_FaceGeneration);
 
+void BM_RecognizeBatch64(benchmark::State& state) {
+  static const FaceDataset* dataset = new FaceDataset(8, 8, [] {
+    FaceGeneratorConfig c;
+    c.image_height = 64;
+    c.image_width = 48;
+    return c;
+  }());
+  SpinAmmConfig config;
+  config.features.height = 8;
+  config.features.width = 6;
+  config.templates = 8;
+  config.dwn = DwnParams::from_barrier(20.0);
+  config.model = CrossbarModel::kParasitic;
+  SpinAmm amm(config);
+  amm.store_templates(build_templates(*dataset, config.features));
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : dataset->all()) {
+    inputs.push_back(extract_features(sample.image, config.features));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amm.recognize_batch(inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RecognizeBatch64);
+
+// ---------------------------------------------------------------------------
+// --json mode: the recognition-path comparison the README/ROADMAP quote.
+// Self-timed (no google-benchmark) so the output format is ours.
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PathTiming {
+  double queries_per_sec = 0.0;
+  double ns_per_query = 0.0;
+};
+
+/// Times `queries` evaluations of column_currents_parasitic with the given
+/// solver on a fresh identically-programmed crossbar.
+PathTiming time_path(CrossbarSolver solver, std::size_t rows, std::size_t cols,
+                     std::size_t queries, bool include_setup) {
+  RcmConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  RcmArray rcm(config, Rng(1));
+  rcm.program(random_columns(rows, cols, 2));
+  rcm.set_parasitic_solver(solver);
+
+  std::vector<std::vector<double>> inputs(queries, std::vector<double>(rows));
+  Rng rng(3);
+  for (auto& in : inputs) {
+    for (auto& v : in) {
+      v = rng.uniform(0.0, 10e-6);
+    }
+  }
+
+  if (!include_setup) {
+    (void)rcm.column_currents_parasitic(inputs[0]);  // build caches / warm start
+  }
+  double sink = 0.0;
+  const auto start = Clock::now();
+  for (const auto& in : inputs) {
+    sink += rcm.column_currents_parasitic(in)[0];
+  }
+  const double elapsed = seconds_since(start);
+  if (sink == 12345.0) {
+    std::printf("#");  // defeat dead-code elimination
+  }
+  PathTiming t;
+  t.queries_per_sec = static_cast<double>(queries) / elapsed;
+  t.ns_per_query = 1e9 * elapsed / static_cast<double>(queries);
+  return t;
+}
+
+int run_json_benchmark(const std::string& path) {
+  const std::size_t rows = 64;
+  const std::size_t cols = 20;
+
+  // The seed path: CG per query, cold cache counted against it only once
+  // (warm-started across queries, as in the seed).
+  const PathTiming cg = time_path(CrossbarSolver::kCg, rows, cols, 200, false);
+  const PathTiming factored = time_path(CrossbarSolver::kFactored, rows, cols, 2000, false);
+  const PathTiming transfer = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, false);
+  // Amortized: one cold start (factorization + operator build) spread
+  // over a batch of queries, the steady-traffic figure of merit.
+  const PathTiming batch = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, true);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"recognition_paths\",\n");
+  std::fprintf(f, "  \"crossbar\": {\"rows\": %zu, \"cols\": %zu},\n", rows, cols);
+  std::fprintf(f, "  \"paths\": {\n");
+  const auto emit = [&](const char* name, const PathTiming& t, const char* sep) {
+    std::fprintf(f, "    \"%s\": {\"queries_per_sec\": %.1f, \"ns_per_query\": %.1f}%s\n", name,
+                 t.queries_per_sec, t.ns_per_query, sep);
+  };
+  emit("cg", cg, ",");
+  emit("factored", factored, ",");
+  emit("transfer", transfer, ",");
+  emit("batch_amortized", batch, "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_vs_cg\": {\n");
+  std::fprintf(f, "    \"factored\": %.2f,\n", factored.queries_per_sec / cg.queries_per_sec);
+  std::fprintf(f, "    \"transfer\": %.2f,\n", transfer.queries_per_sec / cg.queries_per_sec);
+  std::fprintf(f, "    \"batch_amortized\": %.2f\n", batch.queries_per_sec / cg.queries_per_sec);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("wrote %s\n", path.c_str());
+  std::printf("  cg:              %12.1f queries/s\n", cg.queries_per_sec);
+  std::printf("  factored:        %12.1f queries/s (%.1fx)\n", factored.queries_per_sec,
+              factored.queries_per_sec / cg.queries_per_sec);
+  std::printf("  transfer:        %12.1f queries/s (%.1fx)\n", transfer.queries_per_sec,
+              transfer.queries_per_sec / cg.queries_per_sec);
+  std::printf("  batch amortized: %12.1f queries/s (%.1fx)\n", batch.queries_per_sec,
+              batch.queries_per_sec / cg.queries_per_sec);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const std::string path =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : "BENCH_recognition.json";
+      return run_json_benchmark(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

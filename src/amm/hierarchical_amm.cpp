@@ -120,6 +120,59 @@ HierarchicalRecognition HierarchicalAmm::recognize(const FeatureVector& input) {
   return out;
 }
 
+std::vector<HierarchicalRecognition> HierarchicalAmm::recognize_batch(
+    const std::vector<FeatureVector>& inputs, std::size_t threads) {
+  require(router_ != nullptr, "HierarchicalAmm: store_templates() before recognition");
+
+  std::vector<HierarchicalRecognition> results(inputs.size());
+  if (inputs.empty()) {
+    return results;
+  }
+
+  // Stage 1: route every input in one router batch.
+  const std::vector<RecognitionResult> routed = router_->recognize_batch(inputs, threads);
+
+  // Stage 2: group queries per cluster, preserving input order within
+  // each group (leaf noise/mismatch draws then match the sequential
+  // schedule), and fan each group out as one leaf batch.
+  std::vector<std::vector<std::size_t>> by_cluster(config_.clusters);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    results[i].cluster = routed[i].winner;
+    results[i].router_dom = routed[i].dom;
+    by_cluster[routed[i].winner].push_back(i);
+  }
+
+  for (std::size_t c = 0; c < config_.clusters; ++c) {
+    if (by_cluster[c].empty()) {
+      continue;
+    }
+    const auto& member_list = members_[c];
+    SPINSIM_ASSERT(!member_list.empty(), "HierarchicalAmm: routed to an empty cluster");
+    if (member_list.size() == 1 || leaves_[c] == nullptr) {
+      for (const std::size_t i : by_cluster[c]) {
+        results[i].winner = member_list.front();
+        results[i].leaf_dom = results[i].router_dom;
+        results[i].unique = true;
+      }
+      continue;
+    }
+    std::vector<FeatureVector> leaf_inputs;
+    leaf_inputs.reserve(by_cluster[c].size());
+    for (const std::size_t i : by_cluster[c]) {
+      leaf_inputs.push_back(inputs[i]);
+    }
+    const std::vector<RecognitionResult> leaf_results =
+        leaves_[c]->recognize_batch(leaf_inputs, threads);
+    for (std::size_t k = 0; k < by_cluster[c].size(); ++k) {
+      const std::size_t i = by_cluster[c][k];
+      results[i].winner = member_list[leaf_results[k].winner];
+      results[i].leaf_dom = leaf_results[k].dom;
+      results[i].unique = leaf_results[k].unique;
+    }
+  }
+  return results;
+}
+
 const std::vector<std::size_t>& HierarchicalAmm::leaf_members(std::size_t cluster) const {
   require(cluster < members_.size(), "HierarchicalAmm::leaf_members: out of range");
   return members_[cluster];

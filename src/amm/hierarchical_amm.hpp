@@ -60,6 +60,15 @@ class HierarchicalAmm {
   /// Routed recognition.
   HierarchicalRecognition recognize(const FeatureVector& input);
 
+  /// Batched routed recognition: results[i] corresponds to inputs[i] and
+  /// matches per-query recognize() winner-for-winner. All inputs are
+  /// routed through the router's batch API first, then grouped by cluster
+  /// so each leaf answers its queries in one batch — which lets every
+  /// module amortize its crossbar setup once per batch instead of once
+  /// per query.
+  std::vector<HierarchicalRecognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                       std::size_t threads = 0);
+
   /// Number of leaf modules actually built (== clusters).
   std::size_t leaf_count() const { return leaves_.size(); }
 

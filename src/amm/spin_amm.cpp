@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "core/error.hpp"
 
@@ -29,6 +30,7 @@ SpinAmm::SpinAmm(const SpinAmmConfig& config) : config_(config), rng_(config.see
   rcm_config.memristor = config.memristor;
   rcm_config.dummy_column = config.dummy_column;
   rcm_ = std::make_unique<RcmArray>(rcm_config, rng_.fork());
+  rcm_->set_parasitic_solver(config.parasitic_solver);
 
   DtcsDacDesign dac_design;
   dac_design.bits = config.features.bits;
@@ -102,11 +104,7 @@ void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) 
   }
 }
 
-std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
-  require(templates_stored_, "SpinAmm: store_templates() before recognition");
-  require(input.dimension() == config_.features.dimension(),
-          "SpinAmm::column_currents: input dimension mismatch");
-
+std::vector<double> SpinAmm::input_row_currents(const FeatureVector& input) const {
   // Per-row DTCS DACs: the realised current depends on the row's total
   // conductance (series division, Fig. 8b).
   std::vector<double> input_currents(input.dimension(), 0.0);
@@ -114,16 +112,30 @@ std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
     input_currents[row] =
         input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
   }
+  return input_currents;
+}
 
+std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
+  require(templates_stored_, "SpinAmm: store_templates() before recognition");
+  require(input.dimension() == config_.features.dimension(),
+          "SpinAmm::column_currents: input dimension mismatch");
+
+  const std::vector<double> input_currents = input_row_currents(input);
   if (config_.model == CrossbarModel::kIdeal) {
     return rcm_->column_currents_ideal(input_currents);
   }
   return rcm_->column_currents_parasitic(input_currents, /*v_bias=*/0.0);
 }
 
-RecognitionResult SpinAmm::recognize(const FeatureVector& input) {
-  RecognitionResult out;
-  out.column_currents = column_currents(input);
+std::vector<double> SpinAmm::front_end_const(const FeatureVector& input) const {
+  const std::vector<double> input_currents = input_row_currents(input);
+  if (config_.model == CrossbarModel::kIdeal) {
+    return rcm_->column_currents_ideal(input_currents);
+  }
+  return rcm_->column_currents_transfer(input_currents, /*v_bias=*/0.0);
+}
+
+void SpinAmm::finish_recognition(RecognitionResult& out) {
   out.wta = wta_->run(out.column_currents);
   out.winner = out.wta.winner;
   out.unique = out.wta.unique;
@@ -136,7 +148,73 @@ RecognitionResult SpinAmm::recognize(const FeatureVector& input) {
     std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
     out.margin = (sorted[0] - sorted[1]) / config_.full_scale_current();
   }
+}
+
+RecognitionResult SpinAmm::recognize(const FeatureVector& input) {
+  RecognitionResult out;
+  out.column_currents = column_currents(input);
+  finish_recognition(out);
   return out;
+}
+
+std::vector<RecognitionResult> SpinAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                        std::size_t threads) {
+  require(templates_stored_, "SpinAmm: store_templates() before recognition");
+  for (const auto& input : inputs) {
+    require(input.dimension() == config_.features.dimension(),
+            "SpinAmm::recognize_batch: input dimension mismatch");
+  }
+
+  std::vector<RecognitionResult> results(inputs.size());
+  if (inputs.empty()) {
+    return results;
+  }
+
+  // The front end is shareable when evaluating a query never mutates the
+  // crossbar: the ideal closed form is const, and the transfer operator
+  // is const once prepared. CG/factored solves mutate solver state, so
+  // they stay on the calling thread.
+  const bool parasitic = config_.model == CrossbarModel::kParasitic;
+  bool shareable = !parasitic;
+  if (parasitic && config_.parasitic_solver == CrossbarSolver::kTransfer) {
+    rcm_->prepare_parasitic(/*v_bias=*/0.0);
+    shareable = true;
+  }
+  if (shareable) {
+    // Warm the lazy row-conductance cache before the workers fan out.
+    (void)rcm_->row_conductance(0);
+  }
+
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, inputs.size());
+
+  if (shareable && threads > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = t; i < inputs.size(); i += threads) {
+          results[i].column_currents = front_end_const(inputs[i]);
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  } else {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      results[i].column_currents = column_currents(inputs[i]);
+    }
+  }
+
+  // WTA in input order: the noise/mismatch draw sequence matches a loop
+  // of per-query recognize() calls exactly.
+  for (auto& result : results) {
+    finish_recognition(result);
+  }
+  return results;
 }
 
 const RcmArray& SpinAmm::crossbar() const {

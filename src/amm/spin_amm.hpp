@@ -41,6 +41,9 @@ struct SpinAmmConfig {
   double delta_v = 30e-3;        ///< crossbar bias dV [V]
   double clock = 100e6;          ///< conversion clock [Hz]
   CrossbarModel model = CrossbarModel::kIdeal;
+  /// Algorithm behind kParasitic (kTransfer amortizes one factorization
+  /// across all queries; kCg is the iterative reference path).
+  CrossbarSolver parasitic_solver = CrossbarSolver::kTransfer;
   bool thermal_noise = false;
   bool sample_mismatch = true;
   bool dummy_column = true;  ///< per-row G_TS equalisation (Section 4A)
@@ -86,6 +89,16 @@ class SpinAmm {
   /// Full recognition: front end + spin WTA.
   RecognitionResult recognize(const FeatureVector& input);
 
+  /// Batched recognition: results[i] corresponds to inputs[i], and is
+  /// winner-for-winner identical to calling recognize() on each input in
+  /// order. The analog front end is dispatched across `threads` worker
+  /// threads when the crossbar path is safely shareable (ideal model, or
+  /// parasitic with the transfer-operator solver); the stateful WTA stage
+  /// always runs serially in input order so noise/mismatch draws match
+  /// the sequential schedule. threads == 0 picks hardware concurrency.
+  std::vector<RecognitionResult> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                 std::size_t threads = 0);
+
   /// The programmed crossbar (inspection / experiments).
   const RcmArray& crossbar() const;
 
@@ -101,6 +114,9 @@ class SpinAmm {
 
  private:
   void calibrate_input_gain(const std::vector<FeatureVector>& templates);
+  std::vector<double> input_row_currents(const FeatureVector& input) const;
+  std::vector<double> front_end_const(const FeatureVector& input) const;
+  void finish_recognition(RecognitionResult& result);
 
   SpinAmmConfig config_;
   Rng rng_;

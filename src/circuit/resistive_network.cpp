@@ -8,6 +8,7 @@ RNode ResistiveNetwork::add_node() {
   fixed_voltage_.emplace_back(std::nullopt);
   injections_.push_back(0.0);
   structure_dirty_ = true;
+  solved_ = false;
   return fixed_voltage_.size() - 1;
 }
 
@@ -17,6 +18,7 @@ RNode ResistiveNetwork::add_nodes(std::size_t count) {
   fixed_voltage_.resize(fixed_voltage_.size() + count, std::nullopt);
   injections_.resize(injections_.size() + count, 0.0);
   structure_dirty_ = true;
+  solved_ = false;
   return first;
 }
 
@@ -24,6 +26,7 @@ void ResistiveNetwork::fix_voltage(RNode n, double volts) {
   require(n < node_count(), "ResistiveNetwork::fix_voltage: unknown node");
   fixed_voltage_[n] = volts;
   structure_dirty_ = true;
+  solved_ = false;
 }
 
 bool ResistiveNetwork::is_fixed(RNode n) const {
@@ -37,6 +40,7 @@ void ResistiveNetwork::add_conductance(RNode a, RNode b, double g) {
   require(g > 0.0, "ResistiveNetwork::add_conductance: conductance must be positive");
   elements_.push_back({a, b, g});
   structure_dirty_ = true;
+  solved_ = false;
 }
 
 void ResistiveNetwork::inject_current(RNode n, double amps) {
@@ -95,15 +99,30 @@ void ResistiveNetwork::build_system() {
 
   reduced_a_ = builder.compress();
   warm_start_.assign(n_unknown, 0.0);
-  structure_dirty_ = false;
-}
 
-const std::vector<double>& ResistiveNetwork::solve(const CgOptions& options) {
-  if (structure_dirty_) {
-    build_system();
+  // Per-node incident-element index (counting sort over endpoints).
+  node_elem_ptr_.assign(n + 1, 0);
+  for (const auto& e : elements_) {
+    ++node_elem_ptr_[e.a + 1];
+    ++node_elem_ptr_[e.b + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    node_elem_ptr_[i + 1] += node_elem_ptr_[i];
+  }
+  node_elem_idx_.assign(node_elem_ptr_[n], 0);
+  {
+    std::vector<std::size_t> fill = node_elem_ptr_;
+    for (std::size_t k = 0; k < elements_.size(); ++k) {
+      node_elem_idx_[fill[elements_[k].a]++] = k;
+      node_elem_idx_[fill[elements_[k].b]++] = k;
+    }
   }
 
-  const std::size_t n_unknown = reduced_a_.rows();
+  structure_dirty_ = false;
+  factor_dirty_ = true;
+}
+
+std::vector<double> ResistiveNetwork::assemble_rhs() const {
   std::vector<double> rhs = dirichlet_rhs_;
   for (std::size_t i = 0; i < node_count(); ++i) {
     const std::ptrdiff_t ri = reduced_index_[i];
@@ -111,7 +130,31 @@ const std::vector<double>& ResistiveNetwork::solve(const CgOptions& options) {
       rhs[static_cast<std::size_t>(ri)] += injections_[i];
     }
   }
+  return rhs;
+}
 
+void ResistiveNetwork::scatter_solution(const std::vector<double>& reduced) {
+  solution_.assign(node_count(), 0.0);
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    const std::ptrdiff_t ri = reduced_index_[i];
+    solution_[i] = (ri >= 0) ? reduced[static_cast<std::size_t>(ri)] : *fixed_voltage_[i];
+  }
+  solved_ = true;
+}
+
+const std::vector<double>& ResistiveNetwork::solve(const CgOptions& options) {
+  if (strategy_ == SolverStrategy::kFactored) {
+    return solve_factored();
+  }
+  return solve_cg(options);
+}
+
+const std::vector<double>& ResistiveNetwork::solve_cg(const CgOptions& options) {
+  if (structure_dirty_) {
+    build_system();
+  }
+
+  std::vector<double> rhs = assemble_rhs();
   CgResult result =
       conjugate_gradient(reduced_a_, rhs, options, warm_start_.empty() ? nullptr : &warm_start_);
   if (!result.converged) {
@@ -120,16 +163,56 @@ const std::vector<double>& ResistiveNetwork::solve(const CgOptions& options) {
   }
   warm_start_ = result.x;
 
-  solution_.assign(node_count(), 0.0);
-  for (std::size_t i = 0; i < node_count(); ++i) {
-    const std::ptrdiff_t ri = reduced_index_[i];
-    solution_[i] = (ri >= 0) ? result.x[static_cast<std::size_t>(ri)] : *fixed_voltage_[i];
-  }
+  scatter_solution(result.x);
   last_result_ = std::move(result);
   last_result_.x.clear();  // full solution lives in solution_
-  (void)n_unknown;
-  solved_ = true;
   return solution_;
+}
+
+void ResistiveNetwork::factorize() {
+  if (structure_dirty_) {
+    build_system();
+  }
+  if (!factor_dirty_) {
+    return;
+  }
+  ldlt_.factorize(reduced_a_);
+  factor_dirty_ = false;
+}
+
+const std::vector<double>& ResistiveNetwork::solve_factored() {
+  factorize();
+  const std::vector<double> rhs = assemble_rhs();
+  std::vector<double> x;
+  ldlt_.solve_into(rhs, x);
+
+  scatter_solution(x);
+  last_result_ = CgResult{};
+  last_result_.converged = true;
+  last_result_.iterations = 0;
+  return solution_;
+}
+
+std::vector<double> ResistiveNetwork::influence(RNode observe) {
+  require(observe < node_count(), "ResistiveNetwork::influence: unknown node");
+  factorize();
+  std::vector<double> out(node_count(), 0.0);
+  const std::ptrdiff_t ro = reduced_index_[observe];
+  if (ro < 0) {
+    return out;  // pinned node: voltage is insensitive to any injection
+  }
+  std::vector<double> e(reduced_a_.rows(), 0.0);
+  e[static_cast<std::size_t>(ro)] = 1.0;
+  std::vector<double> w;
+  ldlt_.solve_into(e, w);
+  // A is symmetric, so (A^-1 e_obs)[n] = dv(observe)/dI(n).
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    const std::ptrdiff_t ri = reduced_index_[i];
+    if (ri >= 0) {
+      out[i] = w[static_cast<std::size_t>(ri)];
+    }
+  }
+  return out;
 }
 
 double ResistiveNetwork::voltage(RNode n) const {
@@ -149,15 +232,13 @@ double ResistiveNetwork::pin_current(RNode n) const {
   require(solved_, "ResistiveNetwork::pin_current: call solve() first");
   require(n < node_count(), "ResistiveNetwork::pin_current: unknown node");
   require(fixed_voltage_[n].has_value(), "ResistiveNetwork::pin_current: node is not pinned");
-  // Sum of currents leaving the pinned node through its conductances,
-  // minus any injection, equals the source current.
+  // Sum of currents leaving the pinned node through its incident
+  // conductances, minus any injection, equals the source current.
   double out = 0.0;
-  for (const auto& e : elements_) {
-    if (e.a == n) {
-      out += (solution_[e.a] - solution_[e.b]) * e.g;
-    } else if (e.b == n) {
-      out += (solution_[e.b] - solution_[e.a]) * e.g;
-    }
+  for (std::size_t p = node_elem_ptr_[n]; p < node_elem_ptr_[n + 1]; ++p) {
+    const auto& e = elements_[node_elem_idx_[p]];
+    const RNode other = (e.a == n) ? e.b : e.a;
+    out += (solution_[n] - solution_[other]) * e.g;
   }
   return out - injections_[n];
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/cg.hpp"
+#include "core/cholesky.hpp"
 #include "core/sparse.hpp"
 
 namespace spinsim {
@@ -22,6 +23,12 @@ namespace spinsim {
 /// A node in a ResistiveNetwork (dense index space, no ground node; use a
 /// fixed node at 0 V instead).
 using RNode = std::size_t;
+
+/// How solve() computes node voltages.
+enum class SolverStrategy {
+  kCg,        ///< Jacobi-preconditioned CG (reference iterative path)
+  kFactored,  ///< sparse LDL^T factored once, two triangular solves per call
+};
 
 /// Large resistive network with known-voltage (Dirichlet) nodes.
 class ResistiveNetwork {
@@ -52,10 +59,36 @@ class ResistiveNetwork {
   /// Clears all current injections (conductances and pins stay).
   void clear_injections();
 
-  /// Solves for all node voltages. Results are cached; re-solving after
-  /// only injection changes reuses the factorised structure and the last
-  /// solution as the CG warm start.
+  /// Selects the algorithm solve() dispatches to. Switching strategy
+  /// never changes the answer beyond solver tolerance; kFactored pays a
+  /// one-time factorization, then each solve is two triangular solves.
+  void set_solver(SolverStrategy strategy) { strategy_ = strategy; }
+  SolverStrategy solver() const { return strategy_; }
+
+  /// Solves for all node voltages using the selected strategy. Results
+  /// are cached; re-solving after only injection changes reuses the
+  /// factorised structure (and, for CG, the last solution as warm start).
   const std::vector<double>& solve(const CgOptions& options = {});
+
+  /// Forces the CG path regardless of the selected strategy.
+  const std::vector<double>& solve_cg(const CgOptions& options = {});
+
+  /// Forces the direct path: factorizes lazily, then back-substitutes.
+  const std::vector<double>& solve_factored();
+
+  /// Eagerly computes the LDL^T factor of the reduced system (no-op if
+  /// already current). Called lazily by solve_factored().
+  void factorize();
+
+  /// Nonzeros in the cached LDL^T factor (0 before factorize()).
+  std::size_t factor_nnz() const { return ldlt_.factor_nnz(); }
+
+  /// Reciprocity vector of node `observe`: w[n] = d v(observe) / d I(n)
+  /// for every free node n (zero at pinned nodes; the whole vector is
+  /// zero if `observe` itself is pinned). One factored solve; this is
+  /// what lets a crossbar build its transfer operator with one solve per
+  /// *output* instead of one per input.
+  std::vector<double> influence(RNode observe);
 
   /// Voltage of node n after solve().
   double voltage(RNode n) const;
@@ -82,6 +115,8 @@ class ResistiveNetwork {
   };
 
   void build_system();
+  std::vector<double> assemble_rhs() const;
+  void scatter_solution(const std::vector<double>& reduced);
 
   std::vector<std::optional<double>> fixed_voltage_;
   std::vector<Element> elements_;
@@ -96,6 +131,16 @@ class ResistiveNetwork {
   std::vector<double> warm_start_;     // previous reduced solution
   CgResult last_result_;
   bool solved_ = false;
+
+  // Per-node incident-element index (CSR over nodes), built with the
+  // system so pin_current() stops scanning every element.
+  std::vector<std::size_t> node_elem_ptr_;
+  std::vector<std::size_t> node_elem_idx_;
+
+  // Direct-solver state.
+  SolverStrategy strategy_ = SolverStrategy::kCg;
+  SparseLdlt ldlt_;
+  bool factor_dirty_ = true;
 };
 
 }  // namespace spinsim

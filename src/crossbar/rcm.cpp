@@ -23,6 +23,7 @@ void RcmArray::program_column(std::size_t col, const std::vector<double>& weight
   for (std::size_t row = 0; row < config_.rows; ++row) {
     cells_[row * config_.cols + col].program_weight(weights[row], rng_);
   }
+  row_sums_dirty_ = true;
   invalidate_parasitic_cache();
 }
 
@@ -35,6 +36,22 @@ void RcmArray::program(const std::vector<std::vector<double>>& columns) {
   equalize_rows();
 }
 
+void RcmArray::ensure_row_sums() const {
+  if (!row_sums_dirty_) {
+    return;
+  }
+  row_sums_.assign(config_.rows, 0.0);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    double sum = 0.0;
+    const Memristor* row_cells = &cells_[row * config_.cols];
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      sum += row_cells[col].conductance();
+    }
+    row_sums_[row] = sum;
+  }
+  row_sums_dirty_ = false;
+}
+
 void RcmArray::equalize_rows() {
   if (!config_.dummy_column) {
     dummy_g_.assign(config_.rows, 0.0);
@@ -42,21 +59,15 @@ void RcmArray::equalize_rows() {
   }
   // Pad every row to the largest row sum (plus one LSB of conductance so
   // no dummy is exactly zero, which would make the pad unprogrammable).
+  // One pass over the cached row sums: find the target, then pad.
+  ensure_row_sums();
   double target = 0.0;
   for (std::size_t row = 0; row < config_.rows; ++row) {
-    double sum = 0.0;
-    for (std::size_t col = 0; col < config_.cols; ++col) {
-      sum += cells_[row * config_.cols + col].conductance();
-    }
-    target = std::max(target, sum);
+    target = std::max(target, row_sums_[row]);
   }
   target += config_.memristor.g_min();
   for (std::size_t row = 0; row < config_.rows; ++row) {
-    double sum = 0.0;
-    for (std::size_t col = 0; col < config_.cols; ++col) {
-      sum += cells_[row * config_.cols + col].conductance();
-    }
-    dummy_g_[row] = target - sum;
+    dummy_g_[row] = target - row_sums_[row];
     SPINSIM_ASSERT(dummy_g_[row] > 0.0, "RcmArray::equalize_rows: negative dummy conductance");
   }
   invalidate_parasitic_cache();
@@ -80,6 +91,7 @@ void RcmArray::inject_fault(std::size_t row, std::size_t col, StuckFault fault) 
   Memristor& cell = cells_[row * config_.cols + col];
   cell = Memristor(fault_spec);
   cell.program_ideal(fault == StuckFault::kOpen ? 0 : fault_spec.levels - 1);
+  row_sums_dirty_ = true;
   invalidate_parasitic_cache();
 }
 
@@ -90,11 +102,8 @@ double RcmArray::conductance(std::size_t row, std::size_t col) const {
 
 double RcmArray::row_conductance(std::size_t row) const {
   require(row < config_.rows, "RcmArray::row_conductance: out of range");
-  double sum = dummy_g_[row];
-  for (std::size_t col = 0; col < config_.cols; ++col) {
-    sum += cells_[row * config_.cols + col].conductance();
-  }
-  return sum;
+  ensure_row_sums();
+  return dummy_g_[row] + row_sums_[row];
 }
 
 std::vector<double> RcmArray::column_currents_ideal(
@@ -116,6 +125,7 @@ std::vector<double> RcmArray::column_currents_ideal(
 
 void RcmArray::build_parasitic_network(double v_bias) {
   net_ = std::make_unique<ResistiveNetwork>();
+  transfer_built_ = false;
   const std::size_t rows = config_.rows;
   const std::size_t cols = config_.cols;
   const double g_seg = 1.0 / config_.segment_resistance();
@@ -173,18 +183,43 @@ void RcmArray::build_parasitic_network(double v_bias) {
   net_v_bias_ = v_bias;
 }
 
-std::vector<double> RcmArray::column_currents_parasitic(
-    const std::vector<double>& input_currents, double v_bias) {
-  require(input_currents.size() == config_.rows,
-          "RcmArray::column_currents_parasitic: need one input current per row");
+void RcmArray::ensure_network(double v_bias) {
   if (!net_ || net_v_bias_ != v_bias) {
     build_parasitic_network(v_bias);
   }
-  for (std::size_t i = 0; i < config_.rows; ++i) {
-    net_->set_injection(row_input_nodes_[i], input_currents[i]);
-  }
-  net_->solve();
+}
 
+void RcmArray::ensure_transfer(double v_bias) {
+  ensure_network(v_bias);
+  if (transfer_built_) {
+    return;
+  }
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  const double g_seg = 1.0 / config_.segment_resistance();
+
+  // Baseline: column currents with no injections (exactly zero for a
+  // uniform bias, but computed so a future non-uniform clamp stays
+  // correct).
+  net_->clear_injections();
+  net_->solve_factored();
+  transfer_offset_ = extract_column_currents(v_bias);
+
+  // By reciprocity one factored solve per *output* column suffices:
+  // T[j][r] = g_seg * dv(col_last_j)/dI(row_input_r). cols solves instead
+  // of rows solves, and cols <= rows for every paper configuration.
+  transfer_.assign(cols * rows, 0.0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    const std::vector<double> w = net_->influence(col_last_nodes_[j]);
+    double* t_row = &transfer_[j * rows];
+    for (std::size_t r = 0; r < rows; ++r) {
+      t_row[r] = g_seg * w[row_input_nodes_[r]];
+    }
+  }
+  transfer_built_ = true;
+}
+
+std::vector<double> RcmArray::extract_column_currents(double v_bias) const {
   // The termination pin hangs off a single wire segment, so the column
   // current is just that segment's current.
   const double g_seg = 1.0 / config_.segment_resistance();
@@ -195,6 +230,58 @@ std::vector<double> RcmArray::column_currents_parasitic(
   return out;
 }
 
-void RcmArray::invalidate_parasitic_cache() { net_.reset(); }
+void RcmArray::prepare_parasitic(double v_bias) { ensure_transfer(v_bias); }
+
+bool RcmArray::transfer_ready(double v_bias) const {
+  return net_ != nullptr && transfer_built_ && net_v_bias_ == v_bias;
+}
+
+std::vector<double> RcmArray::column_currents_transfer(const std::vector<double>& input_currents,
+                                                       double v_bias) const {
+  require(input_currents.size() == config_.rows,
+          "RcmArray::column_currents_transfer: need one input current per row");
+  require(transfer_ready(v_bias),
+          "RcmArray::column_currents_transfer: call prepare_parasitic() first");
+  const std::size_t rows = config_.rows;
+  std::vector<double> out(config_.cols, 0.0);
+  for (std::size_t j = 0; j < config_.cols; ++j) {
+    const double* t_row = &transfer_[j * rows];
+    double acc = transfer_offset_[j];
+    for (std::size_t r = 0; r < rows; ++r) {
+      acc += t_row[r] * input_currents[r];
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> RcmArray::column_currents_parasitic(
+    const std::vector<double>& input_currents, double v_bias) {
+  require(input_currents.size() == config_.rows,
+          "RcmArray::column_currents_parasitic: need one input current per row");
+
+  if (solver_ == CrossbarSolver::kTransfer) {
+    ensure_transfer(v_bias);
+    return column_currents_transfer(input_currents, v_bias);
+  }
+
+  ensure_network(v_bias);
+  for (std::size_t i = 0; i < config_.rows; ++i) {
+    net_->set_injection(row_input_nodes_[i], input_currents[i]);
+  }
+  if (solver_ == CrossbarSolver::kFactored) {
+    net_->solve_factored();
+  } else {
+    net_->solve_cg();
+  }
+  return extract_column_currents(v_bias);
+}
+
+void RcmArray::invalidate_parasitic_cache() {
+  net_.reset();
+  transfer_built_ = false;
+  transfer_.clear();
+  transfer_offset_.clear();
+}
 
 }  // namespace spinsim

@@ -50,6 +50,13 @@ struct RcmConfig {
   double segment_resistance() const { return wire_res_per_um * cell_pitch_um; }
 };
 
+/// Which algorithm evaluates the parasitic network.
+enum class CrossbarSolver {
+  kCg,        ///< iterative CG per query (reference path)
+  kFactored,  ///< LDL^T factored once, two triangular solves per query
+  kTransfer,  ///< precomputed rows x cols transfer operator, dense matvec
+};
+
 /// One programmed crossbar.
 class RcmArray {
  public:
@@ -93,19 +100,47 @@ class RcmArray {
   /// currents [A]: I_j = sum_i I_in(i) g_ij / G_TS(i).
   std::vector<double> column_currents_ideal(const std::vector<double>& input_currents) const;
 
+  /// Selects the parasitic evaluation algorithm. All three paths agree to
+  /// solver tolerance; kTransfer (the default) amortizes one factorization
+  /// plus `cols` triangular solves across every subsequent query, which
+  /// then costs a dense rows x cols matvec.
+  void set_parasitic_solver(CrossbarSolver solver) { solver_ = solver; }
+  CrossbarSolver parasitic_solver() const { return solver_; }
+
   /// Full parasitic nodal solve. Input currents are injected at the left
   /// edge of each row bar; every column bar terminates at `v_bias` (the
   /// DWN clamp) at the bottom edge. Returns the current delivered into
-  /// each column termination [A]. cost: one sparse CG solve over
-  /// ~2*rows*cols nodes (warm-started across calls).
+  /// each column termination [A]. Cost depends on the selected solver:
+  /// one CG solve over ~2*rows*cols nodes (kCg, warm-started across
+  /// calls), two sparse triangular solves (kFactored), or a dense
+  /// rows x cols matvec (kTransfer).
   std::vector<double> column_currents_parasitic(const std::vector<double>& input_currents,
                                                 double v_bias = 0.0);
+
+  /// Builds (or reuses) the parasitic network, its factorization and the
+  /// transfer operator for `v_bias`, so subsequent kTransfer queries are
+  /// pure matvecs — and column_currents_transfer() becomes callable from
+  /// const contexts (e.g. thread-parallel batch dispatch).
+  void prepare_parasitic(double v_bias = 0.0);
+
+  /// True once prepare_parasitic(v_bias) has run (and nothing invalidated
+  /// the cache since).
+  bool transfer_ready(double v_bias = 0.0) const;
+
+  /// Applies the cached transfer operator: out = I0 + T * in. Requires
+  /// transfer_ready(v_bias); const and thread-safe.
+  std::vector<double> column_currents_transfer(const std::vector<double>& input_currents,
+                                               double v_bias = 0.0) const;
 
   /// Drops the cached parasitic network (after reprogramming).
   void invalidate_parasitic_cache();
 
  private:
   void build_parasitic_network(double v_bias);
+  void ensure_network(double v_bias);
+  void ensure_transfer(double v_bias);
+  void ensure_row_sums() const;
+  std::vector<double> extract_column_currents(double v_bias) const;
 
   RcmConfig config_;
   Rng rng_;
@@ -113,12 +148,24 @@ class RcmArray {
   std::vector<double> dummy_g_;        // per-row pad conductance
   bool programmed_ = false;
 
+  // Per-row sum of crosspoint conductances (dummy pad excluded), kept so
+  // row_conductance() and equalize_rows() stop rescanning the cell array.
+  mutable std::vector<double> row_sums_;
+  mutable bool row_sums_dirty_ = true;
+
   // Cached parasitic network (topology fixed after programming).
+  CrossbarSolver solver_ = CrossbarSolver::kTransfer;
   std::unique_ptr<ResistiveNetwork> net_;
   double net_v_bias_ = 0.0;
   std::vector<RNode> row_input_nodes_;
   std::vector<RNode> col_term_nodes_;
   std::vector<RNode> col_last_nodes_;
+
+  // Transfer operator: column currents = transfer_offset_ + T * inputs,
+  // with T stored column-major per output (transfer_[j * rows + r]).
+  bool transfer_built_ = false;
+  std::vector<double> transfer_;
+  std::vector<double> transfer_offset_;
 };
 
 }  // namespace spinsim

@@ -149,6 +149,176 @@ TEST_P(ResistiveVsMna, VoltagesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ResistiveVsMna, ::testing::Values(3, 10, 40, 120));
 
+/// Builds a random grounded resistor network with injections; returns the
+/// free node ids (same construction as ResistiveVsMna, without the MNA).
+ResistiveNetwork random_grounded_network(std::size_t n, std::uint64_t seed,
+                                         std::vector<RNode>* nodes_out) {
+  Rng rng(seed);
+  ResistiveNetwork net;
+  std::vector<RNode> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(net.add_node());
+  }
+  const RNode gnd = net.add_node();
+  net.fix_voltage(gnd, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.add_conductance(nodes[i], nodes[i + 1], 1.0 / rng.uniform(100.0, 10e3));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    if (i != j) {
+      net.add_conductance(nodes[i], nodes[j], 1.0 / rng.uniform(100.0, 10e3));
+    }
+  }
+  for (std::size_t i = 0; i < n; i += 3) {
+    net.add_conductance(nodes[i], gnd, 1.0 / rng.uniform(1e3, 50e3));
+  }
+  for (std::size_t i = 0; i < n; i += 2) {
+    net.inject_current(nodes[i], rng.uniform(-1e-3, 1e-3));
+  }
+  if (nodes_out != nullptr) {
+    *nodes_out = nodes;
+  }
+  return net;
+}
+
+/// Property: the direct LDL^T path agrees with tight-tolerance CG on
+/// random grounded networks.
+class FactoredVsCg : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FactoredVsCg, VoltagesAgree) {
+  const std::size_t n = GetParam();
+  std::vector<RNode> nodes;
+  ResistiveNetwork net = random_grounded_network(n, 900 + n, &nodes);
+
+  CgOptions tight;
+  tight.tolerance = 1e-13;
+  net.solve_cg(tight);
+  std::vector<double> v_cg(n);
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v_cg[i] = net.voltage(nodes[i]);
+    scale = std::max(scale, std::abs(v_cg[i]));
+  }
+
+  net.solve_factored();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(net.voltage(nodes[i]), v_cg[i], 1e-9 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactoredVsCg, ::testing::Values(3, 10, 40, 120, 400));
+
+TEST(ResistiveNetwork, SolverStrategyDispatch) {
+  std::vector<RNode> nodes;
+  ResistiveNetwork net = random_grounded_network(50, 42, &nodes);
+  net.solve();  // default CG
+  std::vector<double> v_cg(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    v_cg[i] = net.voltage(nodes[i]);
+  }
+  net.set_solver(SolverStrategy::kFactored);
+  EXPECT_EQ(net.solver(), SolverStrategy::kFactored);
+  net.solve();
+  EXPECT_GT(net.factor_nnz(), 0u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NEAR(net.voltage(nodes[i]), v_cg[i], 1e-9);
+  }
+}
+
+TEST(ResistiveNetwork, FactoredSolveTracksInjectionChanges) {
+  ResistiveNetwork net;
+  const RNode n = net.add_node();
+  const RNode gnd = net.add_node();
+  net.fix_voltage(gnd, 0.0);
+  net.add_conductance(n, gnd, 1e-3);
+  net.set_injection(n, 1e-3);
+  net.solve_factored();
+  EXPECT_NEAR(net.voltage(n), 1.0, 1e-12);
+  net.set_injection(n, 3e-3);
+  net.solve_factored();
+  EXPECT_NEAR(net.voltage(n), 3.0, 1e-12);
+}
+
+TEST(ResistiveNetwork, FactoredSolveTracksStructureChanges) {
+  ResistiveNetwork net;
+  const RNode n = net.add_node();
+  const RNode gnd = net.add_node();
+  net.fix_voltage(gnd, 0.0);
+  net.add_conductance(n, gnd, 1e-3);
+  net.inject_current(n, 1e-3);
+  net.solve_factored();
+  EXPECT_NEAR(net.voltage(n), 1.0, 1e-12);
+  net.add_conductance(n, gnd, 1e-3);  // refactorizes on the next solve
+  net.solve_factored();
+  EXPECT_NEAR(net.voltage(n), 0.5, 1e-12);
+}
+
+TEST(ResistiveNetwork, InfluenceMatchesFiniteDifference) {
+  // dv(observe)/dI(n) from influence() must equal the voltage change per
+  // unit injected current measured by two solves.
+  std::vector<RNode> nodes;
+  ResistiveNetwork net = random_grounded_network(30, 77, &nodes);
+  const RNode observe = nodes[7];
+  const RNode poke = nodes[19];
+  const std::vector<double> w = net.influence(observe);
+
+  net.solve_factored();
+  const double v0 = net.voltage(observe);
+  const double delta = 1e-6;
+  net.inject_current(poke, delta);
+  net.solve_factored();
+  const double v1 = net.voltage(observe);
+  EXPECT_NEAR(w[poke], (v1 - v0) / delta, 1e-6 * std::abs(w[poke]) + 1e-15);
+}
+
+TEST(ResistiveNetwork, InfluenceOfPinnedNodeIsZero) {
+  ResistiveNetwork net;
+  const RNode n = net.add_node();
+  const RNode gnd = net.add_node();
+  net.fix_voltage(gnd, 0.0);
+  net.add_conductance(n, gnd, 1e-3);
+  const std::vector<double> w = net.influence(gnd);
+  EXPECT_EQ(w[n], 0.0);
+  EXPECT_EQ(w[gnd], 0.0);
+}
+
+TEST(ResistiveNetwork, StructureChangeInvalidatesSolution) {
+  // Querying voltages/currents after a mutation must force a re-solve
+  // (the stale per-node element index would otherwise be read out of
+  // bounds for a node added after the last solve).
+  ResistiveNetwork net;
+  const RNode n = net.add_node();
+  const RNode gnd = net.add_node();
+  net.fix_voltage(gnd, 0.0);
+  net.add_conductance(n, gnd, 1e-3);
+  net.solve();
+  const RNode late = net.add_node();
+  net.fix_voltage(late, 1.0);
+  EXPECT_THROW(net.pin_current(late), InvalidArgument);
+  EXPECT_THROW(net.voltage(late), InvalidArgument);
+  net.add_conductance(late, n, 1e-3);
+  net.solve();
+  EXPECT_NO_THROW(net.pin_current(late));
+}
+
+TEST(ResistiveNetwork, PinCurrentWithManyPins) {
+  // Two pins share the delivered current; the incident-element index must
+  // attribute each branch to the right pin.
+  ResistiveNetwork net;
+  const RNode mid = net.add_node();
+  const RNode hi = net.add_node();
+  const RNode lo = net.add_node();
+  net.fix_voltage(hi, 1.0);
+  net.fix_voltage(lo, 0.0);
+  net.add_conductance(hi, mid, 1e-3);
+  net.add_conductance(mid, lo, 1e-3);
+  net.solve();
+  EXPECT_NEAR(net.pin_current(hi), 0.5e-3, 1e-12);
+  EXPECT_NEAR(net.pin_current(lo), -0.5e-3, 1e-12);
+}
+
 TEST(ResistiveNetwork, LargeGridSolves) {
   // 50x50 resistor grid, edges pinned: a smoke test of CG at scale.
   ResistiveNetwork net;

@@ -3,21 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "core/random.hpp"
+#include "support/random_weights.hpp"
 
 namespace spinsim {
 namespace {
 
-std::vector<std::vector<double>> random_columns(std::size_t rows, std::size_t cols,
-                                                std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<double>> w(cols, std::vector<double>(rows));
-  for (auto& col : w) {
-    for (auto& v : col) {
-      v = rng.uniform(0.0, 1.0);
-    }
-  }
-  return w;
-}
+using testing::random_columns;
 
 PartitionedRcmConfig clean_config(std::size_t rows = 32, std::size_t cols = 4,
                                   std::size_t blocks = 4) {

@@ -1,0 +1,27 @@
+/// \file random_weights.hpp
+/// Shared generator for random crossbar weight matrices in tests.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace spinsim::testing {
+
+/// `cols` columns of `rows` uniform weights in [0, 1); columns[j] is the
+/// weight vector programmed into crossbar column j.
+inline std::vector<std::vector<double>> random_columns(std::size_t rows, std::size_t cols,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(cols, std::vector<double>(rows));
+  for (auto& col : w) {
+    for (auto& v : col) {
+      v = rng.uniform(0.0, 1.0);
+    }
+  }
+  return w;
+}
+
+}  // namespace spinsim::testing
