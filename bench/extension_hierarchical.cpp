@@ -62,9 +62,9 @@ int main() {
       for (std::size_t person = 0; person < 40; ++person) {
         const std::size_t global = pop * 40 + person;
         const FeatureVector f = extract_features(datasets[pop].image(person, 0), spec);
-        const HierarchicalRecognition r = amm.recognize(f);
+        const Recognition r = amm.recognize(f);
         correct += r.winner == global ? 1 : 0;
-        const auto& members = amm.leaf_members(r.cluster);
+        const auto& members = amm.leaf_members(r.hierarchical()->cluster);
         routed_ok +=
             std::find(members.begin(), members.end(), global) != members.end() ? 1 : 0;
         ++total;

@@ -5,19 +5,24 @@
 ///
 /// `--json [path]` switches to a self-timed recognition comparison that
 /// writes queries/sec for the CG, factored and transfer-operator paths
-/// (plus batched amortized throughput) to BENCH_recognition.json.
+/// (plus batched amortized throughput) to BENCH_recognition.json, and
+/// appends service-level rows: full-recognition queries/sec through a
+/// single engine's recognize_batch vs a sharded RecognitionService, at
+/// several batch sizes and thread counts.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "amm/spin_amm.hpp"
 #include "crossbar/rcm.hpp"
 #include "datapath/sar.hpp"
 #include "device/llg.hpp"
+#include "service/recognition_service.hpp"
 #include "vision/dataset.hpp"
 #include "wta/spin_sar_wta.hpp"
 
@@ -221,6 +226,120 @@ PathTiming time_path(CrossbarSolver solver, std::size_t rows, std::size_t cols,
   return t;
 }
 
+// --------------------------------------------------------------------------
+// Service-level rows: full recognitions (front end + WTA) per second,
+// direct single-module recognize_batch vs a sharded RecognitionService,
+// on a 64x20 spin AMM (the same crossbar shape as the solver rows).
+// --------------------------------------------------------------------------
+
+struct ServiceRow {
+  const char* mode;  // "direct" or "sharded"
+  std::size_t threads = 1;
+  std::size_t shards = 1;
+  std::size_t batch = 1;
+  double queries_per_sec = 0.0;
+};
+
+SpinAmmConfig service_bench_config(std::size_t templates) {
+  SpinAmmConfig c;
+  c.features.height = 8;
+  c.features.width = 8;  // 64 rows
+  c.templates = templates;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.model = CrossbarModel::kParasitic;
+  c.parasitic_solver = CrossbarSolver::kTransfer;
+  c.seed = 5;
+  return c;
+}
+
+std::vector<FeatureVector> service_bench_probes(const FaceDataset& dataset,
+                                                const FeatureSpec& spec, std::size_t count) {
+  std::vector<FeatureVector> probes;
+  probes.reserve(count);
+  std::size_t i = 0;
+  while (probes.size() < count) {
+    const auto& sample = dataset.all()[i++ % dataset.size()];
+    probes.push_back(extract_features(sample.image, spec));
+  }
+  return probes;
+}
+
+std::vector<ServiceRow> run_service_benchmark() {
+  const std::size_t templates = 160;
+  static const FaceDataset* dataset = new FaceDataset(templates, 4, [] {
+    FaceGeneratorConfig c;
+    c.image_height = 64;
+    c.image_width = 64;
+    return c;
+  }());
+  const SpinAmmConfig flat_config = service_bench_config(templates);
+  const auto stored = build_templates(*dataset, flat_config.features);
+
+  SpinAmm flat(flat_config);
+  flat.store_templates(stored);
+  // Shards reuse the flat engine's realised sizing so DOM codes merge
+  // correctly (the service's score-comparability contract).
+  const double full_scale = flat.input_full_scale();
+  const double row_target = flat.crossbar().row_conductance(0);
+
+  const std::size_t total_queries = 4096;
+  std::vector<ServiceRow> out;
+  for (const std::size_t batch : {std::size_t{16}, std::size_t{64}, std::size_t{256}}) {
+    const auto probes = service_bench_probes(*dataset, flat_config.features, batch);
+
+    // Direct: one flat module's recognize_batch, at one and at several
+    // worker threads (thread fan-out only pays off on multi-core hosts).
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      (void)flat.recognize_batch(probes, threads);  // warm caches
+      const auto start = Clock::now();
+      std::size_t done = 0;
+      while (done < total_queries) {
+        (void)flat.recognize_batch(probes, threads);
+        done += probes.size();
+      }
+      ServiceRow row;
+      row.mode = "direct";
+      row.threads = threads;
+      row.batch = batch;
+      row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
+      out.push_back(row);
+    }
+
+    // Sharded: a RecognitionService with single-threaded shard workers
+    // (one thread of engine work per shard).
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      RecognitionServiceConfig config;
+      config.shards = shards;
+      config.max_batch = batch;
+      config.admission_window = std::chrono::microseconds(0);
+      config.engine_threads = 1;
+      RecognitionService service(
+          config, [&](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+            SpinAmmConfig c = service_bench_config(columns);
+            c.input_full_scale_override = full_scale;
+            c.row_target_conductance = row_target;
+            return std::make_unique<SpinAmm>(c);
+          });
+      service.store_templates(stored);
+      service.submit_batch(probes).get();  // warm caches
+      const auto start = Clock::now();
+      std::size_t done = 0;
+      while (done < total_queries) {
+        service.submit_batch(probes).get();
+        done += probes.size();
+      }
+      ServiceRow row;
+      row.mode = "sharded";
+      row.threads = shards;
+      row.shards = shards;
+      row.batch = batch;
+      row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
 int run_json_benchmark(const std::string& path) {
   const std::size_t rows = 64;
   const std::size_t cols = 20;
@@ -256,6 +375,25 @@ int run_json_benchmark(const std::string& path) {
   std::fprintf(f, "    \"factored\": %.2f,\n", factored.queries_per_sec / cg.queries_per_sec);
   std::fprintf(f, "    \"transfer\": %.2f,\n", transfer.queries_per_sec / cg.queries_per_sec);
   std::fprintf(f, "    \"batch_amortized\": %.2f\n", batch.queries_per_sec / cg.queries_per_sec);
+  std::fprintf(f, "  },\n");
+
+  // Service-level rows: *full recognitions* (front end + WTA), not bare
+  // crossbar matvecs, so these sit far below the solver-path numbers.
+  std::printf("timing the service edge (full recognitions, direct vs sharded)...\n");
+  const std::vector<ServiceRow> service_rows = run_service_benchmark();
+  std::fprintf(f, "  \"service\": {\n");
+  std::fprintf(f, "    \"workload\": {\"backend\": \"spin\", \"rows\": 64, \"templates\": 160, "
+                  "\"crossbar\": \"parasitic-transfer\", \"unit\": \"full recognitions/s\"},\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < service_rows.size(); ++i) {
+    const ServiceRow& row = service_rows[i];
+    std::fprintf(f,
+                 "      {\"mode\": \"%s\", \"threads\": %zu, \"shards\": %zu, \"batch\": %zu, "
+                 "\"queries_per_sec\": %.1f}%s\n",
+                 row.mode, row.threads, row.shards, row.batch, row.queries_per_sec,
+                 i + 1 < service_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -268,6 +406,10 @@ int run_json_benchmark(const std::string& path) {
               transfer.queries_per_sec / cg.queries_per_sec);
   std::printf("  batch amortized: %12.1f queries/s (%.1fx)\n", batch.queries_per_sec,
               batch.queries_per_sec / cg.queries_per_sec);
+  for (const ServiceRow& row : service_rows) {
+    std::printf("  service %-7s t=%zu b=%-3zu: %12.1f full recognitions/s\n", row.mode,
+                row.threads, row.batch, row.queries_per_sec);
+  }
   return 0;
 }
 

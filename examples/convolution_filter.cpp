@@ -93,7 +93,7 @@ int main() {
     std::vector<std::size_t> row;
     for (std::size_t c0 = 0; c0 + spec.width <= face.width(); c0 += spec.width) {
       const FeatureVector patch = patch_features(face, r0, c0, spec);
-      const RecognitionResult result = amm.recognize(patch);
+      const Recognition result = amm.recognize(patch);
       ++votes[result.winner];
       row.push_back(result.winner);
     }

@@ -1,22 +1,30 @@
-/// Full-scale face-recognition demo: the paper's headline application.
+/// Full-scale face-recognition demo: the paper's headline application,
+/// driven entirely through the unified AssociativeEngine API plus the
+/// sharded RecognitionService front end.
 ///
 ///   $ ./face_recognition [--parasitic] [--thermal] [--sigma-vt <mV>]
+///             [--shards <n>]
 ///
 /// Runs the complete 40-individual / 400-image workload through the
-/// proposed spin-CMOS AMM and both baselines, reporting accuracy, margin
-/// statistics and the Table-1 style power/energy comparison.
+/// proposed spin-CMOS AMM and both baselines — one polymorphic loop, one
+/// shared accuracy harness — then serves the same workload through a
+/// sharded RecognitionService and reports service-level throughput.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "amm/digital_amm.hpp"
+#include "amm/engine.hpp"
 #include "amm/evaluation.hpp"
 #include "amm/mscmos_amm.hpp"
 #include "amm/spin_amm.hpp"
 #include "core/statistics.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
+#include "service/recognition_service.hpp"
 #include "vision/dataset.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +33,7 @@ int main(int argc, char** argv) {
   bool parasitic = false;
   bool thermal = false;
   double sigma_vt = 5e-3;
+  std::size_t shards = 4;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--parasitic") == 0) {
       parasitic = true;
@@ -32,6 +41,8 @@ int main(int argc, char** argv) {
       thermal = true;
     } else if (std::strcmp(argv[a], "--sigma-vt") == 0 && a + 1 < argc) {
       sigma_vt = std::stod(argv[++a]) * units::mV;
+    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      shards = std::stoul(argv[++a]);
     }
   }
 
@@ -40,71 +51,54 @@ int main(int argc, char** argv) {
   FeatureSpec features;  // 16x8, 5-bit
   const auto templates = build_templates(dataset, features);
 
-  // --- proposed design ---
+  // --- the three flat designs, through one polymorphic surface ---
   SpinAmmConfig spin_config;
   spin_config.templates = 40;
   spin_config.dwn = DwnParams::from_barrier(20.0);
   spin_config.model = parasitic ? CrossbarModel::kParasitic : CrossbarModel::kIdeal;
   spin_config.thermal_noise = thermal;
-  SpinAmm spin(spin_config);
-  spin.store_templates(templates);
 
-  std::printf("recognising all %zu images through the spin-CMOS AMM (%s crossbar)...\n",
-              dataset.size(), parasitic ? "parasitic" : "ideal");
-  RunningStats margins;
-  RunningStats doms;
-  std::size_t spin_correct = 0;
-  for (const auto& sample : dataset.all()) {
-    const FeatureVector f = extract_features(sample.image, features);
-    const RecognitionResult r = spin.recognize(f);
-    spin_correct += r.winner == sample.individual ? 1 : 0;
-    margins.add(r.margin);
-    doms.add(static_cast<double>(r.dom));
-  }
-
-  // --- baselines ---
   MsCmosAmmConfig ms_config;
   ms_config.templates = 40;
   ms_config.sigma_vt_min_size = sigma_vt;
-  MsCmosAmm mscmos(ms_config);
-  mscmos.store_templates(templates);
-  std::size_t ms_correct = 0;
-  for (const auto& sample : dataset.all()) {
-    const FeatureVector f = extract_features(sample.image, features);
-    ms_correct += mscmos.recognize(f).winner == sample.individual ? 1 : 0;
-  }
 
   DigitalAmmConfig dig_config;
   dig_config.templates = 40;
-  DigitalAmm digital(dig_config);
-  digital.store_templates(templates);
-  std::size_t dig_correct = 0;
-  for (const auto& sample : dataset.all()) {
-    const FeatureVector f = extract_features(sample.image, features);
-    dig_correct += digital.recognize(f).winner == sample.individual ? 1 : 0;
-  }
 
+  std::vector<std::unique_ptr<AssociativeEngine>> engines;
+  engines.push_back(std::make_unique<SpinAmm>(spin_config));
+  engines.push_back(std::make_unique<MsCmosAmm>(ms_config));
+  engines.push_back(std::make_unique<DigitalAmm>(dig_config));
+
+  std::printf("recognising all %zu images through every backend (batched)...\n", dataset.size());
   AsciiTable results("recognition accuracy (400 probes, templates from all 10 shots)");
   results.set_header({"design", "accuracy", "note"});
-  results.add_row({"spin-CMOS AMM (proposed)",
-                   AsciiTable::num(100.0 * spin_correct / dataset.size(), 4) + " %",
-                   std::string(parasitic ? "parasitic" : "ideal") + " crossbar, " +
-                       (thermal ? "thermal on" : "thermal off")});
-  results.add_row({"MS-CMOS BT-WTA baseline",
-                   AsciiTable::num(100.0 * ms_correct / dataset.size(), 4) + " %",
-                   "sigma_VT = " + AsciiTable::eng(sigma_vt, "V")});
-  results.add_row({"45nm digital CMOS",
-                   AsciiTable::num(100.0 * dig_correct / dataset.size(), 4) + " %",
-                   "bit-exact reference"});
+  const char* notes[] = {parasitic ? "parasitic crossbar" : "ideal crossbar",
+                         "mismatched analog tree", "bit-exact reference"};
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    engines[e]->store_templates(templates);
+    const AccuracyResult acc = evaluate_engine(dataset, features, *engines[e], /*batch_size=*/100);
+    results.add_row({engines[e]->name(), AsciiTable::num(100.0 * acc.accuracy(), 4) + " %",
+                     notes[e]});
+  }
   results.print();
 
+  // --- margin / DOM statistics of the proposed design ---
+  auto& spin = static_cast<SpinAmm&>(*engines[0]);
+  RunningStats margins;
+  RunningStats doms;
+  for (const auto& sample : dataset.all()) {
+    const Recognition r = spin.recognize(extract_features(sample.image, features));
+    margins.add(r.margin);
+    doms.add(static_cast<double>(r.dom));
+  }
   std::printf("\nspin AMM margin: mean %.2f %%, min %.2f %% of full scale; DOM mean %.1f\n",
               100.0 * margins.mean(), 100.0 * margins.min(), doms.mean());
 
   // --- the energy story ---
   const PowerReport spin_power = spin.power();
-  const auto ms_eval = mscmos.evaluation();
-  const auto dig_eval = digital.evaluation();
+  const auto ms_eval = static_cast<MsCmosAmm&>(*engines[1]).evaluation();
+  const auto dig_eval = static_cast<DigitalAmm&>(*engines[2]).evaluation();
   AsciiTable power("power / energy comparison (Table-1 style)");
   power.set_header({"design", "power", "op rate", "energy/op", "vs spin"});
   const double e_spin = spin_power.total() / spin_config.clock;
@@ -119,6 +113,37 @@ int main(int argc, char** argv) {
                  AsciiTable::eng(dig_eval.recognition_rate, "Hz"), AsciiTable::eng(e_dig, "J"),
                  AsciiTable::num(e_dig / e_spin, 3) + "x"});
   power.print();
+
+  // --- the service edge: the same workload, sharded ---
+  std::printf("\nserving the workload through a %zu-shard RecognitionService...\n", shards);
+  RecognitionServiceConfig service_config;
+  service_config.shards = shards;
+  service_config.max_batch = 100;
+  service_config.engine_threads = 2;
+  RecognitionService service(service_config,
+                             [&](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+                               DigitalAmmConfig c = dig_config;
+                               c.templates = columns;
+                               return std::make_unique<DigitalAmm>(c);
+                             });
+  service.store_templates(templates);
+
+  std::vector<FeatureVector> probes;
+  probes.reserve(dataset.size());
+  for (const auto& sample : dataset.all()) {
+    probes.push_back(extract_features(sample.image, features));
+  }
+  std::size_t service_correct = 0;
+  const std::vector<Recognition> served = service.submit_batch(probes).get();
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    service_correct += served[i].winner == dataset.all()[i].individual ? 1 : 0;
+  }
+  const RecognitionServiceStats stats = service.stats();
+  std::printf("  %zu/%zu correct | %.0f queries/s | %llu micro-batches (mean size %.1f) | "
+              "mean latency %.0f us\n",
+              service_correct, served.size(), stats.queries_per_sec,
+              static_cast<unsigned long long>(stats.batches), stats.mean_batch_size,
+              stats.mean_latency_us);
 
   std::printf("\nproposed-design breakdown:\n%s", spin_power.str().c_str());
   return 0;

@@ -55,10 +55,10 @@ int main(int argc, char** argv) {
     for (std::size_t person = 0; person < 40; person += 13) {
       const std::size_t global = pop * 40 + person;
       const FeatureVector probe = extract_features(datasets[pop].image(person, 5), spec);
-      const HierarchicalRecognition r = amm.recognize(probe);
+      const Recognition r = amm.recognize(probe);
       std::printf("  identity %3zu -> cluster %zu (DOM %2u) -> winner %3zu (DOM %2u)%s\n",
-                  global, r.cluster, r.router_dom, r.winner, r.leaf_dom,
-                  r.winner == global ? "" : "  <-- MISS");
+                  global, r.hierarchical()->cluster, r.hierarchical()->router_dom, r.winner,
+                  r.dom, r.winner == global ? "" : "  <-- MISS");
       correct += r.winner == global ? 1 : 0;
       ++total;
     }

@@ -1,6 +1,9 @@
 #include "amm/digital_amm.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 
 namespace spinsim {
 
@@ -20,29 +23,57 @@ void DigitalAmm::store_templates(const std::vector<FeatureVector>& templates) {
   }
 }
 
-DigitalRecognition DigitalAmm::recognize(const FeatureVector& input) const {
+Recognition DigitalAmm::recognize_one(const FeatureVector& input) const {
   require(!template_levels_.empty(), "DigitalAmm: store_templates() before recognition");
   require(input.dimension() == config_.features.dimension(),
           "DigitalAmm::recognize: input dimension mismatch");
 
-  DigitalRecognition out;
-  out.scores.reserve(template_levels_.size());
+  DigitalRecognitionDetail detail;
+  detail.scores.reserve(template_levels_.size());
   std::uint64_t best = 0;
+  std::size_t winner = 0;
+  std::size_t best_count = 0;
   for (std::size_t j = 0; j < template_levels_.size(); ++j) {
     std::uint64_t acc = 0;
     const auto& tmpl = template_levels_[j];
     for (std::size_t i = 0; i < tmpl.size(); ++i) {
       acc += static_cast<std::uint64_t>(input.digital[i]) * tmpl[i];
     }
-    out.scores.push_back(acc);
-    if (acc > best) {
+    detail.scores.push_back(acc);
+    if (acc > best || best_count == 0) {
       best = acc;
-      out.winner = j;
+      winner = j;
+      best_count = 1;
+    } else if (acc == best) {
+      ++best_count;
     }
   }
-  out.score = best;
+  detail.score = best;
+
+  Recognition out;
+  out.winner = winner;
+  out.unique = best_count == 1;
+  out.score = static_cast<double>(best);
+  out.detail = std::move(detail);
   return out;
 }
+
+Recognition DigitalAmm::recognize(const FeatureVector& input) { return recognize_one(input); }
+
+std::vector<Recognition> DigitalAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                     std::size_t threads) {
+  require(!template_levels_.empty(), "DigitalAmm: store_templates() before recognition");
+  for (const auto& input : inputs) {
+    require(input.dimension() == config_.features.dimension(),
+            "DigitalAmm::recognize_batch: input dimension mismatch");
+  }
+  std::vector<Recognition> results(inputs.size());
+  parallel_for_strided(inputs.size(), threads,
+                       [&](std::size_t i) { results[i] = recognize_one(inputs[i]); });
+  return results;
+}
+
+PowerReport DigitalAmm::power() const { return evaluation().power; }
 
 DigitalAsicEvaluation DigitalAmm::evaluation() const {
   DigitalAsicDesign design;

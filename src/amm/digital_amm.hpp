@@ -5,12 +5,16 @@
 /// template, followed by an argmax — functionally the reference the
 /// analog designs approximate. Energy/performance figures come from the
 /// digital_asic_power model (Table 1's last column).
+///
+/// Implements AssociativeEngine; because recognition is a pure function
+/// of the stored templates, recognize_batch() fans out embarrassingly.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "amm/engine.hpp"
 #include "energy/digital_asic.hpp"
 #include "vision/features.hpp"
 
@@ -23,29 +27,36 @@ struct DigitalAmmConfig {
   double clock = 100e6;  ///< datapath clock [Hz]
 };
 
-/// Result of a digital recognition.
-struct DigitalRecognition {
-  std::size_t winner = 0;
-  std::uint64_t score = 0;              ///< integer dot product of the winner
-  std::vector<std::uint64_t> scores;    ///< all integer dot products
-};
-
 /// The digital baseline AMM.
-class DigitalAmm {
+class DigitalAmm : public AssociativeEngine {
  public:
   explicit DigitalAmm(const DigitalAmmConfig& config);
 
   const DigitalAmmConfig& config() const { return config_; }
 
-  void store_templates(const std::vector<FeatureVector>& templates);
+  std::string name() const override { return "digital"; }
+  std::size_t template_count() const override { return config_.templates; }
 
-  /// Bit-exact recognition.
-  DigitalRecognition recognize(const FeatureVector& input) const;
+  void store_templates(const std::vector<FeatureVector>& templates) override;
+
+  /// Bit-exact recognition. The result's score is the winner's integer
+  /// dot product; the detail carries the exact per-template scores.
+  Recognition recognize(const FeatureVector& input) override;
+
+  /// Batched bit-exact recognition, dispatched across `threads` workers
+  /// (0 = hardware concurrency). Exactly equal to per-query recognize().
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t threads = 0) override;
+
+  /// Power of this design point (Table-1 style ASIC model).
+  PowerReport power() const override;
 
   /// Energy/performance evaluation of this design point.
   DigitalAsicEvaluation evaluation() const;
 
  private:
+  Recognition recognize_one(const FeatureVector& input) const;
+
   DigitalAmmConfig config_;
   std::vector<std::vector<std::uint32_t>> template_levels_;
 };

@@ -1,0 +1,9 @@
+#include "amm/engine.hpp"
+
+namespace spinsim {
+
+// Out-of-line key-function destructor: anchors the vtable in one
+// translation unit instead of every includer.
+AssociativeEngine::~AssociativeEngine() = default;
+
+}  // namespace spinsim

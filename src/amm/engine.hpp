@@ -1,0 +1,122 @@
+/// \file engine.hpp
+/// The unified associative-memory API.
+///
+/// The paper's pitch is one associative-memory *function* realised by
+/// interchangeable substrates: the spin-neuron RCM (SpinAmm), the
+/// MS-CMOS RCM baseline (MsCmosAmm), the digital ASIC baseline
+/// (DigitalAmm), and the hierarchically clustered extension
+/// (HierarchicalAmm). `AssociativeEngine` is that function as a C++
+/// interface: store a template set, recognise inputs one at a time or in
+/// batches, and report the design point's power. Every backend fills the
+/// same `Recognition` result; substrate-specific extras (column currents,
+/// integer score vectors, routing decisions) travel in a tagged detail
+/// variant so generic callers never pay for fields they do not use.
+///
+/// The service layer (src/service/) builds exclusively on this interface,
+/// which is what lets one `RecognitionService` shard a template set
+/// across replicas of *any* backend.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "energy/power_report.hpp"
+#include "vision/features.hpp"
+#include "wta/spin_sar_wta.hpp"
+
+namespace spinsim {
+
+/// Spin-CMOS extras: the analog front end's column currents and the full
+/// WTA outcome (all DOM codes, tracking state, activity counters).
+struct SpinRecognitionDetail {
+  std::vector<double> column_currents;
+  SpinWtaOutcome wta;
+};
+
+/// MS-CMOS extras: the (mismatch-corrupted) current the tree root saw.
+struct MsCmosRecognitionDetail {
+  double winning_current = 0.0;  ///< corrupted winner current at the root [A]
+};
+
+/// Digital extras: the bit-exact integer dot products.
+struct DigitalRecognitionDetail {
+  std::uint64_t score = 0;            ///< integer dot product of the winner
+  std::vector<std::uint64_t> scores;  ///< all integer dot products
+};
+
+/// Hierarchical extras: the routing decision.
+struct HierarchicalRecognitionDetail {
+  std::size_t cluster = 0;       ///< router decision (engine-local index)
+  std::uint32_t router_dom = 0;  ///< centroid degree of match
+};
+
+/// Backend-specific payload of one recognition.
+using RecognitionDetail =
+    std::variant<std::monostate, SpinRecognitionDetail, MsCmosRecognitionDetail,
+                 DigitalRecognitionDetail, HierarchicalRecognitionDetail>;
+
+/// The unified result of one recognition, produced by every backend.
+struct Recognition {
+  std::size_t winner = 0;  ///< stored-template index of the best match
+  bool unique = true;      ///< winner decided without a tie
+  /// Backend-native match score: the quantised DOM for the spin designs,
+  /// the integer dot product for the digital ASIC, the root current (as a
+  /// fraction of full scale) for the MS-CMOS tree. Scores are comparable
+  /// *across identically configured engines* — the contract the service's
+  /// shard merge relies on — not across different backends.
+  double score = 0.0;
+  std::uint32_t dom = 0;  ///< degree of match where the backend has one
+  double margin = 0.0;    ///< (best - runner-up) / full scale, analog stage
+  bool accepted = true;   ///< dom >= the engine's accept threshold
+  RecognitionDetail detail;
+
+  /// Typed accessors: non-null when the detail holds that backend's extras.
+  const SpinRecognitionDetail* spin() const { return std::get_if<SpinRecognitionDetail>(&detail); }
+  const MsCmosRecognitionDetail* mscmos() const {
+    return std::get_if<MsCmosRecognitionDetail>(&detail);
+  }
+  const DigitalRecognitionDetail* digital() const {
+    return std::get_if<DigitalRecognitionDetail>(&detail);
+  }
+  const HierarchicalRecognitionDetail* hierarchical() const {
+    return std::get_if<HierarchicalRecognitionDetail>(&detail);
+  }
+};
+
+/// One associative-memory module, whatever its substrate.
+///
+/// Lifecycle: construct -> store_templates() once -> recognise. Engines
+/// are NOT thread-safe; concurrent queries belong either to an engine's
+/// own recognize_batch() (which parallelises internally where the physics
+/// allows) or to a RecognitionService, which serialises access per shard.
+class AssociativeEngine {
+ public:
+  virtual ~AssociativeEngine();
+
+  /// Human-readable backend identifier ("spin", "mscmos", ...).
+  virtual std::string name() const = 0;
+
+  /// Stored patterns this engine was sized for.
+  virtual std::size_t template_count() const = 0;
+
+  /// Programs the stored templates. Must be called before recognition.
+  virtual void store_templates(const std::vector<FeatureVector>& templates) = 0;
+
+  /// Recognises one input.
+  virtual Recognition recognize(const FeatureVector& input) = 0;
+
+  /// Batched recognition: results[i] corresponds to inputs[i] and is
+  /// winner-for-winner identical to calling recognize() on each input in
+  /// order. `threads` == 0 picks hardware concurrency; backends fall back
+  /// to a serial schedule where shared state forbids fan-out.
+  virtual std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                   std::size_t threads = 0) = 0;
+
+  /// Analytic power of this design point.
+  virtual PowerReport power() const = 0;
+};
+
+}  // namespace spinsim

@@ -21,6 +21,35 @@ AccuracyResult evaluate_classifier(const FaceDataset& dataset, const FeatureSpec
   return out;
 }
 
+AccuracyResult evaluate_engine(const FaceDataset& dataset, const FeatureSpec& spec,
+                               AssociativeEngine& engine, std::size_t batch_size,
+                               std::size_t threads) {
+  const auto& samples = dataset.all();
+  std::vector<FeatureVector> inputs;
+  inputs.reserve(samples.size());
+  for (const auto& sample : samples) {
+    inputs.push_back(extract_features(sample.image, spec));
+  }
+  if (batch_size == 0) {
+    batch_size = inputs.size();
+  }
+
+  AccuracyResult out;
+  for (std::size_t start = 0; start < inputs.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, inputs.size() - start);
+    const std::vector<FeatureVector> chunk(inputs.begin() + static_cast<std::ptrdiff_t>(start),
+                                           inputs.begin() + static_cast<std::ptrdiff_t>(start + count));
+    const std::vector<Recognition> results = engine.recognize_batch(chunk, threads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].winner == samples[start + i].individual) {
+        ++out.correct;
+      }
+      ++out.total;
+    }
+  }
+  return out;
+}
+
 double detection_margin(const std::vector<double>& currents, double full_scale) {
   require(currents.size() >= 2, "detection_margin: need at least two currents");
   require(full_scale > 0.0, "detection_margin: full scale must be positive");

@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "amm/engine.hpp"
 #include "core/statistics.hpp"
 #include "vision/dataset.hpp"
 #include "vision/features.hpp"
@@ -29,6 +30,15 @@ struct AccuracyResult {
 /// individual (template index == individual index).
 AccuracyResult evaluate_classifier(const FaceDataset& dataset, const FeatureSpec& spec,
                                    const Classifier& classifier);
+
+/// Same protocol through the unified engine interface: every image goes
+/// through `engine.recognize_batch` in chunks of `batch_size` (0 = one
+/// batch over the whole dataset), with `threads` handed to the engine.
+/// Works for any backend, which is how the figure harnesses compare the
+/// four designs through one code path.
+AccuracyResult evaluate_engine(const FaceDataset& dataset, const FeatureSpec& spec,
+                               AssociativeEngine& engine, std::size_t batch_size = 0,
+                               std::size_t threads = 0);
 
 /// Detection margin of a current vector: (best - runner-up) / full_scale.
 double detection_margin(const std::vector<double>& currents, double full_scale);

@@ -43,6 +43,10 @@ SpinAmmConfig HierarchicalAmm::module_config(std::size_t columns, std::uint64_t 
   c.delta_v = config_.delta_v;
   c.clock = config_.clock;
   c.sample_mismatch = config_.sample_mismatch;
+  // The hierarchy applies the threshold to whichever DOM ends the active
+  // path (leaf, or router for singleton clusters), so the modules
+  // themselves judge every local match accepted; see recognize().
+  c.accept_threshold = 0;
   c.seed = config_.seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0x1234);
   return c;
 }
@@ -96,49 +100,56 @@ void HierarchicalAmm::store_templates(const std::vector<FeatureVector>& template
   }
 }
 
-HierarchicalRecognition HierarchicalAmm::recognize(const FeatureVector& input) {
-  require(router_ != nullptr, "HierarchicalAmm: store_templates() before recognition");
-
-  HierarchicalRecognition out;
-  const RecognitionResult routed = router_->recognize(input);
-  out.cluster = routed.winner;
-  out.router_dom = routed.dom;
-
-  const auto& member_list = members_[out.cluster];
-  SPINSIM_ASSERT(!member_list.empty(), "HierarchicalAmm: routed to an empty cluster");
-  if (member_list.size() == 1 || leaves_[out.cluster] == nullptr) {
-    out.winner = member_list.front();
-    out.leaf_dom = routed.dom;
-    out.unique = true;
-    return out;
-  }
-
-  const RecognitionResult leaf = leaves_[out.cluster]->recognize(input);
-  out.winner = member_list[leaf.winner];
-  out.leaf_dom = leaf.dom;
+Recognition HierarchicalAmm::finish(const Recognition& leaf, std::size_t cluster,
+                                    std::uint32_t router_dom, std::size_t global_winner) const {
+  Recognition out;
+  out.winner = global_winner;
   out.unique = leaf.unique;
+  out.dom = leaf.dom;
+  out.score = static_cast<double>(out.dom);
+  out.margin = leaf.margin;
+  out.accepted = out.dom >= config_.accept_threshold;
+  out.detail = HierarchicalRecognitionDetail{cluster, router_dom};
   return out;
 }
 
-std::vector<HierarchicalRecognition> HierarchicalAmm::recognize_batch(
-    const std::vector<FeatureVector>& inputs, std::size_t threads) {
+Recognition HierarchicalAmm::recognize(const FeatureVector& input) {
   require(router_ != nullptr, "HierarchicalAmm: store_templates() before recognition");
 
-  std::vector<HierarchicalRecognition> results(inputs.size());
+  const Recognition routed = router_->recognize(input);
+  const std::size_t cluster = routed.winner;
+
+  const auto& member_list = members_[cluster];
+  SPINSIM_ASSERT(!member_list.empty(), "HierarchicalAmm: routed to an empty cluster");
+  if (member_list.size() == 1 || leaves_[cluster] == nullptr) {
+    // Singleton cluster: the router DOM is the only degree of match the
+    // active path produced; the accept threshold applies to it.
+    Recognition single = routed;
+    single.unique = true;
+    return finish(single, cluster, routed.dom, member_list.front());
+  }
+
+  const Recognition leaf = leaves_[cluster]->recognize(input);
+  return finish(leaf, cluster, routed.dom, member_list[leaf.winner]);
+}
+
+std::vector<Recognition> HierarchicalAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                          std::size_t threads) {
+  require(router_ != nullptr, "HierarchicalAmm: store_templates() before recognition");
+
+  std::vector<Recognition> results(inputs.size());
   if (inputs.empty()) {
     return results;
   }
 
   // Stage 1: route every input in one router batch.
-  const std::vector<RecognitionResult> routed = router_->recognize_batch(inputs, threads);
+  const std::vector<Recognition> routed = router_->recognize_batch(inputs, threads);
 
   // Stage 2: group queries per cluster, preserving input order within
-  // each group (leaf noise/mismatch draws then match the sequential
-  // schedule), and fan each group out as one leaf batch.
+  // each group (leaf noise draws then match the sequential schedule),
+  // and fan each group out as one leaf batch.
   std::vector<std::vector<std::size_t>> by_cluster(config_.clusters);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    results[i].cluster = routed[i].winner;
-    results[i].router_dom = routed[i].dom;
     by_cluster[routed[i].winner].push_back(i);
   }
 
@@ -150,9 +161,9 @@ std::vector<HierarchicalRecognition> HierarchicalAmm::recognize_batch(
     SPINSIM_ASSERT(!member_list.empty(), "HierarchicalAmm: routed to an empty cluster");
     if (member_list.size() == 1 || leaves_[c] == nullptr) {
       for (const std::size_t i : by_cluster[c]) {
-        results[i].winner = member_list.front();
-        results[i].leaf_dom = results[i].router_dom;
-        results[i].unique = true;
+        Recognition single = routed[i];
+        single.unique = true;
+        results[i] = finish(single, c, routed[i].dom, member_list.front());
       }
       continue;
     }
@@ -161,13 +172,10 @@ std::vector<HierarchicalRecognition> HierarchicalAmm::recognize_batch(
     for (const std::size_t i : by_cluster[c]) {
       leaf_inputs.push_back(inputs[i]);
     }
-    const std::vector<RecognitionResult> leaf_results =
-        leaves_[c]->recognize_batch(leaf_inputs, threads);
+    const std::vector<Recognition> leaf_results = leaves_[c]->recognize_batch(leaf_inputs, threads);
     for (std::size_t k = 0; k < by_cluster[c].size(); ++k) {
       const std::size_t i = by_cluster[c][k];
-      results[i].winner = member_list[leaf_results[k].winner];
-      results[i].leaf_dom = leaf_results[k].dom;
-      results[i].unique = leaf_results[k].unique;
+      results[i] = finish(leaf_results[k], c, routed[i].dom, member_list[leaf_results[k].winner]);
     }
   }
   return results;

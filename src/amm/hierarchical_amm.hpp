@@ -11,13 +11,19 @@
 /// across N templates, each lookup activates a k-column router plus one
 /// ~N/k-column leaf. Power follows the active path, which is how the
 /// scheme scales the energy story to thousands of patterns.
+///
+/// Implements AssociativeEngine: the unified result's dom is the winning
+/// leaf's degree of match, and the routing decision travels in the
+/// HierarchicalRecognitionDetail.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "amm/engine.hpp"
 #include "amm/spin_amm.hpp"
 #include "core/kmeans.hpp"
 
@@ -33,32 +39,32 @@ struct HierarchicalAmmConfig {
   double delta_v = 30e-3;
   double clock = 100e6;
   bool sample_mismatch = true;
+  /// Leaf DOM below this rejects the match (same semantics as
+  /// SpinAmmConfig::accept_threshold; singleton clusters are judged on
+  /// the router DOM, the only degree of match their path produces).
+  std::uint32_t accept_threshold = 0;
   std::size_t kmeans_iterations = 50;
   std::uint64_t seed = 2013;
 };
 
-/// Result of a hierarchical recognition.
-struct HierarchicalRecognition {
-  std::size_t winner = 0;        ///< global template index
-  std::size_t cluster = 0;       ///< router decision
-  std::uint32_t router_dom = 0;  ///< centroid degree of match
-  std::uint32_t leaf_dom = 0;    ///< winning template's degree of match
-  bool unique = true;            ///< leaf winner uniqueness
-};
-
 /// Two-level AMM built from router + leaf SpinAmm modules.
-class HierarchicalAmm {
+class HierarchicalAmm : public AssociativeEngine {
  public:
   explicit HierarchicalAmm(const HierarchicalAmmConfig& config);
 
   const HierarchicalAmmConfig& config() const { return config_; }
 
+  std::string name() const override { return "hierarchical"; }
+  std::size_t template_count() const override { return total_templates_; }
+
   /// Clusters the templates and programs the router + leaves. Must be
   /// called before recognize().
-  void store_templates(const std::vector<FeatureVector>& templates);
+  void store_templates(const std::vector<FeatureVector>& templates) override;
 
-  /// Routed recognition.
-  HierarchicalRecognition recognize(const FeatureVector& input);
+  /// Routed recognition: winner is the *global* template index; dom is
+  /// the winning leaf's degree of match; the detail holds the routing
+  /// decision (cluster, router dom).
+  Recognition recognize(const FeatureVector& input) override;
 
   /// Batched routed recognition: results[i] corresponds to inputs[i] and
   /// matches per-query recognize() winner-for-winner. All inputs are
@@ -66,8 +72,8 @@ class HierarchicalAmm {
   /// so each leaf answers its queries in one batch — which lets every
   /// module amortize its crossbar setup once per batch instead of once
   /// per query.
-  std::vector<HierarchicalRecognition> recognize_batch(const std::vector<FeatureVector>& inputs,
-                                                       std::size_t threads = 0);
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t threads = 0) override;
 
   /// Number of leaf modules actually built (== clusters).
   std::size_t leaf_count() const { return leaves_.size(); }
@@ -75,14 +81,17 @@ class HierarchicalAmm {
   /// Global template indices stored in leaf `cluster`.
   const std::vector<std::size_t>& leaf_members(std::size_t cluster) const;
 
-  /// Power of the active path: router + the largest leaf (worst case).
+  /// Power of the active path (== power() of the unified interface).
   PowerReport active_path_power() const;
+  PowerReport power() const override { return active_path_power(); }
 
   /// Power a *flat* AMM holding all templates would burn, for comparison.
   PowerReport flat_equivalent_power() const;
 
  private:
   SpinAmmConfig module_config(std::size_t columns, std::uint64_t salt) const;
+  Recognition finish(const Recognition& leaf, std::size_t cluster, std::uint32_t router_dom,
+                     std::size_t global_winner) const;
 
   HierarchicalAmmConfig config_;
   std::unique_ptr<SpinAmm> router_;

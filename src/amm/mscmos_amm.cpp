@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "device/variation.hpp"
 
 namespace spinsim {
@@ -55,7 +56,7 @@ void MsCmosAmm::store_templates(const std::vector<FeatureVector>& templates) {
   templates_stored_ = true;
 }
 
-MsCmosRecognition MsCmosAmm::recognize(const FeatureVector& input) {
+Recognition MsCmosAmm::recognize_one(const FeatureVector& input) const {
   require(templates_stored_, "MsCmosAmm: store_templates() before recognition");
   require(input.dimension() == config_.features.dimension(),
           "MsCmosAmm::recognize: input dimension mismatch");
@@ -70,7 +71,7 @@ MsCmosRecognition MsCmosAmm::recognize(const FeatureVector& input) {
   }
   std::vector<double> columns = rcm_->column_currents_ideal(input_currents);
 
-  MsCmosRecognition out;
+  Recognition out;
   if (columns.size() >= 2) {
     std::vector<double> sorted = columns;
     std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
@@ -81,8 +82,31 @@ MsCmosRecognition MsCmosAmm::recognize(const FeatureVector& input) {
   for (std::size_t j = 0; j < columns.size(); ++j) {
     columns[j] *= input_mirror_gain_[j];
   }
-  out.winner = wta_->select(columns).winner;
+  const AnalogWtaResult selected = wta_->select(columns);
+  out.winner = selected.winner;
+  out.score = selected.winning_current / input_full_scale_;
+  out.detail = MsCmosRecognitionDetail{selected.winning_current};
   return out;
+}
+
+Recognition MsCmosAmm::recognize(const FeatureVector& input) { return recognize_one(input); }
+
+std::vector<Recognition> MsCmosAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                    std::size_t threads) {
+  require(templates_stored_, "MsCmosAmm: store_templates() before recognition");
+  for (const auto& input : inputs) {
+    require(input.dimension() == config_.features.dimension(),
+            "MsCmosAmm::recognize_batch: input dimension mismatch");
+  }
+  std::vector<Recognition> results(inputs.size());
+  if (inputs.empty()) {
+    return results;
+  }
+  // Warm the lazy row-conductance cache before the workers fan out.
+  (void)rcm_->row_conductance(0);
+  parallel_for_strided(inputs.size(), threads,
+                       [&](std::size_t i) { results[i] = recognize_one(inputs[i]); });
+  return results;
 }
 
 }  // namespace spinsim

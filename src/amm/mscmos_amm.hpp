@@ -7,6 +7,10 @@
 /// input mirror's sampled error and runs the mismatched tree of
 /// AnalogBtWta; the power/performance numbers come from the
 /// mscmos_wta_power sizing model.
+///
+/// Implements AssociativeEngine; all mismatch is sampled at construction
+/// (a static property of the die), so recognition is a const function of
+/// the programmed array and recognize_batch() fans out embarrassingly.
 
 #pragma once
 
@@ -14,8 +18,10 @@
 #include <memory>
 #include <vector>
 
-#include "amm/spin_amm.hpp"
+#include "amm/engine.hpp"
+#include "crossbar/rcm.hpp"
 #include "energy/mscmos_power.hpp"
+#include "vision/features.hpp"
 #include "wta/analog_wta.hpp"
 
 namespace spinsim {
@@ -31,29 +37,39 @@ struct MsCmosAmmConfig {
   std::uint64_t seed = 11;
 };
 
-/// Result of a baseline recognition.
-struct MsCmosRecognition {
-  std::size_t winner = 0;
-  double margin = 0.0;  ///< analog margin before the detection unit
-};
-
 /// The MS-CMOS baseline AMM.
-class MsCmosAmm {
+class MsCmosAmm : public AssociativeEngine {
  public:
   explicit MsCmosAmm(const MsCmosAmmConfig& config);
 
   const MsCmosAmmConfig& config() const { return config_; }
 
-  /// Programs the stored templates.
-  void store_templates(const std::vector<FeatureVector>& templates);
+  std::string name() const override { return "mscmos"; }
+  std::size_t template_count() const override { return config_.templates; }
 
-  /// Full recognition through the mismatched analog detection unit.
-  MsCmosRecognition recognize(const FeatureVector& input);
+  /// Programs the stored templates.
+  void store_templates(const std::vector<FeatureVector>& templates) override;
+
+  /// Full recognition through the mismatched analog detection unit. The
+  /// result's score is the (corrupted) root current as a fraction of the
+  /// input full scale; the design has no DOM readout (Section 2), so dom
+  /// stays 0 and accepted true.
+  Recognition recognize(const FeatureVector& input) override;
+
+  /// Batched recognition across `threads` workers (0 = hardware
+  /// concurrency). Exactly equal to per-query recognize().
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t threads = 0) override;
+
+  /// Power of this sized design point.
+  PowerReport power() const override { return evaluation_.power; }
 
   /// The sizing/power evaluation of this design point.
   const MsCmosEvaluation& evaluation() const { return evaluation_; }
 
  private:
+  Recognition recognize_one(const FeatureVector& input) const;
+
   MsCmosAmmConfig config_;
   Rng rng_;
   std::unique_ptr<RcmArray> rcm_;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 
 namespace spinsim {
 
@@ -29,6 +29,7 @@ SpinAmm::SpinAmm(const SpinAmmConfig& config) : config_(config), rng_(config.see
   rcm_config.cols = config.templates;
   rcm_config.memristor = config.memristor;
   rcm_config.dummy_column = config.dummy_column;
+  rcm_config.row_target_conductance = config.row_target_conductance;
   rcm_ = std::make_unique<RcmArray>(rcm_config, rng_.fork());
   rcm_->set_parasitic_solver(config.parasitic_solver);
 
@@ -36,6 +37,7 @@ SpinAmm::SpinAmm(const SpinAmmConfig& config) : config_(config), rng_(config.see
   dac_design.bits = config.features.bits;
   dac_design.full_scale_current = config.input_full_scale_current();
   dac_design.delta_v = config.delta_v;
+  input_full_scale_ = dac_design.full_scale_current;
 
   Rng dac_rng = rng_.fork();
   input_dacs_.reserve(rcm_config.rows);
@@ -72,7 +74,30 @@ void SpinAmm::store_templates(const std::vector<FeatureVector>& templates) {
   }
   rcm_->program(columns);
   templates_stored_ = true;
-  calibrate_input_gain(templates);
+  if (config_.input_full_scale_override > 0.0) {
+    // Shared sizing across shards of one logical template set: skip the
+    // per-array calibration so every shard quantises on the same scale.
+    rebuild_input_dacs(config_.input_full_scale_override);
+  } else {
+    calibrate_input_gain(templates);
+  }
+}
+
+void SpinAmm::rebuild_input_dacs(double full_scale) {
+  DtcsDacDesign dac_design;
+  dac_design.bits = config_.features.bits;
+  dac_design.full_scale_current = full_scale;
+  dac_design.delta_v = config_.delta_v;
+  input_full_scale_ = full_scale;
+  Rng dac_rng = rng_.fork();
+  input_dacs_.clear();
+  for (std::size_t row = 0; row < config_.features.dimension(); ++row) {
+    if (config_.sample_mismatch) {
+      input_dacs_.emplace_back(dac_design, dac_rng);
+    } else {
+      input_dacs_.emplace_back(dac_design);
+    }
+  }
 }
 
 void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) {
@@ -88,20 +113,7 @@ void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) 
     return;  // degenerate (all-zero templates); keep the analytic sizing
   }
   const double scale = 0.95 * config_.full_scale_current() / best;
-
-  DtcsDacDesign dac_design;
-  dac_design.bits = config_.features.bits;
-  dac_design.full_scale_current = config_.input_full_scale_current() * scale;
-  dac_design.delta_v = config_.delta_v;
-  Rng dac_rng = rng_.fork();
-  input_dacs_.clear();
-  for (std::size_t row = 0; row < config_.features.dimension(); ++row) {
-    if (config_.sample_mismatch) {
-      input_dacs_.emplace_back(dac_design, dac_rng);
-    } else {
-      input_dacs_.emplace_back(dac_design);
-    }
-  }
+  rebuild_input_dacs(config_.input_full_scale_current() * scale);
 }
 
 std::vector<double> SpinAmm::input_row_currents(const FeatureVector& input) const {
@@ -135,37 +147,39 @@ std::vector<double> SpinAmm::front_end_const(const FeatureVector& input) const {
   return rcm_->column_currents_transfer(input_currents, /*v_bias=*/0.0);
 }
 
-void SpinAmm::finish_recognition(RecognitionResult& out) {
-  out.wta = wta_->run(out.column_currents);
-  out.winner = out.wta.winner;
-  out.unique = out.wta.unique;
-  out.dom = out.wta.winner_dom;
+Recognition SpinAmm::assemble(std::vector<double>&& currents, SpinWtaOutcome&& wta) const {
+  Recognition out;
+  out.winner = wta.winner;
+  out.unique = wta.unique;
+  out.dom = wta.winner_dom;
+  out.score = static_cast<double>(out.dom);
   out.accepted = out.dom >= config_.accept_threshold;
 
   // Analog detection margin: best minus runner-up over full scale.
-  if (out.column_currents.size() >= 2) {
-    std::vector<double> sorted = out.column_currents;
+  if (currents.size() >= 2) {
+    std::vector<double> sorted = currents;
     std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
     out.margin = (sorted[0] - sorted[1]) / config_.full_scale_current();
   }
-}
-
-RecognitionResult SpinAmm::recognize(const FeatureVector& input) {
-  RecognitionResult out;
-  out.column_currents = column_currents(input);
-  finish_recognition(out);
+  out.detail = SpinRecognitionDetail{std::move(currents), std::move(wta)};
   return out;
 }
 
-std::vector<RecognitionResult> SpinAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
-                                                        std::size_t threads) {
+Recognition SpinAmm::recognize(const FeatureVector& input) {
+  std::vector<double> currents = column_currents(input);
+  SpinWtaOutcome wta = wta_->run(currents);
+  return assemble(std::move(currents), std::move(wta));
+}
+
+std::vector<Recognition> SpinAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                  std::size_t threads) {
   require(templates_stored_, "SpinAmm: store_templates() before recognition");
   for (const auto& input : inputs) {
     require(input.dimension() == config_.features.dimension(),
             "SpinAmm::recognize_batch: input dimension mismatch");
   }
 
-  std::vector<RecognitionResult> results(inputs.size());
+  std::vector<Recognition> results(inputs.size());
   if (inputs.empty()) {
     return results;
   }
@@ -185,34 +199,24 @@ std::vector<RecognitionResult> SpinAmm::recognize_batch(const std::vector<Featur
     (void)rcm_->row_conductance(0);
   }
 
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, inputs.size());
+  threads = resolve_threads(threads, inputs.size());
 
+  std::vector<std::vector<double>> currents(inputs.size());
   if (shareable && threads > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        for (std::size_t i = t; i < inputs.size(); i += threads) {
-          results[i].column_currents = front_end_const(inputs[i]);
-        }
-      });
-    }
-    for (auto& w : workers) {
-      w.join();
-    }
+    parallel_for_strided(inputs.size(), threads,
+                         [&](std::size_t i) { currents[i] = front_end_const(inputs[i]); });
   } else {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      results[i].column_currents = column_currents(inputs[i]);
+      currents[i] = column_currents(inputs[i]);
     }
   }
 
-  // WTA in input order: the noise/mismatch draw sequence matches a loop
-  // of per-query recognize() calls exactly.
-  for (auto& result : results) {
-    finish_recognition(result);
+  // WTA stage: each query owns a counter-based noise slot, so the winner
+  // search fans out across threads while staying bit-identical to a
+  // sequential loop of recognize() calls (ROADMAP "true batched WTA").
+  std::vector<SpinWtaOutcome> outcomes = wta_->run_batch(currents, threads);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    results[i] = assemble(std::move(currents[i]), std::move(outcomes[i]));
   }
   return results;
 }

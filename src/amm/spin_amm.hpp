@@ -7,14 +7,19 @@
 /// the best-matching stored template and its degree of match. This class
 /// wires the substrates together and owns the experiment knobs (ideal vs
 /// parasitic crossbar, thermal noise, mismatch, dV, DWN threshold).
+///
+/// SpinAmm implements the unified AssociativeEngine interface (the
+/// polymorphic surface the service layer consumes) while keeping its
+/// substrate-specific raw API: column_currents(), crossbar access, the
+/// power design point.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "amm/engine.hpp"
 #include "crossbar/rcm.hpp"
 #include "datapath/dtcs_dac.hpp"
 #include "energy/power_report.hpp"
@@ -48,6 +53,16 @@ struct SpinAmmConfig {
   bool sample_mismatch = true;
   bool dummy_column = true;  ///< per-row G_TS equalisation (Section 4A)
   std::uint32_t accept_threshold = 0;  ///< DOM below this rejects the match
+
+  /// Explicit input-DAC full-scale current [A]; <= 0 self-calibrates
+  /// against the stored templates (the default). Shards of one logical
+  /// template set must share an explicit value (together with
+  /// row_target_conductance) so their DOM codes stay comparable.
+  double input_full_scale_override = 0.0;
+  /// Explicit per-row G_TS pad target [S]; <= 0 pads to this array's own
+  /// largest row sum. See RcmConfig::row_target_conductance.
+  double row_target_conductance = 0.0;
+
   std::uint64_t seed = 1;
 
   /// Full-scale column current 2^M I_th [A].
@@ -58,46 +73,45 @@ struct SpinAmmConfig {
   double input_full_scale_current() const;
 };
 
-/// Result of one recognition.
-struct RecognitionResult {
-  std::size_t winner = 0;
-  bool unique = true;
-  std::uint32_t dom = 0;            ///< winner's degree of match
-  bool accepted = true;             ///< dom >= accept_threshold
-  double margin = 0.0;              ///< (best - runner-up) / full scale, analog
-  std::vector<double> column_currents;
-  SpinWtaOutcome wta;
-};
-
 /// The proposed spin-CMOS associative memory module.
-class SpinAmm {
+class SpinAmm : public AssociativeEngine {
  public:
   explicit SpinAmm(const SpinAmmConfig& config);
 
   const SpinAmmConfig& config() const { return config_; }
+
+  std::string name() const override { return "spin"; }
+  std::size_t template_count() const override { return config_.templates; }
 
   /// Programs the stored templates (one per column) and calibrates the
   /// input-DAC gain so the best match lands just under the WTA's full
   /// scale — the paper's "required range of DAC output current was found
   /// to be ~10 uA" sizing step, done against the realised row conductance
   /// (dummy padding included). Must be called before recognize().
-  void store_templates(const std::vector<FeatureVector>& templates);
+  void store_templates(const std::vector<FeatureVector>& templates) override;
 
   /// Analog front end only: per-column dot-product currents for an input.
   std::vector<double> column_currents(const FeatureVector& input);
 
-  /// Full recognition: front end + spin WTA.
-  RecognitionResult recognize(const FeatureVector& input);
+  /// Full recognition: front end + spin WTA. The result's detail holds
+  /// the column currents and the complete WTA outcome.
+  Recognition recognize(const FeatureVector& input) override;
 
   /// Batched recognition: results[i] corresponds to inputs[i], and is
   /// winner-for-winner identical to calling recognize() on each input in
   /// order. The analog front end is dispatched across `threads` worker
   /// threads when the crossbar path is safely shareable (ideal model, or
-  /// parasitic with the transfer-operator solver); the stateful WTA stage
-  /// always runs serially in input order so noise/mismatch draws match
-  /// the sequential schedule. threads == 0 picks hardware concurrency.
-  std::vector<RecognitionResult> recognize_batch(const std::vector<FeatureVector>& inputs,
-                                                 std::size_t threads = 0);
+  /// parasitic with the transfer-operator solver); the WTA stage always
+  /// fans out, because its thermal noise comes from counter-based
+  /// per-query streams (SpinSarWta::run_query) rather than one shared
+  /// sequential draw order. threads == 0 picks hardware concurrency.
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t threads = 0) override;
+
+  /// The realised input-DAC full-scale current [A] (after calibration or
+  /// the configured override). Feed this to sibling shards so one logical
+  /// template set scores identically wherever its columns live.
+  double input_full_scale() const { return input_full_scale_; }
 
   /// The programmed crossbar (inspection / experiments).
   const RcmArray& crossbar() const;
@@ -107,21 +121,23 @@ class SpinAmm {
   RcmArray& mutable_crossbar();
 
   /// Analytic power breakdown of this design point.
-  PowerReport power() const;
+  PowerReport power() const override;
 
   /// The design-point parameters fed to the power model.
   SpinAmmDesign power_design() const;
 
  private:
   void calibrate_input_gain(const std::vector<FeatureVector>& templates);
+  void rebuild_input_dacs(double full_scale);
   std::vector<double> input_row_currents(const FeatureVector& input) const;
   std::vector<double> front_end_const(const FeatureVector& input) const;
-  void finish_recognition(RecognitionResult& result);
+  Recognition assemble(std::vector<double>&& currents, SpinWtaOutcome&& wta) const;
 
   SpinAmmConfig config_;
   Rng rng_;
   std::unique_ptr<RcmArray> rcm_;
   std::vector<DtcsDac> input_dacs_;  // one per row
+  double input_full_scale_ = 0.0;
   std::unique_ptr<SpinSarWta> wta_;
   bool templates_stored_ = false;
 };

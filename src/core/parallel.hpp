@@ -1,0 +1,75 @@
+/// \file parallel.hpp
+/// Shared strided parallel-for used by every recognize_batch fan-out.
+///
+/// One place for the thread-count resolution (0 = hardware concurrency,
+/// clamped to the item count), the serial fast path, and — unlike a
+/// hand-rolled worker loop — exception safety: a throw inside a worker
+/// is captured and rethrown on the calling thread after the join,
+/// instead of calling std::terminate.
+
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spinsim {
+
+/// Resolves a user-facing thread-count knob: 0 picks the hardware
+/// concurrency; the result never exceeds `items` (no idle workers).
+inline std::size_t resolve_threads(std::size_t threads, std::size_t items) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  return threads < items ? threads : (items == 0 ? 1 : items);
+}
+
+/// Runs fn(i) for i in [0, items), striding the index space across
+/// `threads` workers (resolved per resolve_threads). Serial when one
+/// worker suffices. The first exception thrown by any worker is
+/// rethrown here once all workers have joined.
+template <typename Fn>
+void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
+  if (items == 0) {
+    return;
+  }
+  threads = resolve_threads(threads, items);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < items; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        for (std::size_t i = t; i < items; i += threads) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace spinsim

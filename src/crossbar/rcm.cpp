@@ -66,6 +66,11 @@ void RcmArray::equalize_rows() {
     target = std::max(target, row_sums_[row]);
   }
   target += config_.memristor.g_min();
+  if (config_.row_target_conductance > 0.0) {
+    require(config_.row_target_conductance >= target,
+            "RcmArray::equalize_rows: row_target_conductance below the realised row sums");
+    target = config_.row_target_conductance;
+  }
   for (std::size_t row = 0; row < config_.rows; ++row) {
     dummy_g_[row] = target - row_sums_[row];
     SPINSIM_ASSERT(dummy_g_[row] > 0.0, "RcmArray::equalize_rows: negative dummy conductance");

@@ -38,6 +38,14 @@ struct RcmConfig {
   MemristorSpec memristor;       ///< crosspoint device spec
   bool dummy_column = true;      ///< equalise G_TS with a dummy device per row
 
+  /// Explicit per-row G_TS pad target [S]; <= 0 pads to the array's own
+  /// largest row sum (the default). Setting the same target on several
+  /// arrays makes their rows electrically identical regardless of how
+  /// many columns each holds — what the service layer uses to keep
+  /// sharded column currents equal to a flat array's. Must exceed every
+  /// realised row sum.
+  double row_target_conductance = 0.0;
+
   // Cu bar parasitics (paper Table 2: 1 Ohm/um, 0.4 fF/um). The pitch is
   // the high-density nano-crossbar assumption (~2F at F = 50 nm); at
   // coarser pitches the cumulative column IR drop overtakes the

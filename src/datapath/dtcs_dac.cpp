@@ -41,6 +41,7 @@ DtcsDac::DtcsDac(const DtcsDacDesign& design, const Tech45& tech) : design_(desi
   for (unsigned k = 0; k < design.bits; ++k) {
     bit_devices_.emplace_back(bit_geometry(design, k, tech), tech);
   }
+  build_code_table();
 }
 
 DtcsDac::DtcsDac(const DtcsDacDesign& design, Rng& rng, const Tech45& tech) : design_(design) {
@@ -48,17 +49,28 @@ DtcsDac::DtcsDac(const DtcsDacDesign& design, Rng& rng, const Tech45& tech) : de
     bit_devices_.emplace_back(bit_geometry(design, k, tech), rng, tech,
                               design.sigma_vt_override);
   }
+  build_code_table();
+}
+
+void DtcsDac::build_code_table() {
+  // Realised per-bit conductances are frozen once the devices exist, so
+  // every code's G_T is a sum known now. code k+1 reuses code k's prefix
+  // via the binary decomposition: g(code) = sum of set bits.
+  code_conductance_.assign(design_.max_code() + 1u, 0.0);
+  for (std::uint32_t code = 1; code <= design_.max_code(); ++code) {
+    double g = 0.0;
+    for (unsigned k = 0; k < design_.bits; ++k) {
+      if ((code >> k) & 1u) {
+        g += bit_devices_[k].triode_conductance(design_.gate_drive);
+      }
+    }
+    code_conductance_[code] = g;
+  }
 }
 
 double DtcsDac::conductance(std::uint32_t code) const {
   require(code <= design_.max_code(), "DtcsDac::conductance: code out of range");
-  double g = 0.0;
-  for (unsigned k = 0; k < design_.bits; ++k) {
-    if ((code >> k) & 1u) {
-      g += bit_devices_[k].triode_conductance(design_.gate_drive);
-    }
-  }
-  return g;
+  return code_conductance_[code];
 }
 
 double DtcsDac::output_current(std::uint32_t code, double g_load) const {

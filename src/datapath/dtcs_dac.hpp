@@ -52,7 +52,10 @@ class DtcsDac {
 
   const DtcsDacDesign& design() const { return design_; }
 
-  /// Realised source conductance G_T for a digital code [S].
+  /// Realised source conductance G_T for a digital code [S]. Table
+  /// lookup: the per-bit devices are fixed at construction, so all
+  /// 2^bits code conductances are precomputed once — this sits on the
+  /// per-cycle WTA path and the per-row input path of every recognition.
   double conductance(std::uint32_t code) const;
 
   /// Output current into a load of total conductance `g_load` [A]:
@@ -69,8 +72,11 @@ class DtcsDac {
   double integral_nonlinearity(double g_load) const;
 
  private:
+  void build_code_table();
+
   DtcsDacDesign design_;
   std::vector<Mosfet> bit_devices_;  // index k drives 2^k units
+  std::vector<double> code_conductance_;  // realised G_T per code
 };
 
 }  // namespace spinsim

@@ -1,0 +1,365 @@
+#include "service/recognition_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+RecognitionService::RecognitionService(const RecognitionServiceConfig& config,
+                                       EngineFactory factory)
+    : config_(config), factory_(std::move(factory)) {
+  require(config_.shards >= 1, "RecognitionService: need at least one shard");
+  require(config_.max_batch >= 1, "RecognitionService: max_batch must be positive");
+  require(static_cast<bool>(factory_), "RecognitionService: empty engine factory");
+}
+
+RecognitionService::~RecognitionService() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (collector_.joinable()) {
+    collector_.join();
+  }
+  for (auto& shard : shards_) {
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+}
+
+void RecognitionService::store_templates(const std::vector<FeatureVector>& templates) {
+  require(!started_, "RecognitionService: store_templates() may run only once");
+  require(templates.size() >= 2 * config_.shards,
+          "RecognitionService: every shard needs at least two templates");
+
+  // Contiguous split, remainder spread over the leading shards, so
+  // global index = shard base + local index.
+  const std::size_t per_shard = templates.size() / config_.shards;
+  const std::size_t remainder = templates.size() % config_.shards;
+
+  shards_.clear();
+  std::size_t base = 0;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    const std::size_t count = per_shard + (s < remainder ? 1 : 0);
+    auto shard = std::make_unique<Shard>();
+    shard->base = base;
+    shard->engine = factory_(s, count);
+    require(shard->engine != nullptr, "RecognitionService: factory returned null engine");
+    const std::vector<FeatureVector> slice(templates.begin() + static_cast<std::ptrdiff_t>(base),
+                                           templates.begin() +
+                                               static_cast<std::ptrdiff_t>(base + count));
+    shard->engine->store_templates(slice);
+    // Checked after storing: backends like HierarchicalAmm only learn
+    // their template count from store_templates().
+    require(shard->engine->template_count() == count,
+            "RecognitionService: factory sized the engine for the wrong column count");
+    base += count;
+    shards_.push_back(std::move(shard));
+  }
+
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    const std::size_t engine_threads = config_.engine_threads;
+    shard->worker = std::thread([raw, engine_threads] { shard_loop(raw, engine_threads); });
+  }
+  started_at_ = std::chrono::steady_clock::now();
+  started_ = true;
+  collector_ = std::thread([this] { collector_loop(); });
+}
+
+void RecognitionService::enqueue(Request&& request) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    require(started_, "RecognitionService: store_templates() before submit");
+    require(!stopping_, "RecognitionService: service is shutting down");
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+}
+
+std::future<Recognition> RecognitionService::submit(FeatureVector input) {
+  auto promise = std::make_shared<std::promise<Recognition>>();
+  std::future<Recognition> future = promise->get_future();
+  Request request;
+  request.input = std::move(input);
+  request.enqueued = std::chrono::steady_clock::now();
+  request.deliver = [promise](Recognition&& result, std::exception_ptr error) {
+    if (error) {
+      promise->set_exception(error);
+    } else {
+      promise->set_value(std::move(result));
+    }
+  };
+  enqueue(std::move(request));
+  return future;
+}
+
+std::future<std::vector<Recognition>> RecognitionService::submit_batch(
+    std::vector<FeatureVector> inputs) {
+  struct Join {
+    std::vector<Recognition> results;
+    std::size_t remaining = 0;
+    bool failed = false;
+    std::mutex mutex;
+    std::promise<std::vector<Recognition>> promise;
+  };
+  auto join = std::make_shared<Join>();
+  join->results.resize(inputs.size());
+  join->remaining = inputs.size();
+  std::future<std::vector<Recognition>> future = join->promise.get_future();
+  if (inputs.empty()) {
+    join->promise.set_value({});
+    return future;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Request> requests;
+  requests.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Request request;
+    request.input = std::move(inputs[i]);
+    request.enqueued = now;
+    request.deliver = [join, i](Recognition&& result, std::exception_ptr error) {
+      std::unique_lock<std::mutex> lock(join->mutex);
+      if (error) {
+        if (!join->failed) {
+          join->failed = true;
+          join->promise.set_exception(error);
+        }
+        return;
+      }
+      join->results[i] = std::move(result);
+      if (--join->remaining == 0 && !join->failed) {
+        join->promise.set_value(std::move(join->results));
+      }
+    };
+    requests.push_back(std::move(request));
+  }
+
+  // One lock round-trip for the whole batch so the admission window sees
+  // it at once and coalesces it into ceil(n / max_batch) dispatches.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    require(started_, "RecognitionService: store_templates() before submit");
+    require(!stopping_, "RecognitionService: service is shutting down");
+    for (auto& request : requests) {
+      queue_.push_back(std::move(request));
+    }
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void RecognitionService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+const AssociativeEngine& RecognitionService::shard(std::size_t index) const {
+  require(index < shards_.size(), "RecognitionService::shard: index out of range");
+  return *shards_[index]->engine;
+}
+
+std::size_t RecognitionService::shard_base(std::size_t index) const {
+  require(index < shards_.size(), "RecognitionService::shard_base: index out of range");
+  return shards_[index]->base;
+}
+
+RecognitionServiceStats RecognitionService::stats() const {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  RecognitionServiceStats out;
+  out.queries = stat_queries_;
+  out.batches = stat_batches_;
+  out.mean_batch_size =
+      stat_batches_ == 0 ? 0.0 : static_cast<double>(stat_queries_) / static_cast<double>(stat_batches_);
+  out.mean_latency_us = stat_queries_ == 0 ? 0.0 : stat_latency_sum_us_ / static_cast<double>(stat_queries_);
+  out.max_latency_us = stat_latency_max_us_;
+  if (stat_queries_ > 0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
+    out.queries_per_sec = elapsed > 0.0 ? static_cast<double>(stat_queries_) / elapsed : 0.0;
+  }
+  return out;
+}
+
+void RecognitionService::collector_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ and nothing left to do.
+        return;
+      }
+      // Admission window: from the moment work is pending, wait a bounded
+      // extra beat for more arrivals so they share one dispatch.
+      if (queue_.size() < config_.max_batch && config_.admission_window.count() > 0) {
+        const auto deadline = std::chrono::steady_clock::now() + config_.admission_window;
+        queue_cv_.wait_until(lock, deadline,
+                             [&] { return stopping_ || queue_.size() >= config_.max_batch; });
+      }
+      const std::size_t count = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += batch.size();
+    }
+
+    dispatch(batch);
+
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      in_flight_ -= batch.size();
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void RecognitionService::shard_loop(Shard* shard, std::size_t engine_threads) {
+  for (;;) {
+    const std::vector<FeatureVector>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->cv.wait(lock, [&] { return shard->stop || shard->job != nullptr; });
+      if (shard->stop) {
+        return;
+      }
+      job = shard->job;
+    }
+    std::vector<Recognition> results;
+    std::exception_ptr error;
+    try {
+      results = shard->engine->recognize_batch(*job, engine_threads);
+    } catch (...) {
+      // Propagate through the collector to the client futures instead of
+      // terminating the worker thread.
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->results = std::move(results);
+      shard->job_error = error;
+      shard->job = nullptr;
+      shard->job_done = true;
+    }
+    shard->cv.notify_all();
+  }
+}
+
+Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) const {
+  // Highest score wins; ties resolve toward the lowest global template
+  // index — the rule a flat WTA/argmax applies, which is what makes a
+  // sharded service winner-for-winner identical to a flat engine when
+  // shard scores are comparable (see header).
+  std::size_t best_shard = 0;
+  for (std::size_t s = 1; s < shard_answers.size(); ++s) {
+    if (shard_answers[s]->score > shard_answers[best_shard]->score) {
+      best_shard = s;
+    }
+  }
+  Recognition out = *shard_answers[best_shard];
+  out.winner += shards_[best_shard]->base;
+  for (std::size_t s = 0; s < shard_answers.size(); ++s) {
+    if (s != best_shard && shard_answers[s]->score == out.score) {
+      out.unique = false;
+    }
+  }
+  // The winning shard's margin only measures its *local* runner-up; the
+  // global runner-up may live on another shard. Cap it with the relative
+  // cross-shard score gap so the merged margin never overstates the
+  // confidence a flat engine would have reported.
+  if (shard_answers.size() > 1 && out.score > 0.0) {
+    double second = 0.0;
+    for (std::size_t s = 0; s < shard_answers.size(); ++s) {
+      if (s != best_shard) {
+        second = std::max(second, shard_answers[s]->score);
+      }
+    }
+    out.margin = std::min(out.margin, (out.score - second) / out.score);
+  }
+  return out;
+}
+
+void RecognitionService::dispatch(std::vector<Request>& batch) {
+  std::vector<FeatureVector> inputs;
+  inputs.reserve(batch.size());
+  for (auto& request : batch) {
+    inputs.push_back(std::move(request.input));  // dead after dispatch
+  }
+
+  // Hand the batch to every shard worker, then collect.
+  for (auto& shard : shards_) {
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->job = &inputs;
+      shard->job_done = false;
+    }
+    shard->cv.notify_all();
+  }
+  std::vector<std::vector<Recognition>> per_shard(shards_.size());
+  std::exception_ptr error;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::unique_lock<std::mutex> lock(shards_[s]->mutex);
+    shards_[s]->cv.wait(lock, [&] { return shards_[s]->job_done; });
+    per_shard[s] = std::move(shards_[s]->results);
+    if (shards_[s]->job_error && !error) {
+      error = shards_[s]->job_error;
+    }
+    shards_[s]->job_error = nullptr;
+    shards_[s]->job_done = false;
+  }
+  if (error) {
+    for (auto& request : batch) {
+      request.deliver(Recognition{}, error);
+    }
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    stat_batches_ += 1;
+    return;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Recognition> merged;
+  merged.reserve(batch.size());
+  double latency_sum_us = 0.0;
+  double latency_max_us = 0.0;
+  std::vector<Recognition*> answers(shards_.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      answers[s] = &per_shard[s][i];
+    }
+    merged.push_back(merge(answers));
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(now - batch[i].enqueued).count();
+    latency_sum_us += latency_us;
+    latency_max_us = std::max(latency_max_us, latency_us);
+  }
+
+  // Stats first: once a future resolves, a client may read stats() and
+  // must see its own query counted.
+  {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    stat_queries_ += batch.size();
+    stat_batches_ += 1;
+    stat_latency_sum_us_ += latency_sum_us;
+    stat_latency_max_us_ = std::max(stat_latency_max_us_, latency_max_us);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].deliver(std::move(merged[i]), nullptr);
+  }
+}
+
+}  // namespace spinsim

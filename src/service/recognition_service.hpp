@@ -1,0 +1,169 @@
+/// \file recognition_service.hpp
+/// The batch API at the service edge: a thread-pooled request-queue
+/// façade over AssociativeEngine replicas.
+///
+/// One logical template set is split contiguously across `shards` engine
+/// replicas (any backend — the factory decides). Clients submit single
+/// queries or whole batches and get futures back; a collector thread
+/// coalesces whatever is queued inside an *admission window* into one
+/// micro-batch, fans it out to the per-shard worker threads (each shard
+/// engine is touched by exactly one thread, so engines need no internal
+/// locking), merges the per-shard answers by score, and fulfils the
+/// futures. This is the layer the ROADMAP's heavy-traffic scenarios plug
+/// into: later scaling PRs (async I/O, multi-backend routing,
+/// larger-than-memory leaves) swap what lives behind the shard workers
+/// without touching the client surface.
+///
+/// Winner parity: the merge picks the shard with the highest score,
+/// breaking ties toward the lowest global template index — the same rule
+/// a flat WTA/argmax applies. Scores are comparable across shards when
+/// the shard engines are configured identically (for SpinAmm shards that
+/// means a shared input_full_scale_override and row_target_conductance,
+/// both readable off a flat reference engine; DigitalAmm scores are
+/// bit-exact and need no care). Under that contract a sharded service
+/// answers winner-for-winner identically to one flat engine holding the
+/// whole template set — tested in tests/service/.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "amm/engine.hpp"
+#include "vision/features.hpp"
+
+namespace spinsim {
+
+/// Tuning knobs of one RecognitionService.
+struct RecognitionServiceConfig {
+  /// Engine replicas the template set splits across (contiguous slices).
+  std::size_t shards = 2;
+  /// Admission window: max queries one dispatch may coalesce.
+  std::size_t max_batch = 64;
+  /// Admission window: how long the collector waits (from the first
+  /// pending query) for more arrivals before dispatching a short batch.
+  std::chrono::microseconds admission_window{200};
+  /// Threads each shard engine's recognize_batch may use internally.
+  std::size_t engine_threads = 1;
+};
+
+/// Running counters of one service instance.
+struct RecognitionServiceStats {
+  std::uint64_t queries = 0;        ///< fulfilled queries
+  std::uint64_t batches = 0;        ///< dispatches (micro-batches)
+  double mean_batch_size = 0.0;     ///< queries / batches
+  double mean_latency_us = 0.0;     ///< submit -> future fulfilled
+  double max_latency_us = 0.0;
+  double queries_per_sec = 0.0;     ///< since store_templates()
+};
+
+/// Sharded, micro-batching recognition front end.
+class RecognitionService {
+ public:
+  /// Builds the engine for shard `shard` (0-based), sized for `columns`
+  /// templates. Called once per shard from store_templates().
+  using EngineFactory =
+      std::function<std::unique_ptr<AssociativeEngine>(std::size_t shard, std::size_t columns)>;
+
+  RecognitionService(const RecognitionServiceConfig& config, EngineFactory factory);
+
+  /// Drains outstanding requests, then stops the worker threads.
+  ~RecognitionService();
+
+  RecognitionService(const RecognitionService&) = delete;
+  RecognitionService& operator=(const RecognitionService&) = delete;
+
+  /// Splits `templates` contiguously across the configured shards,
+  /// builds one engine per shard through the factory, programs each with
+  /// its slice, and starts the collector + shard worker threads. Every
+  /// shard must receive at least two templates.
+  void store_templates(const std::vector<FeatureVector>& templates);
+
+  /// Enqueues one query. The future's Recognition carries the *global*
+  /// template index; its detail is the winning shard's (shard-local
+  /// routing indices and all), and its margin is the winning shard's
+  /// local margin capped by the relative cross-shard score gap (see
+  /// merge()), so it never overstates flat-engine confidence.
+  std::future<Recognition> submit(FeatureVector input);
+
+  /// Enqueues a whole batch (one lock round-trip, so the admission
+  /// window coalesces it into as few dispatches as max_batch allows).
+  /// The future resolves once every query of the batch is answered,
+  /// results[i] corresponding to inputs[i].
+  std::future<std::vector<Recognition>> submit_batch(std::vector<FeatureVector> inputs);
+
+  /// Blocks until everything submitted so far has been fulfilled.
+  void drain();
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard engines (inspection; do not query them concurrently with
+  /// live service traffic).
+  const AssociativeEngine& shard(std::size_t index) const;
+
+  /// First global template index stored on shard `index`.
+  std::size_t shard_base(std::size_t index) const;
+
+  /// Throughput/latency counters since store_templates().
+  RecognitionServiceStats stats() const;
+
+ private:
+  struct Request {
+    FeatureVector input;
+    /// Fulfils the client future: a result, or an exception from the
+    /// shard engine (never both).
+    std::function<void(Recognition&&, std::exception_ptr)> deliver;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Shard {
+    std::unique_ptr<AssociativeEngine> engine;
+    std::size_t base = 0;  ///< global index of the shard's first template
+    std::thread worker;
+
+    // Collector -> worker handoff: one batch at a time.
+    std::mutex mutex;
+    std::condition_variable cv;
+    const std::vector<FeatureVector>* job = nullptr;
+    std::vector<Recognition> results;
+    std::exception_ptr job_error;
+    bool job_done = false;
+    bool stop = false;
+  };
+
+  void collector_loop();
+  static void shard_loop(Shard* shard, std::size_t engine_threads);
+  void dispatch(std::vector<Request>& batch);
+  Recognition merge(std::vector<Recognition*>& shard_answers) const;
+  void enqueue(Request&& request);
+
+  RecognitionServiceConfig config_;
+  EngineFactory factory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::thread collector_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Request> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet fulfilled
+  bool stopping_ = false;
+  bool started_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t stat_queries_ = 0;
+  std::uint64_t stat_batches_ = 0;
+  double stat_latency_sum_us_ = 0.0;
+  double stat_latency_max_us_ = 0.0;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace spinsim

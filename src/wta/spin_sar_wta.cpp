@@ -1,10 +1,26 @@
 #include "wta/spin_sar_wta.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 
 namespace spinsim {
+
+namespace {
+
+/// Expands (seed, query index) into an independent thermal substream.
+/// splitmix-style finalizer so adjacent indices land far apart; the Rng
+/// constructor scrambles further through its own splitmix expansion.
+Rng query_stream(std::uint64_t seed, std::uint64_t query_index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (query_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace
 
 double SpinWtaConfig::full_scale_current() const {
   return std::ldexp(dwn.i_threshold, static_cast<int>(bits));
@@ -26,12 +42,9 @@ SpinSarWta::SpinSarWta(const SpinWtaConfig& config)
       config.dwn.i_threshold * (std::ldexp(1.0, static_cast<int>(config.bits)) - 1.0);
   dac_design.delta_v = config.delta_v;
 
-  neurons_.reserve(config.columns);
   dacs_.reserve(config.columns);
   latches_.reserve(config.columns);
-  sars_.reserve(config.columns);
   for (std::size_t j = 0; j < config.columns; ++j) {
-    neurons_.emplace_back(config.dwn);
     if (config.sample_mismatch) {
       dacs_.emplace_back(dac_design, rng_);
       latches_.emplace_back(config.latch, rng_);
@@ -39,7 +52,6 @@ SpinSarWta::SpinSarWta(const SpinWtaConfig& config)
       dacs_.emplace_back(dac_design);
       latches_.emplace_back(config.latch);
     }
-    sars_.emplace_back(config.bits);
   }
 }
 
@@ -49,6 +61,11 @@ const DtcsDac& SpinSarWta::dac(std::size_t column) const {
 }
 
 SpinWtaOutcome SpinSarWta::run(const std::vector<double>& column_currents) {
+  return run_query(column_currents, query_counter_++);
+}
+
+SpinWtaOutcome SpinSarWta::run_query(const std::vector<double>& column_currents,
+                                     std::uint64_t query_index) const {
   require(column_currents.size() == config_.columns,
           "SpinSarWta::run: need one current per column");
 
@@ -57,29 +74,36 @@ SpinWtaOutcome SpinSarWta::run(const std::vector<double>& column_currents) {
   out.tracking.assign(n, true);  // TRs preset high (see header)
   out.dom_codes.assign(n, 0);
 
-  for (auto& sar : sars_) {
+  // Mutable PE state is per-query and stack-local: the neurons carry no
+  // sampled mismatch (their spread enters through the latch offsets), so
+  // fresh copies are exact, and the SARs restart every conversion anyway.
+  std::vector<DomainWallNeuron> neurons(n, DomainWallNeuron(config_.dwn));
+  std::vector<SarRegister> sars(n, SarRegister(config_.bits));
+  for (auto& sar : sars) {
     sar.begin();
   }
 
+  Rng thermal_rng = query_stream(config_.seed, query_index);
+  Rng* thermal = config_.thermal_noise ? &thermal_rng : nullptr;
+
   std::vector<bool> bit_decision(n, false);
-  Rng* thermal = config_.thermal_noise ? &rng_ : nullptr;
 
   for (unsigned cycle = 0; cycle < config_.bits; ++cycle) {
     // --- analog compare + digitise step (all PEs in parallel) ---
     for (std::size_t j = 0; j < n; ++j) {
       // The DWN is preset to 0 each cycle; the net current (column minus
       // SAR-DAC sink) must exceed +I_th to write a 1.
-      neurons_[j].reset(false);
-      const double i_dac = dacs_[j].output_current(sars_[j].code(), /*g_load=*/0.0);
+      neurons[j].reset(false);
+      const double i_dac = dacs_[j].output_current(sars[j].code(), /*g_load=*/0.0);
       const double i_net = column_currents[j] - i_dac;
-      neurons_[j].apply_current(i_net, config_.cycle_time, thermal);
+      neurons[j].apply_current(i_net, config_.cycle_time, thermal);
 
       // Latch senses the DWN MTJ against the reference junction.
-      const bool above = latches_[j].decide(neurons_[j].mtj_resistance(), r_reference_);
+      const bool above = latches_[j].decide(neurons[j].mtj_resistance(), r_reference_);
       ++out.latch_decisions;
 
       bit_decision[j] = above;
-      sars_[j].feed(above);
+      sars[j].feed(above);
     }
 
     // --- digital winner tracking (Fig. 12) ---
@@ -109,7 +133,7 @@ SpinWtaOutcome SpinSarWta::run(const std::vector<double>& column_currents) {
   // Collect SAR results and the survivor.
   std::size_t survivor_count = 0;
   for (std::size_t j = 0; j < n; ++j) {
-    out.dom_codes[j] = sars_[j].result();
+    out.dom_codes[j] = sars[j].result();
     if (out.tracking[j]) {
       if (survivor_count == 0) {
         out.winner = j;
@@ -131,6 +155,26 @@ SpinWtaOutcome SpinSarWta::run(const std::vector<double>& column_currents) {
   }
   out.winner_dom = out.dom_codes[out.winner];
   return out;
+}
+
+std::vector<SpinWtaOutcome> SpinSarWta::run_batch(const std::vector<std::vector<double>>& batch,
+                                                  std::size_t threads) {
+  // Validate before fanning out: a require() thrown on a worker thread
+  // would terminate instead of propagating.
+  for (const auto& currents : batch) {
+    require(currents.size() == config_.columns,
+            "SpinSarWta::run_batch: need one current per column");
+  }
+  std::vector<SpinWtaOutcome> outcomes(batch.size());
+  if (batch.empty()) {
+    return outcomes;
+  }
+  const std::uint64_t base = query_counter_;
+  query_counter_ += batch.size();
+
+  parallel_for_strided(batch.size(), threads,
+                       [&](std::size_t i) { outcomes[i] = run_query(batch[i], base + i); });
+  return outcomes;
 }
 
 }  // namespace spinsim

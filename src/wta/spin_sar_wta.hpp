@@ -44,6 +44,8 @@ struct SpinWtaConfig {
   double cycle_time = 10e-9;       ///< conversion clock period [s]
   bool thermal_noise = false;      ///< sample DWN thermal flips
   bool sample_mismatch = true;     ///< sample DAC/latch mismatch
+  /// Seeds both the construction-time mismatch sampling and the
+  /// counter-based per-query thermal streams (see run_query()).
   std::uint64_t seed = 99;
 
   /// Full-scale column current 2^M * I_th [A].
@@ -66,26 +68,49 @@ struct SpinWtaOutcome {
 };
 
 /// A bank of spin PEs plus the tracking network.
+///
+/// Thermal noise is drawn from a *counter-based* stream: each query slot
+/// `q` owns an independent substream keyed on (seed, q), so the outcome
+/// of slot q is a pure function of (configuration, currents, q) — not of
+/// how many other queries ran before it on which thread. That is what
+/// lets run_batch() fan the stateful WTA search out across threads while
+/// staying bit-identical to a sequential loop of run() calls.
 class SpinSarWta {
  public:
   explicit SpinSarWta(const SpinWtaConfig& config);
 
   const SpinWtaConfig& config() const { return config_; }
 
-  /// Runs a full M-cycle winner search over static column currents.
+  /// Runs a full M-cycle winner search over static column currents,
+  /// consuming the next query slot of the noise stream.
   SpinWtaOutcome run(const std::vector<double>& column_currents);
+
+  /// Winner search for an explicit query slot. Const and thread-safe:
+  /// the mutable PE state (neurons, SAR registers) lives on the caller's
+  /// stack, and thermal draws come from the slot's own substream.
+  SpinWtaOutcome run_query(const std::vector<double>& column_currents,
+                           std::uint64_t query_index) const;
+
+  /// Batched winner search over `batch.size()` query slots, dispatched
+  /// across `threads` workers (0 = hardware concurrency). outcome[i] is
+  /// bit-identical to what run() would have returned for batch[i] in a
+  /// sequential loop.
+  std::vector<SpinWtaOutcome> run_batch(const std::vector<std::vector<double>>& batch,
+                                        std::size_t threads = 0);
+
+  /// Query slots consumed so far (the counter behind run()/run_batch()).
+  std::uint64_t queries_issued() const { return query_counter_; }
 
   /// The per-column SAR DAC (exposed for calibration/ablation studies).
   const DtcsDac& dac(std::size_t column) const;
 
  private:
   SpinWtaConfig config_;
-  Rng rng_;
-  std::vector<DomainWallNeuron> neurons_;
+  Rng rng_;  // construction-time mismatch sampling only
   std::vector<DtcsDac> dacs_;
   std::vector<ReadLatch> latches_;
-  std::vector<SarRegister> sars_;
   double r_reference_;
+  std::uint64_t query_counter_ = 0;
 };
 
 }  // namespace spinsim

@@ -41,7 +41,9 @@ TEST(DigitalAmm, MatchesIdealClassifierExactly) {
       }
     }
     EXPECT_EQ(r.winner, best_j);
-    EXPECT_EQ(r.score, best);
+    ASSERT_NE(r.digital(), nullptr);
+    EXPECT_EQ(r.digital()->score, best);
+    EXPECT_EQ(r.score, static_cast<double>(best));
   }
 }
 
@@ -53,7 +55,49 @@ TEST(DigitalAmm, ScoresVectorComplete) {
   amm.store_templates(build_templates(testing::small_dataset(), c.features));
   const auto f = extract_features(testing::small_dataset().image(0, 0), c.features);
   const auto r = amm.recognize(f);
-  EXPECT_EQ(r.scores.size(), 10u);
+  ASSERT_NE(r.digital(), nullptr);
+  EXPECT_EQ(r.digital()->scores.size(), 10u);
+}
+
+TEST(DigitalAmm, RecognizeBatchMatchesSequential) {
+  DigitalAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  DigitalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, c.features));
+  }
+  const auto batched = amm.recognize_batch(inputs, 4);
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto r = amm.recognize(inputs[i]);
+    EXPECT_EQ(batched[i].winner, r.winner) << "input " << i;
+    EXPECT_EQ(batched[i].unique, r.unique) << "input " << i;
+    ASSERT_NE(batched[i].digital(), nullptr);
+    EXPECT_EQ(batched[i].digital()->score, r.digital()->score) << "input " << i;
+  }
+}
+
+TEST(MsCmosAmm, RecognizeBatchMatchesSequential) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  MsCmosAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, c.features));
+  }
+  const auto batched = amm.recognize_batch(inputs, 4);
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto r = amm.recognize(inputs[i]);
+    EXPECT_EQ(batched[i].winner, r.winner) << "input " << i;
+    EXPECT_DOUBLE_EQ(batched[i].score, r.score) << "input " << i;
+    EXPECT_DOUBLE_EQ(batched[i].margin, r.margin) << "input " << i;
+  }
 }
 
 TEST(DigitalAmm, EvaluationRatesFollowClock) {

@@ -1,0 +1,238 @@
+/// Cross-backend conformance of the unified AssociativeEngine API.
+///
+/// On noise-free / mismatch-free configurations every backend implements
+/// the same mathematical function — correlation argmax — so its winners
+/// must agree with DigitalAmm's bit-exact integer argmax (the ground
+/// truth the analog designs approximate). The hierarchical backend adds
+/// a routing approximation, so it is held to a high agreement fraction
+/// rather than exactness. Independently, recognize_batch must equal a
+/// sequential loop of recognize() for every backend, including the
+/// parallel-WTA path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "amm/digital_amm.hpp"
+#include "amm/engine.hpp"
+#include "amm/hierarchical_amm.hpp"
+#include "amm/mscmos_amm.hpp"
+#include "amm/spin_amm.hpp"
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+FeatureSpec small_spec() {
+  FeatureSpec s;
+  s.height = 8;
+  s.width = 6;
+  s.bits = 5;
+  return s;
+}
+
+/// Memristor with deterministic programming (no write or d2d noise).
+MemristorSpec clean_memristor() {
+  MemristorSpec m;
+  m.write_sigma = 0.0;
+  m.d2d_sigma = 0.0;
+  return m;
+}
+
+SpinAmmConfig clean_spin_config() {
+  SpinAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  c.memristor = clean_memristor();
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.sample_mismatch = false;
+  c.thermal_noise = false;
+  c.seed = 7;
+  return c;
+}
+
+std::vector<FeatureVector> all_inputs(const FeatureSpec& spec) {
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, spec));
+  }
+  return inputs;
+}
+
+std::vector<std::size_t> digital_ground_truth(const std::vector<FeatureVector>& inputs) {
+  DigitalAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  DigitalAmm digital(c);
+  digital.store_templates(build_templates(testing::small_dataset(), c.features));
+  std::vector<std::size_t> winners;
+  winners.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    winners.push_back(digital.recognize(input).winner);
+  }
+  return winners;
+}
+
+double agreement_with_ground_truth(AssociativeEngine& engine,
+                                   const std::vector<FeatureVector>& inputs,
+                                   const std::vector<std::size_t>& truth) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (engine.recognize(inputs[i]).winner == truth[i]) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(inputs.size());
+}
+
+TEST(EngineConformance, SpinAgreesWithDigitalArgmaxNoiseFree) {
+  SpinAmm spin(clean_spin_config());
+  spin.store_templates(build_templates(testing::small_dataset(), small_spec()));
+  const auto inputs = all_inputs(small_spec());
+  const auto truth = digital_ground_truth(inputs);
+  // Even noise-free, the analog path legitimately diverges from the
+  // integer argmax on close calls: the DTCS input DAC compresses large
+  // codes (Fig. 8b) and the 5-bit DOM quantisation ties near-equal
+  // columns. So: high aggregate agreement, and *exact* agreement
+  // whenever the analog margin clears two LSB of full scale.
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition r = spin.recognize(inputs[i]);
+    agree += r.winner == truth[i] ? 1 : 0;
+    if (r.margin > 2.0 / 32.0) {
+      EXPECT_EQ(r.winner, truth[i]) << "clear-margin input " << i;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(inputs.size()), 0.8);
+}
+
+TEST(EngineConformance, MsCmosAgreesWithDigitalArgmaxCleanProcess) {
+  MsCmosAmmConfig c;
+  c.features = small_spec();
+  c.templates = 10;
+  c.memristor = clean_memristor();
+  c.sigma_vt_min_size = 1e-9;  // vanishing process mismatch
+  MsCmosAmm mscmos(c);
+  mscmos.store_templates(build_templates(testing::small_dataset(), c.features));
+  const auto inputs = all_inputs(small_spec());
+  const auto truth = digital_ground_truth(inputs);
+  EXPECT_GE(agreement_with_ground_truth(mscmos, inputs, truth), 0.95);
+}
+
+TEST(EngineConformance, HierarchicalAgreesWithDigitalArgmaxMostly) {
+  HierarchicalAmmConfig c;
+  c.features = small_spec();
+  c.clusters = 3;
+  c.memristor = clean_memristor();
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.sample_mismatch = false;
+  c.seed = 9;
+  HierarchicalAmm hier(c);
+  hier.store_templates(build_templates(testing::small_dataset(), c.features));
+  const auto inputs = all_inputs(small_spec());
+  const auto truth = digital_ground_truth(inputs);
+  // Routing adds a genuine failure mode (right template, wrong cluster)
+  // on top of the flat analog path's close-call divergences, so the bar
+  // sits below the flat designs' (chance is 0.1).
+  EXPECT_GE(agreement_with_ground_truth(hier, inputs, truth), 0.7);
+}
+
+/// recognize_batch == per-query recognize, through the unified interface.
+void expect_batch_matches_sequential(AssociativeEngine& sequential, AssociativeEngine& batched,
+                                     const std::vector<FeatureVector>& inputs,
+                                     std::size_t threads) {
+  std::vector<Recognition> expected;
+  expected.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    expected.push_back(sequential.recognize(input));
+  }
+  const std::vector<Recognition> got = batched.recognize_batch(inputs, threads);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].winner, expected[i].winner) << "input " << i;
+    EXPECT_EQ(got[i].unique, expected[i].unique) << "input " << i;
+    EXPECT_EQ(got[i].dom, expected[i].dom) << "input " << i;
+    EXPECT_DOUBLE_EQ(got[i].score, expected[i].score) << "input " << i;
+    EXPECT_EQ(got[i].accepted, expected[i].accepted) << "input " << i;
+  }
+}
+
+TEST(EngineConformance, BatchMatchesSequentialAllBackends) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs(small_spec());
+
+  // Spin, with thermal noise on so the parallel WTA's counter-based
+  // streams are exercised, not just the deterministic path.
+  SpinAmmConfig sc = clean_spin_config();
+  sc.thermal_noise = true;
+  sc.sample_mismatch = true;
+  sc.memristor = MemristorSpec{};
+  SpinAmm spin_seq(sc);
+  SpinAmm spin_batch(sc);
+  spin_seq.store_templates(templates);
+  spin_batch.store_templates(templates);
+  expect_batch_matches_sequential(spin_seq, spin_batch, inputs, 4);
+
+  DigitalAmmConfig dc;
+  dc.features = small_spec();
+  dc.templates = 10;
+  DigitalAmm dig_seq(dc);
+  DigitalAmm dig_batch(dc);
+  dig_seq.store_templates(templates);
+  dig_batch.store_templates(templates);
+  expect_batch_matches_sequential(dig_seq, dig_batch, inputs, 4);
+
+  MsCmosAmmConfig mc;
+  mc.features = small_spec();
+  mc.templates = 10;
+  MsCmosAmm ms_seq(mc);
+  MsCmosAmm ms_batch(mc);
+  ms_seq.store_templates(templates);
+  ms_batch.store_templates(templates);
+  expect_batch_matches_sequential(ms_seq, ms_batch, inputs, 4);
+
+  HierarchicalAmmConfig hc;
+  hc.features = small_spec();
+  hc.clusters = 3;
+  hc.dwn = DwnParams::from_barrier(20.0);
+  hc.seed = 21;
+  HierarchicalAmm hier_seq(hc);
+  HierarchicalAmm hier_batch(hc);
+  hier_seq.store_templates(templates);
+  hier_batch.store_templates(templates);
+  expect_batch_matches_sequential(hier_seq, hier_batch, inputs, 4);
+}
+
+TEST(EngineConformance, PolymorphicUseThroughBasePointer) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs(small_spec());
+
+  std::vector<std::unique_ptr<AssociativeEngine>> engines;
+  engines.push_back(std::make_unique<SpinAmm>(clean_spin_config()));
+  {
+    DigitalAmmConfig dc;
+    dc.features = small_spec();
+    dc.templates = 10;
+    engines.push_back(std::make_unique<DigitalAmm>(dc));
+  }
+  {
+    MsCmosAmmConfig mc;
+    mc.features = small_spec();
+    mc.templates = 10;
+    engines.push_back(std::make_unique<MsCmosAmm>(mc));
+  }
+
+  for (auto& engine : engines) {
+    engine->store_templates(templates);
+    EXPECT_EQ(engine->template_count(), 10u) << engine->name();
+    EXPECT_GT(engine->power().total(), 0.0) << engine->name();
+    const Recognition r = engine->recognize(inputs[0]);
+    EXPECT_LT(r.winner, 10u) << engine->name();
+    const auto batch = engine->recognize_batch(inputs, 2);
+    EXPECT_EQ(batch.size(), inputs.size()) << engine->name();
+  }
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -65,7 +65,7 @@ TEST(HierarchicalAmm, RoutedRecognitionMostlyCorrect) {
   int total = 0;
   for (const auto& sample : ds.all()) {
     const FeatureVector f = extract_features(sample.image, c.features);
-    const HierarchicalRecognition r = amm.recognize(f);
+    const Recognition r = amm.recognize(f);
     correct += r.winner == sample.individual ? 1 : 0;
     ++total;
   }
@@ -80,8 +80,9 @@ TEST(HierarchicalAmm, WinnerBelongsToReportedCluster) {
   amm.store_templates(build_templates(testing::small_dataset(), c.features));
   const FeatureVector f =
       extract_features(testing::small_dataset().image(4, 1), c.features);
-  const HierarchicalRecognition r = amm.recognize(f);
-  const auto& members = amm.leaf_members(r.cluster);
+  const Recognition r = amm.recognize(f);
+  ASSERT_NE(r.hierarchical(), nullptr);
+  const auto& members = amm.leaf_members(r.hierarchical()->cluster);
   EXPECT_NE(std::find(members.begin(), members.end(), r.winner), members.end());
 }
 
@@ -117,7 +118,9 @@ TEST(HierarchicalAmm, DeterministicForFixedSeed) {
   const auto ra = a.recognize(f);
   const auto rb = b.recognize(f);
   EXPECT_EQ(ra.winner, rb.winner);
-  EXPECT_EQ(ra.cluster, rb.cluster);
+  ASSERT_NE(ra.hierarchical(), nullptr);
+  ASSERT_NE(rb.hierarchical(), nullptr);
+  EXPECT_EQ(ra.hierarchical()->cluster, rb.hierarchical()->cluster);
 }
 
 TEST(HierarchicalAmm, RouterDomReported) {
@@ -127,8 +130,32 @@ TEST(HierarchicalAmm, RouterDomReported) {
   const FeatureVector f =
       extract_features(testing::small_dataset().image(0, 0), c.features);
   const auto r = amm.recognize(f);
-  EXPECT_LE(r.router_dom, 31u);
-  EXPECT_LE(r.leaf_dom, 31u);
+  ASSERT_NE(r.hierarchical(), nullptr);
+  EXPECT_LE(r.hierarchical()->router_dom, 31u);
+  EXPECT_LE(r.dom, 31u);
+}
+
+TEST(HierarchicalAmm, AcceptThresholdMatchesSpinAmmSemantics) {
+  // accept_threshold judges the DOM that ends the active path, exactly
+  // like SpinAmmConfig::accept_threshold judges a flat module's DOM.
+  HierarchicalAmmConfig c = small_config();
+  c.accept_threshold = 31;  // nearly impossible DOM
+  HierarchicalAmm strict(c);
+  strict.store_templates(build_templates(testing::small_dataset(), c.features));
+  c.accept_threshold = 0;
+  HierarchicalAmm lax(c);
+  lax.store_templates(build_templates(testing::small_dataset(), c.features));
+
+  const FaceDataset& ds = testing::small_dataset();
+  for (std::size_t p = 0; p < ds.individuals(); ++p) {
+    const FeatureVector f = extract_features(ds.image(p, 0), c.features);
+    const Recognition rs = strict.recognize(f);
+    const Recognition rl = lax.recognize(f);
+    EXPECT_EQ(rs.accepted, rs.dom >= 31u) << "person " << p;
+    EXPECT_TRUE(rl.accepted) << "person " << p;
+    // The threshold must not change the decision itself.
+    EXPECT_EQ(rs.winner, rl.winner) << "person " << p;
+  }
 }
 
 }  // namespace

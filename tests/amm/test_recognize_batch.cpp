@@ -38,12 +38,12 @@ void expect_batch_matches_sequential(SpinAmmConfig config, std::size_t threads) 
   sequential.store_templates(templates);
   batched.store_templates(templates);
 
-  std::vector<RecognitionResult> expected;
+  std::vector<Recognition> expected;
   expected.reserve(inputs.size());
   for (const auto& input : inputs) {
     expected.push_back(sequential.recognize(input));
   }
-  const std::vector<RecognitionResult> got = batched.recognize_batch(inputs, threads);
+  const std::vector<Recognition> got = batched.recognize_batch(inputs, threads);
 
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -51,10 +51,13 @@ void expect_batch_matches_sequential(SpinAmmConfig config, std::size_t threads) 
     EXPECT_EQ(got[i].unique, expected[i].unique) << "input " << i;
     EXPECT_EQ(got[i].dom, expected[i].dom) << "input " << i;
     EXPECT_EQ(got[i].accepted, expected[i].accepted) << "input " << i;
-    ASSERT_EQ(got[i].column_currents.size(), expected[i].column_currents.size());
-    for (std::size_t j = 0; j < got[i].column_currents.size(); ++j) {
-      EXPECT_DOUBLE_EQ(got[i].column_currents[j], expected[i].column_currents[j])
-          << "input " << i << " column " << j;
+    ASSERT_NE(got[i].spin(), nullptr);
+    ASSERT_NE(expected[i].spin(), nullptr);
+    const auto& got_currents = got[i].spin()->column_currents;
+    const auto& exp_currents = expected[i].spin()->column_currents;
+    ASSERT_EQ(got_currents.size(), exp_currents.size());
+    for (std::size_t j = 0; j < got_currents.size(); ++j) {
+      EXPECT_DOUBLE_EQ(got_currents[j], exp_currents[j]) << "input " << i << " column " << j;
     }
   }
 }
@@ -136,17 +139,20 @@ TEST(RecognizeBatch, HierarchicalMatchesSequential) {
   sequential.store_templates(templates);
   batched.store_templates(templates);
 
-  std::vector<HierarchicalRecognition> expected;
+  std::vector<Recognition> expected;
   for (const auto& input : inputs) {
     expected.push_back(sequential.recognize(input));
   }
-  const std::vector<HierarchicalRecognition> got = batched.recognize_batch(inputs, 2);
+  const std::vector<Recognition> got = batched.recognize_batch(inputs, 2);
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].winner, expected[i].winner) << "input " << i;
-    EXPECT_EQ(got[i].cluster, expected[i].cluster) << "input " << i;
-    EXPECT_EQ(got[i].router_dom, expected[i].router_dom) << "input " << i;
-    EXPECT_EQ(got[i].leaf_dom, expected[i].leaf_dom) << "input " << i;
+    ASSERT_NE(got[i].hierarchical(), nullptr);
+    ASSERT_NE(expected[i].hierarchical(), nullptr);
+    EXPECT_EQ(got[i].hierarchical()->cluster, expected[i].hierarchical()->cluster) << "input " << i;
+    EXPECT_EQ(got[i].hierarchical()->router_dom, expected[i].hierarchical()->router_dom)
+        << "input " << i;
+    EXPECT_EQ(got[i].dom, expected[i].dom) << "input " << i;
     EXPECT_EQ(got[i].unique, expected[i].unique) << "input " << i;
   }
 }

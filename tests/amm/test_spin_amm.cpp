@@ -71,7 +71,8 @@ TEST(SpinAmm, DomAndMarginArePlausible) {
   EXPECT_LE(r.dom, 31u);
   EXPECT_GT(r.margin, -1.0);
   EXPECT_LT(r.margin, 1.0);
-  EXPECT_EQ(r.column_currents.size(), c.templates);
+  ASSERT_NE(r.spin(), nullptr);
+  EXPECT_EQ(r.spin()->column_currents.size(), c.templates);
 }
 
 TEST(SpinAmm, ColumnCurrentsBoundedByFullScale) {

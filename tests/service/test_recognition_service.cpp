@@ -1,0 +1,315 @@
+/// RecognitionService: sharding parity, micro-batching, futures API,
+/// stats, and concurrent submission (the TSan job races this file).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "amm/digital_amm.hpp"
+#include "amm/hierarchical_amm.hpp"
+#include "amm/spin_amm.hpp"
+#include "service/recognition_service.hpp"
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+FeatureSpec small_spec() {
+  FeatureSpec s;
+  s.height = 8;
+  s.width = 6;
+  s.bits = 5;
+  return s;
+}
+
+std::vector<FeatureVector> all_inputs() {
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, small_spec()));
+  }
+  return inputs;
+}
+
+RecognitionService::EngineFactory digital_factory() {
+  return [](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    DigitalAmmConfig c;
+    c.features = small_spec();
+    c.templates = columns;
+    return std::make_unique<DigitalAmm>(c);
+  };
+}
+
+/// Noise-free spin config whose scores are shard-invariant: deterministic
+/// programming plus the shared sizing (input full scale, row pad target)
+/// read off a flat reference engine.
+SpinAmmConfig clean_spin_config(std::size_t columns) {
+  SpinAmmConfig c;
+  c.features = small_spec();
+  c.templates = columns;
+  c.memristor.write_sigma = 0.0;
+  c.memristor.d2d_sigma = 0.0;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.sample_mismatch = false;
+  c.thermal_noise = false;
+  c.seed = 33;
+  return c;
+}
+
+TEST(RecognitionService, DigitalShardedParityWithFlat) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  DigitalAmmConfig flat_config;
+  flat_config.features = small_spec();
+  flat_config.templates = templates.size();
+  DigitalAmm flat(flat_config);
+  flat.store_templates(templates);
+
+  for (std::size_t shards : {std::size_t{2}, std::size_t{3}}) {
+    RecognitionServiceConfig config;
+    config.shards = shards;
+    config.max_batch = 8;
+    RecognitionService service(config, digital_factory());
+    service.store_templates(templates);
+
+    auto future = service.submit_batch(inputs);
+    const std::vector<Recognition> got = future.get();
+    ASSERT_EQ(got.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Recognition expected = flat.recognize(inputs[i]);
+      EXPECT_EQ(got[i].winner, expected.winner) << shards << " shards, input " << i;
+      EXPECT_DOUBLE_EQ(got[i].score, expected.score) << shards << " shards, input " << i;
+      EXPECT_EQ(got[i].unique, expected.unique) << shards << " shards, input " << i;
+    }
+  }
+}
+
+TEST(RecognitionService, SpinShardedParityWithFlat) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  SpinAmm flat(clean_spin_config(templates.size()));
+  flat.store_templates(templates);
+
+  // Shards share the flat engine's realised sizing so their DOM codes
+  // land on the same scale (the service header's comparability contract).
+  const double full_scale = flat.input_full_scale();
+  const double row_target = flat.crossbar().row_conductance(0);
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 16;
+  config.engine_threads = 2;
+  RecognitionService service(config, [&](std::size_t,
+                                         std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    SpinAmmConfig c = clean_spin_config(columns);
+    c.input_full_scale_override = full_scale;
+    c.row_target_conductance = row_target;
+    return std::make_unique<SpinAmm>(c);
+  });
+  service.store_templates(templates);
+
+  auto future = service.submit_batch(inputs);
+  const std::vector<Recognition> got = future.get();
+  ASSERT_EQ(got.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition expected = flat.recognize(inputs[i]);
+    EXPECT_EQ(got[i].winner, expected.winner) << "input " << i;
+    EXPECT_EQ(got[i].dom, expected.dom) << "input " << i;
+    EXPECT_EQ(got[i].accepted, expected.accepted) << "input " << i;
+  }
+}
+
+TEST(RecognitionService, SubmitSingleMatchesDirectEngine) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  DigitalAmmConfig flat_config;
+  flat_config.features = small_spec();
+  flat_config.templates = templates.size();
+  DigitalAmm flat(flat_config);
+  flat.store_templates(templates);
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  std::vector<std::future<Recognition>> futures;
+  futures.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    futures.push_back(service.submit(input));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Recognition got = futures[i].get();
+    EXPECT_EQ(got.winner, flat.recognize(inputs[i]).winner) << "input " << i;
+  }
+}
+
+TEST(RecognitionService, AdmissionWindowCoalescesBatchSubmissions) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();  // 40 queries
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 64;
+  config.admission_window = std::chrono::microseconds(2000);
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  service.submit_batch(inputs).get();
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, inputs.size());
+  // submit_batch enqueues under one lock, so the whole batch is visible
+  // to the collector at once and coalesces into a single dispatch.
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, static_cast<double>(inputs.size()));
+  EXPECT_GT(stats.queries_per_sec, 0.0);
+  EXPECT_GT(stats.mean_latency_us, 0.0);
+  // All queries of one submit_batch share an enqueue stamp, so mean and
+  // max coincide up to floating-point summation error.
+  EXPECT_GE(stats.max_latency_us, 0.999 * stats.mean_latency_us);
+}
+
+TEST(RecognitionService, MaxBatchSplitsLargeSubmissions) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();  // 40 queries
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 16;
+  config.admission_window = std::chrono::microseconds(0);
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  service.submit_batch(inputs).get();
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, inputs.size());
+  EXPECT_GE(stats.batches, (inputs.size() + config.max_batch - 1) / config.max_batch);
+}
+
+TEST(RecognitionService, ConcurrentSubmitters) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  config.engine_threads = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<Recognition>>> futures(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        futures[c].push_back(service.submit(inputs[(c * kPerClient + i) % inputs.size()]));
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  std::size_t fulfilled = 0;
+  for (auto& per_client : futures) {
+    for (auto& f : per_client) {
+      (void)f.get();
+      ++fulfilled;
+    }
+  }
+  EXPECT_EQ(fulfilled, kClients * kPerClient);
+  EXPECT_EQ(service.stats().queries, kClients * kPerClient);
+}
+
+TEST(RecognitionService, DrainBlocksUntilIdle) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  auto future = service.submit_batch(inputs);
+  service.drain();
+  // After drain() the future must already be ready.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+}
+
+TEST(RecognitionService, SubmitBeforeStoreThrows) {
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  FeatureVector f;
+  f.analog.assign(48, 0.5);
+  f.digital.assign(48, 16);
+  EXPECT_THROW(service.submit(f), InvalidArgument);
+}
+
+TEST(RecognitionService, TooFewTemplatesPerShardThrows) {
+  RecognitionServiceConfig config;
+  config.shards = 8;
+  RecognitionService service(config, digital_factory());
+  const auto templates = build_templates(testing::small_dataset(), small_spec());  // 10
+  EXPECT_THROW(service.store_templates(templates), InvalidArgument);
+}
+
+TEST(RecognitionService, EngineErrorPropagatesThroughFuture) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  FeatureVector bad;
+  bad.analog.assign(3, 0.5);
+  bad.digital.assign(3, 10);
+  auto future = service.submit(bad);
+  EXPECT_THROW(future.get(), InvalidArgument);
+}
+
+TEST(RecognitionService, HierarchicalBackendServes) {
+  // HierarchicalAmm only learns its template count from
+  // store_templates(); the service must still accept it as a shard
+  // backend ("replicas of *any* backend").
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, [](std::size_t shard,
+                                        std::size_t) -> std::unique_ptr<AssociativeEngine> {
+    HierarchicalAmmConfig c;
+    c.features = small_spec();
+    c.clusters = 2;
+    c.dwn = DwnParams::from_barrier(20.0);
+    c.seed = 41 + shard;
+    return std::make_unique<HierarchicalAmm>(c);
+  });
+  service.store_templates(templates);
+
+  const auto inputs = all_inputs();
+  const std::vector<Recognition> got = service.submit_batch(inputs).get();
+  ASSERT_EQ(got.size(), inputs.size());
+  for (const auto& r : got) {
+    EXPECT_LT(r.winner, templates.size());
+    EXPECT_NE(r.hierarchical(), nullptr);
+  }
+}
+
+TEST(RecognitionService, EmptyBatchResolvesImmediately) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+  auto future = service.submit_batch({});
+  EXPECT_TRUE(future.get().empty());
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -168,5 +168,103 @@ TEST(SpinSarWta, LowerThresholdDeviceScalesFullScale) {
   EXPECT_EQ(out.winner, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Counter-based per-query noise stream (the "true batched WTA" mechanism)
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> random_batch(std::size_t queries, std::size_t columns,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> batch(queries, std::vector<double>(columns));
+  for (auto& currents : batch) {
+    for (auto& i : currents) {
+      i = rng.uniform(0.0, 30e-6);
+    }
+  }
+  return batch;
+}
+
+void expect_outcomes_equal(const SpinWtaOutcome& a, const SpinWtaOutcome& b, std::size_t i) {
+  EXPECT_EQ(a.winner, b.winner) << "query " << i;
+  EXPECT_EQ(a.unique, b.unique) << "query " << i;
+  EXPECT_EQ(a.winner_dom, b.winner_dom) << "query " << i;
+  EXPECT_EQ(a.dom_codes, b.dom_codes) << "query " << i;
+  EXPECT_EQ(a.tracking, b.tracking) << "query " << i;
+}
+
+TEST(SpinSarWta, RunBatchMatchesSequentialWithThermalNoise) {
+  // The whole point of the counter-based stream: a parallel batch must be
+  // bit-identical to a sequential loop of run() on a twin instance, even
+  // with thermal flips being sampled (lowered barrier so flips happen).
+  SpinWtaConfig c = clean_config(8);
+  c.thermal_noise = true;
+  c.sample_mismatch = true;
+  c.dwn = DwnParams::from_barrier(2.0);  // flips actually occur
+  SpinSarWta sequential(c);
+  SpinSarWta batched(c);
+
+  auto batch = random_batch(24, c.columns, 77);
+  for (auto& currents : batch) {
+    for (auto& i : currents) {
+      i *= c.full_scale_current() / 30e-6;  // marginal drives: flips occur
+    }
+  }
+  std::vector<SpinWtaOutcome> expected;
+  expected.reserve(batch.size());
+  for (const auto& currents : batch) {
+    expected.push_back(sequential.run(currents));
+  }
+  const auto got = batched.run_batch(batch, 4);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_outcomes_equal(got[i], expected[i], i);
+  }
+  EXPECT_EQ(batched.queries_issued(), sequential.queries_issued());
+}
+
+TEST(SpinSarWta, RunQueryIsPureFunctionOfSlot) {
+  SpinWtaConfig c = clean_config(8);
+  c.thermal_noise = true;
+  c.dwn = DwnParams::from_barrier(2.0);  // I_th = 0.1 uA, full scale 3.2 uA
+  SpinSarWta wta(c);
+  // Marginal currents (inside the full scale) so thermal flips actually
+  // move codes; far-over-threshold drives switch deterministically.
+  std::vector<double> currents = random_batch(1, c.columns, 3).front();
+  for (auto& i : currents) {
+    i *= c.full_scale_current() / 30e-6;
+  }
+
+  const auto first = wta.run_query(currents, 5);
+  // Interleave unrelated work; slot 5 must not care.
+  (void)wta.run_query(currents, 0);
+  (void)wta.run_query(currents, 11);
+  const auto again = wta.run_query(currents, 5);
+  expect_outcomes_equal(first, again, 5);
+
+  // Distinct slots draw from independent streams: over many slots with a
+  // marginal input, at least one outcome must differ from slot 5's.
+  bool any_different = false;
+  for (std::uint64_t q = 100; q < 140 && !any_different; ++q) {
+    const auto other = wta.run_query(currents, q);
+    any_different = other.dom_codes != first.dom_codes;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SpinSarWta, RunAdvancesQueryCounter) {
+  SpinSarWta wta(clean_config(4));
+  EXPECT_EQ(wta.queries_issued(), 0u);
+  (void)wta.run({1e-6, 2e-6, 3e-6, 4e-6});
+  EXPECT_EQ(wta.queries_issued(), 1u);
+  (void)wta.run_batch(random_batch(6, 4, 1), 2);
+  EXPECT_EQ(wta.queries_issued(), 7u);
+}
+
+TEST(SpinSarWta, RunBatchValidatesBeforeFanout) {
+  SpinSarWta wta(clean_config(4));
+  std::vector<std::vector<double>> bad{{1e-6, 2e-6}};
+  EXPECT_THROW(wta.run_batch(bad, 4), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace spinsim
