@@ -5,10 +5,12 @@
 ///
 /// `--json [path]` switches to a self-timed recognition comparison that
 /// writes queries/sec for the CG, factored and transfer-operator paths
-/// (plus batched amortized throughput) to BENCH_recognition.json, and
-/// appends service-level rows: full-recognition queries/sec through a
+/// (plus batched amortized throughput) to BENCH_recognition.json, then
+/// appends service-level rows (full-recognition queries/sec through a
 /// single engine's recognize_batch vs a sharded RecognitionService, at
-/// several batch sizes and thread counts.
+/// several batch sizes and thread counts) and tier rows (flat spin vs
+/// hierarchical vs tiered: accuracy, throughput, energy/query and the
+/// tiered escalation/reject rates on one face workload).
 
 #include <benchmark/benchmark.h>
 
@@ -18,7 +20,10 @@
 #include <memory>
 #include <string>
 
+#include "amm/evaluation.hpp"
+#include "amm/hierarchical_amm.hpp"
 #include "amm/spin_amm.hpp"
+#include "amm/tiered_engine.hpp"
 #include "crossbar/rcm.hpp"
 #include "datapath/sar.hpp"
 #include "device/llg.hpp"
@@ -340,6 +345,99 @@ std::vector<ServiceRow> run_service_benchmark() {
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Tier rows: flat spin vs hierarchical vs tiered (hierarchical tier 0 +
+// flat spin tier 1) on one face workload — accuracy through the shared
+// evaluate_engine harness, throughput self-timed, energy/query from each
+// engine's own estimate (tier-mix-aware for the tiered row).
+// --------------------------------------------------------------------------
+
+struct TierRow {
+  const char* engine;
+  double accuracy = 0.0;
+  double queries_per_sec = 0.0;
+  double energy_per_query_j = 0.0;
+  double escalation_rate = -1.0;  // < 0: not a tiered engine
+  double reject_rate = -1.0;
+};
+
+TierRow time_tier_engine(const char* label, const FaceDataset& dataset, const FeatureSpec& spec,
+                         AssociativeEngine& engine) {
+  TierRow row;
+  row.engine = label;
+  row.accuracy = evaluate_engine(dataset, spec, engine).accuracy();
+
+  std::vector<FeatureVector> probes;
+  probes.reserve(dataset.size());
+  for (const auto& sample : dataset.all()) {
+    probes.push_back(extract_features(sample.image, spec));
+  }
+  (void)engine.recognize_batch(probes);  // warm caches
+  const std::size_t total_queries = 1024;
+  const auto start = Clock::now();
+  std::size_t done = 0;
+  while (done < total_queries) {
+    (void)engine.recognize_batch(probes);
+    done += probes.size();
+  }
+  row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
+  // Sampled after the traffic above, so a tiered engine reports the
+  // energy of its *observed* tier mix.
+  row.energy_per_query_j = engine.energy_per_query();
+  return row;
+}
+
+std::vector<TierRow> run_tier_benchmark() {
+  // A 40-identity bank (4 shots each, 64x48 px) at the paper's 16x8
+  // 5-bit features: large enough that the hierarchical active path
+  // (4-column router + ~N/4-column leaf) is much smaller than the flat
+  // 40-column search, small enough to time in CI. The 0.02 escalation
+  // threshold sits just below the tier-0 margin mean (~0.025), which is
+  // what buys the flat accuracy at roughly a third of the escalations.
+  static const FaceDataset* dataset = new FaceDataset(40, 4, [] {
+    FaceGeneratorConfig c;
+    c.image_height = 64;
+    c.image_width = 48;
+    return c;
+  }());
+  FeatureSpec spec;  // 16x8, 5-bit
+  const auto templates = build_templates(*dataset, spec);
+
+  SpinAmmConfig flat_config;
+  flat_config.features = spec;
+  flat_config.templates = templates.size();
+  flat_config.dwn = DwnParams::from_barrier(20.0);
+  flat_config.seed = 7;
+
+  HierarchicalAmmConfig hier_config;
+  hier_config.features = spec;
+  hier_config.clusters = 4;
+  hier_config.dwn = DwnParams::from_barrier(20.0);
+  hier_config.seed = 7;
+
+  std::vector<TierRow> rows;
+
+  SpinAmm flat(flat_config);
+  flat.store_templates(templates);
+  rows.push_back(time_tier_engine("flat-spin", *dataset, spec, flat));
+
+  HierarchicalAmm hier(hier_config);
+  hier.store_templates(templates);
+  rows.push_back(time_tier_engine("hierarchical", *dataset, spec, hier));
+
+  TieredEngineConfig policy;
+  policy.escalation_margin = 0.02;
+  TieredEngine tiered(std::make_unique<HierarchicalAmm>(hier_config),
+                      std::make_unique<SpinAmm>(flat_config), policy);
+  tiered.store_templates(templates);
+  TierRow tiered_row = time_tier_engine("tiered", *dataset, spec, tiered);
+  const TieredCounters counters = tiered.counters();
+  tiered_row.escalation_rate = counters.escalation_rate();
+  tiered_row.reject_rate = counters.reject_rate();
+  rows.push_back(tiered_row);
+  return rows;
+}
+
 int run_json_benchmark(const std::string& path) {
   const std::size_t rows = 64;
   const std::size_t cols = 20;
@@ -394,6 +492,28 @@ int run_json_benchmark(const std::string& path) {
                  i + 1 < service_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+
+  // Tier rows: the accuracy/energy trade the tiered router buys.
+  std::printf("timing the tier comparison (flat vs hierarchical vs tiered)...\n");
+  const std::vector<TierRow> tier_rows = run_tier_benchmark();
+  std::fprintf(f, "  \"tiers\": {\n");
+  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": \"16x8x5b\", "
+                  "\"clusters\": 4, \"escalation_margin\": 0.02, \"unit\": \"full recognitions/s\"},\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+    const TierRow& row = tier_rows[i];
+    std::fprintf(f,
+                 "      {\"engine\": \"%s\", \"accuracy\": %.4f, \"queries_per_sec\": %.1f, "
+                 "\"energy_per_query_j\": %.4e",
+                 row.engine, row.accuracy, row.queries_per_sec, row.energy_per_query_j);
+    if (row.escalation_rate >= 0.0) {
+      std::fprintf(f, ", \"escalation_rate\": %.4f, \"reject_rate\": %.4f", row.escalation_rate,
+                   row.reject_rate);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < tier_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -409,6 +529,15 @@ int run_json_benchmark(const std::string& path) {
   for (const ServiceRow& row : service_rows) {
     std::printf("  service %-7s t=%zu b=%-3zu: %12.1f full recognitions/s\n", row.mode,
                 row.threads, row.batch, row.queries_per_sec);
+  }
+  for (const TierRow& row : tier_rows) {
+    std::printf("  tier %-12s: %6.2f %% acc, %10.1f q/s, %.3e J/query", row.engine,
+                100.0 * row.accuracy, row.queries_per_sec, row.energy_per_query_j);
+    if (row.escalation_rate >= 0.0) {
+      std::printf(" (escalation %.1f %%, reject %.1f %%)", 100.0 * row.escalation_rate,
+                  100.0 * row.reject_rate);
+    }
+    std::printf("\n");
   }
   return 0;
 }

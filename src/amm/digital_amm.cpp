@@ -75,6 +75,8 @@ std::vector<Recognition> DigitalAmm::recognize_batch(const std::vector<FeatureVe
 
 PowerReport DigitalAmm::power() const { return evaluation().power; }
 
+double DigitalAmm::energy_per_query() const { return evaluation().energy_per_recognition; }
+
 DigitalAsicEvaluation DigitalAmm::evaluation() const {
   DigitalAsicDesign design;
   design.dimension = config_.features.dimension();

@@ -51,6 +51,9 @@ class DigitalAmm : public AssociativeEngine {
   /// Power of this design point (Table-1 style ASIC model).
   PowerReport power() const override;
 
+  /// The ASIC model's per-recognition energy (`templates` MAC cycles) [J].
+  double energy_per_query() const override;
+
   /// Energy/performance evaluation of this design point.
   DigitalAsicEvaluation evaluation() const;
 

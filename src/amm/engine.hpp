@@ -51,12 +51,27 @@ struct DigitalRecognitionDetail {
 struct HierarchicalRecognitionDetail {
   std::size_t cluster = 0;       ///< router decision (engine-local index)
   std::uint32_t router_dom = 0;  ///< centroid degree of match
+  /// Best centroid DOM outside the chosen cluster; the router score gap
+  /// (router_dom - router_runner_up_dom) / router_dom caps the reported
+  /// margin, because the global runner-up template may live in another
+  /// cluster than the one the leaf search visited.
+  std::uint32_t router_runner_up_dom = 0;
+};
+
+/// Tiered extras: which tier served the answer and what the cheap tier
+/// reported before any escalation decision.
+struct TieredRecognitionDetail {
+  std::size_t tier = 0;        ///< 0 = cheap tier answered, 1 = escalated
+  double tier0_margin = 0.0;   ///< margin the tier-0 engine reported
+  std::uint32_t tier0_dom = 0;
+  bool tier0_accepted = true;
 };
 
 /// Backend-specific payload of one recognition.
 using RecognitionDetail =
     std::variant<std::monostate, SpinRecognitionDetail, MsCmosRecognitionDetail,
-                 DigitalRecognitionDetail, HierarchicalRecognitionDetail>;
+                 DigitalRecognitionDetail, HierarchicalRecognitionDetail,
+                 TieredRecognitionDetail>;
 
 /// The unified result of one recognition, produced by every backend.
 struct Recognition {
@@ -83,6 +98,9 @@ struct Recognition {
   }
   const HierarchicalRecognitionDetail* hierarchical() const {
     return std::get_if<HierarchicalRecognitionDetail>(&detail);
+  }
+  const TieredRecognitionDetail* tiered() const {
+    return std::get_if<TieredRecognitionDetail>(&detail);
   }
 };
 
@@ -117,6 +135,15 @@ class AssociativeEngine {
 
   /// Analytic power of this design point.
   virtual PowerReport power() const = 0;
+
+  /// Estimated energy one recognition costs on this design point [J]:
+  /// power() over the design's recognition rate (an M-cycle WTA search for
+  /// the spin designs, `templates` MAC cycles for the digital ASIC, one
+  /// settling clock for the MS-CMOS tree). This is the figure the tiered
+  /// router and the service's per-query energy accounting compose, so it
+  /// must stay safe to call concurrently with recognition (pure function
+  /// of the configuration, or of atomically maintained counters).
+  virtual double energy_per_query() const = 0;
 };
 
 }  // namespace spinsim

@@ -100,16 +100,39 @@ void HierarchicalAmm::store_templates(const std::vector<FeatureVector>& template
   }
 }
 
-Recognition HierarchicalAmm::finish(const Recognition& leaf, std::size_t cluster,
-                                    std::uint32_t router_dom, std::size_t global_winner) const {
+Recognition HierarchicalAmm::finish(const Recognition& leaf, const Recognition& routed,
+                                    std::size_t cluster, std::size_t global_winner) const {
+  // The leaf margin only measures the winning cluster's local runner-up;
+  // the *global* runner-up may live in another cluster the leaf search
+  // never visited. Cap with the router's relative score gap (the same
+  // rule RecognitionService::merge applies across shards) so downstream
+  // escalation keyed on margin never sees overstated confidence. The
+  // singleton-cluster path gets the identical treatment: its router-level
+  // margin is a gap between *centroids*, not stored templates, so it too
+  // must not outrank what the router gap supports.
+  std::uint32_t router_second = 0;
+  if (const SpinRecognitionDetail* rd = routed.spin()) {
+    for (std::size_t c = 0; c < rd->wta.dom_codes.size(); ++c) {
+      if (c != routed.winner) {
+        router_second = std::max(router_second, rd->wta.dom_codes[c]);
+      }
+    }
+  }
   Recognition out;
   out.winner = global_winner;
   out.unique = leaf.unique;
   out.dom = leaf.dom;
   out.score = static_cast<double>(out.dom);
-  out.margin = leaf.margin;
+  if (routed.dom == 0) {
+    // Nothing matched at the router: no confidence to report.
+    out.margin = 0.0;
+  } else {
+    const double router_gap = static_cast<double>(routed.dom - router_second) /
+                              static_cast<double>(routed.dom);
+    out.margin = std::min(leaf.margin, router_gap);
+  }
   out.accepted = out.dom >= config_.accept_threshold;
-  out.detail = HierarchicalRecognitionDetail{cluster, router_dom};
+  out.detail = HierarchicalRecognitionDetail{cluster, routed.dom, router_second};
   return out;
 }
 
@@ -126,11 +149,11 @@ Recognition HierarchicalAmm::recognize(const FeatureVector& input) {
     // active path produced; the accept threshold applies to it.
     Recognition single = routed;
     single.unique = true;
-    return finish(single, cluster, routed.dom, member_list.front());
+    return finish(single, routed, cluster, member_list.front());
   }
 
   const Recognition leaf = leaves_[cluster]->recognize(input);
-  return finish(leaf, cluster, routed.dom, member_list[leaf.winner]);
+  return finish(leaf, routed, cluster, member_list[leaf.winner]);
 }
 
 std::vector<Recognition> HierarchicalAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
@@ -163,7 +186,7 @@ std::vector<Recognition> HierarchicalAmm::recognize_batch(const std::vector<Feat
       for (const std::size_t i : by_cluster[c]) {
         Recognition single = routed[i];
         single.unique = true;
-        results[i] = finish(single, c, routed[i].dom, member_list.front());
+        results[i] = finish(single, routed[i], c, member_list.front());
       }
       continue;
     }
@@ -175,7 +198,7 @@ std::vector<Recognition> HierarchicalAmm::recognize_batch(const std::vector<Feat
     const std::vector<Recognition> leaf_results = leaves_[c]->recognize_batch(leaf_inputs, threads);
     for (std::size_t k = 0; k < by_cluster[c].size(); ++k) {
       const std::size_t i = by_cluster[c][k];
-      results[i] = finish(leaf_results[k], c, routed[i].dom, member_list[leaf_results[k].winner]);
+      results[i] = finish(leaf_results[k], routed[i], c, member_list[leaf_results[k].winner]);
     }
   }
   return results;
@@ -205,15 +228,15 @@ PowerReport HierarchicalAmm::active_path_power() const {
   leaf_design.templates = std::max<std::size_t>(largest_leaf, 2);
 
   PowerReport combined;
-  const PowerReport router_power = spin_amm_power(router_design);
-  for (const auto& item : router_power.items()) {
-    combined.add("router: " + item.name, item.kind, item.watts);
-  }
-  const PowerReport leaf_power = spin_amm_power(leaf_design);
-  for (const auto& item : leaf_power.items()) {
-    combined.add("leaf: " + item.name, item.kind, item.watts);
-  }
+  combined.add_all_prefixed("router: ", spin_amm_power(router_design));
+  combined.add_all_prefixed("leaf: ", spin_amm_power(leaf_design));
   return combined;
+}
+
+double HierarchicalAmm::energy_per_query() const {
+  // Router search followed by one leaf search, each an M-cycle SAR/WTA
+  // conversion of the active path's modules.
+  return active_path_power().total() * static_cast<double>(config_.wta_bits) / config_.clock;
 }
 
 PowerReport HierarchicalAmm::flat_equivalent_power() const {

@@ -63,7 +63,10 @@ class HierarchicalAmm : public AssociativeEngine {
 
   /// Routed recognition: winner is the *global* template index; dom is
   /// the winning leaf's degree of match; the detail holds the routing
-  /// decision (cluster, router dom).
+  /// decision (cluster, router dom, router runner-up dom). The margin is
+  /// the leaf-local margin capped by the router's relative score gap, so
+  /// it never overstates confidence against templates the visited leaf
+  /// could not see (the rule escalation policies key on).
   Recognition recognize(const FeatureVector& input) override;
 
   /// Batched routed recognition: results[i] corresponds to inputs[i] and
@@ -85,12 +88,16 @@ class HierarchicalAmm : public AssociativeEngine {
   PowerReport active_path_power() const;
   PowerReport power() const override { return active_path_power(); }
 
+  /// Energy of one routed recognition: router search + worst-case leaf
+  /// search, each an M-cycle WTA conversion [J].
+  double energy_per_query() const override;
+
   /// Power a *flat* AMM holding all templates would burn, for comparison.
   PowerReport flat_equivalent_power() const;
 
  private:
   SpinAmmConfig module_config(std::size_t columns, std::uint64_t salt) const;
-  Recognition finish(const Recognition& leaf, std::size_t cluster, std::uint32_t router_dom,
+  Recognition finish(const Recognition& leaf, const Recognition& routed, std::size_t cluster,
                      std::size_t global_winner) const;
 
   HierarchicalAmmConfig config_;

@@ -64,6 +64,12 @@ class MsCmosAmm : public AssociativeEngine {
   /// Power of this sized design point.
   PowerReport power() const override { return evaluation_.power; }
 
+  /// Energy of one recognition: one settling period of the analog tree at
+  /// the clock its sizing achieves [J].
+  double energy_per_query() const override {
+    return evaluation_.power.total() / evaluation_.max_clock;
+  }
+
   /// The sizing/power evaluation of this design point.
   const MsCmosEvaluation& evaluation() const { return evaluation_; }
 

@@ -244,4 +244,8 @@ SpinAmmDesign SpinAmm::power_design() const {
 
 PowerReport SpinAmm::power() const { return spin_amm_power(power_design()); }
 
+double SpinAmm::energy_per_query() const {
+  return power().total() * static_cast<double>(config_.wta_bits) / config_.clock;
+}
+
 }  // namespace spinsim

@@ -123,6 +123,10 @@ class SpinAmm : public AssociativeEngine {
   /// Analytic power breakdown of this design point.
   PowerReport power() const override;
 
+  /// Energy of one recognition: the design's power over one M-cycle WTA
+  /// search (the SAR conversion is what paces a recognition) [J].
+  double energy_per_query() const override;
+
   /// The design-point parameters fed to the power model.
   SpinAmmDesign power_design() const;
 

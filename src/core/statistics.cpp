@@ -42,6 +42,42 @@ double RunningStats::max() const {
   return max_;
 }
 
+void GeometricHistogram::add(double value) {
+  std::size_t index = 0;
+  if (value > 1.0) {
+    index = static_cast<std::size_t>(std::log(value) / std::log(kGrowth)) + 1;
+    index = std::min(index, kBuckets - 1);
+  }
+  ++buckets_[index];
+  ++count_;
+}
+
+double GeometricHistogram::percentile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "GeometricHistogram::percentile: q must be in [0, 1]");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // Rank of the requested quantile (nearest-rank, 1-based).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (seen + buckets_[i] >= target) {
+      const double hi = std::pow(kGrowth, static_cast<double>(i));
+      const double lo = i == 0 ? 0.0 : hi / kGrowth;
+      const double frac =
+          static_cast<double>(target - seen) / static_cast<double>(buckets_[i]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return std::pow(kGrowth, static_cast<double>(kBuckets - 1));
+}
+
 double mean(const std::vector<double>& v) {
   require(!v.empty(), "mean: empty input");
   double acc = 0.0;

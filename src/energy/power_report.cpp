@@ -12,6 +12,12 @@ void PowerReport::add(std::string name, PowerKind kind, double watts) {
   items_.push_back({std::move(name), kind, watts});
 }
 
+void PowerReport::add_all_prefixed(const std::string& prefix, const PowerReport& other) {
+  for (const auto& item : other.items_) {
+    add(prefix + item.name, item.kind, item.watts);
+  }
+}
+
 double PowerReport::static_total() const {
   double acc = 0.0;
   for (const auto& item : items_) {

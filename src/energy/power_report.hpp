@@ -26,6 +26,11 @@ class PowerReport {
   /// Adds a contribution; negative values are rejected.
   void add(std::string name, PowerKind kind, double watts);
 
+  /// Adds every item of `other` under "<prefix><its name>" — how composite
+  /// designs (hierarchical router+leaf, tiered router+authority) fold
+  /// their stages into one breakdown.
+  void add_all_prefixed(const std::string& prefix, const PowerReport& other);
+
   double static_total() const;
   double dynamic_total() const;
   double total() const { return static_total() + dynamic_total(); }

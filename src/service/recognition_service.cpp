@@ -1,6 +1,7 @@
 #include "service/recognition_service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/error.hpp"
@@ -175,18 +176,52 @@ std::size_t RecognitionService::shard_base(std::size_t index) const {
 }
 
 RecognitionServiceStats RecognitionService::stats() const {
-  std::unique_lock<std::mutex> lock(stats_mutex_);
   RecognitionServiceStats out;
-  out.queries = stat_queries_;
-  out.batches = stat_batches_;
-  out.mean_batch_size =
-      stat_batches_ == 0 ? 0.0 : static_cast<double>(stat_queries_) / static_cast<double>(stat_batches_);
-  out.mean_latency_us = stat_queries_ == 0 ? 0.0 : stat_latency_sum_us_ / static_cast<double>(stat_queries_);
-  out.max_latency_us = stat_latency_max_us_;
-  if (stat_queries_ > 0) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
-    out.queries_per_sec = elapsed > 0.0 ? static_cast<double>(stat_queries_) / elapsed : 0.0;
+  {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    out.queries = stat_queries_;
+    out.failed = stat_failed_;
+    out.batches = stat_batches_;
+    out.escalated = stat_escalated_;
+    out.rejected = stat_rejected_;
+    out.mean_batch_size = stat_batches_ == 0 ? 0.0
+                                             : static_cast<double>(stat_queries_) /
+                                                   static_cast<double>(stat_batches_);
+    const std::uint64_t delivered = stat_queries_ - stat_failed_;
+    out.mean_latency_us =
+        delivered == 0 ? 0.0 : stat_latency_sum_us_ / static_cast<double>(delivered);
+    out.max_latency_us = stat_latency_max_us_;
+    // The histogram interpolates to bucket edges (~26 % resolution); the
+    // exactly-tracked maximum bounds what a quantile can honestly claim.
+    out.p50_latency_us = std::min(stat_latency_us_.percentile(0.50), stat_latency_max_us_);
+    out.p95_latency_us = std::min(stat_latency_us_.percentile(0.95), stat_latency_max_us_);
+    out.p99_latency_us = std::min(stat_latency_us_.percentile(0.99), stat_latency_max_us_);
+    out.escalation_rate =
+        delivered == 0 ? 0.0 : static_cast<double>(stat_escalated_) / static_cast<double>(delivered);
+    out.reject_rate =
+        delivered == 0 ? 0.0 : static_cast<double>(stat_rejected_) / static_cast<double>(delivered);
+    if (stat_queries_ > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
+      out.queries_per_sec = elapsed > 0.0 ? static_cast<double>(stat_queries_) / elapsed : 0.0;
+    }
+  }
+  // Per-shard engine-time quantiles and the per-query energy estimate.
+  // Every query visits every shard, so the energies add; tiered shard
+  // engines fold their observed escalation rate in (energy_per_query is
+  // documented safe to call concurrently with recognition).
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    RecognitionServiceStats::ShardStats ss;
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      ss.batches = shard->batches_run;
+      ss.p50_batch_us = shard->batch_latency_us.percentile(0.50);
+      ss.p95_batch_us = shard->batch_latency_us.percentile(0.95);
+      ss.p99_batch_us = shard->batch_latency_us.percentile(0.99);
+    }
+    out.shards.push_back(ss);
+    out.energy_per_query_j += shard->engine->energy_per_query();
   }
   return out;
 }
@@ -242,6 +277,7 @@ void RecognitionService::shard_loop(Shard* shard, std::size_t engine_threads) {
     }
     std::vector<Recognition> results;
     std::exception_ptr error;
+    const auto engine_start = std::chrono::steady_clock::now();
     try {
       results = shard->engine->recognize_batch(*job, engine_threads);
     } catch (...) {
@@ -249,12 +285,17 @@ void RecognitionService::shard_loop(Shard* shard, std::size_t engine_threads) {
       // terminating the worker thread.
       error = std::current_exception();
     }
+    const double engine_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - engine_start)
+                                 .count();
     {
       std::unique_lock<std::mutex> lock(shard->mutex);
       shard->results = std::move(results);
       shard->job_error = error;
       shard->job = nullptr;
       shard->job_done = true;
+      shard->batch_latency_us.add(engine_us);
+      shard->batches_run += 1;
     }
     shard->cv.notify_all();
   }
@@ -281,15 +322,24 @@ Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) 
   // The winning shard's margin only measures its *local* runner-up; the
   // global runner-up may live on another shard. Cap it with the relative
   // cross-shard score gap so the merged margin never overstates the
-  // confidence a flat engine would have reported.
-  if (shard_answers.size() > 1 && out.score > 0.0) {
-    double second = 0.0;
-    for (std::size_t s = 0; s < shard_answers.size(); ++s) {
-      if (s != best_shard) {
-        second = std::max(second, shard_answers[s]->score);
+  // confidence a flat engine would have reported. The runner-up starts at
+  // -inf and takes the *actual* other-shard scores — backends may score
+  // at or below zero, and clamping the runner-up to 0 would mis-cap them.
+  if (shard_answers.size() > 1) {
+    if (out.score > 0.0) {
+      double second = -std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < shard_answers.size(); ++s) {
+        if (s != best_shard) {
+          second = std::max(second, shard_answers[s]->score);
+        }
       }
+      out.margin = std::min(out.margin, (out.score - second) / out.score);
+    } else {
+      // Non-positive winner: there is no positive scale to normalise a
+      // score gap against, and a best match at or below zero carries no
+      // confidence worth reporting — force escalation-grade margin.
+      out.margin = 0.0;
     }
-    out.margin = std::min(out.margin, (out.score - second) / out.score);
   }
   return out;
 }
@@ -326,7 +376,13 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     for (auto& request : batch) {
       request.deliver(Recognition{}, error);
     }
+    // Failed queries still count: every delivered future shows up in
+    // `queries` (and in `failed`), so mean_batch_size keeps meaning
+    // queries/batches whatever the error rate. Latency stats only track
+    // successes — see RecognitionServiceStats.
     std::unique_lock<std::mutex> lock(stats_mutex_);
+    stat_queries_ += batch.size();
+    stat_failed_ += batch.size();
     stat_batches_ += 1;
     return;
   }
@@ -334,18 +390,23 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   const auto now = std::chrono::steady_clock::now();
   std::vector<Recognition> merged;
   merged.reserve(batch.size());
-  double latency_sum_us = 0.0;
-  double latency_max_us = 0.0;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(batch.size());
+  std::uint64_t escalated = 0;
+  std::uint64_t rejected = 0;
   std::vector<Recognition*> answers(shards_.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       answers[s] = &per_shard[s][i];
     }
     merged.push_back(merge(answers));
-    const double latency_us =
-        std::chrono::duration<double, std::micro>(now - batch[i].enqueued).count();
-    latency_sum_us += latency_us;
-    latency_max_us = std::max(latency_max_us, latency_us);
+    const Recognition& answer = merged.back();
+    if (const TieredRecognitionDetail* tiered = answer.tiered()) {
+      escalated += tiered->tier == 1 ? 1 : 0;
+    }
+    rejected += answer.accepted ? 0 : 1;
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - batch[i].enqueued).count());
   }
 
   // Stats first: once a future resolves, a client may read stats() and
@@ -354,12 +415,28 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     std::unique_lock<std::mutex> lock(stats_mutex_);
     stat_queries_ += batch.size();
     stat_batches_ += 1;
-    stat_latency_sum_us_ += latency_sum_us;
-    stat_latency_max_us_ = std::max(stat_latency_max_us_, latency_max_us);
+    stat_escalated_ += escalated;
+    stat_rejected_ += rejected;
+    for (const double latency_us : latencies_us) {
+      stat_latency_sum_us_ += latency_us;
+      stat_latency_max_us_ = std::max(stat_latency_max_us_, latency_us);
+      stat_latency_us_.add(latency_us);
+    }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i].deliver(std::move(merged[i]), nullptr);
   }
+}
+
+RecognitionService::EngineFactory make_tiered_factory(RecognitionService::EngineFactory tier0,
+                                                      RecognitionService::EngineFactory tier1,
+                                                      const TieredEngineConfig& config) {
+  require(static_cast<bool>(tier0) && static_cast<bool>(tier1),
+          "make_tiered_factory: both tier factories must be non-empty");
+  return [tier0 = std::move(tier0), tier1 = std::move(tier1),
+          config](std::size_t shard, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    return std::make_unique<TieredEngine>(tier0(shard, columns), tier1(shard, columns), config);
+  };
 }
 
 }  // namespace spinsim

@@ -10,9 +10,13 @@
 /// engine is touched by exactly one thread, so engines need no internal
 /// locking), merges the per-shard answers by score, and fulfils the
 /// futures. This is the layer the ROADMAP's heavy-traffic scenarios plug
-/// into: later scaling PRs (async I/O, multi-backend routing,
-/// larger-than-memory leaves) swap what lives behind the shard workers
-/// without touching the client surface.
+/// into: what lives behind the shard workers swaps freely without touching
+/// the client surface. Multi-backend *tiered* routing plugs in exactly
+/// there: make_tiered_factory() builds one TieredEngine per shard (cheap
+/// tier 0, authoritative tier 1), and stats() then surfaces the tier mix
+/// (escalation/reject rates), per-shard batch-time quantiles, client
+/// latency percentiles and an energy-per-query estimate composed from the
+/// shard engines' power models.
 ///
 /// Winner parity: the merge picks the shard with the highest score,
 /// breaking ties toward the lowest global template index — the same rule
@@ -38,6 +42,8 @@
 #include <vector>
 
 #include "amm/engine.hpp"
+#include "amm/tiered_engine.hpp"
+#include "core/statistics.hpp"
 #include "vision/features.hpp"
 
 namespace spinsim {
@@ -57,12 +63,45 @@ struct RecognitionServiceConfig {
 
 /// Running counters of one service instance.
 struct RecognitionServiceStats {
-  std::uint64_t queries = 0;        ///< fulfilled queries
+  /// Delivered futures, *failed ones included*: a query whose dispatch
+  /// raised counts here and in `failed`, so mean_batch_size stays
+  /// queries/batches for every dispatch the collector issued.
+  std::uint64_t queries = 0;
+  std::uint64_t failed = 0;         ///< futures that carried an exception
   std::uint64_t batches = 0;        ///< dispatches (micro-batches)
   double mean_batch_size = 0.0;     ///< queries / batches
-  double mean_latency_us = 0.0;     ///< submit -> future fulfilled
+  double mean_latency_us = 0.0;     ///< submit -> future fulfilled (successes)
   double max_latency_us = 0.0;
+  /// Client-side latency quantiles (submit -> future fulfilled), for the
+  /// per-query SLO story; failed queries are excluded, like the mean.
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
   double queries_per_sec = 0.0;     ///< since store_templates()
+
+  // Tiered-routing / admission-control accounting. `escalated` counts
+  // merged answers whose winning shard served from tier 1 (nonzero only
+  // with TieredEngine shard backends); `rejected` counts merged answers
+  // with accepted == false, whatever the backend.
+  std::uint64_t escalated = 0;
+  std::uint64_t rejected = 0;
+  double escalation_rate = 0.0;     ///< escalated / successful queries
+  double reject_rate = 0.0;         ///< rejected / successful queries
+  /// Estimated energy one query costs across the deployed shard engines
+  /// [J]: every query visits every shard, so this sums each shard
+  /// engine's energy_per_query() — which, for tiered shards, already
+  /// folds in the observed tier mix.
+  double energy_per_query_j = 0.0;
+
+  /// Per-shard engine-time quantiles, one entry per shard: the time that
+  /// shard's recognize_batch took per dispatched micro-batch.
+  struct ShardStats {
+    std::uint64_t batches = 0;
+    double p50_batch_us = 0.0;
+    double p95_batch_us = 0.0;
+    double p99_batch_us = 0.0;
+  };
+  std::vector<ShardStats> shards;
 };
 
 /// Sharded, micro-batching recognition front end.
@@ -137,6 +176,11 @@ class RecognitionService {
     std::exception_ptr job_error;
     bool job_done = false;
     bool stop = false;
+
+    // Engine time per dispatched batch [us], written by the worker under
+    // `mutex` while posting results, read by stats().
+    GeometricHistogram batch_latency_us;
+    std::uint64_t batches_run = 0;
   };
 
   void collector_loop();
@@ -160,10 +204,23 @@ class RecognitionService {
 
   mutable std::mutex stats_mutex_;
   std::uint64_t stat_queries_ = 0;
+  std::uint64_t stat_failed_ = 0;
   std::uint64_t stat_batches_ = 0;
+  std::uint64_t stat_escalated_ = 0;
+  std::uint64_t stat_rejected_ = 0;
   double stat_latency_sum_us_ = 0.0;
   double stat_latency_max_us_ = 0.0;
+  GeometricHistogram stat_latency_us_;
   std::chrono::steady_clock::time_point started_at_;
 };
+
+/// Composes two engine factories into one that builds a TieredEngine per
+/// shard: tier 0 (the cheap stage, typically hierarchical) answers every
+/// query, tier 1 (the authoritative flat stage) answers the escalated
+/// tail. Both factories are called with the same (shard, columns), so the
+/// usual score-comparability contract applies to each tier's replicas.
+RecognitionService::EngineFactory make_tiered_factory(RecognitionService::EngineFactory tier0,
+                                                      RecognitionService::EngineFactory tier1,
+                                                      const TieredEngineConfig& config = {});
 
 }  // namespace spinsim

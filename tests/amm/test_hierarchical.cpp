@@ -135,6 +135,88 @@ TEST(HierarchicalAmm, RouterDomReported) {
   EXPECT_LE(r.dom, 31u);
 }
 
+TEST(HierarchicalAmm, MarginCappedByRouterScoreGap) {
+  // Regression: the leaf-local margin only measures the winning cluster's
+  // runner-up, but the global runner-up may live in another cluster. The
+  // reported margin must never exceed the router's relative score gap
+  // (the same cap rule RecognitionService::merge applies across shards).
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+
+  bool saw_binding_cap = false;
+  for (const auto& sample : testing::small_dataset().all()) {
+    const FeatureVector f = extract_features(sample.image, c.features);
+    const Recognition r = amm.recognize(f);
+    ASSERT_NE(r.hierarchical(), nullptr);
+    const auto& d = *r.hierarchical();
+    EXPECT_LE(d.router_runner_up_dom, d.router_dom);
+    if (d.router_dom == 0) {
+      EXPECT_DOUBLE_EQ(r.margin, 0.0);
+      continue;
+    }
+    const double router_gap = static_cast<double>(d.router_dom - d.router_runner_up_dom) /
+                              static_cast<double>(d.router_dom);
+    EXPECT_LE(r.margin, router_gap + 1e-12);
+    // On a clustered face workload some queries must route through a
+    // genuinely contested router decision — that is exactly the case the
+    // old code overstated, so make sure the cap actually binds somewhere.
+    saw_binding_cap = saw_binding_cap || router_gap < 0.2;
+  }
+  EXPECT_TRUE(saw_binding_cap) << "dataset never exercised a contested routing decision";
+}
+
+TEST(HierarchicalAmm, BatchMarginsMatchSequential) {
+  // The cap must apply identically on the batched path.
+  const HierarchicalAmmConfig c = small_config();
+  HierarchicalAmm batched(c);
+  HierarchicalAmm sequential(c);
+  const auto templates = build_templates(testing::small_dataset(), c.features);
+  batched.store_templates(templates);
+  sequential.store_templates(templates);
+
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, c.features));
+  }
+  const std::vector<Recognition> got = batched.recognize_batch(inputs, /*threads=*/2);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition expected = sequential.recognize(inputs[i]);
+    EXPECT_EQ(got[i].winner, expected.winner) << "input " << i;
+    EXPECT_DOUBLE_EQ(got[i].margin, expected.margin) << "input " << i;
+  }
+}
+
+TEST(HierarchicalAmm, SingletonClusterMarginUsesRouterGap) {
+  // With nearly as many clusters as templates, k-means produces singleton
+  // clusters; their path ends at the router, and the reported margin must
+  // obey the same router-gap cap instead of echoing the centroid-current
+  // margin unchecked.
+  HierarchicalAmmConfig c = small_config(9);
+  HierarchicalAmm amm(c);
+  amm.store_templates(build_templates(testing::small_dataset(), c.features));
+
+  std::size_t singleton_queries = 0;
+  for (const auto& sample : testing::small_dataset().all()) {
+    const FeatureVector f = extract_features(sample.image, c.features);
+    const Recognition r = amm.recognize(f);
+    ASSERT_NE(r.hierarchical(), nullptr);
+    const auto& d = *r.hierarchical();
+    if (amm.leaf_members(d.cluster).size() != 1) {
+      continue;
+    }
+    ++singleton_queries;
+    if (d.router_dom == 0) {
+      EXPECT_DOUBLE_EQ(r.margin, 0.0);
+      continue;
+    }
+    const double router_gap = static_cast<double>(d.router_dom - d.router_runner_up_dom) /
+                              static_cast<double>(d.router_dom);
+    EXPECT_LE(r.margin, router_gap + 1e-12);
+  }
+  EXPECT_GT(singleton_queries, 0u) << "no singleton cluster was ever routed to";
+}
+
 TEST(HierarchicalAmm, AcceptThresholdMatchesSpinAmmSemantics) {
   // accept_threshold judges the DOM that ends the active path, exactly
   // like SpinAmmConfig::accept_threshold judges a flat module's DOM.

@@ -301,6 +301,281 @@ TEST(RecognitionService, HierarchicalBackendServes) {
   }
 }
 
+/// Fixed-answer stub backend for merge-semantics regressions: every query
+/// gets the same scripted score/margin/accepted, so cross-shard merge
+/// arithmetic is tested in isolation (including score ranges — zero,
+/// negative — that no physical backend happens to produce today).
+class ScriptedEngine : public AssociativeEngine {
+ public:
+  struct Answer {
+    double score = 0.0;
+    double margin = 0.0;
+    bool accepted = true;
+  };
+
+  explicit ScriptedEngine(Answer answer) : answer_(answer) {}
+
+  std::string name() const override { return "scripted"; }
+  std::size_t template_count() const override { return columns_; }
+  void store_templates(const std::vector<FeatureVector>& templates) override {
+    columns_ = templates.size();
+  }
+  Recognition recognize(const FeatureVector&) override {
+    Recognition r;
+    r.winner = 0;
+    r.score = answer_.score;
+    r.margin = answer_.margin;
+    r.accepted = answer_.accepted;
+    return r;
+  }
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t) override {
+    std::vector<Recognition> out;
+    out.reserve(inputs.size());
+    for (const auto& input : inputs) {
+      out.push_back(recognize(input));
+    }
+    return out;
+  }
+  PowerReport power() const override { return {}; }
+  double energy_per_query() const override { return 1e-9; }
+
+ private:
+  Answer answer_;
+  std::size_t columns_ = 0;
+};
+
+RecognitionService::EngineFactory scripted_factory(std::vector<ScriptedEngine::Answer> answers) {
+  return [answers = std::move(answers)](std::size_t shard,
+                                        std::size_t) -> std::unique_ptr<AssociativeEngine> {
+    return std::make_unique<ScriptedEngine>(answers.at(shard));
+  };
+}
+
+/// Four don't-care feature vectors (ScriptedEngine never reads them).
+std::vector<FeatureVector> scripted_templates() {
+  std::vector<FeatureVector> templates(4);
+  for (auto& t : templates) {
+    t.analog.assign(4, 0.5);
+    t.digital.assign(4, 16);
+  }
+  return templates;
+}
+
+TEST(RecognitionService, MergeMarginZeroForNonPositiveWinner) {
+  // Regression: the merge used to skip the cross-shard cap entirely when
+  // the winning score was <= 0, passing the winning shard's local margin
+  // through unchecked. A best match at or below zero carries no
+  // confidence — the merged margin must be 0 so escalation policies fire.
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config,
+                             scripted_factory({{-1.0, 0.8, true}, {-2.0, 0.7, true}}));
+  service.store_templates(scripted_templates());
+
+  const Recognition got = service.submit(scripted_templates().front()).get();
+  EXPECT_EQ(got.winner, 0u);  // shard 0 holds the higher (less negative) score
+  EXPECT_DOUBLE_EQ(got.score, -1.0);
+  EXPECT_DOUBLE_EQ(got.margin, 0.0);
+}
+
+TEST(RecognitionService, MergeMarginUsesActualRunnerUpScore) {
+  // Regression: the cross-shard runner-up used to be initialised to 0.0,
+  // so any negative other-shard score was silently clamped up and the cap
+  // bit harder than the real score gap warrants. With the true runner-up
+  // (-1.0) the relative gap is (2 - (-1)) / 2 = 1.5, which must NOT
+  // shrink the winning shard's local margin of 1.4; the old clamp capped
+  // it at (2 - 0) / 2 = 1.0.
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config,
+                             scripted_factory({{2.0, 1.4, true}, {-1.0, 0.2, true}}));
+  service.store_templates(scripted_templates());
+
+  const Recognition got = service.submit(scripted_templates().front()).get();
+  EXPECT_DOUBLE_EQ(got.score, 2.0);
+  EXPECT_DOUBLE_EQ(got.margin, 1.4);
+}
+
+TEST(RecognitionService, MergeTieAcrossShardsYieldsZeroMargin) {
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config,
+                             scripted_factory({{3.0, 0.5, true}, {3.0, 0.5, true}}));
+  service.store_templates(scripted_templates());
+
+  const Recognition got = service.submit(scripted_templates().front()).get();
+  EXPECT_FALSE(got.unique);
+  EXPECT_DOUBLE_EQ(got.margin, 0.0);
+}
+
+TEST(RecognitionService, ErrorPathCountsFailedQueries) {
+  // Regression: the dispatch error path used to bump `batches` without
+  // `queries`, deflating mean_batch_size and decoupling it from the
+  // number of delivered futures. Failed queries now count in both
+  // `queries` and `failed`.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+
+  FeatureVector bad;
+  bad.analog.assign(3, 0.5);
+  bad.digital.assign(3, 10);
+  auto failing = service.submit_batch({bad, bad, bad});
+  EXPECT_THROW(failing.get(), InvalidArgument);
+  service.drain();
+
+  RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size,
+                   static_cast<double>(stats.queries) / static_cast<double>(stats.batches));
+  // Latency tracking covers successes only.
+  EXPECT_DOUBLE_EQ(stats.mean_latency_us, 0.0);
+
+  // Successes after a failure keep both counters coherent.
+  const auto inputs = all_inputs();
+  service.submit_batch(inputs).get();
+  stats = service.stats();
+  EXPECT_EQ(stats.queries, 3u + inputs.size());
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_GT(stats.mean_latency_us, 0.0);
+}
+
+TEST(RecognitionService, StatsSurfaceLatencyPercentilesAndEnergy) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  RecognitionService service(config, digital_factory());
+  service.store_templates(templates);
+  service.submit_batch(inputs).get();
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p95_latency_us);
+  EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
+  // Every query visits both shards, so the service-level energy estimate
+  // is the sum of the shard engines' per-query figures.
+  EXPECT_GT(stats.energy_per_query_j, 0.0);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  for (const auto& shard : stats.shards) {
+    EXPECT_GT(shard.batches, 0u);
+    EXPECT_GT(shard.p50_batch_us, 0.0);
+    EXPECT_LE(shard.p50_batch_us, shard.p95_batch_us);
+    EXPECT_LE(shard.p95_batch_us, shard.p99_batch_us);
+  }
+}
+
+TEST(RecognitionService, RejectedAnswersCounted) {
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config,
+                             scripted_factory({{1.0, 0.5, false}, {0.5, 0.5, false}}));
+  service.store_templates(scripted_templates());
+
+  const std::vector<FeatureVector> probes(6, scripted_templates().front());
+  service.submit_batch(probes).get();
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, probes.size());
+  EXPECT_DOUBLE_EQ(stats.reject_rate, 1.0);
+  EXPECT_EQ(stats.escalated, 0u);  // no tiered backend in play
+}
+
+TEST(RecognitionService, TieredForcedEscalationMatchesFlatTier1) {
+  // The service-edge conformance contract of the tiered router: with the
+  // escalation threshold above any reachable margin every query is
+  // answered by tier 1, so a sharded tiered service must be
+  // winner-for-winner identical to one flat instance of the tier-1
+  // configuration — and the stats must show the 100 % escalation.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  SpinAmm flat(clean_spin_config(templates.size()));
+  flat.store_templates(templates);
+  const double full_scale = flat.input_full_scale();
+  const double row_target = flat.crossbar().row_conductance(0);
+
+  auto tier0 = [](std::size_t shard, std::size_t) -> std::unique_ptr<AssociativeEngine> {
+    HierarchicalAmmConfig c;
+    c.features = small_spec();
+    c.clusters = 2;
+    c.dwn = DwnParams::from_barrier(20.0);
+    c.seed = 41 + shard;
+    return std::make_unique<HierarchicalAmm>(c);
+  };
+  auto tier1 = [&](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    SpinAmmConfig c = clean_spin_config(columns);
+    c.input_full_scale_override = full_scale;
+    c.row_target_conductance = row_target;
+    return std::make_unique<SpinAmm>(c);
+  };
+  TieredEngineConfig policy;
+  policy.escalation_margin = 2.0;  // beyond any reachable margin
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 16;
+  RecognitionService service(config, make_tiered_factory(tier0, tier1, policy));
+  service.store_templates(templates);
+
+  const std::vector<Recognition> got = service.submit_batch(inputs).get();
+  ASSERT_EQ(got.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition expected = flat.recognize(inputs[i]);
+    EXPECT_EQ(got[i].winner, expected.winner) << "input " << i;
+    EXPECT_EQ(got[i].dom, expected.dom) << "input " << i;
+    ASSERT_NE(got[i].tiered(), nullptr) << "input " << i;
+    EXPECT_EQ(got[i].tiered()->tier, 1u) << "input " << i;
+  }
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.escalated, inputs.size());
+  EXPECT_DOUBLE_EQ(stats.escalation_rate, 1.0);
+  EXPECT_GT(stats.energy_per_query_j, 0.0);
+}
+
+TEST(RecognitionService, TieredServiceReportsPartialEscalation) {
+  // A realistic threshold keeps some traffic in tier 0 — the service
+  // stats must agree with the shard engines' own counters.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  auto tier0 = [](std::size_t shard, std::size_t) -> std::unique_ptr<AssociativeEngine> {
+    HierarchicalAmmConfig c;
+    c.features = small_spec();
+    c.clusters = 2;
+    c.dwn = DwnParams::from_barrier(20.0);
+    c.seed = 41 + shard;
+    return std::make_unique<HierarchicalAmm>(c);
+  };
+  auto tier1 = [](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    DigitalAmmConfig c;
+    c.features = small_spec();
+    c.templates = columns;
+    return std::make_unique<DigitalAmm>(c);
+  };
+  TieredEngineConfig policy;
+  policy.escalation_margin = 0.05;
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  RecognitionService service(config, make_tiered_factory(tier0, tier1, policy));
+  service.store_templates(templates);
+  service.submit_batch(inputs).get();
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, inputs.size());
+  EXPECT_LE(stats.escalated, stats.queries);
+  EXPECT_GE(stats.escalation_rate, 0.0);
+  EXPECT_LE(stats.escalation_rate, 1.0);
+  EXPECT_GT(stats.energy_per_query_j, 0.0);
+}
+
 TEST(RecognitionService, EmptyBatchResolvesImmediately) {
   const auto templates = build_templates(testing::small_dataset(), small_spec());
   RecognitionServiceConfig config;
