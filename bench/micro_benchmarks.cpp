@@ -8,9 +8,11 @@
 /// (plus batched amortized throughput) to BENCH_recognition.json, then
 /// appends service-level rows (full-recognition queries/sec through a
 /// single engine's recognize_batch vs a sharded RecognitionService, at
-/// several batch sizes and thread counts) and tier rows (flat spin vs
+/// several batch sizes and thread counts), tier rows (flat spin vs
 /// hierarchical vs tiered: accuracy, throughput, energy/query and the
-/// tiered escalation/reject rates on one face workload).
+/// tiered escalation/reject rates on one face workload), and leaf-cache
+/// rows (hit rate and reprogram-amortized energy/query vs pool size for
+/// the larger-than-memory serving path).
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +24,7 @@
 
 #include "amm/evaluation.hpp"
 #include "amm/hierarchical_amm.hpp"
+#include "amm/leaf_cache_engine.hpp"
 #include "amm/spin_amm.hpp"
 #include "amm/tiered_engine.hpp"
 #include "crossbar/rcm.hpp"
@@ -387,19 +390,26 @@ TierRow time_tier_engine(const char* label, const FaceDataset& dataset, const Fe
   return row;
 }
 
-std::vector<TierRow> run_tier_benchmark() {
-  // A 40-identity bank (4 shots each, 64x48 px) at the paper's 16x8
-  // 5-bit features: large enough that the hierarchical active path
-  // (4-column router + ~N/4-column leaf) is much smaller than the flat
-  // 40-column search, small enough to time in CI. The 0.02 escalation
-  // threshold sits just below the tier-0 margin mean (~0.025), which is
-  // what buys the flat accuracy at roughly a third of the escalations.
+/// The shared 40-identity bank (4 shots each, 64x48 px) the tier and
+/// leaf-cache sections both measure on — built once per bench run.
+const FaceDataset& bench_identity_dataset() {
   static const FaceDataset* dataset = new FaceDataset(40, 4, [] {
     FaceGeneratorConfig c;
     c.image_height = 64;
     c.image_width = 48;
     return c;
   }());
+  return *dataset;
+}
+
+std::vector<TierRow> run_tier_benchmark() {
+  // The 40-identity bank at the paper's 16x8 5-bit features: large
+  // enough that the hierarchical active path (4-column router +
+  // ~N/4-column leaf) is much smaller than the flat 40-column search,
+  // small enough to time in CI. The 0.02 escalation threshold sits just
+  // below the tier-0 margin mean (~0.025), which is what buys the flat
+  // accuracy at roughly a third of the escalations.
+  const FaceDataset* dataset = &bench_identity_dataset();
   FeatureSpec spec;  // 16x8, 5-bit
   const auto templates = build_templates(*dataset, spec);
 
@@ -435,6 +445,76 @@ std::vector<TierRow> run_tier_benchmark() {
   tiered_row.escalation_rate = counters.escalation_rate();
   tiered_row.reject_rate = counters.reject_rate();
   rows.push_back(tiered_row);
+  return rows;
+}
+
+// --------------------------------------------------------------------------
+// Leaf-cache rows: the larger-than-memory serving trade. One 40-identity
+// workload, a 4-cluster hierarchy (the same shape as the tier rows), and
+// a shrinking pool of programmed leaf slots: accuracy (bit-identical to
+// fully resident, by design), hit rate, throughput and the
+// reprogram-amortized energy/query.
+// --------------------------------------------------------------------------
+
+struct LeafCacheRow {
+  std::size_t slots = 0;
+  std::size_t clusters = 0;
+  double accuracy = 0.0;
+  double queries_per_sec = 0.0;
+  double hit_rate = 0.0;
+  double energy_per_query_j = 0.0;            // search + amortized write
+  double reprogram_energy_per_query_j = 0.0;  // write component alone
+};
+
+std::vector<LeafCacheRow> run_leaf_cache_benchmark() {
+  const FaceDataset* dataset = &bench_identity_dataset();
+  FeatureSpec spec;  // 16x8, 5-bit
+  const auto templates = build_templates(*dataset, spec);
+
+  LeafCacheEngineConfig base;
+  base.hierarchy.features = spec;
+  base.hierarchy.clusters = 4;
+  base.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  base.hierarchy.seed = 7;
+
+  std::vector<FeatureVector> probes;
+  probes.reserve(dataset->size());
+  for (const auto& sample : dataset->all()) {
+    probes.push_back(extract_features(sample.image, spec));
+  }
+
+  std::vector<LeafCacheRow> rows;
+  // Full pool (== clusters, the resident baseline), half, and quarter.
+  for (const std::size_t slots : {std::size_t{4}, std::size_t{2}, std::size_t{1}}) {
+    LeafCacheEngineConfig config = base;
+    config.leaf_slots = slots;
+    LeafCacheEngine engine(config);
+    engine.store_templates(templates);
+
+    LeafCacheRow row;
+    row.slots = slots;
+    row.clusters = config.hierarchy.clusters;
+    row.accuracy = evaluate_engine(*dataset, spec, engine).accuracy();
+
+    (void)engine.recognize_batch(probes);  // warm caches
+    const std::size_t total_queries = 1024;
+    const auto start = Clock::now();
+    std::size_t done = 0;
+    while (done < total_queries) {
+      (void)engine.recognize_batch(probes);
+      done += probes.size();
+    }
+    row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
+
+    const LeafCacheCounters counters = engine.counters();
+    row.hit_rate = counters.hit_rate();
+    row.energy_per_query_j = engine.energy_per_query();
+    row.reprogram_energy_per_query_j =
+        counters.queries == 0
+            ? 0.0
+            : counters.reprogram_energy_j / static_cast<double>(counters.queries);
+    rows.push_back(row);
+  }
   return rows;
 }
 
@@ -514,6 +594,26 @@ int run_json_benchmark(const std::string& path) {
     std::fprintf(f, "}%s\n", i + 1 < tier_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+
+  // Leaf-cache rows: hit rate and reprogram-amortized energy vs pool size.
+  std::printf("timing the leaf cache (pool size sweep, larger-than-memory serving)...\n");
+  const std::vector<LeafCacheRow> leaf_rows = run_leaf_cache_benchmark();
+  std::fprintf(f, "  \"leaf_cache\": {\n");
+  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
+                  "\"16x8x5b\", \"clusters\": 4, \"unit\": \"full recognitions/s\"},\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < leaf_rows.size(); ++i) {
+    const LeafCacheRow& row = leaf_rows[i];
+    std::fprintf(f,
+                 "      {\"slots\": %zu, \"clusters\": %zu, \"accuracy\": %.4f, "
+                 "\"queries_per_sec\": %.1f, \"hit_rate\": %.4f, \"energy_per_query_j\": %.4e, "
+                 "\"reprogram_energy_per_query_j\": %.4e}%s\n",
+                 row.slots, row.clusters, row.accuracy, row.queries_per_sec, row.hit_rate,
+                 row.energy_per_query_j, row.reprogram_energy_per_query_j,
+                 i + 1 < leaf_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -538,6 +638,12 @@ int run_json_benchmark(const std::string& path) {
                   100.0 * row.reject_rate);
     }
     std::printf("\n");
+  }
+  for (const LeafCacheRow& row : leaf_rows) {
+    std::printf("  leaf-cache %zu/%zu slots: %6.2f %% acc, %10.1f q/s, hit %.1f %%, "
+                "%.3e J/query (write %.3e)\n",
+                row.slots, row.clusters, 100.0 * row.accuracy, row.queries_per_sec,
+                100.0 * row.hit_rate, row.energy_per_query_j, row.reprogram_energy_per_query_j);
   }
   return 0;
 }

@@ -54,6 +54,9 @@ Recognition DigitalAmm::recognize_one(const FeatureVector& input) const {
   out.winner = winner;
   out.unique = best_count == 1;
   out.score = static_cast<double>(best);
+  // No accept threshold on the bit-exact path, but a tied winner is
+  // still not an acceptable match (accepted implies unique).
+  out.accepted = out.unique;
   out.detail = std::move(detail);
   return out;
 }

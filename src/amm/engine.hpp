@@ -84,8 +84,13 @@ struct Recognition {
   /// shard merge relies on — not across different backends.
   double score = 0.0;
   std::uint32_t dom = 0;  ///< degree of match where the backend has one
-  double margin = 0.0;    ///< (best - runner-up) / full scale, analog stage
-  bool accepted = true;   ///< dom >= the engine's accept threshold
+  /// (best - runner-up) / full scale at the analog stage. Contract (the
+  /// randomized conformance suite asserts it for every backend): never
+  /// negative, and exactly zero when the winning score is non-positive.
+  double margin = 0.0;
+  /// dom >= the engine's accept threshold *and* the winner was unique —
+  /// accepted implies unique, so escalation/merge can trust it.
+  bool accepted = true;
   RecognitionDetail detail;
 
   /// Typed accessors: non-null when the detail holds that backend's extras.

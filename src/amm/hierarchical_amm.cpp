@@ -8,10 +8,6 @@
 
 namespace spinsim {
 
-namespace {
-
-/// Quantises a raw centroid onto the feature grid so it can be programmed
-/// like any template.
 FeatureVector centroid_to_template(const std::vector<double>& centroid, const FeatureSpec& spec) {
   FeatureVector t;
   t.spec = spec;
@@ -27,81 +23,68 @@ FeatureVector centroid_to_template(const std::vector<double>& centroid, const Fe
   return t;
 }
 
-}  // namespace
-
-HierarchicalAmm::HierarchicalAmm(const HierarchicalAmmConfig& config) : config_(config) {
-  require(config.clusters >= 2, "HierarchicalAmm: need at least two clusters");
-}
-
-SpinAmmConfig HierarchicalAmm::module_config(std::size_t columns, std::uint64_t salt) const {
+SpinAmmConfig hierarchical_module_config(const HierarchicalAmmConfig& config, std::size_t columns,
+                                         std::uint64_t salt) {
   SpinAmmConfig c;
-  c.features = config_.features;
+  c.features = config.features;
   c.templates = columns;
-  c.memristor = config_.memristor;
-  c.wta_bits = config_.wta_bits;
-  c.dwn = config_.dwn;
-  c.delta_v = config_.delta_v;
-  c.clock = config_.clock;
-  c.sample_mismatch = config_.sample_mismatch;
+  c.memristor = config.memristor;
+  c.wta_bits = config.wta_bits;
+  c.dwn = config.dwn;
+  c.delta_v = config.delta_v;
+  c.clock = config.clock;
+  c.sample_mismatch = config.sample_mismatch;
   // The hierarchy applies the threshold to whichever DOM ends the active
   // path (leaf, or router for singleton clusters), so the modules
   // themselves judge every local match accepted; see recognize().
   c.accept_threshold = 0;
-  c.seed = config_.seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0x1234);
+  c.seed = config.seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0x1234);
   return c;
 }
 
-void HierarchicalAmm::store_templates(const std::vector<FeatureVector>& templates) {
-  require(templates.size() >= config_.clusters,
-          "HierarchicalAmm::store_templates: fewer templates than clusters");
-  total_templates_ = templates.size();
+SpinAmmDesign hierarchical_module_design(const HierarchicalAmmConfig& config,
+                                         std::size_t columns) {
+  SpinAmmDesign d;
+  d.dimension = config.features.dimension();
+  d.templates = std::max<std::size_t>(columns, 2);
+  d.resolution_bits = config.wta_bits;
+  d.dwn_threshold = config.dwn.i_threshold;
+  d.delta_v = config.delta_v;
+  d.clock = config.clock;
+  return d;
+}
 
-  // 1. Cluster the template vectors.
+std::vector<std::vector<std::size_t>> cluster_templates(
+    const HierarchicalAmmConfig& config, const std::vector<FeatureVector>& templates,
+    std::vector<FeatureVector>& router_templates) {
+  require(templates.size() >= config.clusters,
+          "cluster_templates: fewer templates than clusters");
   std::vector<std::vector<double>> points;
   points.reserve(templates.size());
   for (const auto& t : templates) {
-    require(t.dimension() == config_.features.dimension(),
-            "HierarchicalAmm::store_templates: template dimension mismatch");
+    require(t.dimension() == config.features.dimension(),
+            "cluster_templates: template dimension mismatch");
     points.push_back(t.analog);
   }
-  Rng rng(config_.seed);
-  const KMeansResult clustering = kmeans(points, config_.clusters, rng,
-                                         config_.kmeans_iterations);
+  Rng rng(config.seed);
+  const KMeansResult clustering =
+      kmeans(points, config.clusters, rng, config.kmeans_iterations);
 
-  members_.assign(config_.clusters, {});
+  std::vector<std::vector<std::size_t>> members(config.clusters);
   for (std::size_t i = 0; i < templates.size(); ++i) {
-    members_[clustering.assignment[i]].push_back(i);
+    members[clustering.assignment[i]].push_back(i);
   }
 
-  // 2. Router module: one column per centroid.
-  std::vector<FeatureVector> router_templates;
-  router_templates.reserve(config_.clusters);
+  router_templates.clear();
+  router_templates.reserve(config.clusters);
   for (const auto& centroid : clustering.centroids) {
-    router_templates.push_back(centroid_to_template(centroid, config_.features));
+    router_templates.push_back(centroid_to_template(centroid, config.features));
   }
-  router_ = std::make_unique<SpinAmm>(module_config(config_.clusters, 0));
-  router_->store_templates(router_templates);
-
-  // 3. Leaf modules: one per non-trivial cluster. A singleton cluster
-  //    needs no second-level search.
-  leaves_.clear();
-  leaves_.resize(config_.clusters);
-  for (std::size_t c = 0; c < config_.clusters; ++c) {
-    if (members_[c].size() < 2) {
-      continue;
-    }
-    std::vector<FeatureVector> leaf_templates;
-    leaf_templates.reserve(members_[c].size());
-    for (std::size_t global : members_[c]) {
-      leaf_templates.push_back(templates[global]);
-    }
-    leaves_[c] = std::make_unique<SpinAmm>(module_config(members_[c].size(), c + 1));
-    leaves_[c]->store_templates(leaf_templates);
-  }
+  return members;
 }
 
-Recognition HierarchicalAmm::finish(const Recognition& leaf, const Recognition& routed,
-                                    std::size_t cluster, std::size_t global_winner) const {
+Recognition finish_routed(const Recognition& leaf, const Recognition& routed, std::size_t cluster,
+                          std::size_t global_winner, std::uint32_t accept_threshold) {
   // The leaf margin only measures the winning cluster's local runner-up;
   // the *global* runner-up may live in another cluster the leaf search
   // never visited. Cap with the router's relative score gap (the same
@@ -123,17 +106,56 @@ Recognition HierarchicalAmm::finish(const Recognition& leaf, const Recognition& 
   out.unique = leaf.unique;
   out.dom = leaf.dom;
   out.score = static_cast<double>(out.dom);
-  if (routed.dom == 0) {
-    // Nothing matched at the router: no confidence to report.
+  if (routed.dom == 0 || out.dom == 0) {
+    // Nothing matched at the router, or the active path ended on a zero
+    // degree of match: a non-positive winner carries no confidence.
     out.margin = 0.0;
   } else {
     const double router_gap = static_cast<double>(routed.dom - router_second) /
                               static_cast<double>(routed.dom);
     out.margin = std::min(leaf.margin, router_gap);
   }
-  out.accepted = out.dom >= config_.accept_threshold;
+  out.accepted = out.unique && out.dom >= accept_threshold;
   out.detail = HierarchicalRecognitionDetail{cluster, routed.dom, router_second};
   return out;
+}
+
+HierarchicalAmm::HierarchicalAmm(const HierarchicalAmmConfig& config) : config_(config) {
+  require(config.clusters >= 2, "HierarchicalAmm: need at least two clusters");
+}
+
+void HierarchicalAmm::store_templates(const std::vector<FeatureVector>& templates) {
+  total_templates_ = templates.size();
+
+  // 1. Cluster the template vectors; 2. router module: one column per
+  //    centroid (the schedule shared with LeafCacheEngine).
+  std::vector<FeatureVector> router_templates;
+  members_ = cluster_templates(config_, templates, router_templates);
+  router_ = std::make_unique<SpinAmm>(hierarchical_module_config(config_, config_.clusters, 0));
+  router_->store_templates(router_templates);
+
+  // 3. Leaf modules: one per non-trivial cluster. A singleton cluster
+  //    needs no second-level search.
+  leaves_.clear();
+  leaves_.resize(config_.clusters);
+  for (std::size_t c = 0; c < config_.clusters; ++c) {
+    if (members_[c].size() < 2) {
+      continue;
+    }
+    std::vector<FeatureVector> leaf_templates;
+    leaf_templates.reserve(members_[c].size());
+    for (std::size_t global : members_[c]) {
+      leaf_templates.push_back(templates[global]);
+    }
+    leaves_[c] =
+        std::make_unique<SpinAmm>(hierarchical_module_config(config_, members_[c].size(), c + 1));
+    leaves_[c]->store_templates(leaf_templates);
+  }
+}
+
+Recognition HierarchicalAmm::finish(const Recognition& leaf, const Recognition& routed,
+                                    std::size_t cluster, std::size_t global_winner) const {
+  return finish_routed(leaf, routed, cluster, global_winner, config_.accept_threshold);
 }
 
 Recognition HierarchicalAmm::recognize(const FeatureVector& input) {
@@ -216,20 +238,11 @@ PowerReport HierarchicalAmm::active_path_power() const {
     largest_leaf = std::max(largest_leaf, m.size());
   }
   // Router + worst-case leaf, evaluated through the same power model.
-  SpinAmmDesign router_design;
-  router_design.dimension = config_.features.dimension();
-  router_design.templates = config_.clusters;
-  router_design.resolution_bits = config_.wta_bits;
-  router_design.dwn_threshold = config_.dwn.i_threshold;
-  router_design.delta_v = config_.delta_v;
-  router_design.clock = config_.clock;
-
-  SpinAmmDesign leaf_design = router_design;
-  leaf_design.templates = std::max<std::size_t>(largest_leaf, 2);
-
   PowerReport combined;
-  combined.add_all_prefixed("router: ", spin_amm_power(router_design));
-  combined.add_all_prefixed("leaf: ", spin_amm_power(leaf_design));
+  combined.add_all_prefixed("router: ",
+                            spin_amm_power(hierarchical_module_design(config_, config_.clusters)));
+  combined.add_all_prefixed("leaf: ",
+                            spin_amm_power(hierarchical_module_design(config_, largest_leaf)));
   return combined;
 }
 
@@ -240,14 +253,7 @@ double HierarchicalAmm::energy_per_query() const {
 }
 
 PowerReport HierarchicalAmm::flat_equivalent_power() const {
-  SpinAmmDesign flat;
-  flat.dimension = config_.features.dimension();
-  flat.templates = std::max<std::size_t>(total_templates_, 2);
-  flat.resolution_bits = config_.wta_bits;
-  flat.dwn_threshold = config_.dwn.i_threshold;
-  flat.delta_v = config_.delta_v;
-  flat.clock = config_.clock;
-  return spin_amm_power(flat);
+  return spin_amm_power(hierarchical_module_design(config_, total_templates_));
 }
 
 }  // namespace spinsim

@@ -47,6 +47,43 @@ struct HierarchicalAmmConfig {
   std::uint64_t seed = 2013;
 };
 
+/// Quantises a raw k-means centroid onto the feature grid so it can be
+/// programmed like any template.
+FeatureVector centroid_to_template(const std::vector<double>& centroid, const FeatureSpec& spec);
+
+/// SpinAmm configuration of one module (router or leaf) of a two-level
+/// hierarchy. Every engine that routes through the same clustering must
+/// derive its modules through this one function — same columns, same
+/// salt, same realised device noise — which is what makes the on-demand
+/// LeafCacheEngine bit-identical to a fully resident HierarchicalAmm.
+SpinAmmConfig hierarchical_module_config(const HierarchicalAmmConfig& config, std::size_t columns,
+                                         std::uint64_t salt);
+
+/// Power-model design point of one module of the hierarchy (router when
+/// `columns` == clusters, leaf otherwise) — the single mapping both
+/// HierarchicalAmm and LeafCacheEngine price their active paths through.
+SpinAmmDesign hierarchical_module_design(const HierarchicalAmmConfig& config, std::size_t columns);
+
+/// Runs the hierarchy's clustering step: k-means over the templates'
+/// analog vectors with the config's seed/iteration schedule. Returns the
+/// per-cluster global template indices and fills `router_templates` with
+/// one quantised centroid per cluster, ready for the router module. Both
+/// HierarchicalAmm and LeafCacheEngine build from this one schedule,
+/// which is what keeps their routing — and therefore their answers — in
+/// lockstep.
+std::vector<std::vector<std::size_t>> cluster_templates(
+    const HierarchicalAmmConfig& config, const std::vector<FeatureVector>& templates,
+    std::vector<FeatureVector>& router_templates);
+
+/// Folds a leaf answer and its routing decision into the global result
+/// shared by HierarchicalAmm and LeafCacheEngine: winner becomes the
+/// global template index, the leaf-local margin is capped by the router's
+/// relative score gap (the global runner-up may live in another cluster),
+/// a zero-DOM answer carries zero margin, and `accepted` requires a
+/// unique winner at or above `accept_threshold`.
+Recognition finish_routed(const Recognition& leaf, const Recognition& routed, std::size_t cluster,
+                          std::size_t global_winner, std::uint32_t accept_threshold);
+
 /// Two-level AMM built from router + leaf SpinAmm modules.
 class HierarchicalAmm : public AssociativeEngine {
  public:
@@ -96,7 +133,6 @@ class HierarchicalAmm : public AssociativeEngine {
   PowerReport flat_equivalent_power() const;
 
  private:
-  SpinAmmConfig module_config(std::size_t columns, std::uint64_t salt) const;
   Recognition finish(const Recognition& leaf, const Recognition& routed, std::size_t cluster,
                      std::size_t global_winner) const;
 

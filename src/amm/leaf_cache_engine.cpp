@@ -1,0 +1,309 @@
+#include "amm/leaf_cache_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+#include "energy/spin_power.hpp"
+
+namespace spinsim {
+
+LeafCacheEngine::LeafCacheEngine(const LeafCacheEngineConfig& config) : config_(config) {
+  require(config.hierarchy.clusters >= 2, "LeafCacheEngine: need at least two clusters");
+  require(config.leaf_slots >= 1, "LeafCacheEngine: need at least one leaf slot");
+}
+
+void LeafCacheEngine::store_templates(const std::vector<FeatureVector>& templates) {
+  const HierarchicalAmmConfig& h = config_.hierarchy;
+  total_templates_ = templates.size();
+
+  // 1. Cluster the template vectors and build the router — the identical
+  //    shared schedule a HierarchicalAmm with this config runs, which is
+  //    what keeps the two engines' routing in lockstep.
+  std::vector<FeatureVector> router_templates;
+  members_ = cluster_templates(h, templates, router_templates);
+  router_ = std::make_unique<SpinAmm>(hierarchical_module_config(h, h.clusters, 0));
+  router_->store_templates(router_templates);
+
+  // 2. Record the per-cluster template slices; leaves materialise on
+  //    first touch instead of being programmed here.
+  leaf_sets_.assign(h.clusters, {});
+  largest_leaf_ = 0;
+  for (std::size_t c = 0; c < h.clusters; ++c) {
+    largest_leaf_ = std::max(largest_leaf_, members_[c].size());
+    if (members_[c].size() < 2) {
+      continue;  // singleton: the router answers it, no leaf needed
+    }
+    leaf_sets_[c].reserve(members_[c].size());
+    for (std::size_t global : members_[c]) {
+      leaf_sets_[c].push_back(templates[global]);
+    }
+  }
+
+  pinned_.assign(h.clusters, false);
+  slot_of_.assign(h.clusters, -1);
+  slots_.clear();
+  lru_clock_ = 0;
+
+  // A re-store serves a new template set: the traffic counters must not
+  // blend the old workload into the new hit rate / amortized energy.
+  queries_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  devices_written_.store(0, std::memory_order_relaxed);
+  columns_written_.store(0, std::memory_order_relaxed);
+}
+
+SpinAmm* LeafCacheEngine::ensure_resident(std::size_t cluster) {
+  if (leaf_sets_[cluster].empty()) {
+    return nullptr;  // singleton cluster, served by the router
+  }
+  ++lru_clock_;
+  const std::ptrdiff_t have = slot_of_[cluster];
+  if (have >= 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(have)].last_used = lru_clock_;
+    return slots_[static_cast<std::size_t>(have)].engine.get();
+  }
+
+  // Miss: take a free slot, or evict the least-recently-used unpinned one.
+  std::size_t victim = slots_.size();
+  if (slots_.size() < config_.leaf_slots) {
+    slots_.emplace_back();
+  } else {
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (!pinned_[slots_[s].cluster] && slots_[s].last_used < oldest) {
+        oldest = slots_[s].last_used;
+        victim = s;
+      }
+    }
+    require(victim < slots_.size(),
+            "LeafCacheEngine: every leaf slot is pinned; cannot serve a miss");
+    slot_of_[slots_[victim].cluster] = -1;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Program the cluster's templates into the slot. The module derives
+  // through hierarchical_module_config with the same salt a resident
+  // HierarchicalAmm leaf would use, so the realised device noise — and
+  // therefore every answer — is bit-identical across reprogram cycles.
+  Slot& slot = slots_[victim];
+  slot.cluster = cluster;
+  slot.last_used = lru_clock_;
+  slot.engine = std::make_unique<SpinAmm>(
+      hierarchical_module_config(config_.hierarchy, leaf_sets_[cluster].size(), cluster + 1));
+  slot.engine->store_templates(leaf_sets_[cluster]);
+  slot_of_[cluster] = static_cast<std::ptrdiff_t>(victim);
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  charge_reprogram(leaf_sets_[cluster].size());
+  return slot.engine.get();
+}
+
+void LeafCacheEngine::charge_reprogram(std::size_t columns) {
+  devices_written_.fetch_add(
+      static_cast<std::uint64_t>(config_.hierarchy.features.dimension()) * columns,
+      std::memory_order_relaxed);
+  columns_written_.fetch_add(columns, std::memory_order_relaxed);
+}
+
+Recognition LeafCacheEngine::recognize(const FeatureVector& input) {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() before recognition");
+
+  const Recognition routed = router_->recognize(input);
+  const std::size_t cluster = routed.winner;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto& member_list = members_[cluster];
+  SPINSIM_ASSERT(!member_list.empty(), "LeafCacheEngine: routed to an empty cluster");
+  SpinAmm* leaf = ensure_resident(cluster);
+  if (leaf == nullptr) {
+    // Singleton cluster: the router answered it; no slot was consulted,
+    // so neither hit nor miss is charged.
+    Recognition single = routed;
+    single.unique = true;
+    return finish_routed(single, routed, cluster, member_list.front(),
+                         config_.hierarchy.accept_threshold);
+  }
+
+  const Recognition answer = leaf->recognize(input);
+  return finish_routed(answer, routed, cluster, member_list[answer.winner],
+                       config_.hierarchy.accept_threshold);
+}
+
+std::vector<Recognition> LeafCacheEngine::recognize_batch(const std::vector<FeatureVector>& inputs,
+                                                          std::size_t threads) {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() before recognition");
+
+  std::vector<Recognition> results(inputs.size());
+  if (inputs.empty()) {
+    return results;
+  }
+
+  // Stage 1: route every input in one router batch.
+  const std::vector<Recognition> routed = router_->recognize_batch(inputs, threads);
+  queries_.fetch_add(inputs.size(), std::memory_order_relaxed);
+
+  // Stage 2: group queries per cluster (input order preserved within each
+  // group) — the whole group shares at most one reprogram. Groups whose
+  // leaf is already resident are served first (pure hits, touching no
+  // slot contents), then the misses, each partition in ascending cluster
+  // order: a miss can then only evict a leaf whose group was already
+  // served, so extra slots actually raise the hit rate instead of being
+  // scanned over, and the order derives purely from the (deterministic)
+  // cache state at batch start, keeping the eviction schedule identical
+  // under any thread count.
+  std::vector<std::vector<std::size_t>> by_cluster(members_.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    by_cluster[routed[i].winner].push_back(i);
+  }
+  std::vector<std::size_t> serve_order;
+  serve_order.reserve(members_.size());
+  for (std::size_t c = 0; c < members_.size(); ++c) {
+    if (!by_cluster[c].empty() && slot_of_[c] >= 0) {
+      serve_order.push_back(c);
+    }
+  }
+  for (std::size_t c = 0; c < members_.size(); ++c) {
+    if (!by_cluster[c].empty() && slot_of_[c] < 0) {
+      serve_order.push_back(c);
+    }
+  }
+
+  for (const std::size_t c : serve_order) {
+    const auto& member_list = members_[c];
+    SPINSIM_ASSERT(!member_list.empty(), "LeafCacheEngine: routed to an empty cluster");
+    SpinAmm* leaf = ensure_resident(c);
+    if (leaf == nullptr) {
+      for (const std::size_t i : by_cluster[c]) {
+        Recognition single = routed[i];
+        single.unique = true;
+        results[i] = finish_routed(single, routed[i], c, member_list.front(),
+                                   config_.hierarchy.accept_threshold);
+      }
+      continue;
+    }
+    // The whole group rides the one residency check above: count the
+    // queries beyond the first as hits so hit_rate reflects miss-cost
+    // sharing the same way sequential recognize() accounting would see
+    // repeated visits to a resident leaf.
+    hits_.fetch_add(by_cluster[c].size() - 1, std::memory_order_relaxed);
+    std::vector<FeatureVector> leaf_inputs;
+    leaf_inputs.reserve(by_cluster[c].size());
+    for (const std::size_t i : by_cluster[c]) {
+      leaf_inputs.push_back(inputs[i]);
+    }
+    const std::vector<Recognition> leaf_results = leaf->recognize_batch(leaf_inputs, threads);
+    for (std::size_t k = 0; k < by_cluster[c].size(); ++k) {
+      const std::size_t i = by_cluster[c][k];
+      results[i] = finish_routed(leaf_results[k], routed[i], c, member_list[leaf_results[k].winner],
+                                 config_.hierarchy.accept_threshold);
+    }
+  }
+  return results;
+}
+
+void LeafCacheEngine::pin(std::size_t cluster) {
+  require(cluster < pinned_.size(), "LeafCacheEngine::pin: cluster out of range");
+  if (pinned_[cluster] || leaf_sets_[cluster].empty()) {
+    // Singleton clusters are answered by the router and never occupy a
+    // slot, so pinning one is a no-op — and must not eat the pin budget.
+    return;
+  }
+  std::size_t already_pinned = 0;
+  std::size_t eligible = 0;  // clusters that can ever occupy a slot
+  for (std::size_t c = 0; c < pinned_.size(); ++c) {
+    already_pinned += (pinned_[c] && !leaf_sets_[c].empty()) ? 1 : 0;
+    eligible += leaf_sets_[c].empty() ? 0 : 1;
+  }
+  // Pinning must leave a slot serviceable for misses — unless every
+  // slot-eligible cluster fits in the pool at once, in which case no
+  // miss can ever need an eviction and any pin mix is safe.
+  require(already_pinned + 1 < config_.leaf_slots || config_.leaf_slots >= eligible,
+          "LeafCacheEngine::pin: at least one slot must stay unpinned");
+  pinned_[cluster] = true;
+}
+
+void LeafCacheEngine::unpin(std::size_t cluster) {
+  require(cluster < pinned_.size(), "LeafCacheEngine::unpin: cluster out of range");
+  pinned_[cluster] = false;
+}
+
+bool LeafCacheEngine::pinned(std::size_t cluster) const {
+  require(cluster < pinned_.size(), "LeafCacheEngine::pinned: cluster out of range");
+  return pinned_[cluster];
+}
+
+bool LeafCacheEngine::resident(std::size_t cluster) const {
+  require(cluster < slot_of_.size(), "LeafCacheEngine::resident: cluster out of range");
+  return slot_of_[cluster] >= 0;
+}
+
+const std::vector<std::size_t>& LeafCacheEngine::leaf_members(std::size_t cluster) const {
+  require(cluster < members_.size(), "LeafCacheEngine::leaf_members: out of range");
+  return members_[cluster];
+}
+
+LeafCacheCounters LeafCacheEngine::counters() const {
+  LeafCacheCounters out;
+  // Per-event counters before the total, so a mid-traffic snapshot never
+  // shows more hits+misses than queries admitted.
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.reprograms = out.misses;
+  out.reprogram_energy_j =
+      config_.write_cost.device_write_energy(config_.hierarchy.memristor) *
+      static_cast<double>(devices_written_.load(std::memory_order_relaxed));
+  out.reprogram_latency_s = config_.write_cost.array_write_latency(
+      static_cast<std::size_t>(columns_written_.load(std::memory_order_relaxed)));
+  return out;
+}
+
+double LeafCacheEngine::search_energy_per_query() const {
+  // Router search followed by one leaf search, each an M-cycle SAR/WTA
+  // conversion — the same active path a fully resident hierarchy prices.
+  const HierarchicalAmmConfig& h = config_.hierarchy;
+  const double search_power =
+      spin_amm_power(hierarchical_module_design(h, h.clusters)).total() +
+      spin_amm_power(hierarchical_module_design(h, largest_leaf_)).total();
+  return search_power * static_cast<double>(h.wta_bits) / h.clock;
+}
+
+double LeafCacheEngine::energy_per_query() const {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() first");
+  const double search = search_energy_per_query();
+  const std::uint64_t devices = devices_written_.load(std::memory_order_relaxed);
+  const std::uint64_t queries = queries_.load(std::memory_order_relaxed);
+  const double device_energy = config_.write_cost.device_write_energy(config_.hierarchy.memristor);
+  if (queries == 0) {
+    // No traffic yet: assume every query misses the largest leaf — the
+    // conservative upper bound, mirroring TieredEngine's convention.
+    return search + device_energy * static_cast<double>(config_.hierarchy.features.dimension()) *
+                        static_cast<double>(std::max<std::size_t>(largest_leaf_, 2));
+  }
+  return search +
+         device_energy * static_cast<double>(devices) / static_cast<double>(queries);
+}
+
+PowerReport LeafCacheEngine::power() const {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() first");
+  const HierarchicalAmmConfig& h = config_.hierarchy;
+  PowerReport combined;
+  combined.add_all_prefixed("router: ",
+                            spin_amm_power(hierarchical_module_design(h, h.clusters)));
+  combined.add_all_prefixed("leaf: ",
+                            spin_amm_power(hierarchical_module_design(h, largest_leaf_)));
+  // Amortized write power at the observed miss mix: reprogram energy per
+  // query times the design's query rate (one M-cycle search per query).
+  const double write_energy_per_query = energy_per_query() - search_energy_per_query();
+  const double query_rate = h.clock / static_cast<double>(h.wta_bits);
+  combined.add("write: reprogram (amortized)", PowerKind::kDynamic,
+               write_energy_per_query * query_rate);
+  return combined;
+}
+
+}  // namespace spinsim

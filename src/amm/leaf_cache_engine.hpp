@@ -1,0 +1,177 @@
+/// \file leaf_cache_engine.hpp
+/// Larger-than-memory template sets: a hierarchical engine whose leaves
+/// are programmed into a bounded pool of crossbar slots on demand.
+///
+/// The paper keeps every template resident in programmed arrays; the HTM
+/// follow-on (Fan et al., arXiv:1402.2902) routes queries through a
+/// hierarchy where only a small active subset of pattern memory is
+/// touched per query — exactly the access pattern a leaf cache exploits.
+/// LeafCacheEngine clusters the template set with the same k-means router
+/// as HierarchicalAmm, but instead of building one leaf module per
+/// cluster it owns `leaf_slots` programmable crossbar slots. The router
+/// picks the candidate cluster; if that cluster's templates are resident
+/// in a slot the query is a *hit* and costs one leaf search, otherwise
+/// the engine evicts the least-recently-used unpinned slot, programs the
+/// cluster's templates into it (a *miss*), and charges the write path —
+/// priced by CrossbarWriteCost — into its counters, power() and
+/// energy_per_query().
+///
+/// Answers are bit-identical to a fully resident HierarchicalAmm built
+/// from the same HierarchicalAmmConfig, whatever the pool size: modules
+/// derive through hierarchical_module_config(), so a reprogrammed leaf
+/// realises the same device noise as the leaf it replaces. Pool size
+/// only moves the hit rate, i.e. the energy/latency story.
+///
+/// recognize_batch() reorders queries by target cluster (the same
+/// grouping HierarchicalAmm uses for batching) so one reprogram serves
+/// every query of the batch headed to that cluster — miss-cost sharing.
+/// Resident clusters are served before misses (each partition in
+/// ascending index order), so a miss only ever evicts a leaf whose group
+/// was already served; the order derives purely from the cache state at
+/// batch start, keeping the eviction schedule deterministic under any
+/// thread count.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amm/engine.hpp"
+#include "amm/hierarchical_amm.hpp"
+#include "amm/spin_amm.hpp"
+#include "energy/write_cost.hpp"
+
+namespace spinsim {
+
+/// Knobs of the leaf-cache engine.
+struct LeafCacheEngineConfig {
+  /// Clustering + module configuration, shared verbatim with
+  /// HierarchicalAmm (which is what makes the answers bit-identical).
+  HierarchicalAmmConfig hierarchy;
+  /// Programmed crossbar slots available for leaves. With
+  /// leaf_slots >= hierarchy.clusters nothing is ever evicted and the
+  /// engine behaves exactly like a fully resident HierarchicalAmm.
+  std::size_t leaf_slots = 4;
+  /// Write-path pricing charged on every miss.
+  CrossbarWriteCost write_cost;
+};
+
+/// Running totals of one LeafCacheEngine (snapshot of atomic counters).
+struct LeafCacheCounters {
+  std::uint64_t queries = 0;      ///< recognitions served
+  /// Slot lookups that found the leaf resident. Singleton clusters are
+  /// answered by the router without consulting a slot and count neither
+  /// as hit nor as miss.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       ///< leaf had to be programmed
+  std::uint64_t evictions = 0;    ///< a resident leaf was displaced
+  std::uint64_t reprograms = 0;   ///< arrays programmed (== misses)
+  double reprogram_energy_j = 0.0;   ///< total write energy charged [J]
+  double reprogram_latency_s = 0.0;  ///< total write wall-clock charged [s]
+
+  double hit_rate() const {
+    const std::uint64_t looked = hits + misses;
+    return looked == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(looked);
+  }
+};
+
+/// Hierarchical AMM over a bounded pool of on-demand-programmed leaves.
+class LeafCacheEngine : public AssociativeEngine {
+ public:
+  explicit LeafCacheEngine(const LeafCacheEngineConfig& config);
+
+  const LeafCacheEngineConfig& config() const { return config_; }
+
+  std::string name() const override { return "leaf-cache"; }
+  std::size_t template_count() const override { return total_templates_; }
+
+  /// Clusters the templates (same seed and schedule as HierarchicalAmm),
+  /// programs the router, and records the per-cluster template slices —
+  /// but programs no leaf: leaves are materialised on first touch.
+  void store_templates(const std::vector<FeatureVector>& templates) override;
+
+  /// Routed recognition through the slot pool: router -> ensure the
+  /// winning cluster's leaf is resident (programming on a miss) -> leaf
+  /// search. Result semantics match HierarchicalAmm::recognize exactly.
+  Recognition recognize(const FeatureVector& input) override;
+
+  /// Batched routed recognition with miss-cost sharing: all inputs are
+  /// routed in one router batch, grouped by cluster, and each group is
+  /// served by at most one reprogram. Winner-for-winner identical to a
+  /// sequential loop of recognize() (leaves are deterministic modules),
+  /// whatever `threads` resolves to.
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t threads = 0) override;
+
+  /// Pins `cluster`: once resident its slot is never evicted. At least
+  /// one slot must stay unpinned so misses remain serviceable — unless
+  /// the pool holds every slot-eligible cluster at once, in which case
+  /// any pin mix is safe. Pinning does not itself load the cluster.
+  void pin(std::size_t cluster);
+
+  /// Unpins `cluster` (no-op when not pinned).
+  void unpin(std::size_t cluster);
+
+  bool pinned(std::size_t cluster) const;
+
+  /// True when `cluster`'s leaf currently occupies a slot. Singleton
+  /// clusters never occupy one (the router answers them outright).
+  bool resident(std::size_t cluster) const;
+
+  std::size_t cluster_count() const { return members_.size(); }
+
+  /// Global template indices stored in cluster `cluster`.
+  const std::vector<std::size_t>& leaf_members(std::size_t cluster) const;
+
+  /// Counter snapshot (safe while traffic is in flight).
+  LeafCacheCounters counters() const;
+
+  /// Search power of the active path (router + worst-case leaf) plus an
+  /// amortized "write: reprogram" item at the observed miss rate.
+  PowerReport power() const override;
+
+  /// Energy of one query: router + worst-case leaf search, plus the
+  /// observed reprogram energy amortized over the queries served. Before
+  /// any traffic it conservatively assumes every query misses the
+  /// largest leaf. Safe to call concurrently with recognition.
+  double energy_per_query() const override;
+
+ private:
+  struct Slot {
+    std::size_t cluster = 0;
+    std::unique_ptr<SpinAmm> engine;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Returns the resident leaf for `cluster`, programming it into a slot
+  /// first when absent. nullptr for singleton clusters.
+  SpinAmm* ensure_resident(std::size_t cluster);
+  double search_energy_per_query() const;
+  void charge_reprogram(std::size_t columns);
+
+  LeafCacheEngineConfig config_;
+  std::unique_ptr<SpinAmm> router_;
+  std::vector<std::vector<std::size_t>> members_;       // cluster -> global indices
+  std::vector<std::vector<FeatureVector>> leaf_sets_;   // cluster -> template slice
+  std::vector<bool> pinned_;
+  std::size_t total_templates_ = 0;
+  std::size_t largest_leaf_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::ptrdiff_t> slot_of_;  // cluster -> slot index, -1 if absent
+  std::uint64_t lru_clock_ = 0;
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  // Write-path charges in integer device/column units so the atomics stay
+  // lock-free; energies are priced at read time from the write-cost model.
+  std::atomic<std::uint64_t> devices_written_{0};
+  std::atomic<std::uint64_t> columns_written_{0};
+};
+
+}  // namespace spinsim

@@ -85,6 +85,9 @@ Recognition MsCmosAmm::recognize_one(const FeatureVector& input) const {
   const AnalogWtaResult selected = wta_->select(columns);
   out.winner = selected.winner;
   out.score = selected.winning_current / input_full_scale_;
+  if (out.score <= 0.0) {
+    out.margin = 0.0;  // non-positive winners carry no confidence
+  }
   out.detail = MsCmosRecognitionDetail{selected.winning_current};
   return out;
 }

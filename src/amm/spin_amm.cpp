@@ -119,12 +119,20 @@ void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) 
 std::vector<double> SpinAmm::input_row_currents(const FeatureVector& input) const {
   // Per-row DTCS DACs: the realised current depends on the row's total
   // conductance (series division, Fig. 8b).
-  std::vector<double> input_currents(input.dimension(), 0.0);
-  for (std::size_t row = 0; row < input.dimension(); ++row) {
-    input_currents[row] =
-        input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
+  const auto evaluate = [&] {
+    std::vector<double> input_currents(input.dimension(), 0.0);
+    for (std::size_t row = 0; row < input.dimension(); ++row) {
+      input_currents[row] =
+          input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
+    }
+    return input_currents;
+  };
+  if (input_cache_ != nullptr) {
+    // Sibling shards with identical input stages share the evaluation:
+    // the first engine to see these digital codes computes, the rest hit.
+    return input_cache_->lookup_or_compute(input.digital, evaluate);
   }
-  return input_currents;
+  return evaluate();
 }
 
 std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
@@ -153,10 +161,14 @@ Recognition SpinAmm::assemble(std::vector<double>&& currents, SpinWtaOutcome&& w
   out.unique = wta.unique;
   out.dom = wta.winner_dom;
   out.score = static_cast<double>(out.dom);
-  out.accepted = out.dom >= config_.accept_threshold;
+  // A tied winner is never an acceptable match (the conformance contract
+  // downstream escalation and merge rely on: accepted implies unique).
+  out.accepted = out.unique && out.dom >= config_.accept_threshold;
 
-  // Analog detection margin: best minus runner-up over full scale.
-  if (currents.size() >= 2) {
+  // Analog detection margin: best minus runner-up over full scale. A
+  // zero-DOM winner carries no confidence whatever the raw analog gap
+  // says — non-positive winners must report zero margin.
+  if (currents.size() >= 2 && out.dom > 0) {
     std::vector<double> sorted = currents;
     std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
     out.margin = (sorted[0] - sorted[1]) / config_.full_scale_current();
@@ -219,6 +231,12 @@ std::vector<Recognition> SpinAmm::recognize_batch(const std::vector<FeatureVecto
     results[i] = assemble(std::move(currents[i]), std::move(outcomes[i]));
   }
   return results;
+}
+
+double SpinAmm::realised_input_current(std::size_t row, std::uint32_t code) const {
+  require(rcm_ != nullptr, "SpinAmm: store_templates() before probing the input stage");
+  require(row < input_dacs_.size(), "SpinAmm::realised_input_current: row out of range");
+  return input_dacs_[row].output_current(code, rcm_->row_conductance(row));
 }
 
 const RcmArray& SpinAmm::crossbar() const {

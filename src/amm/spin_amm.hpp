@@ -22,6 +22,7 @@
 #include "amm/engine.hpp"
 #include "crossbar/rcm.hpp"
 #include "datapath/dtcs_dac.hpp"
+#include "datapath/input_stage_cache.hpp"
 #include "energy/power_report.hpp"
 #include "energy/spin_power.hpp"
 #include "vision/features.hpp"
@@ -113,6 +114,24 @@ class SpinAmm : public AssociativeEngine {
   /// template set scores identically wherever its columns live.
   double input_full_scale() const { return input_full_scale_; }
 
+  /// Shares an input-stage dedup cache with sibling engines: realised
+  /// input row currents are then looked up by the query's digital codes
+  /// instead of re-evaluating the DACs per engine. Only engines whose
+  /// input stages realise identical currents for identical codes (same
+  /// seed, shared input_full_scale_override and row_target_conductance)
+  /// may share one cache — the RecognitionService wiring guarantees this
+  /// when `dedup_input_stage` is enabled. Pass nullptr to detach.
+  void set_input_stage_cache(std::shared_ptr<InputStageCache> cache) {
+    input_cache_ = std::move(cache);
+  }
+
+  /// Realised input-stage current of `row` at digital `code`, exactly as
+  /// the query path evaluates it — DAC (including any sampled mismatch)
+  /// against the row's programmed load. Inspection / cross-engine
+  /// verification: two engines may share an InputStageCache only if this
+  /// agrees for every row.
+  double realised_input_current(std::size_t row, std::uint32_t code) const;
+
   /// The programmed crossbar (inspection / experiments).
   const RcmArray& crossbar() const;
 
@@ -141,6 +160,7 @@ class SpinAmm : public AssociativeEngine {
   Rng rng_;
   std::unique_ptr<RcmArray> rcm_;
   std::vector<DtcsDac> input_dacs_;  // one per row
+  std::shared_ptr<InputStageCache> input_cache_;
   double input_full_scale_ = 0.0;
   std::unique_ptr<SpinSarWta> wta_;
   bool templates_stored_ = false;

@@ -1,0 +1,49 @@
+#include "datapath/input_stage_cache.hpp"
+
+namespace spinsim {
+
+std::uint64_t InputStageCache::hash_key(const std::vector<std::uint32_t>& key) {
+  // FNV-1a over the digital codes.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint32_t code : key) {
+    h ^= code;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<double> InputStageCache::lookup_or_compute(
+    const std::vector<std::uint32_t>& key,
+    const std::function<std::vector<double>()>& compute) {
+  const std::uint64_t h = hash_key(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto& bucket = entries_[h];
+  for (const Entry& entry : bucket) {
+    if (entry.key == key) {
+      ++stats_.hits;
+      return entry.currents;
+    }
+  }
+  // Computing under the mutex serialises sibling shards for the duration
+  // of one DAC evaluation — the point: the work happens once, and the
+  // expensive crossbar solve downstream still runs fully parallel.
+  ++stats_.computes;
+  Entry entry;
+  entry.key = key;
+  entry.currents = compute();
+  bucket.push_back(std::move(entry));
+  return bucket.back().currents;
+}
+
+void InputStageCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+InputStageCache::Stats InputStageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace spinsim

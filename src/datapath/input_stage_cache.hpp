@@ -1,0 +1,66 @@
+/// \file input_stage_cache.hpp
+/// Shard-local input-stage dedup: a per-dispatch cache of realised input
+/// row currents, shared by sibling spin shards.
+///
+/// Every spin shard of a RecognitionService re-evaluates its input DTCS
+/// DACs for every query of a dispatched batch. When the shards share a
+/// row pad target (RcmConfig::row_target_conductance), an input full
+/// scale (SpinAmmConfig::input_full_scale_override) and a seed, the
+/// realised per-row currents are *identical* across shards — the only
+/// duplicated work left in the sharded path. This cache lets the first
+/// shard to see a query compute the currents and every sibling reuse
+/// them.
+///
+/// Correctness contract: only engines whose input stages realise the
+/// same currents for the same digital codes may share one cache (the
+/// RecognitionService wiring enforces identical SpinAmm shard configs by
+/// construction when `dedup_input_stage` is on). The compute callback
+/// runs under the cache mutex, so each distinct key is computed exactly
+/// once however many shard threads race on it.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace spinsim {
+
+/// Mutex-protected memo of input row currents keyed on a query's digital
+/// codes. The service clears it at every dispatch, so entries never
+/// outlive the batch that produced them.
+class InputStageCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;   ///< total lookup_or_compute calls
+    std::uint64_t computes = 0;  ///< callbacks actually run
+    std::uint64_t hits = 0;      ///< lookups served from the cache
+  };
+
+  /// Returns the row currents for `key` (a query's digital codes),
+  /// running `compute` exactly once per distinct key between clears.
+  std::vector<double> lookup_or_compute(
+      const std::vector<std::uint32_t>& key,
+      const std::function<std::vector<double>()>& compute);
+
+  /// Drops every entry (the per-dispatch reset); counters survive.
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  static std::uint64_t hash_key(const std::vector<std::uint32_t>& key);
+
+  struct Entry {
+    std::vector<std::uint32_t> key;  // stored to disambiguate hash collisions
+    std::vector<double> currents;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace spinsim

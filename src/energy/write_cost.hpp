@@ -1,0 +1,52 @@
+/// \file write_cost.hpp
+/// Write-path cost model of the resistive crossbar: what programming (or
+/// reprogramming) an array of memristors costs in energy and time.
+///
+/// The original spin-neuron design (Sharad et al., arXiv:1304.2281)
+/// prices the memristor write path: programming pulses of ~1-2 V are
+/// applied across the selected device for tens of nanoseconds, repeated
+/// by a program-and-verify loop until the conductance lands inside the
+/// target level's window. Queries, by contrast, ride on ~30 mV reads —
+/// which is why a leaf-cache engine that reprograms crossbars on demand
+/// must charge the write path explicitly: once queries are cheap matvecs,
+/// reprogramming is the dominant energy term of a cache miss.
+///
+/// The model is intentionally simple and analytic, like the read-path
+/// power models in this directory: per-device energy is the resistive
+/// dissipation of the verify loop's pulses across the device's mid-range
+/// conductance plus a CV^2 driver/decoder term, and a whole-array write
+/// is column-serial with all rows of a column written in parallel (the
+/// usual one-transistor-per-column write scheme).
+
+#pragma once
+
+#include <cstddef>
+
+#include "device/memristor.hpp"
+
+namespace spinsim {
+
+/// Knobs of the crossbar write path.
+struct CrossbarWriteCost {
+  double write_voltage = 1.5;     ///< programming pulse amplitude [V]
+  double pulse_duration = 20e-9;  ///< one programming pulse [s]
+  /// Mean program-and-verify iterations until the conductance lands in
+  /// its level window (multi-level cells need several trims).
+  double verify_pulses = 4.0;
+  /// CV^2 energy of the write driver + row/column decode per pulse [J].
+  double driver_energy_per_pulse = 5e-15;
+
+  /// Mean energy to program one device to an arbitrary level [J]:
+  /// verify_pulses * (V^2 * g_mid * t_pulse + driver), with g_mid the
+  /// midpoint of the spec's conductance range.
+  double device_write_energy(const MemristorSpec& spec) const;
+
+  /// Energy to program a full rows x cols array [J].
+  double array_write_energy(const MemristorSpec& spec, std::size_t rows, std::size_t cols) const;
+
+  /// Wall-clock time to program a rows x cols array [s]: columns are
+  /// written serially, each column's rows in parallel.
+  double array_write_latency(std::size_t cols) const;
+};
+
+}  // namespace spinsim

@@ -1,12 +1,35 @@
 #include "service/recognition_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
+#include "amm/spin_amm.hpp"
 #include "core/error.hpp"
 
 namespace spinsim {
+
+namespace {
+
+/// Leaf-cache engines reachable from `engine`, looking through tiered
+/// compositions (e.g. a TieredEngine with a leaf-cache tier 0 built by
+/// stacking make_tiered_factory on make_leaf_cache_factory), so stats()
+/// surfaces hit/miss/reprogram counters wherever the cache sits.
+std::vector<const LeafCacheEngine*> find_leaf_caches(const AssociativeEngine* engine) {
+  std::vector<const LeafCacheEngine*> found;
+  if (const auto* leaf_cache = dynamic_cast<const LeafCacheEngine*>(engine)) {
+    found.push_back(leaf_cache);
+  } else if (const auto* tiered = dynamic_cast<const TieredEngine*>(engine)) {
+    for (const AssociativeEngine* tier : {&tiered->tier0(), &tiered->tier1()}) {
+      const std::vector<const LeafCacheEngine*> below = find_leaf_caches(tier);
+      found.insert(found.end(), below.begin(), below.end());
+    }
+  }
+  return found;
+}
+
+}  // namespace
 
 RecognitionService::RecognitionService(const RecognitionServiceConfig& config,
                                        EngineFactory factory)
@@ -65,6 +88,51 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
             "RecognitionService: factory sized the engine for the wrong column count");
     base += count;
     shards_.push_back(std::move(shard));
+  }
+
+  if (config_.dedup_input_stage) {
+    // One per-dispatch cache of realised input row currents, shared by
+    // every shard: the first shard to see a query computes, the rest hit.
+    // Sharing is only sound when every shard's input stage realises the
+    // same currents for the same digital codes, so verify the realised
+    // sizing — full-scale current and per-row conductances — actually
+    // agrees across shards instead of trusting the factory.
+    std::vector<SpinAmm*> spins;
+    spins.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      auto* spin = dynamic_cast<SpinAmm*>(shard->engine.get());
+      require(spin != nullptr,
+              "RecognitionService: dedup_input_stage requires SpinAmm shard engines");
+      spins.push_back(spin);
+    }
+    // The padded row conductance is (target - row_sum) + row_sum, which
+    // agrees across shards only to rounding; one part in 1e9 separates
+    // that from a genuinely different calibration.
+    const auto close = [](double a, double b) {
+      return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
+    };
+    // Probing the realised current at the full-scale code exercises the
+    // whole input stage — DAC bit cells including any sampled mismatch,
+    // not just the row load — so per-shard device seeds that diverge the
+    // DAC banks are caught here, where conductance checks alone pass.
+    const std::uint32_t top_code = spins[0]->config().features.levels() - 1;
+    for (std::size_t s = 1; s < spins.size(); ++s) {
+      require(spins[s]->input_full_scale() == spins[0]->input_full_scale(),
+              "RecognitionService: dedup_input_stage requires a shared "
+              "input_full_scale_override across shards");
+      for (std::size_t row = 0; row < spins[0]->config().features.dimension(); ++row) {
+        require(close(spins[s]->realised_input_current(row, top_code),
+                      spins[0]->realised_input_current(row, top_code)),
+                "RecognitionService: dedup_input_stage requires shards whose "
+                "input stages realise identical currents (shared "
+                "row_target_conductance and device seed, no divergent "
+                "sampled mismatch)");
+      }
+    }
+    input_cache_ = std::make_shared<InputStageCache>();
+    for (SpinAmm* spin : spins) {
+      spin->set_input_stage_cache(input_cache_);
+    }
   }
 
   for (auto& shard : shards_) {
@@ -222,6 +290,21 @@ RecognitionServiceStats RecognitionService::stats() const {
     }
     out.shards.push_back(ss);
     out.energy_per_query_j += shard->engine->energy_per_query();
+    for (const LeafCacheEngine* leaf_cache : find_leaf_caches(shard->engine.get())) {
+      const LeafCacheCounters counters = leaf_cache->counters();
+      out.leaf_hits += counters.hits;
+      out.leaf_misses += counters.misses;
+      out.reprogram_energy_j += counters.reprogram_energy_j;
+    }
+  }
+  const std::uint64_t leaf_lookups = out.leaf_hits + out.leaf_misses;
+  out.leaf_hit_rate = leaf_lookups == 0
+                          ? 0.0
+                          : static_cast<double>(out.leaf_hits) / static_cast<double>(leaf_lookups);
+  if (input_cache_ != nullptr) {
+    const InputStageCache::Stats cache_stats = input_cache_->stats();
+    out.input_stage_computes = cache_stats.computes;
+    out.input_stage_hits = cache_stats.hits;
   }
   return out;
 }
@@ -319,6 +402,9 @@ Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) 
       out.unique = false;
     }
   }
+  if (!out.unique) {
+    out.accepted = false;  // accepted implies unique, across shards too
+  }
   // The winning shard's margin only measures its *local* runner-up; the
   // global runner-up may live on another shard. Cap it with the relative
   // cross-shard score gap so the merged margin never overstates the
@@ -345,6 +431,11 @@ Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) 
 }
 
 void RecognitionService::dispatch(std::vector<Request>& batch) {
+  if (input_cache_ != nullptr) {
+    // Per-dispatch semantics: entries never outlive their batch, so the
+    // cache footprint is bounded by the admission window.
+    input_cache_->clear();
+  }
   std::vector<FeatureVector> inputs;
   inputs.reserve(batch.size());
   for (auto& request : batch) {
@@ -436,6 +527,21 @@ RecognitionService::EngineFactory make_tiered_factory(RecognitionService::Engine
   return [tier0 = std::move(tier0), tier1 = std::move(tier1),
           config](std::size_t shard, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
     return std::make_unique<TieredEngine>(tier0(shard, columns), tier1(shard, columns), config);
+  };
+}
+
+RecognitionService::EngineFactory make_leaf_cache_factory(const LeafCacheEngineConfig& config) {
+  return [config](std::size_t shard, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    LeafCacheEngineConfig c = config;
+    // A shard's slice may be much smaller than the logical set the caller
+    // sized the clustering for: keep every leaf non-trivial (>= 2
+    // templates on average) and the router meaningful (>= 2 clusters).
+    const std::size_t max_clusters = std::max<std::size_t>(columns / 2, 2);
+    c.hierarchy.clusters = std::min(c.hierarchy.clusters, max_clusters);
+    c.leaf_slots = std::max<std::size_t>(std::min(c.leaf_slots, c.hierarchy.clusters), 1);
+    // Distinct device noise per replica, like any sharded deployment.
+    c.hierarchy.seed = config.hierarchy.seed + 0x9E37 * (shard + 1);
+    return std::make_unique<LeafCacheEngine>(c);
   };
 }
 

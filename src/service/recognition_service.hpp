@@ -42,8 +42,10 @@
 #include <vector>
 
 #include "amm/engine.hpp"
+#include "amm/leaf_cache_engine.hpp"
 #include "amm/tiered_engine.hpp"
 #include "core/statistics.hpp"
+#include "datapath/input_stage_cache.hpp"
 #include "vision/features.hpp"
 
 namespace spinsim {
@@ -59,6 +61,14 @@ struct RecognitionServiceConfig {
   std::chrono::microseconds admission_window{200};
   /// Threads each shard engine's recognize_batch may use internally.
   std::size_t engine_threads = 1;
+  /// Shard-local input-stage dedup: when true, every shard engine must be
+  /// a SpinAmm (store_templates() verifies) and all shards share one
+  /// per-dispatch InputStageCache, so the realised input row currents of
+  /// each query are computed once per dispatch instead of once per shard.
+  /// Only enable with identically configured shards (same seed, shared
+  /// input_full_scale_override and row_target_conductance) — the same
+  /// contract that makes shard scores comparable.
+  bool dedup_input_stage = false;
 };
 
 /// Running counters of one service instance.
@@ -92,6 +102,20 @@ struct RecognitionServiceStats {
   /// engine's energy_per_query() — which, for tiered shards, already
   /// folds in the observed tier mix.
   double energy_per_query_j = 0.0;
+
+  // Leaf-cache accounting, summed across shards (nonzero only with
+  // LeafCacheEngine shard backends — see make_leaf_cache_factory):
+  // slot hits/misses, the hit rate, and the total write energy charged
+  // for on-demand leaf reprogramming.
+  std::uint64_t leaf_hits = 0;
+  std::uint64_t leaf_misses = 0;
+  double leaf_hit_rate = 0.0;        ///< leaf_hits / (leaf_hits + leaf_misses)
+  double reprogram_energy_j = 0.0;   ///< total leaf write energy [J]
+
+  // Input-stage dedup accounting (nonzero only with dedup_input_stage):
+  // how many realised-row-current evaluations ran vs were shared.
+  std::uint64_t input_stage_computes = 0;
+  std::uint64_t input_stage_hits = 0;
 
   /// Per-shard engine-time quantiles, one entry per shard: the time that
   /// shard's recognize_batch took per dispatched micro-batch.
@@ -192,6 +216,7 @@ class RecognitionService {
   RecognitionServiceConfig config_;
   EngineFactory factory_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<InputStageCache> input_cache_;  // set iff dedup_input_stage
 
   std::thread collector_;
   mutable std::mutex queue_mutex_;
@@ -222,5 +247,14 @@ class RecognitionService {
 RecognitionService::EngineFactory make_tiered_factory(RecognitionService::EngineFactory tier0,
                                                       RecognitionService::EngineFactory tier1,
                                                       const TieredEngineConfig& config = {});
+
+/// Builds a LeafCacheEngine per shard, so the sharded path serves
+/// template sets several times larger than the programmed crossbar
+/// capacity (shard slice >> leaf_slots * leaf size). Each shard clamps
+/// the cluster count to its column count (at least two clusters, at most
+/// columns / 2 so every leaf can hold two templates) and salts the
+/// k-means/module seed by the shard index so replicas don't share device
+/// noise. stats() then surfaces the summed hit rate and reprogram energy.
+RecognitionService::EngineFactory make_leaf_cache_factory(const LeafCacheEngineConfig& config);
 
 }  // namespace spinsim

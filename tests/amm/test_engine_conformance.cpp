@@ -8,17 +8,29 @@
 /// rather than exactness. Independently, recognize_batch must equal a
 /// sequential loop of recognize() for every backend, including the
 /// parallel-WTA path.
+///
+/// The EngineConformanceRandomized suite below is the property harness
+/// every engine — present and future — inherits: seeded trials over
+/// randomized template sets and queries assert the invariants the
+/// service relies on (batch == sequential winner-for-winner, margin
+/// never negative and zero for non-positive winners, accepted implies
+/// unique, positive energy_per_query) across all six backends.
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "amm/digital_amm.hpp"
 #include "amm/engine.hpp"
 #include "amm/hierarchical_amm.hpp"
+#include "amm/leaf_cache_engine.hpp"
 #include "amm/mscmos_amm.hpp"
 #include "amm/spin_amm.hpp"
+#include "amm/tiered_engine.hpp"
+#include "core/random.hpp"
 #include "support/shared_dataset.hpp"
 
 namespace spinsim {
@@ -202,6 +214,194 @@ TEST(EngineConformance, BatchMatchesSequentialAllBackends) {
   hier_seq.store_templates(templates);
   hier_batch.store_templates(templates);
   expect_batch_matches_sequential(hier_seq, hier_batch, inputs, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property suite: the contract every engine inherits for free.
+// ---------------------------------------------------------------------------
+
+/// Builds one engine sized for `templates` columns; `seed` varies per
+/// trial so device noise, mismatch and clustering all get re-rolled.
+using MakeEngine =
+    std::function<std::unique_ptr<AssociativeEngine>(std::size_t templates, std::uint64_t seed)>;
+
+FeatureVector random_feature_vector(const FeatureSpec& spec, Rng& rng) {
+  FeatureVector f;
+  f.spec = spec;
+  const double top = static_cast<double>(spec.levels() - 1);
+  f.analog.resize(spec.dimension());
+  f.digital.resize(spec.dimension());
+  for (std::size_t i = 0; i < spec.dimension(); ++i) {
+    const auto level = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(spec.levels()) - 1));
+    f.digital[i] = level;
+    f.analog[i] = static_cast<double>(level) / top;
+  }
+  return f;
+}
+
+FeatureVector zero_feature_vector(const FeatureSpec& spec) {
+  FeatureVector f;
+  f.spec = spec;
+  f.analog.assign(spec.dimension(), 0.0);
+  f.digital.assign(spec.dimension(), 0);
+  return f;
+}
+
+/// One seeded trial: random templates, a query mix of random vectors,
+/// near-template probes and the all-zero vector (the non-positive-winner
+/// edge), checked sequentially and as one batch on twin engine instances.
+void run_randomized_trial(const std::string& label, const MakeEngine& make, std::uint64_t seed) {
+  const FeatureSpec spec = small_spec();
+  Rng rng(seed);
+  const std::size_t templates = static_cast<std::size_t>(rng.uniform_int(6, 16));
+
+  std::vector<FeatureVector> stored;
+  stored.reserve(templates);
+  for (std::size_t j = 0; j < templates; ++j) {
+    stored.push_back(random_feature_vector(spec, rng));
+  }
+
+  std::vector<FeatureVector> queries;
+  for (std::size_t q = 0; q < 6; ++q) {
+    queries.push_back(random_feature_vector(spec, rng));
+  }
+  for (std::size_t q = 0; q < 3; ++q) {
+    // Near-template probes keep the trial from living only in the
+    // low-correlation regime random vectors produce.
+    FeatureVector probe =
+        stored[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(templates) - 1))];
+    const std::size_t flip = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(spec.dimension()) - 1));
+    probe.digital[flip] = spec.levels() - 1 - probe.digital[flip];
+    probe.analog[flip] = static_cast<double>(probe.digital[flip]) /
+                         static_cast<double>(spec.levels() - 1);
+    queries.push_back(probe);
+  }
+  queries.push_back(zero_feature_vector(spec));
+
+  std::unique_ptr<AssociativeEngine> sequential = make(templates, seed);
+  std::unique_ptr<AssociativeEngine> batched = make(templates, seed);
+  sequential->store_templates(stored);
+  batched->store_templates(stored);
+
+  EXPECT_GT(sequential->energy_per_query(), 0.0) << label << " seed " << seed;
+
+  std::vector<Recognition> expected;
+  expected.reserve(queries.size());
+  for (const auto& query : queries) {
+    expected.push_back(sequential->recognize(query));
+  }
+  const std::vector<Recognition> got = batched->recognize_batch(queries, 3);
+  ASSERT_EQ(got.size(), expected.size()) << label << " seed " << seed;
+
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::string where = label + " seed " + std::to_string(seed) + " query " +
+                              std::to_string(i);
+    // recognize_batch is winner-for-winner the sequential schedule.
+    EXPECT_EQ(got[i].winner, expected[i].winner) << where;
+    EXPECT_EQ(got[i].unique, expected[i].unique) << where;
+    EXPECT_EQ(got[i].dom, expected[i].dom) << where;
+    EXPECT_DOUBLE_EQ(got[i].score, expected[i].score) << where;
+    EXPECT_EQ(got[i].accepted, expected[i].accepted) << where;
+    const Recognition* const views[] = {&got[i], &expected[i]};
+    for (const Recognition* r : views) {
+      EXPECT_LT(r->winner, templates) << where;
+      // Margin is never negative and carries no confidence for a
+      // non-positive winner.
+      EXPECT_GE(r->margin, 0.0) << where;
+      if (r->score <= 0.0) {
+        EXPECT_DOUBLE_EQ(r->margin, 0.0) << where;
+      }
+      // A tied winner is never an acceptable match.
+      if (r->accepted) {
+        EXPECT_TRUE(r->unique) << where;
+      }
+    }
+  }
+  EXPECT_GT(sequential->energy_per_query(), 0.0) << label << " (post-traffic) seed " << seed;
+}
+
+constexpr std::uint64_t kRandomizedTrials = 20;
+
+void run_randomized_suite(const std::string& label, const MakeEngine& make) {
+  for (std::uint64_t trial = 0; trial < kRandomizedTrials; ++trial) {
+    run_randomized_trial(label, make, 0xC0FFEE + 7919 * trial);
+  }
+}
+
+TEST(EngineConformanceRandomized, Spin) {
+  run_randomized_suite("spin", [](std::size_t templates, std::uint64_t seed) {
+    SpinAmmConfig c;
+    c.features = small_spec();
+    c.templates = templates;
+    c.dwn = DwnParams::from_barrier(20.0);
+    c.thermal_noise = true;  // exercise the counter-based parallel WTA
+    c.seed = seed;
+    return std::make_unique<SpinAmm>(c);
+  });
+}
+
+TEST(EngineConformanceRandomized, Digital) {
+  run_randomized_suite("digital", [](std::size_t templates, std::uint64_t) {
+    DigitalAmmConfig c;
+    c.features = small_spec();
+    c.templates = templates;
+    return std::make_unique<DigitalAmm>(c);
+  });
+}
+
+TEST(EngineConformanceRandomized, MsCmos) {
+  run_randomized_suite("mscmos", [](std::size_t templates, std::uint64_t seed) {
+    MsCmosAmmConfig c;
+    c.features = small_spec();
+    c.templates = templates;
+    c.seed = seed;
+    return std::make_unique<MsCmosAmm>(c);
+  });
+}
+
+HierarchicalAmmConfig randomized_hierarchy_config(std::uint64_t seed) {
+  HierarchicalAmmConfig c;
+  c.features = small_spec();
+  c.clusters = 3;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = seed;
+  return c;
+}
+
+TEST(EngineConformanceRandomized, Hierarchical) {
+  run_randomized_suite("hierarchical", [](std::size_t, std::uint64_t seed) {
+    return std::make_unique<HierarchicalAmm>(randomized_hierarchy_config(seed));
+  });
+}
+
+TEST(EngineConformanceRandomized, Tiered) {
+  // Deterministic tier engines (no thermal noise): batch == sequential
+  // holds for TieredEngine only when the escalated subset is slot-free.
+  run_randomized_suite("tiered", [](std::size_t templates, std::uint64_t seed) {
+    SpinAmmConfig flat;
+    flat.features = small_spec();
+    flat.templates = templates;
+    flat.dwn = DwnParams::from_barrier(20.0);
+    flat.seed = seed ^ 0xF1A7;
+    TieredEngineConfig policy;
+    policy.escalation_margin = 0.05;
+    return std::make_unique<TieredEngine>(
+        std::make_unique<HierarchicalAmm>(randomized_hierarchy_config(seed)),
+        std::make_unique<SpinAmm>(flat), policy);
+  });
+}
+
+TEST(EngineConformanceRandomized, LeafCache) {
+  // Two slots against three clusters, so the trials continuously evict
+  // and reprogram — the invariants must survive the cache churn.
+  run_randomized_suite("leaf-cache", [](std::size_t, std::uint64_t seed) {
+    LeafCacheEngineConfig c;
+    c.hierarchy = randomized_hierarchy_config(seed);
+    c.leaf_slots = 2;
+    return std::make_unique<LeafCacheEngine>(c);
+  });
 }
 
 TEST(EngineConformance, PolymorphicUseThroughBasePointer) {

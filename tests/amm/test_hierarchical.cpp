@@ -219,7 +219,8 @@ TEST(HierarchicalAmm, SingletonClusterMarginUsesRouterGap) {
 
 TEST(HierarchicalAmm, AcceptThresholdMatchesSpinAmmSemantics) {
   // accept_threshold judges the DOM that ends the active path, exactly
-  // like SpinAmmConfig::accept_threshold judges a flat module's DOM.
+  // like SpinAmmConfig::accept_threshold judges a flat module's DOM —
+  // and, like every backend, a tied winner is never accepted.
   HierarchicalAmmConfig c = small_config();
   c.accept_threshold = 31;  // nearly impossible DOM
   HierarchicalAmm strict(c);
@@ -233,8 +234,8 @@ TEST(HierarchicalAmm, AcceptThresholdMatchesSpinAmmSemantics) {
     const FeatureVector f = extract_features(ds.image(p, 0), c.features);
     const Recognition rs = strict.recognize(f);
     const Recognition rl = lax.recognize(f);
-    EXPECT_EQ(rs.accepted, rs.dom >= 31u) << "person " << p;
-    EXPECT_TRUE(rl.accepted) << "person " << p;
+    EXPECT_EQ(rs.accepted, rs.unique && rs.dom >= 31u) << "person " << p;
+    EXPECT_EQ(rl.accepted, rl.unique) << "person " << p;
     // The threshold must not change the decision itself.
     EXPECT_EQ(rs.winner, rl.winner) << "person " << p;
   }

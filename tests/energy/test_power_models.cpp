@@ -5,6 +5,7 @@
 #include "energy/mscmos_power.hpp"
 #include "energy/power_report.hpp"
 #include "energy/spin_power.hpp"
+#include "energy/write_cost.hpp"
 
 namespace spinsim {
 namespace {
@@ -196,6 +197,40 @@ TEST(DigitalPower, RejectsBadDesign) {
   DigitalAsicDesign d;
   d.bits = 0;
   EXPECT_THROW(digital_asic_power(d), InvalidArgument);
+}
+
+TEST(WriteCost, DeviceEnergyIsResistivePlusDriver) {
+  CrossbarWriteCost cost;
+  MemristorSpec spec;
+  const double g_mid = 0.5 * (spec.g_min() + spec.g_max());
+  const double expected =
+      cost.verify_pulses * (cost.write_voltage * cost.write_voltage * g_mid *
+                                cost.pulse_duration +
+                            cost.driver_energy_per_pulse);
+  EXPECT_NEAR(cost.device_write_energy(spec), expected, 1e-24);
+  EXPECT_GT(cost.device_write_energy(spec), 0.0);
+}
+
+TEST(WriteCost, ArrayCostsScaleWithGeometry) {
+  CrossbarWriteCost cost;
+  MemristorSpec spec;
+  const double one = cost.array_write_energy(spec, 1, 1);
+  EXPECT_NEAR(cost.array_write_energy(spec, 128, 40), 128.0 * 40.0 * one, 1e-18);
+  // Column-serial write: latency scales with columns, not rows.
+  EXPECT_NEAR(cost.array_write_latency(40), 40.0 * cost.array_write_latency(1), 1e-15);
+}
+
+TEST(WriteCost, WriteDwarfsRead) {
+  // The premise of the leaf cache's miss accounting: reprogramming an
+  // array costs orders of magnitude more than one ~30 mV read search,
+  // so the cache must amortize misses across batches.
+  CrossbarWriteCost cost;
+  MemristorSpec spec;
+  SpinAmmDesign design;  // the paper's 128x40 point
+  const double search_energy =
+      spin_amm_power(design).total() * design.resolution_bits / design.clock;
+  EXPECT_GT(cost.array_write_energy(spec, design.dimension, design.templates),
+            100.0 * search_energy);
 }
 
 }  // namespace

@@ -3,13 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "amm/digital_amm.hpp"
 #include "amm/hierarchical_amm.hpp"
+#include "amm/leaf_cache_engine.hpp"
 #include "amm/spin_amm.hpp"
 #include "service/recognition_service.hpp"
 #include "support/shared_dataset.hpp"
@@ -574,6 +577,151 @@ TEST(RecognitionService, TieredServiceReportsPartialEscalation) {
   EXPECT_GE(stats.escalation_rate, 0.0);
   EXPECT_LE(stats.escalation_rate, 1.0);
   EXPECT_GT(stats.energy_per_query_j, 0.0);
+}
+
+TEST(RecognitionService, LeafCacheShardsServeOversizedTemplateSets) {
+  // Larger-than-memory serving: per shard, one programmed leaf slot
+  // against two-plus clusters, so each shard's slice exceeds what its
+  // crossbar pool can hold resident and the engines must reprogram on
+  // demand. The stats must surface the hit rate and the write energy.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig leaf_config;
+  leaf_config.hierarchy.features = small_spec();
+  leaf_config.hierarchy.clusters = 2;
+  leaf_config.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  leaf_config.hierarchy.seed = 59;
+  leaf_config.leaf_slots = 1;
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  RecognitionService service(config, make_leaf_cache_factory(leaf_config));
+  service.store_templates(templates);
+
+  // Verify the premise: every shard's template slice exceeds the
+  // capacity its slot pool can keep programmed at once.
+  for (std::size_t s = 0; s < service.shard_count(); ++s) {
+    const auto* shard = dynamic_cast<const LeafCacheEngine*>(&service.shard(s));
+    ASSERT_NE(shard, nullptr);
+    std::size_t largest_leaf = 0;
+    for (std::size_t c = 0; c < shard->cluster_count(); ++c) {
+      largest_leaf = std::max(largest_leaf, shard->leaf_members(c).size());
+    }
+    EXPECT_GT(shard->template_count(), shard->config().leaf_slots * largest_leaf)
+        << "shard " << s << " is not oversized";
+  }
+
+  const std::vector<Recognition> got = service.submit_batch(inputs).get();
+  ASSERT_EQ(got.size(), inputs.size());
+  for (const auto& r : got) {
+    EXPECT_LT(r.winner, templates.size());
+    EXPECT_NE(r.hierarchical(), nullptr);
+  }
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, inputs.size());
+  EXPECT_GT(stats.leaf_misses, 0u);  // something had to be programmed
+  EXPECT_GE(stats.leaf_hit_rate, 0.0);
+  EXPECT_LE(stats.leaf_hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(stats.leaf_hit_rate,
+                   static_cast<double>(stats.leaf_hits) /
+                       static_cast<double>(stats.leaf_hits + stats.leaf_misses));
+  EXPECT_GT(stats.reprogram_energy_j, 0.0);
+  EXPECT_GT(stats.energy_per_query_j, 0.0);
+}
+
+TEST(RecognitionService, LeafCacheCountersSurfaceThroughTieredComposition) {
+  // Stacking the factories this service ships — a leaf-cache tier 0
+  // under a flat spin tier 1 — wraps the LeafCacheEngine inside a
+  // TieredEngine per shard. stats() must still find the caches and
+  // surface hit/miss/reprogram counters, not silently read zero.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig leaf_config;
+  leaf_config.hierarchy.features = small_spec();
+  leaf_config.hierarchy.clusters = 2;
+  leaf_config.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  leaf_config.hierarchy.seed = 59;
+  leaf_config.leaf_slots = 1;  // guaranteed misses under two clusters
+
+  auto tier1 = [](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    return std::make_unique<SpinAmm>(clean_spin_config(columns));
+  };
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  RecognitionService service(
+      config, make_tiered_factory(make_leaf_cache_factory(leaf_config), tier1));
+  service.store_templates(templates);
+
+  const std::vector<Recognition> got = service.submit_batch(inputs).get();
+  ASSERT_EQ(got.size(), inputs.size());
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_GT(stats.leaf_misses, 0u) << "tiered wrapper hid the leaf-cache counters";
+  EXPECT_GT(stats.leaf_hits + stats.leaf_misses, 0u);
+  EXPECT_GT(stats.reprogram_energy_j, 0.0);
+}
+
+TEST(RecognitionService, InputStageDedupComputesRowCurrentsOncePerQuery) {
+  // Shard-local input-stage dedup: with identically configured spin
+  // shards sharing the flat sizing, the realised input row currents of
+  // each query must be computed once per dispatch — the sibling shard
+  // hits the shared cache — and the answers must stay winner-for-winner
+  // identical to the flat engine.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  SpinAmm flat(clean_spin_config(templates.size()));
+  flat.store_templates(templates);
+  const double full_scale = flat.input_full_scale();
+  const double row_target = flat.crossbar().row_conductance(0);
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = inputs.size();  // one dispatch: per-dispatch cache holds
+  config.admission_window = std::chrono::microseconds(2000);
+  config.dedup_input_stage = true;
+  RecognitionService service(config, [&](std::size_t,
+                                         std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+    SpinAmmConfig c = clean_spin_config(columns);
+    c.input_full_scale_override = full_scale;
+    c.row_target_conductance = row_target;
+    return std::make_unique<SpinAmm>(c);
+  });
+  service.store_templates(templates);
+
+  const std::vector<Recognition> got = service.submit_batch(inputs).get();
+  ASSERT_EQ(got.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition expected = flat.recognize(inputs[i]);
+    EXPECT_EQ(got[i].winner, expected.winner) << "input " << i;
+    EXPECT_EQ(got[i].dom, expected.dom) << "input " << i;
+  }
+
+  // Every distinct query's row currents are evaluated exactly once
+  // across both shards; all other lookups (the sibling shard's, plus any
+  // duplicate reduced inputs) hit the shared cache.
+  std::set<std::vector<std::uint32_t>> distinct;
+  for (const auto& input : inputs) {
+    distinct.insert(input.digital);
+  }
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.input_stage_computes, distinct.size());
+  EXPECT_EQ(stats.input_stage_hits, inputs.size() * config.shards - distinct.size());
+}
+
+TEST(RecognitionService, DedupRequiresSpinShards) {
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.dedup_input_stage = true;
+  RecognitionService service(config, digital_factory());
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  EXPECT_THROW(service.store_templates(templates), InvalidArgument);
 }
 
 TEST(RecognitionService, EmptyBatchResolvesImmediately) {
