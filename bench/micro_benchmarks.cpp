@@ -518,6 +518,86 @@ std::vector<LeafCacheRow> run_leaf_cache_benchmark() {
   return rows;
 }
 
+// --------------------------------------------------------------------------
+// Endurance rows: accuracy and energy/query vs accumulated write cycles,
+// LRU vs wear-leveled eviction, with and without self-repair. Finite
+// device endurance plus a thrashing 2-slot pool means reprogram traffic
+// wears devices out *during* the run; the rows record how each policy
+// pair holds up at successive traffic checkpoints.
+// --------------------------------------------------------------------------
+
+struct EnduranceRow {
+  const char* policy = "lru";
+  bool repair = false;
+  std::size_t queries = 0;  // cumulative recognitions at this checkpoint
+  double accuracy = 0.0;
+  double energy_per_query_j = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t device_writes = 0;
+  std::uint64_t device_writes_saved = 0;
+  std::uint64_t max_slot_write_cycles = 0;
+  std::uint64_t worn_out_devices = 0;
+  std::uint64_t columns_remapped = 0;
+};
+
+std::vector<EnduranceRow> run_endurance_benchmark() {
+  const FaceDataset* dataset = &bench_identity_dataset();
+  FeatureSpec spec;  // 16x8, 5-bit
+  const auto templates = build_templates(*dataset, spec);
+
+  std::vector<FeatureVector> probes;
+  probes.reserve(dataset->size());
+  for (const auto& sample : dataset->all()) {
+    probes.push_back(extract_features(sample.image, spec));
+  }
+
+  LeafCacheEngineConfig base;
+  base.hierarchy.features = spec;
+  base.hierarchy.clusters = 4;
+  base.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  base.hierarchy.seed = 7;
+  base.leaf_slots = 2;  // half pool: every cluster switch may reprogram
+  // Endurance tight enough that devices wear out inside the run.
+  base.hierarchy.memristor.endurance_cycles = 18.0;
+  base.hierarchy.memristor.endurance_sigma = 0.3;
+  base.endurance.delta_writes = true;
+  base.endurance.spare_columns = 6;
+  base.endurance.verify_interval = 200;
+  base.endurance.wear_delta = 2500;
+
+  std::vector<EnduranceRow> rows;
+  for (const LeafSlotPolicy policy : {LeafSlotPolicy::kLru, LeafSlotPolicy::kWearLeveled}) {
+    for (const bool repair : {false, true}) {
+      LeafCacheEngineConfig config = base;
+      config.endurance.policy = policy;
+      config.endurance.repair = repair;
+      LeafCacheEngine engine(config);
+      engine.store_templates(templates);
+
+      for (int checkpoint = 0; checkpoint < 3; ++checkpoint) {
+        for (int pass = 0; pass < 3; ++pass) {
+          (void)engine.recognize_batch(probes);
+        }
+        EnduranceRow row;
+        row.policy = policy == LeafSlotPolicy::kLru ? "lru" : "wear-leveled";
+        row.repair = repair;
+        row.accuracy = evaluate_engine(*dataset, spec, engine).accuracy();
+        const LeafCacheCounters counters = engine.counters();
+        row.queries = counters.queries;
+        row.energy_per_query_j = engine.energy_per_query();
+        row.hit_rate = counters.hit_rate();
+        row.device_writes = counters.device_writes;
+        row.device_writes_saved = counters.device_writes_saved;
+        row.max_slot_write_cycles = counters.max_slot_write_cycles();
+        row.worn_out_devices = counters.worn_out_devices;
+        row.columns_remapped = counters.columns_remapped;
+        rows.push_back(row);
+      }
+    }
+  }
+  return rows;
+}
+
 int run_json_benchmark(const std::string& path) {
   const std::size_t rows = 64;
   const std::size_t cols = 20;
@@ -614,6 +694,34 @@ int run_json_benchmark(const std::string& path) {
                  i + 1 < leaf_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+
+  // Endurance rows: wear-out under reprogram traffic, policy x repair.
+  std::printf("timing the endurance sweep (LRU vs wear-leveled, repair on/off)...\n");
+  const std::vector<EnduranceRow> endurance_rows = run_endurance_benchmark();
+  std::fprintf(f, "  \"endurance\": {\n");
+  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
+                  "\"16x8x5b\", \"clusters\": 4, \"slots\": 2, \"endurance_cycles\": 18, "
+                  "\"spare_columns\": 6, \"delta_writes\": true},\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < endurance_rows.size(); ++i) {
+    const EnduranceRow& row = endurance_rows[i];
+    std::fprintf(f,
+                 "      {\"policy\": \"%s\", \"repair\": %s, \"queries\": %zu, "
+                 "\"accuracy\": %.4f, \"energy_per_query_j\": %.4e, \"hit_rate\": %.4f, "
+                 "\"device_writes\": %llu, \"device_writes_saved\": %llu, "
+                 "\"max_slot_write_cycles\": %llu, \"worn_out_devices\": %llu, "
+                 "\"columns_remapped\": %llu}%s\n",
+                 row.policy, row.repair ? "true" : "false", row.queries, row.accuracy,
+                 row.energy_per_query_j, row.hit_rate,
+                 static_cast<unsigned long long>(row.device_writes),
+                 static_cast<unsigned long long>(row.device_writes_saved),
+                 static_cast<unsigned long long>(row.max_slot_write_cycles),
+                 static_cast<unsigned long long>(row.worn_out_devices),
+                 static_cast<unsigned long long>(row.columns_remapped),
+                 i + 1 < endurance_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -644,6 +752,14 @@ int run_json_benchmark(const std::string& path) {
                 "%.3e J/query (write %.3e)\n",
                 row.slots, row.clusters, 100.0 * row.accuracy, row.queries_per_sec,
                 100.0 * row.hit_rate, row.energy_per_query_j, row.reprogram_energy_per_query_j);
+  }
+  for (const EnduranceRow& row : endurance_rows) {
+    std::printf("  endurance %-12s repair=%s q=%-5zu: %6.2f %% acc, max slot wear %llu, "
+                "worn %llu, remapped %llu\n",
+                row.policy, row.repair ? "on " : "off", row.queries, 100.0 * row.accuracy,
+                static_cast<unsigned long long>(row.max_slot_write_cycles),
+                static_cast<unsigned long long>(row.worn_out_devices),
+                static_cast<unsigned long long>(row.columns_remapped));
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "amm/leaf_cache_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/error.hpp"
@@ -8,9 +9,24 @@
 
 namespace spinsim {
 
+namespace {
+
+/// splitmix64 finalizer (seed derivation for the slot substrates).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 LeafCacheEngine::LeafCacheEngine(const LeafCacheEngineConfig& config) : config_(config) {
   require(config.hierarchy.clusters >= 2, "LeafCacheEngine: need at least two clusters");
   require(config.leaf_slots >= 1, "LeafCacheEngine: need at least one leaf slot");
+  require(config.endurance.verify_tolerance > 0.0,
+          "LeafCacheEngine: verify_tolerance must be positive");
+  require(config.endurance.rewrite_attempts >= 1,
+          "LeafCacheEngine: need at least one rewrite attempt");
 }
 
 void LeafCacheEngine::store_templates(const std::vector<FeatureVector>& templates) {
@@ -44,6 +60,30 @@ void LeafCacheEngine::store_templates(const std::vector<FeatureVector>& template
   slot_of_.assign(h.clusters, -1);
   slots_.clear();
   lru_clock_ = 0;
+  queries_since_verify_ = 0;
+
+  // 3. Endurance mode: any endurance feature (or device wear on the
+  //    spec) backs every slot with a persistent physical substrate. All
+  //    substrates share one write-noise key so answers are independent
+  //    of which slot a cluster lands in (keeps batch and sequential
+  //    serving in lockstep); wear sampling stays per-slot.
+  endurance_active_ = config_.endurance.enabled() || h.memristor.wear_enabled();
+  substrates_.clear();
+  if (endurance_active_) {
+    const std::size_t physical_columns =
+        std::max<std::size_t>(largest_leaf_, 2) + config_.endurance.spare_columns;
+    const std::uint64_t noise_seed = mix64(h.seed + 0xEA51D00DULL);
+    substrates_.reserve(config_.leaf_slots);
+    for (std::size_t s = 0; s < config_.leaf_slots; ++s) {
+      substrates_.push_back(std::make_shared<CrossbarSubstrate>(
+          h.memristor, h.features.dimension(), physical_columns, noise_seed,
+          mix64(noise_seed + s + 1)));
+    }
+  }
+  slot_writes_ = std::make_unique<std::atomic<std::uint64_t>[]>(config_.leaf_slots);
+  for (std::size_t s = 0; s < config_.leaf_slots; ++s) {
+    slot_writes_[s].store(0, std::memory_order_relaxed);
+  }
 
   // A re-store serves a new template set: the traffic counters must not
   // blend the old workload into the new hit rate / amortized energy.
@@ -53,6 +93,16 @@ void LeafCacheEngine::store_templates(const std::vector<FeatureVector>& template
   evictions_.store(0, std::memory_order_relaxed);
   devices_written_.store(0, std::memory_order_relaxed);
   columns_written_.store(0, std::memory_order_relaxed);
+  writes_saved_.store(0, std::memory_order_relaxed);
+  repair_writes_.store(0, std::memory_order_relaxed);
+  verify_scans_.store(0, std::memory_order_relaxed);
+  devices_checked_.store(0, std::memory_order_relaxed);
+  faults_detected_.store(0, std::memory_order_relaxed);
+  devices_rewritten_.store(0, std::memory_order_relaxed);
+  columns_remapped_.store(0, std::memory_order_relaxed);
+  repair_reloads_.store(0, std::memory_order_relaxed);
+  unrepairable_.store(0, std::memory_order_relaxed);
+  worn_out_devices_.store(0, std::memory_order_relaxed);
 }
 
 SpinAmm* LeafCacheEngine::ensure_resident(std::size_t cluster) {
@@ -67,46 +117,255 @@ SpinAmm* LeafCacheEngine::ensure_resident(std::size_t cluster) {
     return slots_[static_cast<std::size_t>(have)].engine.get();
   }
 
-  // Miss: take a free slot, or evict the least-recently-used unpinned one.
-  std::size_t victim = slots_.size();
+  const std::size_t victim = pick_victim();
+  load_slot(victim, cluster, /*repair_reload=*/false);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return slots_[victim].engine.get();
+}
+
+std::size_t LeafCacheEngine::pick_victim() {
+  // Free slot first.
   if (slots_.size() < config_.leaf_slots) {
     slots_.emplace_back();
-  } else {
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t s = 0; s < slots_.size(); ++s) {
-      if (!pinned_[slots_[s].cluster] && slots_[s].last_used < oldest) {
-        oldest = slots_[s].last_used;
-        victim = s;
-      }
-    }
-    require(victim < slots_.size(),
-            "LeafCacheEngine: every leaf slot is pinned; cannot serve a miss");
-    slot_of_[slots_[victim].cluster] = -1;
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return slots_.size() - 1;
   }
 
+  // LRU among the unpinned slots.
+  std::size_t victim = slots_.size();
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!pinned_[slots_[s].cluster] && slots_[s].last_used < oldest) {
+      oldest = slots_[s].last_used;
+      victim = s;
+    }
+  }
+  require(victim < slots_.size(),
+          "LeafCacheEngine: every leaf slot is pinned; cannot serve a miss");
+
+  if (config_.endurance.policy == LeafSlotPolicy::kWearLeveled) {
+    // Static wear leveling, flash-FTL style: while pool wear is balanced
+    // the victim stays the LRU choice (best hit rate); once the gap
+    // between the most- and least-written slots reaches wear_delta, the
+    // incoming writes land on the least-worn unpinned slot instead,
+    // capping the pool's maximum device wear.
+    std::uint64_t lowest = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t highest = 0;
+    std::size_t least_worn = slots_.size();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      const std::uint64_t writes = slot_writes_[s].load(std::memory_order_relaxed);
+      highest = std::max(highest, writes);
+      if (!pinned_[slots_[s].cluster] && writes < lowest) {
+        lowest = writes;
+        least_worn = s;
+      }
+    }
+    if (least_worn < slots_.size() && highest - lowest >= config_.endurance.wear_delta) {
+      victim = least_worn;
+    }
+  }
+
+  slot_of_[slots_[victim].cluster] = -1;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return victim;
+}
+
+void LeafCacheEngine::load_slot(std::size_t slot_index, std::size_t cluster,
+                                bool repair_reload) {
   // Program the cluster's templates into the slot. The module derives
   // through hierarchical_module_config with the same salt a resident
-  // HierarchicalAmm leaf would use, so the realised device noise — and
-  // therefore every answer — is bit-identical across reprogram cycles.
-  Slot& slot = slots_[victim];
+  // HierarchicalAmm leaf would use, so absent endurance mode the
+  // realised device noise — and therefore every answer — is
+  // bit-identical across reprogram cycles.
+  Slot& slot = slots_[slot_index];
   slot.cluster = cluster;
   slot.last_used = lru_clock_;
   slot.engine = std::make_unique<SpinAmm>(
       hierarchical_module_config(config_.hierarchy, leaf_sets_[cluster].size(), cluster + 1));
+  slot.charged_writes = 0;
+  slot.charged_skips = 0;
+  slot.charged_columns = 0;
+  slot.col_map.clear();
+  if (endurance_active_) {
+    slot.col_map = substrates_[slot_index]->allocate_columns(leaf_sets_[cluster].size());
+    slot.engine->attach_substrate(substrates_[slot_index], slot.col_map,
+                                  config_.endurance.delta_writes);
+  }
   slot.engine->store_templates(leaf_sets_[cluster]);
-  slot_of_[cluster] = static_cast<std::ptrdiff_t>(victim);
-
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  charge_reprogram(leaf_sets_[cluster].size());
-  return slot.engine.get();
+  slot_of_[cluster] = static_cast<std::ptrdiff_t>(slot_index);
+  charge_slot(slot_index, repair_reload);
+  if (endurance_active_) {
+    refresh_worn_count();
+  }
 }
 
-void LeafCacheEngine::charge_reprogram(std::size_t columns) {
-  devices_written_.fetch_add(
-      static_cast<std::uint64_t>(config_.hierarchy.features.dimension()) * columns,
-      std::memory_order_relaxed);
+void LeafCacheEngine::charge_slot(std::size_t slot_index, bool repair) {
+  Slot& slot = slots_[slot_index];
+  const RcmArray& rcm = slot.engine->crossbar();
+  const std::uint64_t writes = rcm.device_writes() - slot.charged_writes;
+  const std::uint64_t skips = rcm.device_write_skips() - slot.charged_skips;
+  const std::uint64_t columns = rcm.columns_touched() - slot.charged_columns;
+  slot.charged_writes += writes;
+  slot.charged_skips += skips;
+  slot.charged_columns += columns;
+  devices_written_.fetch_add(writes, std::memory_order_relaxed);
   columns_written_.fetch_add(columns, std::memory_order_relaxed);
+  writes_saved_.fetch_add(skips, std::memory_order_relaxed);
+  if (repair) {
+    repair_writes_.fetch_add(writes, std::memory_order_relaxed);
+  }
+  slot_writes_[slot_index].fetch_add(writes, std::memory_order_relaxed);
+}
+
+void LeafCacheEngine::maybe_verify(std::uint64_t served) {
+  if (config_.endurance.verify_interval == 0 || !endurance_active_) {
+    return;
+  }
+  queries_since_verify_ += served;
+  if (queries_since_verify_ >= config_.endurance.verify_interval) {
+    queries_since_verify_ = 0;
+    verify_and_repair();
+  }
+}
+
+bool LeafCacheEngine::verify_ok(double weight, double realised) const {
+  const MemristorSpec& spec = config_.hierarchy.memristor;
+  const double target = spec.level_conductance(spec.weight_to_level(weight));
+  // The window is sized against full scale, not the target: the column
+  // dot product weighs *absolute* conductance error, so a low-level
+  // device drifted by a multiple of g_min is harmless while the same
+  // relative error at g_max is not. A stuck-short (4x g_max) trips the
+  // window for any target; a stuck-open only trips targets large enough
+  // to actually move the dot product.
+  return std::abs(realised - target) <= config_.endurance.verify_tolerance * spec.g_max();
+}
+
+void LeafCacheEngine::refresh_worn_count() {
+  std::uint64_t worn = 0;
+  for (const auto& substrate : substrates_) {
+    worn += substrate->worn_out_devices();
+  }
+  worn_out_devices_.store(worn, std::memory_order_relaxed);
+}
+
+LeafRepairReport LeafCacheEngine::verify_and_repair() {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() first");
+  LeafRepairReport report;
+  if (!endurance_active_) {
+    return report;  // plain mode: no substrates, nothing to verify against
+  }
+  verify_scans_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t dimension = config_.hierarchy.features.dimension();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].engine == nullptr) {
+      continue;
+    }
+    const std::size_t cluster = slots_[s].cluster;
+    const std::vector<FeatureVector>& templates = leaf_sets_[cluster];
+    RcmArray& rcm = slots_[s].engine->mutable_crossbar();
+
+    // Verify-read every device against its programmed level window;
+    // rewrite out-of-window devices in place, collect the columns whose
+    // devices would not come back.
+    std::vector<std::size_t> dead_columns;
+    bool rewrote = false;
+    for (std::size_t j = 0; j < templates.size(); ++j) {
+      bool column_dead = false;
+      for (std::size_t r = 0; r < dimension; ++r) {
+        ++report.devices_checked;
+        const double weight = templates[j].analog[r];
+        if (verify_ok(weight, rcm.conductance(r, j))) {
+          continue;
+        }
+        ++report.faults_detected;
+        if (!config_.endurance.repair) {
+          continue;  // detect-only control arm
+        }
+        bool fixed = false;
+        for (std::size_t attempt = 0;
+             attempt < config_.endurance.rewrite_attempts && !fixed; ++attempt) {
+          rcm.program_cell(r, j, weight);
+          rewrote = true;
+          fixed = verify_ok(weight, rcm.conductance(r, j));
+        }
+        if (fixed) {
+          ++report.devices_rewritten;
+        } else {
+          column_dead = true;
+        }
+      }
+      if (column_dead) {
+        dead_columns.push_back(j);
+      }
+    }
+    if (rewrote) {
+      rcm.equalize_rows();
+    }
+    charge_slot(s, /*repair=*/true);
+
+    if (!dead_columns.empty() && config_.endurance.repair) {
+      // Spare-column remap: retire the physical columns behind the dead
+      // devices and reload the leaf on the remaining healthy columns
+      // (delta reprogramming keeps the reload cheap — only the moved
+      // columns rewrite). When the spare budget is gone the leaf keeps
+      // serving degraded on retired columns.
+      CrossbarSubstrate& substrate = *substrates_[s];
+      for (const std::size_t j : dead_columns) {
+        const std::size_t physical = slots_[s].col_map[j];
+        if (!substrate.column_retired(physical)) {
+          substrate.retire_column(physical);
+          ++report.columns_remapped;
+        }
+      }
+      if (substrate.healthy_columns() < templates.size()) {
+        report.unrepairable +=
+            static_cast<std::uint64_t>(templates.size() - substrate.healthy_columns());
+      }
+      slot_of_[cluster] = -1;
+      load_slot(s, cluster, /*repair_reload=*/true);
+      ++report.repair_reloads;
+    }
+  }
+
+  devices_checked_.fetch_add(report.devices_checked, std::memory_order_relaxed);
+  faults_detected_.fetch_add(report.faults_detected, std::memory_order_relaxed);
+  devices_rewritten_.fetch_add(report.devices_rewritten, std::memory_order_relaxed);
+  columns_remapped_.fetch_add(report.columns_remapped, std::memory_order_relaxed);
+  repair_reloads_.fetch_add(report.repair_reloads, std::memory_order_relaxed);
+  unrepairable_.fetch_add(report.unrepairable, std::memory_order_relaxed);
+  refresh_worn_count();
+  return report;
+}
+
+void LeafCacheEngine::inject_slot_fault(std::size_t slot, std::size_t row, std::size_t column,
+                                        RcmArray::StuckFault fault) {
+  require(router_ != nullptr, "LeafCacheEngine: store_templates() first");
+  require(endurance_active_,
+          "LeafCacheEngine::inject_slot_fault: requires endurance mode (substrate slots)");
+  require(slot < config_.leaf_slots, "LeafCacheEngine::inject_slot_fault: slot out of range");
+  CrossbarSubstrate& substrate = *substrates_[slot];
+  if (slot < slots_.size() && slots_[slot].engine != nullptr) {
+    const std::vector<std::size_t>& map = slots_[slot].col_map;
+    for (std::size_t j = 0; j < map.size(); ++j) {
+      if (map[j] == column) {
+        // Resident and mapped: damage the live array, which writes the
+        // failure through to the substrate itself.
+        slots_[slot].engine->mutable_crossbar().inject_fault(row, j, fault);
+        refresh_worn_count();
+        return;
+      }
+    }
+  }
+  substrate.mark_failed(row, column,
+                        fault == RcmArray::StuckFault::kOpen ? MemristorHealth::kStuckOpen
+                                                             : MemristorHealth::kStuckShort);
+  refresh_worn_count();
+}
+
+const CrossbarSubstrate& LeafCacheEngine::slot_substrate(std::size_t slot) const {
+  require(endurance_active_, "LeafCacheEngine::slot_substrate: requires endurance mode");
+  require(slot < substrates_.size(), "LeafCacheEngine::slot_substrate: slot out of range");
+  return *substrates_[slot];
 }
 
 Recognition LeafCacheEngine::recognize(const FeatureVector& input) {
@@ -115,6 +374,7 @@ Recognition LeafCacheEngine::recognize(const FeatureVector& input) {
   const Recognition routed = router_->recognize(input);
   const std::size_t cluster = routed.winner;
   queries_.fetch_add(1, std::memory_order_relaxed);
+  maybe_verify(1);
 
   const auto& member_list = members_[cluster];
   SPINSIM_ASSERT(!member_list.empty(), "LeafCacheEngine: routed to an empty cluster");
@@ -202,6 +462,7 @@ std::vector<Recognition> LeafCacheEngine::recognize_batch(const std::vector<Feat
                                  config_.hierarchy.accept_threshold);
     }
   }
+  maybe_verify(inputs.size());
   return results;
 }
 
@@ -255,9 +516,26 @@ LeafCacheCounters LeafCacheEngine::counters() const {
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.queries = queries_.load(std::memory_order_relaxed);
   out.reprograms = out.misses;
+  out.device_writes = devices_written_.load(std::memory_order_relaxed);
+  out.device_writes_saved = writes_saved_.load(std::memory_order_relaxed);
+  out.repair_device_writes = repair_writes_.load(std::memory_order_relaxed);
+  out.verify_scans = verify_scans_.load(std::memory_order_relaxed);
+  out.devices_checked = devices_checked_.load(std::memory_order_relaxed);
+  out.faults_detected = faults_detected_.load(std::memory_order_relaxed);
+  out.devices_rewritten = devices_rewritten_.load(std::memory_order_relaxed);
+  out.columns_remapped = columns_remapped_.load(std::memory_order_relaxed);
+  out.repair_reloads = repair_reloads_.load(std::memory_order_relaxed);
+  out.unrepairable = unrepairable_.load(std::memory_order_relaxed);
+  out.worn_out_devices = worn_out_devices_.load(std::memory_order_relaxed);
+  if (slot_writes_ != nullptr) {
+    out.slot_write_cycles.reserve(config_.leaf_slots);
+    for (std::size_t s = 0; s < config_.leaf_slots; ++s) {
+      out.slot_write_cycles.push_back(slot_writes_[s].load(std::memory_order_relaxed));
+    }
+  }
   out.reprogram_energy_j =
       config_.write_cost.device_write_energy(config_.hierarchy.memristor) *
-      static_cast<double>(devices_written_.load(std::memory_order_relaxed));
+      static_cast<double>(out.device_writes);
   out.reprogram_latency_s = config_.write_cost.array_write_latency(
       static_cast<std::size_t>(columns_written_.load(std::memory_order_relaxed)));
   return out;

@@ -33,6 +33,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -42,9 +43,59 @@
 #include "amm/engine.hpp"
 #include "amm/hierarchical_amm.hpp"
 #include "amm/spin_amm.hpp"
+#include "crossbar/wear.hpp"
 #include "energy/write_cost.hpp"
 
 namespace spinsim {
+
+/// Eviction policy of the slot pool.
+enum class LeafSlotPolicy {
+  kLru,          ///< evict the least-recently-used unpinned slot
+  kWearLeveled,  ///< LRU until pool wear skews, then least-worn (FTL-style)
+};
+
+/// Endurance / self-repair knobs. Everything defaults off, and the
+/// engine then behaves exactly like the plain leaf cache (answers
+/// bit-identical to a resident HierarchicalAmm). Enabling any feature —
+/// or enabling wear on the hierarchy's MemristorSpec — switches the pool
+/// to substrate-backed slots: each slot's physical devices keep wear,
+/// realised state, and fault history across reprograms, and write noise
+/// comes from per-device keyed streams (see wear.hpp). Batch and
+/// sequential serving still agree answer-for-answer, but answers are no
+/// longer bit-identical to the resident hierarchy: the device noise is
+/// statistically identical, drawn differently.
+struct LeafCacheEnduranceConfig {
+  /// Delta reprogramming: on a miss into a previously used slot, write
+  /// only devices whose target level differs from the recorded state.
+  bool delta_writes = false;
+  LeafSlotPolicy policy = LeafSlotPolicy::kLru;
+  /// Wear-leveling trigger: once the gap between the most- and
+  /// least-written unpinned slots reaches this many device writes, the
+  /// next victim is the least-worn slot instead of the LRU one.
+  std::uint64_t wear_delta = 4096;
+  /// Spare physical columns per slot — the self-repair remap budget.
+  std::size_t spare_columns = 0;
+  /// Run a verify-read scan every this many queries (0 disables).
+  std::uint64_t verify_interval = 0;
+  /// Repair what a scan finds (in-place rewrite, then spare-column
+  /// remap). False leaves the scan detect-only — the unrepaired control
+  /// arm of the endurance harness.
+  bool repair = true;
+  /// Half-width of the conductance window a verify-read accepts around
+  /// the programmed level's target, as a fraction of the full-scale
+  /// (top-level) conductance — absolute error is what the column dot
+  /// product sees, so a drifted low-level device with negligible
+  /// absolute error is not flagged.
+  double verify_tolerance = 0.25;
+  /// In-place rewrites attempted before a device is declared dead and
+  /// its column remapped.
+  std::size_t rewrite_attempts = 2;
+
+  bool enabled() const {
+    return delta_writes || policy != LeafSlotPolicy::kLru || spare_columns > 0 ||
+           verify_interval > 0;
+  }
+};
 
 /// Knobs of the leaf-cache engine.
 struct LeafCacheEngineConfig {
@@ -57,6 +108,8 @@ struct LeafCacheEngineConfig {
   std::size_t leaf_slots = 4;
   /// Write-path pricing charged on every miss.
   CrossbarWriteCost write_cost;
+  /// Endurance, wear-leveling and self-repair (default: all off).
+  LeafCacheEnduranceConfig endurance;
 };
 
 /// Running totals of one LeafCacheEngine (snapshot of atomic counters).
@@ -72,10 +125,43 @@ struct LeafCacheCounters {
   double reprogram_energy_j = 0.0;   ///< total write energy charged [J]
   double reprogram_latency_s = 0.0;  ///< total write wall-clock charged [s]
 
+  // Endurance / self-repair accounting:
+  std::uint64_t device_writes = 0;        ///< physical device writes performed
+  std::uint64_t device_writes_saved = 0;  ///< writes avoided by delta reprogramming
+  std::uint64_t repair_device_writes = 0; ///< subset of device_writes from repair rewrites
+  std::uint64_t verify_scans = 0;         ///< verify-read passes run
+  std::uint64_t devices_checked = 0;      ///< verify-reads performed
+  std::uint64_t faults_detected = 0;      ///< verify-reads out of window
+  std::uint64_t devices_rewritten = 0;    ///< in-place repairs that restored the window
+  std::uint64_t columns_remapped = 0;     ///< physical columns retired to spares
+  std::uint64_t repair_reloads = 0;       ///< slot reloads forced by remaps
+  std::uint64_t unrepairable = 0;         ///< faults left in service (spares exhausted)
+  std::uint64_t worn_out_devices = 0;     ///< devices currently stuck (wear or field faults)
+  /// Per-slot cumulative device writes — the pool's wear histogram.
+  std::vector<std::uint64_t> slot_write_cycles;
+
+  std::uint64_t max_slot_write_cycles() const {
+    std::uint64_t worst = 0;
+    for (const std::uint64_t w : slot_write_cycles) {
+      worst = std::max(worst, w);
+    }
+    return worst;
+  }
+
   double hit_rate() const {
     const std::uint64_t looked = hits + misses;
     return looked == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(looked);
   }
+};
+
+/// Outcome of one verify-and-repair pass over the resident slots.
+struct LeafRepairReport {
+  std::uint64_t devices_checked = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t devices_rewritten = 0;
+  std::uint64_t columns_remapped = 0;
+  std::uint64_t repair_reloads = 0;
+  std::uint64_t unrepairable = 0;
 };
 
 /// Hierarchical AMM over a bounded pool of on-demand-programmed leaves.
@@ -129,6 +215,26 @@ class LeafCacheEngine : public AssociativeEngine {
   /// Counter snapshot (safe while traffic is in flight).
   LeafCacheCounters counters() const;
 
+  /// Verify-reads every resident device against its programmed level
+  /// window and (with `endurance.repair`) fixes what it finds: stuck,
+  /// worn-out, or drifted devices get up to `rewrite_attempts` in-place
+  /// rewrites; a device that stays out of window retires its physical
+  /// column and the leaf reloads on the remaining healthy columns (spare
+  /// remap). Runs automatically every `verify_interval` queries; callable
+  /// directly from the serving thread. No-op without endurance mode.
+  LeafRepairReport verify_and_repair();
+
+  /// Injects a permanent stuck fault into physical device (row, column)
+  /// of slot `slot` — `column` indexes the substrate, not the leaf. The
+  /// damage persists across reprograms; when the slot currently maps
+  /// that column, the live array is damaged immediately. Requires
+  /// endurance mode (substrate-backed slots).
+  void inject_slot_fault(std::size_t slot, std::size_t row, std::size_t column,
+                         RcmArray::StuckFault fault);
+
+  /// Physical substrate of slot `slot` (inspection; endurance mode only).
+  const CrossbarSubstrate& slot_substrate(std::size_t slot) const;
+
   /// Search power of the active path (router + worst-case leaf) plus an
   /// amortized "write: reprogram" item at the observed miss rate.
   PowerReport power() const override;
@@ -144,13 +250,29 @@ class LeafCacheEngine : public AssociativeEngine {
     std::size_t cluster = 0;
     std::unique_ptr<SpinAmm> engine;
     std::uint64_t last_used = 0;
+    std::vector<std::size_t> col_map;  // leaf column -> physical column
+    // Per-engine-instance write counters already charged (the RcmArray
+    // counters are cumulative per instance; repairs keep writing into a
+    // live instance, so charges are taken as deltas against these).
+    std::uint64_t charged_writes = 0;
+    std::uint64_t charged_skips = 0;
+    std::uint64_t charged_columns = 0;
   };
 
   /// Returns the resident leaf for `cluster`, programming it into a slot
   /// first when absent. nullptr for singleton clusters.
   SpinAmm* ensure_resident(std::size_t cluster);
+  /// Frees a slot for an incoming leaf (grow, LRU, or wear-leveled pick).
+  std::size_t pick_victim();
+  /// (Re)programs `cluster` into slot `slot` and charges the write path.
+  void load_slot(std::size_t slot, std::size_t cluster, bool repair_reload);
+  /// Charges the slot engine's un-charged writes into the counters.
+  void charge_slot(std::size_t slot, bool repair);
+  /// Triggers verify_and_repair() every endurance.verify_interval queries.
+  void maybe_verify(std::uint64_t served);
+  bool verify_ok(double weight, double realised) const;
+  void refresh_worn_count();
   double search_energy_per_query() const;
-  void charge_reprogram(std::size_t columns);
 
   LeafCacheEngineConfig config_;
   std::unique_ptr<SpinAmm> router_;
@@ -164,6 +286,11 @@ class LeafCacheEngine : public AssociativeEngine {
   std::vector<std::ptrdiff_t> slot_of_;  // cluster -> slot index, -1 if absent
   std::uint64_t lru_clock_ = 0;
 
+  // Endurance mode (set in store_templates): substrate-backed slots.
+  bool endurance_active_ = false;
+  std::vector<std::shared_ptr<CrossbarSubstrate>> substrates_;  // per slot
+  std::uint64_t queries_since_verify_ = 0;  // serving thread only
+
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
@@ -172,6 +299,21 @@ class LeafCacheEngine : public AssociativeEngine {
   // lock-free; energies are priced at read time from the write-cost model.
   std::atomic<std::uint64_t> devices_written_{0};
   std::atomic<std::uint64_t> columns_written_{0};
+  std::atomic<std::uint64_t> writes_saved_{0};
+  std::atomic<std::uint64_t> repair_writes_{0};
+  std::atomic<std::uint64_t> verify_scans_{0};
+  std::atomic<std::uint64_t> devices_checked_{0};
+  std::atomic<std::uint64_t> faults_detected_{0};
+  std::atomic<std::uint64_t> devices_rewritten_{0};
+  std::atomic<std::uint64_t> columns_remapped_{0};
+  std::atomic<std::uint64_t> repair_reloads_{0};
+  std::atomic<std::uint64_t> unrepairable_{0};
+  std::atomic<std::uint64_t> worn_out_devices_{0};
+  // Per-slot cumulative device writes (the wear histogram); allocated at
+  // store_templates (atomics are not movable, so a fixed array instead
+  // of a vector) so concurrent counters() reads stay race-free against
+  // serving-thread updates.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_writes_;
 };
 
 }  // namespace spinsim

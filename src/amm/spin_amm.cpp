@@ -239,6 +239,12 @@ double SpinAmm::realised_input_current(std::size_t row, std::uint32_t code) cons
   return input_dacs_[row].output_current(code, rcm_->row_conductance(row));
 }
 
+void SpinAmm::attach_substrate(std::shared_ptr<CrossbarSubstrate> substrate,
+                               std::vector<std::size_t> column_map, bool delta_writes) {
+  require(!templates_stored_, "SpinAmm::attach_substrate: attach before store_templates()");
+  rcm_->attach_substrate(std::move(substrate), std::move(column_map), delta_writes);
+}
+
 const RcmArray& SpinAmm::crossbar() const {
   require(rcm_ != nullptr, "SpinAmm: no crossbar");
   return *rcm_;

@@ -132,6 +132,13 @@ class SpinAmm : public AssociativeEngine {
   /// agrees for every row.
   double realised_input_current(std::size_t row, std::uint32_t code) const;
 
+  /// Attaches persistent physical-device state to the crossbar (see
+  /// RcmArray::attach_substrate) — how LeafCacheEngine makes reprograms
+  /// age real devices and skip unchanged ones. Must be called before
+  /// store_templates().
+  void attach_substrate(std::shared_ptr<CrossbarSubstrate> substrate,
+                        std::vector<std::size_t> column_map, bool delta_writes);
+
   /// The programmed crossbar (inspection / experiments).
   const RcmArray& crossbar() const;
 

@@ -16,13 +16,100 @@ RcmArray::RcmArray(const RcmConfig& config, Rng rng) : config_(config), rng_(rng
   dummy_g_.assign(config.rows, 0.0);
 }
 
+void RcmArray::attach_substrate(std::shared_ptr<CrossbarSubstrate> substrate,
+                                std::vector<std::size_t> column_map, bool delta_writes) {
+  require(substrate != nullptr, "RcmArray::attach_substrate: null substrate");
+  require(!programmed_, "RcmArray::attach_substrate: attach before programming");
+  require(substrate->rows() == config_.rows,
+          "RcmArray::attach_substrate: substrate row count mismatch");
+  require(column_map.size() == config_.cols,
+          "RcmArray::attach_substrate: need one physical column per array column");
+  std::vector<bool> used(substrate->columns(), false);
+  for (const std::size_t phys : column_map) {
+    require(phys < substrate->columns(),
+            "RcmArray::attach_substrate: physical column out of range");
+    require(!used[phys], "RcmArray::attach_substrate: physical column mapped twice");
+    used[phys] = true;
+  }
+  substrate_ = std::move(substrate);
+  column_map_ = std::move(column_map);
+  delta_writes_ = delta_writes;
+
+  // Restore each model cell from its physical device: wear, endurance
+  // limit, d2d skew, recorded faults, and (for programmed healthy
+  // devices) the realised conductance of the last write.
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      const CrossbarSubstrate::Device& dev = substrate_->device(row, column_map_[col]);
+      Memristor& cell = cells_[row * config_.cols + col];
+      cell.set_range_scale(substrate_->range_scale(row, column_map_[col]));
+      if (dev.programmed && dev.wear.health == MemristorHealth::kHealthy) {
+        cell.restore(dev.level, dev.conductance);
+      }
+      cell.set_wear(dev.wear);
+    }
+  }
+  row_sums_dirty_ = true;
+  invalidate_parasitic_cache();
+}
+
+void RcmArray::program_cell_unchecked(std::size_t row, std::size_t col, std::size_t level) {
+  Memristor& cell = cells_[row * config_.cols + col];
+  if (substrate_ == nullptr) {
+    cell.program(level, rng_);
+    ++device_writes_;
+    return;
+  }
+  CrossbarSubstrate::Device& dev = substrate_->device(row, column_map_[col]);
+  const std::uint64_t cycle =
+      config_.memristor.wear_enabled() ? dev.wear.write_cycles : 0;
+  Rng stream = substrate_->write_stream(row, column_map_[col], level, cycle);
+  cell.program(level, stream);
+  ++device_writes_;
+  // Write the aged state back. A device recorded failed behind a healthy
+  // model cell means field damage replaced the cell model (inject_fault):
+  // the pulses are spent but the physical damage persists.
+  if (dev.wear.health != MemristorHealth::kHealthy &&
+      cell.health() == MemristorHealth::kHealthy) {
+    ++dev.wear.write_cycles;
+    return;
+  }
+  dev.wear = cell.wear();
+  dev.level = static_cast<std::uint32_t>(level);
+  dev.conductance = cell.conductance();
+  dev.programmed = true;
+}
+
 void RcmArray::program_column(std::size_t col, const std::vector<double>& weights) {
   require(col < config_.cols, "RcmArray::program_column: column out of range");
   require(weights.size() == config_.rows,
           "RcmArray::program_column: weight count must equal rows");
+  bool touched = false;
   for (std::size_t row = 0; row < config_.rows; ++row) {
-    cells_[row * config_.cols + col].program_weight(weights[row], rng_);
+    const std::size_t level = config_.memristor.weight_to_level(weights[row]);
+    if (substrate_ != nullptr && delta_writes_) {
+      const CrossbarSubstrate::Device& dev = substrate_->device(row, column_map_[col]);
+      if (dev.programmed && dev.level == level &&
+          dev.wear.health == MemristorHealth::kHealthy) {
+        cells_[row * config_.cols + col].restore(level, dev.conductance);
+        ++device_write_skips_;
+        continue;
+      }
+    }
+    program_cell_unchecked(row, col, level);
+    touched = true;
   }
+  if (touched) {
+    ++columns_touched_;
+  }
+  row_sums_dirty_ = true;
+  invalidate_parasitic_cache();
+}
+
+void RcmArray::program_cell(std::size_t row, std::size_t col, double weight) {
+  require(row < config_.rows && col < config_.cols, "RcmArray::program_cell: out of range");
+  program_cell_unchecked(row, col, config_.memristor.weight_to_level(weight));
+  ++columns_touched_;
   row_sums_dirty_ = true;
   invalidate_parasitic_cache();
 }
@@ -96,6 +183,13 @@ void RcmArray::inject_fault(std::size_t row, std::size_t col, StuckFault fault) 
   Memristor& cell = cells_[row * config_.cols + col];
   cell = Memristor(fault_spec);
   cell.program_ideal(fault == StuckFault::kOpen ? 0 : fault_spec.levels - 1);
+  if (substrate_ != nullptr) {
+    // Field damage outlives this array model: record it on the physical
+    // device so the fault survives eviction and reprogramming.
+    substrate_->mark_failed(row, column_map_[col],
+                            fault == StuckFault::kOpen ? MemristorHealth::kStuckOpen
+                                                       : MemristorHealth::kStuckShort);
+  }
   row_sums_dirty_ = true;
   invalidate_parasitic_cache();
 }

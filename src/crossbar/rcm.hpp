@@ -27,6 +27,7 @@
 
 #include "circuit/resistive_network.hpp"
 #include "core/random.hpp"
+#include "crossbar/wear.hpp"
 #include "device/memristor.hpp"
 
 namespace spinsim {
@@ -75,10 +76,32 @@ class RcmArray {
   std::size_t rows() const { return config_.rows; }
   std::size_t cols() const { return config_.cols; }
 
+  /// Attaches persistent physical-device state: array column `j` models
+  /// the substrate's physical column `column_map[j]`. Cell wear, sampled
+  /// endurance limits, d2d skew, and recorded faults are restored from
+  /// the substrate immediately; every subsequent program writes the aged
+  /// state back, drawing write noise from the substrate's keyed
+  /// per-device streams instead of this array's sequential rng. With
+  /// `delta_writes`, programming skips (and restores) devices whose
+  /// recorded target level already matches. Attach before programming.
+  void attach_substrate(std::shared_ptr<CrossbarSubstrate> substrate,
+                        std::vector<std::size_t> column_map, bool delta_writes);
+
+  bool substrate_attached() const { return substrate_ != nullptr; }
+
+  /// Physical substrate column behind array column `col` (identity
+  /// mapping is the common case; repair remaps break it).
+  const std::vector<std::size_t>& column_map() const { return column_map_; }
+
   /// Programs column `col` with `weights` (one value in [0, 1] per row).
   /// Weights are quantised to the memristor level grid; realised
   /// conductances include write noise per the spec.
   void program_column(std::size_t col, const std::vector<double>& weights);
+
+  /// Reprograms the single junction (row, col) to `weight` — the
+  /// self-repair rewrite path. Always writes (no delta skip). The caller
+  /// re-equalises rows once per repair pass.
+  void program_cell(std::size_t row, std::size_t col, double weight);
 
   /// Programs all columns; `columns[j]` holds column j's weights.
   void program(const std::vector<std::vector<double>>& columns);
@@ -143,7 +166,16 @@ class RcmArray {
   /// Drops the cached parasitic network (after reprogramming).
   void invalidate_parasitic_cache();
 
+  // Device-write accounting since construction: physical writes
+  // performed, writes avoided by delta reprogramming, and columns that
+  // saw at least one write (the unit the serial write path's latency
+  // scales with).
+  std::uint64_t device_writes() const { return device_writes_; }
+  std::uint64_t device_write_skips() const { return device_write_skips_; }
+  std::uint64_t columns_touched() const { return columns_touched_; }
+
  private:
+  void program_cell_unchecked(std::size_t row, std::size_t col, std::size_t level);
   void build_parasitic_network(double v_bias);
   void ensure_network(double v_bias);
   void ensure_transfer(double v_bias);
@@ -155,6 +187,14 @@ class RcmArray {
   std::vector<Memristor> cells_;       // row-major rows x cols
   std::vector<double> dummy_g_;        // per-row pad conductance
   bool programmed_ = false;
+
+  // Persistent physical-device state (leaf-cache endurance mode).
+  std::shared_ptr<CrossbarSubstrate> substrate_;
+  std::vector<std::size_t> column_map_;
+  bool delta_writes_ = false;
+  std::uint64_t device_writes_ = 0;
+  std::uint64_t device_write_skips_ = 0;
+  std::uint64_t columns_touched_ = 0;
 
   // Per-row sum of crosspoint conductances (dummy pad excluded), kept so
   // row_conductance() and equalize_rows() stop rescanning the cell array.

@@ -1,0 +1,143 @@
+#include "crossbar/wear.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+namespace {
+
+/// splitmix64 finalizer — the same expansion idiom the WTA uses for its
+/// per-query thermal substreams.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed + 0x9E3779B97F4A7C15ULL * (value + 1));
+}
+
+}  // namespace
+
+CrossbarSubstrate::CrossbarSubstrate(const MemristorSpec& spec, std::size_t rows,
+                                     std::size_t columns, std::uint64_t noise_seed,
+                                     std::uint64_t wear_seed)
+    : spec_(spec), rows_(rows), columns_(columns), noise_seed_(noise_seed) {
+  require(rows > 0 && columns > 0, "CrossbarSubstrate: dimensions must be positive");
+  devices_.resize(rows * columns);
+  retired_.assign(columns, false);
+  if (spec.wear_enabled()) {
+    // Endurance limits are a property of each physical device, sampled
+    // once here so they survive the model arrays that come and go.
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < columns; ++c) {
+        Rng rng(combine(combine(wear_seed, r), c));
+        devices_[r * columns + c].wear.endurance_limit =
+            spec.endurance_sigma > 0.0
+                ? rng.lognormal_rel(spec.endurance_cycles, spec.endurance_sigma)
+                : spec.endurance_cycles;
+      }
+    }
+  }
+}
+
+CrossbarSubstrate::Device& CrossbarSubstrate::device(std::size_t row, std::size_t column) {
+  require(row < rows_ && column < columns_, "CrossbarSubstrate::device: out of range");
+  return devices_[row * columns_ + column];
+}
+
+const CrossbarSubstrate::Device& CrossbarSubstrate::device(std::size_t row,
+                                                           std::size_t column) const {
+  require(row < rows_ && column < columns_, "CrossbarSubstrate::device: out of range");
+  return devices_[row * columns_ + column];
+}
+
+Rng CrossbarSubstrate::write_stream(std::size_t row, std::size_t column, std::size_t level,
+                                    std::uint64_t cycle) const {
+  std::uint64_t z = combine(noise_seed_, row);
+  z = combine(z, column);
+  z = combine(z, level);
+  z = combine(z, cycle);
+  return Rng(z);
+}
+
+double CrossbarSubstrate::range_scale(std::size_t row, std::size_t column) const {
+  if (spec_.d2d_sigma <= 0.0) {
+    return 1.0;
+  }
+  Rng rng(combine(combine(combine(noise_seed_, 0xD2DULL), row), column));
+  return rng.lognormal_rel(1.0, spec_.d2d_sigma);
+}
+
+void CrossbarSubstrate::retire_column(std::size_t column) {
+  require(column < columns_, "CrossbarSubstrate::retire_column: out of range");
+  if (!retired_[column]) {
+    retired_[column] = true;
+    ++retired_count_;
+  }
+}
+
+bool CrossbarSubstrate::column_retired(std::size_t column) const {
+  require(column < columns_, "CrossbarSubstrate::column_retired: out of range");
+  return retired_[column];
+}
+
+std::vector<std::size_t> CrossbarSubstrate::allocate_columns(std::size_t count) const {
+  require(count <= columns_,
+          "CrossbarSubstrate::allocate_columns: more columns requested than exist");
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t c = 0; c < columns_ && out.size() < count; ++c) {
+    if (!retired_[c]) {
+      out.push_back(c);
+    }
+  }
+  // Spares exhausted: serve degraded on retired columns rather than not
+  // at all. The engine counts these as unrepairable.
+  for (std::size_t c = 0; c < columns_ && out.size() < count; ++c) {
+    if (retired_[c]) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void CrossbarSubstrate::mark_failed(std::size_t row, std::size_t column,
+                                    MemristorHealth health) {
+  require(health != MemristorHealth::kHealthy,
+          "CrossbarSubstrate::mark_failed: pass a failure state");
+  Device& dev = device(row, column);
+  dev.wear.health = health;
+  dev.conductance = health == MemristorHealth::kStuckOpen ? spec_.stuck_open_conductance()
+                                                          : spec_.stuck_short_conductance();
+  dev.programmed = true;
+}
+
+std::uint64_t CrossbarSubstrate::total_write_cycles() const {
+  std::uint64_t total = 0;
+  for (const Device& dev : devices_) {
+    total += dev.wear.write_cycles;
+  }
+  return total;
+}
+
+std::uint64_t CrossbarSubstrate::max_device_write_cycles() const {
+  std::uint64_t worst = 0;
+  for (const Device& dev : devices_) {
+    worst = std::max(worst, dev.wear.write_cycles);
+  }
+  return worst;
+}
+
+std::size_t CrossbarSubstrate::worn_out_devices() const {
+  std::size_t count = 0;
+  for (const Device& dev : devices_) {
+    count += dev.wear.health != MemristorHealth::kHealthy ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,108 @@
+/// \file wear.hpp
+/// Persistent physical state of one crossbar slot.
+///
+/// LeafCacheEngine rebuilds its leaf modules (and their RcmArray models)
+/// on every miss, but the *physical* devices of a slot persist: their
+/// accumulated write cycles, their sampled endurance limits, any stuck
+/// faults, and the conductance they realised at the last write. A
+/// CrossbarSubstrate carries that state across model re-creations — an
+/// RcmArray with a substrate attached restores each cell's wear before
+/// programming, writes the aged state back after, and can skip devices
+/// whose target level already matches the recorded state (delta
+/// reprogramming).
+///
+/// Write noise with a substrate attached comes from keyed per-device
+/// streams instead of the array's sequential draw order: the conductance
+/// a device realises at a level is a property of the device (`noise_seed`,
+/// row, column, level — plus the cycle count once wear is enabled), not
+/// of the programming schedule. That keeps delta reprogramming and batch
+/// vs. sequential serving answer-for-answer identical: skipping a write
+/// restores exactly the value a fresh write would have realised.
+/// LeafCacheEngine gives every slot the same `noise_seed`, so answers are
+/// also independent of which slot a cluster lands in; `wear_seed` stays
+/// per-slot so endurance limits differ per physical device.
+///
+/// The substrate can hold more columns than a leaf uses: the spare
+/// columns are the self-repair budget. When verify-reads find a device
+/// that rewrites cannot bring back into its level window, the engine
+/// retires that physical column and reloads the leaf on the remaining
+/// healthy columns.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+#include "device/memristor.hpp"
+
+namespace spinsim {
+
+/// Persistent per-device state of one physical crossbar slot.
+class CrossbarSubstrate {
+ public:
+  /// One physical device's record.
+  struct Device {
+    MemristorWear wear;
+    std::uint32_t level = 0;    ///< target level of the last write
+    double conductance = 0.0;   ///< realised conductance at the last write [S]
+    bool programmed = false;    ///< level/conductance are valid
+  };
+
+  /// `noise_seed` keys the per-device write-noise streams; `wear_seed`
+  /// keys the per-device endurance-limit sampling (when the spec enables
+  /// wear). See the file comment for why the two are separate.
+  CrossbarSubstrate(const MemristorSpec& spec, std::size_t rows, std::size_t columns,
+                    std::uint64_t noise_seed, std::uint64_t wear_seed);
+
+  const MemristorSpec& spec() const { return spec_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+
+  Device& device(std::size_t row, std::size_t column);
+  const Device& device(std::size_t row, std::size_t column) const;
+
+  /// Deterministic write-noise stream of one (device, level) pair;
+  /// `cycle` folds the device's write count in once wear is enabled (a
+  /// worn device draws fresh noise per write) and must be 0 otherwise.
+  Rng write_stream(std::size_t row, std::size_t column, std::size_t level,
+                   std::uint64_t cycle) const;
+
+  /// Device-to-device range skew of one physical device (1.0 when the
+  /// spec has no d2d variation). Pure function of (noise_seed, row,
+  /// column), so it survives array re-creations.
+  double range_scale(std::size_t row, std::size_t column) const;
+
+  // --- Column retirement (self-repair remap bookkeeping) ---
+  void retire_column(std::size_t column);
+  bool column_retired(std::size_t column) const;
+  std::size_t retired_columns() const { return retired_count_; }
+  std::size_t healthy_columns() const { return columns_ - retired_count_; }
+
+  /// Picks `count` physical columns for a residency: non-retired columns
+  /// in ascending order first, topped up with retired ones when the
+  /// spare budget is exhausted (the caller counts those as unrepairable).
+  /// Throws when the substrate has fewer than `count` columns total.
+  std::vector<std::size_t> allocate_columns(std::size_t count) const;
+
+  /// Records permanent field damage (stuck fault) on one device; the
+  /// recorded conductance pins the fault's electrical signature.
+  void mark_failed(std::size_t row, std::size_t column, MemristorHealth health);
+
+  // --- Wear roll-ups ---
+  std::uint64_t total_write_cycles() const;
+  std::uint64_t max_device_write_cycles() const;
+  std::size_t worn_out_devices() const;
+
+ private:
+  MemristorSpec spec_;
+  std::size_t rows_;
+  std::size_t columns_;
+  std::uint64_t noise_seed_;
+  std::vector<Device> devices_;  // row-major rows x columns
+  std::vector<bool> retired_;
+  std::size_t retired_count_ = 0;
+};
+
+}  // namespace spinsim

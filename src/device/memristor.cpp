@@ -24,32 +24,99 @@ std::size_t MemristorSpec::weight_to_level(double weight) const {
 
 Memristor::Memristor(const MemristorSpec& spec) : spec_(spec), g_(spec.g_min()) {
   require(spec.r_min > 0.0 && spec.r_max > spec.r_min, "Memristor: invalid resistance range");
+  if (spec.wear_enabled()) {
+    wear_.endurance_limit = spec.endurance_cycles;
+  }
 }
 
 Memristor::Memristor(const MemristorSpec& spec, Rng& rng) : Memristor(spec) {
   if (spec.d2d_sigma > 0.0) {
     range_scale_ = rng.lognormal_rel(1.0, spec.d2d_sigma);
   }
+  if (spec.wear_enabled() && spec.endurance_sigma > 0.0) {
+    wear_.endurance_limit = rng.lognormal_rel(spec.endurance_cycles, spec.endurance_sigma);
+  }
+}
+
+double Memristor::wear_fraction() const {
+  if (wear_.endurance_limit <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(wear_.write_cycles) / wear_.endurance_limit);
+}
+
+void Memristor::fail(Rng& rng) {
+  const bool open = rng.bernoulli(spec_.wear_fail_open);
+  wear_.health = open ? MemristorHealth::kStuckOpen : MemristorHealth::kStuckShort;
+  g_ = open ? spec_.stuck_open_conductance() : spec_.stuck_short_conductance();
 }
 
 void Memristor::program(std::size_t level, Rng& rng) {
-  const double target = spec_.level_conductance(level) * range_scale_;
+  // A stuck device still receives the write pulses (the controller
+  // cannot tell without a verify-read), but its conductance no longer
+  // responds.
+  spec_.level_conductance(level);  // validate even when stuck
+  level_ = level;
+  ++wear_.write_cycles;
+  if (worn_out()) {
+    return;
+  }
+  if (spec_.wear_enabled() &&
+      static_cast<double>(wear_.write_cycles) > wear_.endurance_limit) {
+    fail(rng);
+    return;
+  }
+
+  double target = spec_.level_conductance(level) * range_scale_;
+  double sigma = spec_.write_sigma;
+  if (spec_.wear_enabled()) {
+    // Filament degradation: the realised target drifts toward the middle
+    // of the conductance window (the programmable range closes up) and
+    // writes land less precisely as cycles accumulate.
+    const double w = wear_fraction();
+    const double g_mid = 0.5 * (spec_.g_min() + spec_.g_max()) * range_scale_;
+    target += spec_.wear_drift * w * (g_mid - target);
+    sigma *= 1.0 + spec_.wear_sigma_growth * w;
+  }
   double realised = target;
-  if (spec_.write_sigma > 0.0) {
-    realised = rng.lognormal_rel(target, spec_.write_sigma);
+  if (sigma > 0.0) {
+    realised = rng.lognormal_rel(target, sigma);
   }
   // A real write loop verifies against the programmable window.
   g_ = std::clamp(realised, 0.25 * spec_.g_min(), 4.0 * spec_.g_max());
-  level_ = level;
 }
 
 void Memristor::program_ideal(std::size_t level) {
-  g_ = spec_.level_conductance(level) * range_scale_;
+  spec_.level_conductance(level);  // validate even when stuck
   level_ = level;
+  ++wear_.write_cycles;
+  if (worn_out()) {
+    return;
+  }
+  g_ = spec_.level_conductance(level) * range_scale_;
 }
 
 void Memristor::program_weight(double weight, Rng& rng) {
   program(spec_.weight_to_level(weight), rng);
+}
+
+void Memristor::restore(std::size_t level, double conductance) {
+  require(conductance > 0.0, "Memristor::restore: conductance must be positive");
+  spec_.level_conductance(level);  // validate
+  if (worn_out()) {
+    return;  // the stuck signature wins over any recorded state
+  }
+  level_ = level;
+  g_ = conductance;
+}
+
+void Memristor::set_wear(const MemristorWear& wear) {
+  wear_ = wear;
+  if (wear_.health == MemristorHealth::kStuckOpen) {
+    g_ = spec_.stuck_open_conductance();
+  } else if (wear_.health == MemristorHealth::kStuckShort) {
+    g_ = spec_.stuck_short_conductance();
+  }
 }
 
 }  // namespace spinsim

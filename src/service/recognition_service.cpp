@@ -295,6 +295,15 @@ RecognitionServiceStats RecognitionService::stats() const {
       out.leaf_hits += counters.hits;
       out.leaf_misses += counters.misses;
       out.reprogram_energy_j += counters.reprogram_energy_j;
+      out.leaf_device_writes += counters.device_writes;
+      out.leaf_device_writes_saved += counters.device_writes_saved;
+      out.leaf_faults_detected += counters.faults_detected;
+      out.leaf_devices_rewritten += counters.devices_rewritten;
+      out.leaf_columns_remapped += counters.columns_remapped;
+      out.leaf_unrepairable += counters.unrepairable;
+      out.leaf_worn_out_devices += counters.worn_out_devices;
+      out.leaf_max_slot_write_cycles =
+          std::max(out.leaf_max_slot_write_cycles, counters.max_slot_write_cycles());
     }
   }
   const std::uint64_t leaf_lookups = out.leaf_hits + out.leaf_misses;

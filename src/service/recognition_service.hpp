@@ -112,6 +112,17 @@ struct RecognitionServiceStats {
   double leaf_hit_rate = 0.0;        ///< leaf_hits / (leaf_hits + leaf_misses)
   double reprogram_energy_j = 0.0;   ///< total leaf write energy [J]
 
+  // Endurance / self-repair accounting, summed across the same leaf
+  // caches (nonzero only when their endurance config is active):
+  std::uint64_t leaf_device_writes = 0;        ///< physical device writes
+  std::uint64_t leaf_device_writes_saved = 0;  ///< delta-reprogram skips
+  std::uint64_t leaf_faults_detected = 0;      ///< verify-reads out of window
+  std::uint64_t leaf_devices_rewritten = 0;    ///< in-place repairs
+  std::uint64_t leaf_columns_remapped = 0;     ///< columns retired to spares
+  std::uint64_t leaf_unrepairable = 0;         ///< faults left in service
+  std::uint64_t leaf_worn_out_devices = 0;     ///< devices currently stuck
+  std::uint64_t leaf_max_slot_write_cycles = 0;  ///< worst slot wear anywhere
+
   // Input-stage dedup accounting (nonzero only with dedup_input_stage):
   // how many realised-row-current evaluations ran vs were shared.
   std::uint64_t input_stage_computes = 0;

@@ -1,0 +1,220 @@
+/// Endurance, wear-leveling and self-repair: the fault-injection proof
+/// harness of the robustness layer. A self-repairing leaf cache must hold
+/// recognition accuracy near the fault-free baseline under injected stuck
+/// faults while an identically damaged repair-disabled control degrades;
+/// wear-leveling must cap the hottest slot's device wear vs. LRU; and
+/// devices worn out by finite endurance must be detected and remapped.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "amm/evaluation.hpp"
+#include "amm/hierarchical_amm.hpp"
+#include "amm/leaf_cache_engine.hpp"
+#include "support/shared_dataset.hpp"
+
+namespace spinsim {
+namespace {
+
+FeatureSpec small_spec() {
+  FeatureSpec s;
+  s.height = 8;
+  s.width = 6;
+  s.bits = 5;
+  return s;
+}
+
+HierarchicalAmmConfig hierarchy_config(std::size_t clusters, std::uint64_t seed = 17) {
+  HierarchicalAmmConfig c;
+  c.features = small_spec();
+  c.clusters = clusters;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = seed;
+  return c;
+}
+
+std::vector<FeatureVector> all_inputs() {
+  std::vector<FeatureVector> inputs;
+  for (const auto& sample : testing::small_dataset().all()) {
+    inputs.push_back(extract_features(sample.image, small_spec()));
+  }
+  return inputs;
+}
+
+double accuracy_pass(LeafCacheEngine& engine) {
+  const AccuracyResult r =
+      evaluate_classifier(testing::small_dataset(), small_spec(),
+                          [&](const FeatureVector& f) { return engine.recognize(f).winner; });
+  return r.accuracy();
+}
+
+TEST(Endurance, WearLevelingCapsTheHottestSlot) {
+  // Hot/cold traffic over a 2-slot pool: cluster A is touched between
+  // every B/C switch, so LRU parks A in one slot forever and funnels
+  // every reprogram into the other — classic flash hot-spotting. The
+  // wear-leveled policy must spread those writes across the pool.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  // Classify the inputs by target cluster with a resident hierarchy (the
+  // router is identical in every engine built from this config).
+  HierarchicalAmm router_probe(hierarchy_config(3, 19));
+  router_probe.store_templates(templates);
+  std::vector<std::ptrdiff_t> probe_of_cluster(3, -1);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Recognition r = router_probe.recognize(inputs[i]);
+    const std::size_t c = r.hierarchical()->cluster;
+    if (probe_of_cluster[c] < 0 && router_probe.recognize(inputs[i]).hierarchical() != nullptr) {
+      probe_of_cluster[c] = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  ASSERT_TRUE(probe_of_cluster[0] >= 0 && probe_of_cluster[1] >= 0 && probe_of_cluster[2] >= 0)
+      << "seed 19 no longer spreads the dataset over three clusters";
+
+  // A B A C per round: A is always the most recently *and* second most
+  // recently used of the three.
+  std::vector<FeatureVector> traffic;
+  for (int round = 0; round < 120; ++round) {
+    traffic.push_back(inputs[static_cast<std::size_t>(probe_of_cluster[0])]);
+    traffic.push_back(inputs[static_cast<std::size_t>(probe_of_cluster[1])]);
+    traffic.push_back(inputs[static_cast<std::size_t>(probe_of_cluster[0])]);
+    traffic.push_back(inputs[static_cast<std::size_t>(probe_of_cluster[2])]);
+  }
+
+  const auto run = [&](LeafSlotPolicy policy) {
+    LeafCacheEngineConfig config;
+    config.hierarchy = hierarchy_config(3, 19);
+    config.leaf_slots = 2;
+    config.endurance.policy = policy;
+    config.endurance.wear_delta = 600;
+    LeafCacheEngine engine(config);
+    engine.store_templates(templates);
+    for (const auto& input : traffic) {
+      (void)engine.recognize(input);
+    }
+    return engine.counters();
+  };
+
+  const LeafCacheCounters lru = run(LeafSlotPolicy::kLru);
+  const LeafCacheCounters leveled = run(LeafSlotPolicy::kWearLeveled);
+
+  // Same traffic, similar service level...
+  EXPECT_NEAR(leveled.hit_rate(), lru.hit_rate(), 0.15);
+  // ...but the hottest slot's cumulative device wear drops sharply.
+  EXPECT_LT(leveled.max_slot_write_cycles(),
+            static_cast<std::uint64_t>(0.7 * static_cast<double>(lru.max_slot_write_cycles())));
+  // LRU concentrates: nearly all writes land on one slot.
+  ASSERT_EQ(lru.slot_write_cycles.size(), 2u);
+  EXPECT_GT(lru.max_slot_write_cycles() * 2, lru.device_writes);
+}
+
+TEST(Endurance, SelfRepairHoldsAccuracyWhileControlDegrades) {
+  // The tentpole proof: identical stuck-short damage on both arms; the
+  // repairing engine detects the faults on its verify scans, retires the
+  // damaged physical columns to spares and reloads — the detect-only
+  // control keeps serving hijacked answers.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3, 19);
+  config.leaf_slots = 2;
+  config.endurance.delta_writes = true;
+  config.endurance.spare_columns = 3;
+  config.endurance.verify_interval = 30;
+  config.endurance.repair = true;
+
+  LeafCacheEngine healthy(config);
+  healthy.store_templates(templates);
+  const double baseline = accuracy_pass(healthy);
+  ASSERT_GT(baseline, 0.5) << "dataset no longer recognisable at all";
+
+  LeafCacheEngine repaired(config);
+  repaired.store_templates(templates);
+  config.endurance.repair = false;
+  LeafCacheEngine control(config);
+  control.store_templates(templates);
+
+  // Identical warmup: both arms answer exactly like the fault-free
+  // baseline (same seeds, same traffic, same substrates).
+  ASSERT_DOUBLE_EQ(accuracy_pass(repaired), baseline);
+  ASSERT_DOUBLE_EQ(accuracy_pass(control), baseline);
+
+  // Identical damage: stuck-shorts across 12 rows of the first two
+  // physical columns of both slots. A shorted device inflates its
+  // column's collected current on *every* query, hijacking the winner —
+  // the polarity repair must catch fastest.
+  for (LeafCacheEngine* arm : {&repaired, &control}) {
+    for (std::size_t slot = 0; slot < 2; ++slot) {
+      for (std::size_t column = 0; column < 2; ++column) {
+        for (std::size_t row = 0; row < 48; row += 4) {
+          arm->inject_slot_fault(slot, row, column, RcmArray::StuckFault::kShort);
+        }
+      }
+    }
+  }
+
+  // Let the repair arm's periodic scans do their work, then measure.
+  (void)accuracy_pass(repaired);
+  (void)accuracy_pass(control);
+  const double repaired_accuracy = accuracy_pass(repaired);
+  const double control_accuracy = accuracy_pass(control);
+
+  // Acceptance bound: repaired accuracy within ~2 points of the
+  // fault-free baseline (one sample of the 48 = 2.1 points)...
+  EXPECT_GE(repaired_accuracy, baseline - 0.021);
+  // ...while the unrepaired control measurably degrades.
+  EXPECT_LT(control_accuracy, baseline - 0.05);
+  EXPECT_LT(control_accuracy, repaired_accuracy);
+
+  const LeafCacheCounters r = repaired.counters();
+  EXPECT_GT(r.verify_scans, 0u);
+  EXPECT_GT(r.faults_detected, 0u);
+  EXPECT_GE(r.columns_remapped, 4u);  // two columns retired per slot
+  EXPECT_GT(r.repair_reloads, 0u);
+  EXPECT_EQ(r.unrepairable, 0u);  // the spare budget covered the damage
+
+  const LeafCacheCounters c = control.counters();
+  EXPECT_GT(c.faults_detected, 0u);  // the control *sees* the faults...
+  EXPECT_EQ(c.devices_rewritten, 0u);  // ...but never acts on them
+  EXPECT_EQ(c.columns_remapped, 0u);
+  EXPECT_EQ(c.repair_reloads, 0u);
+}
+
+TEST(Endurance, WornOutDevicesAreDetectedAndRemapped) {
+  // Finite endurance + capacity-1 thrash: reprogramming traffic wears
+  // the one slot's devices out in the field. The verify scans must spot
+  // the stuck devices, fail to rewrite them (they are dead), and spend
+  // the spare columns remapping around them.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3, 17);
+  config.leaf_slots = 1;
+  config.hierarchy.memristor.endurance_cycles = 25.0;
+  config.hierarchy.memristor.endurance_sigma = 0.2;
+  config.endurance.spare_columns = 2;
+  config.endurance.verify_interval = 20;
+  config.endurance.repair = true;
+  LeafCacheEngine engine(config);
+  engine.store_templates(templates);
+
+  for (int pass = 0; pass < 8; ++pass) {
+    for (const auto& input : inputs) {
+      (void)engine.recognize(input);  // must keep serving throughout
+    }
+  }
+
+  const LeafCacheCounters counters = engine.counters();
+  EXPECT_GT(counters.worn_out_devices, 0u);
+  EXPECT_GT(counters.faults_detected, 0u);
+  EXPECT_GT(counters.columns_remapped, 0u);
+  EXPECT_GT(counters.verify_scans, 0u);
+  // The wear histogram recorded the traffic that killed the devices.
+  EXPECT_GT(counters.max_slot_write_cycles(), 25u * 48u);
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -353,5 +353,140 @@ TEST(LeafCacheEngine, EnergyChargesReprogramPath) {
   EXPECT_TRUE(has_write_item);
 }
 
+TEST(LeafCacheEngine, CountersExposeThePerSlotWriteHistogram) {
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3);
+  config.leaf_slots = 2;
+  LeafCacheEngine cached(config);
+  cached.store_templates(templates);
+  for (const auto& input : inputs) {
+    (void)cached.recognize(input);
+  }
+  const LeafCacheCounters counters = cached.counters();
+  ASSERT_EQ(counters.slot_write_cycles.size(), config.leaf_slots);
+  std::uint64_t histogram_sum = 0;
+  for (const std::uint64_t w : counters.slot_write_cycles) {
+    histogram_sum += w;
+  }
+  // Every charged device write lands in exactly one slot's bucket.
+  EXPECT_EQ(histogram_sum, counters.device_writes);
+  EXPECT_GT(counters.device_writes, 0u);
+  EXPECT_EQ(counters.device_writes_saved, 0u);  // no delta mode
+  EXPECT_EQ(counters.max_slot_write_cycles(),
+            *std::max_element(counters.slot_write_cycles.begin(),
+                              counters.slot_write_cycles.end()));
+}
+
+TEST(LeafCacheEngine, DeltaReprogrammingSavesDeviceWrites) {
+  // Same thrash traffic, same miss schedule: delta mode must serve the
+  // identical demand with strictly fewer physical writes, the difference
+  // showing up as saved writes and cheaper reprogram energy.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3);
+  config.leaf_slots = 1;  // every cluster switch reprograms the one slot
+
+  LeafCacheEngine plain(config);
+  plain.store_templates(templates);
+  for (const auto& input : inputs) {
+    (void)plain.recognize(input);
+  }
+  const LeafCacheCounters p = plain.counters();
+
+  config.endurance.delta_writes = true;
+  LeafCacheEngine delta(config);
+  delta.store_templates(templates);
+  for (const auto& input : inputs) {
+    (void)delta.recognize(input);
+  }
+  const LeafCacheCounters d = delta.counters();
+
+  // The router is identical in both modes, so the miss schedule is too.
+  EXPECT_EQ(d.misses, p.misses);
+  EXPECT_EQ(d.hits, p.hits);
+  // Delta splits the same programming demand into writes + skips.
+  EXPECT_EQ(d.device_writes + d.device_writes_saved, p.device_writes);
+  EXPECT_GT(d.device_writes_saved, 0u);
+  EXPECT_LT(d.device_writes, p.device_writes);
+  EXPECT_LT(d.reprogram_energy_j, p.reprogram_energy_j);
+}
+
+TEST(LeafCacheEngine, DeltaModeKeepsBatchAndSequentialAgreement) {
+  // Substrate-keyed write noise makes the conductance a device realises a
+  // function of (device, level), not of the programming schedule — so the
+  // reordered batch path must agree field-for-field with a sequential
+  // loop even though delta mode skips most writes.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3);
+  config.leaf_slots = 1;
+  config.endurance.delta_writes = true;
+
+  LeafCacheEngine sequential(config);
+  sequential.store_templates(templates);
+  std::vector<Recognition> expected;
+  expected.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    expected.push_back(sequential.recognize(input));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    LeafCacheEngine batched(config);
+    batched.store_templates(templates);
+    const std::vector<Recognition> got = batched.recognize_batch(inputs, threads);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_recognition(got[i], expected[i], "delta threads", i);
+    }
+  }
+}
+
+TEST(LeafCacheEngine, EnergyPerQueryAmortizesAtTheObservedRate) {
+  // S2 regression: before traffic the estimate is the conservative
+  // every-query-misses bound; once traffic exists it must amortize the
+  // *observed* write energy over the *observed* query count, i.e.
+  // energy_per_query - reprogram_energy / queries is the constant search
+  // cost, whatever the traffic mix so far.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig config;
+  config.hierarchy = hierarchy_config(3);
+  config.leaf_slots = 3;  // fully resident after warmup
+  LeafCacheEngine cached(config);
+  cached.store_templates(templates);
+
+  const double upfront = cached.energy_per_query();
+
+  for (const auto& input : inputs) {
+    (void)cached.recognize(input);
+  }
+  const LeafCacheCounters c1 = cached.counters();
+  const double e1 = cached.energy_per_query();
+  ASSERT_GT(c1.queries, 0u);
+  EXPECT_LT(e1, upfront);
+
+  // A second, all-hit pass: write energy is unchanged, queries double, so
+  // the amortized share halves while the search term stays put.
+  for (const auto& input : inputs) {
+    (void)cached.recognize(input);
+  }
+  const LeafCacheCounters c2 = cached.counters();
+  const double e2 = cached.energy_per_query();
+  ASSERT_EQ(c2.misses, c1.misses);
+  EXPECT_LT(e2, e1);
+
+  const double search1 = e1 - c1.reprogram_energy_j / static_cast<double>(c1.queries);
+  const double search2 = e2 - c2.reprogram_energy_j / static_cast<double>(c2.queries);
+  EXPECT_NEAR(search1, search2, 1e-15 + 1e-9 * search1);
+}
+
 }  // namespace
 }  // namespace spinsim

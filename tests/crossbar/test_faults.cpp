@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "amm/evaluation.hpp"
 #include "amm/spin_amm.hpp"
 #include "crossbar/rcm.hpp"
@@ -96,6 +99,75 @@ TEST(RcmFaults, RecognitionSurvivesAFewOpenFaults) {
   }
   const double damaged = accuracy(amm);
   EXPECT_GT(damaged, healthy - 0.15);
+}
+
+// S3 regressions: both stuck-fault polarities driven through a full
+// SpinAmm recognition, pinning the failure signature the self-repair
+// layer (LeafCacheEngine::verify_and_repair) exists to catch.
+
+SpinAmm fault_machine(std::vector<FeatureVector>* templates_out) {
+  FeatureSpec spec;
+  spec.height = 8;
+  spec.width = 6;
+  SpinAmmConfig c;
+  c.features = spec;
+  c.templates = 10;
+  c.dwn = DwnParams::from_barrier(20.0);
+  c.seed = 6;
+  SpinAmm amm(c);
+  *templates_out = build_templates(testing::small_dataset(), spec);
+  amm.store_templates(*templates_out);
+  return amm;
+}
+
+TEST(RcmFaults, OpenFaultsStarveTheWinningColumn) {
+  std::vector<FeatureVector> templates;
+  SpinAmm amm = fault_machine(&templates);
+
+  // Query with a stored template: it wins with a healthy margin.
+  const FeatureVector probe = templates[3];
+  const Recognition healthy = amm.recognize(probe);
+  ASSERT_EQ(healthy.winner, 3u);
+  ASSERT_GT(healthy.margin, 0.05);
+
+  // Kill the winning column's strongest junctions: its dot product can
+  // only fall, so the analog margin shrinks (or the winner is lost
+  // outright). The quantised DOM saturates for any strong match, so the
+  // margin is the observable that moves first.
+  RcmArray& rcm = amm.mutable_crossbar();
+  std::vector<std::size_t> rows(48);
+  for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    return rcm.conductance(a, 3) > rcm.conductance(b, 3);
+  });
+  for (std::size_t k = 0; k < 12; ++k) {
+    rcm.inject_fault(rows[k], 3, RcmArray::StuckFault::kOpen);
+  }
+  const Recognition damaged = amm.recognize(probe);
+  if (damaged.winner == 3u) {
+    EXPECT_LT(damaged.margin, healthy.margin);
+  } else {
+    EXPECT_NE(damaged.winner, 3u);  // the template is no longer recognised
+  }
+}
+
+TEST(RcmFaults, ShortFaultsLetARivalHijackTheWinner) {
+  std::vector<FeatureVector> templates;
+  SpinAmm amm = fault_machine(&templates);
+
+  const FeatureVector probe = templates[3];
+  ASSERT_EQ(amm.recognize(probe).winner, 3u);
+
+  // Over-formed devices on a rival column inflate its collected current
+  // on every query; enough of them and the rival outscores the true
+  // match. This is the polarity repair must catch fastest: one short
+  // corrupts *other* templates' answers, not just its own.
+  RcmArray& rcm = amm.mutable_crossbar();
+  for (std::size_t row = 0; row < 48; row += 4) {
+    rcm.inject_fault(row, 7, RcmArray::StuckFault::kShort);
+  }
+  const Recognition hijacked = amm.recognize(probe);
+  EXPECT_EQ(hijacked.winner, 7u);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+#include "crossbar/wear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/random.hpp"
+#include "crossbar/rcm.hpp"
+
+namespace spinsim {
+namespace {
+
+RcmConfig small_config(std::size_t rows, std::size_t cols) {
+  RcmConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return config;
+}
+
+std::vector<std::vector<double>> ramp_weights(std::size_t rows, std::size_t cols,
+                                              double salt = 0.0) {
+  std::vector<std::vector<double>> columns(cols, std::vector<double>(rows));
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double w = (static_cast<double>(r + j * rows) / (rows * cols)) + salt;
+      columns[j][r] = w - static_cast<long>(w);  // wrap into [0, 1)
+    }
+  }
+  return columns;
+}
+
+std::vector<std::size_t> identity_map(std::size_t cols) {
+  std::vector<std::size_t> map(cols);
+  for (std::size_t j = 0; j < cols; ++j) map[j] = j;
+  return map;
+}
+
+TEST(CrossbarSubstrate, DeltaSkipsAnIdenticalReprogram) {
+  const RcmConfig config = small_config(8, 4);
+  auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                       config.cols, 101, 202);
+  const auto weights = ramp_weights(config.rows, config.cols);
+
+  RcmArray first(config, Rng(1));
+  first.attach_substrate(substrate, identity_map(config.cols), /*delta_writes=*/true);
+  first.program(weights);
+  EXPECT_EQ(first.device_writes(), config.rows * config.cols);
+  EXPECT_EQ(first.device_write_skips(), 0u);
+  EXPECT_EQ(first.columns_touched(), config.cols);
+
+  // A fresh model of the same physical slot, same targets: every device
+  // is delta-skipped and restores the recorded conductance exactly.
+  RcmArray second(config, Rng(999));  // different model rng must not matter
+  second.attach_substrate(substrate, identity_map(config.cols), /*delta_writes=*/true);
+  second.program(weights);
+  EXPECT_EQ(second.device_writes(), 0u);
+  EXPECT_EQ(second.device_write_skips(), config.rows * config.cols);
+  EXPECT_EQ(second.columns_touched(), 0u);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t j = 0; j < config.cols; ++j) {
+      EXPECT_DOUBLE_EQ(second.conductance(r, j), first.conductance(r, j));
+    }
+  }
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    EXPECT_DOUBLE_EQ(second.row_conductance(r), first.row_conductance(r));
+  }
+}
+
+TEST(CrossbarSubstrate, DeltaRewritesOnlyTheChangedColumn) {
+  const RcmConfig config = small_config(6, 4);
+  auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                       config.cols, 11, 22);
+  auto weights = ramp_weights(config.rows, config.cols);
+
+  RcmArray array(config, Rng(1));
+  array.attach_substrate(substrate, identity_map(config.cols), /*delta_writes=*/true);
+  array.program(weights);
+  const std::uint64_t writes_after_load = array.device_writes();
+
+  // Move every weight of column 2 by ~3 quantisation levels; other
+  // columns keep their quantised targets.
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    weights[2][r] += 0.1;
+  }
+  array.program(weights);
+  EXPECT_EQ(array.device_writes() - writes_after_load, config.rows);
+  EXPECT_EQ(array.device_write_skips(), config.rows * (config.cols - 1));
+  EXPECT_EQ(array.columns_touched(), config.cols + 1);
+}
+
+TEST(CrossbarSubstrate, KeyedNoiseIsIndependentOfProgrammingOrder) {
+  const RcmConfig config = small_config(8, 3);
+  const auto weights = ramp_weights(config.rows, config.cols);
+
+  auto forward = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                     config.cols, 7, 8);
+  RcmArray a(config, Rng(1));
+  a.attach_substrate(forward, identity_map(config.cols), false);
+  for (std::size_t j = 0; j < config.cols; ++j) a.program_column(j, weights[j]);
+  a.equalize_rows();
+
+  auto backward = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                      config.cols, 7, 8);
+  RcmArray b(config, Rng(2));
+  b.attach_substrate(backward, identity_map(config.cols), false);
+  for (std::size_t j = config.cols; j-- > 0;) b.program_column(j, weights[j]);
+  b.equalize_rows();
+
+  // Realised conductance is a property of (device, level), not of the
+  // order the writes were issued in.
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t j = 0; j < config.cols; ++j) {
+      EXPECT_DOUBLE_EQ(a.conductance(r, j), b.conductance(r, j));
+    }
+  }
+}
+
+TEST(CrossbarSubstrate, WearAccumulatesAcrossModelRecreations) {
+  RcmConfig config = small_config(5, 3);
+  config.memristor.endurance_cycles = 1e6;
+  config.memristor.endurance_sigma = 0.0;
+  auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                       config.cols, 31, 32);
+  const auto a_weights = ramp_weights(config.rows, config.cols, 0.0);
+  const auto b_weights = ramp_weights(config.rows, config.cols, 0.37);
+
+  for (int generation = 0; generation < 3; ++generation) {
+    RcmArray array(config, Rng(generation));
+    array.attach_substrate(substrate, identity_map(config.cols), false);
+    array.program(generation % 2 == 0 ? a_weights : b_weights);
+  }
+  EXPECT_EQ(substrate->total_write_cycles(), 3u * config.rows * config.cols);
+  EXPECT_EQ(substrate->max_device_write_cycles(), 3u);
+  EXPECT_EQ(substrate->worn_out_devices(), 0u);
+  EXPECT_EQ(substrate->device(0, 0).wear.write_cycles, 3u);
+}
+
+TEST(CrossbarSubstrate, WornOutDeviceFailsInTheFieldAndStaysFailed) {
+  RcmConfig config = small_config(4, 2);
+  config.memristor.endurance_cycles = 2.0;
+  config.memristor.endurance_sigma = 0.0;  // every device dies on write 3
+  config.memristor.wear_fail_open = 1.0;
+  auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                       config.cols, 41, 42);
+  const auto a_weights = ramp_weights(config.rows, config.cols, 0.0);
+  const auto b_weights = ramp_weights(config.rows, config.cols, 0.37);
+
+  for (int generation = 0; generation < 3; ++generation) {
+    RcmArray array(config, Rng(generation));
+    array.attach_substrate(substrate, identity_map(config.cols), false);
+    array.program(generation % 2 == 0 ? a_weights : b_weights);
+  }
+  EXPECT_EQ(substrate->worn_out_devices(), config.rows * config.cols);
+
+  RcmArray survivor(config, Rng(9));
+  survivor.attach_substrate(substrate, identity_map(config.cols), false);
+  survivor.program(a_weights);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t j = 0; j < config.cols; ++j) {
+      EXPECT_DOUBLE_EQ(survivor.conductance(r, j),
+                       config.memristor.stuck_open_conductance());
+    }
+  }
+}
+
+TEST(CrossbarSubstrate, InjectedFaultPersistsThroughReload) {
+  const RcmConfig config = small_config(6, 3);
+  auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                       config.cols, 51, 52);
+  const auto weights = ramp_weights(config.rows, config.cols);
+
+  RcmArray first(config, Rng(1));
+  first.attach_substrate(substrate, identity_map(config.cols), true);
+  first.program(weights);
+  first.inject_fault(2, 1, RcmArray::StuckFault::kShort);
+  EXPECT_EQ(substrate->device(2, 1).wear.health, MemristorHealth::kStuckShort);
+
+  // Field damage survives a model re-creation and a reprogram attempt.
+  RcmArray second(config, Rng(2));
+  second.attach_substrate(substrate, identity_map(config.cols), true);
+  second.program(weights);
+  EXPECT_DOUBLE_EQ(second.conductance(2, 1), config.memristor.stuck_short_conductance());
+  EXPECT_EQ(substrate->device(2, 1).wear.health, MemristorHealth::kStuckShort);
+}
+
+TEST(CrossbarSubstrate, ColumnMapAddressesPhysicalColumns) {
+  const RcmConfig config = small_config(5, 2);
+  // Substrate holds 4 physical columns; the array uses the last two.
+  auto substrate =
+      std::make_shared<CrossbarSubstrate>(config.memristor, config.rows, 4, 61, 62);
+  const auto weights = ramp_weights(config.rows, config.cols);
+
+  RcmArray array(config, Rng(1));
+  array.attach_substrate(substrate, {2, 3}, false);
+  array.program(weights);
+  EXPECT_TRUE(substrate->device(0, 2).programmed);
+  EXPECT_TRUE(substrate->device(0, 3).programmed);
+  EXPECT_FALSE(substrate->device(0, 0).programmed);
+  EXPECT_FALSE(substrate->device(0, 1).programmed);
+}
+
+TEST(CrossbarSubstrate, RetirementShapesColumnAllocation) {
+  const MemristorSpec spec;
+  CrossbarSubstrate substrate(spec, 4, 6, 71, 72);
+  EXPECT_EQ(substrate.healthy_columns(), 6u);
+  EXPECT_EQ(substrate.allocate_columns(4), (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  substrate.retire_column(1);
+  EXPECT_TRUE(substrate.column_retired(1));
+  EXPECT_EQ(substrate.retired_columns(), 1u);
+  EXPECT_EQ(substrate.healthy_columns(), 5u);
+  EXPECT_EQ(substrate.allocate_columns(4), (std::vector<std::size_t>{0, 2, 3, 4}));
+
+  // Spare budget exhausted: retired columns top the allocation back up,
+  // which the caller accounts as unrepairable.
+  substrate.retire_column(3);
+  substrate.retire_column(4);
+  EXPECT_EQ(substrate.allocate_columns(5), (std::vector<std::size_t>{0, 2, 5, 1, 3}));
+
+  EXPECT_THROW(substrate.allocate_columns(7), InvalidArgument);
+}
+
+TEST(CrossbarSubstrate, AttachValidatesItsArguments) {
+  const RcmConfig config = small_config(4, 3);
+  const auto weights = ramp_weights(config.rows, config.cols);
+
+  {  // row mismatch
+    auto substrate =
+        std::make_shared<CrossbarSubstrate>(config.memristor, 5, config.cols, 1, 2);
+    RcmArray array(config, Rng(1));
+    EXPECT_THROW(array.attach_substrate(substrate, identity_map(config.cols), false),
+                 InvalidArgument);
+  }
+  {  // column map out of range / duplicated / wrong size
+    auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                         config.cols, 1, 2);
+    RcmArray array(config, Rng(1));
+    EXPECT_THROW(array.attach_substrate(substrate, {0, 1, 3}, false), InvalidArgument);
+    EXPECT_THROW(array.attach_substrate(substrate, {0, 1, 1}, false), InvalidArgument);
+    EXPECT_THROW(array.attach_substrate(substrate, {0, 1}, false), InvalidArgument);
+  }
+  {  // attach after programming
+    auto substrate = std::make_shared<CrossbarSubstrate>(config.memristor, config.rows,
+                                                         config.cols, 1, 2);
+    RcmArray array(config, Rng(1));
+    array.program(weights);
+    EXPECT_THROW(array.attach_substrate(substrate, identity_map(config.cols), false),
+                 InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace spinsim

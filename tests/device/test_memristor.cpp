@@ -122,5 +122,161 @@ TEST(Memristor, WriteClampStaysInsidePhysicalWindow) {
   }
 }
 
+TEST(MemristorWearModel, DisabledWearOnlyCountsCycles) {
+  MemristorSpec spec;  // endurance_cycles == 0: wear model off
+  Rng rng(5);
+  Memristor m(spec);
+  for (int i = 0; i < 5; ++i) {
+    m.program(20, rng);
+  }
+  EXPECT_EQ(m.write_cycles(), 5u);
+  EXPECT_DOUBLE_EQ(m.wear_fraction(), 0.0);
+  EXPECT_EQ(m.health(), MemristorHealth::kHealthy);
+  EXPECT_FALSE(m.worn_out());
+}
+
+TEST(MemristorWearModel, WearOutSticksOpenAndIgnoresFurtherWrites) {
+  MemristorSpec spec;
+  spec.endurance_cycles = 10.0;
+  spec.endurance_sigma = 0.0;  // deterministic limit
+  spec.wear_fail_open = 1.0;   // force the stuck-open failure mode
+  Rng rng(6);
+  Memristor m(spec);
+  for (int i = 0; i < 10; ++i) {
+    m.program(31, rng);
+    EXPECT_FALSE(m.worn_out()) << "write " << i;
+  }
+  m.program(31, rng);  // write 11 exceeds the endurance limit
+  EXPECT_TRUE(m.worn_out());
+  EXPECT_EQ(m.health(), MemristorHealth::kStuckOpen);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.stuck_open_conductance());
+  m.program(0, rng);
+  m.program_ideal(15);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.stuck_open_conductance());
+  EXPECT_EQ(m.write_cycles(), 13u);  // pulses still spent on a dead device
+}
+
+TEST(MemristorWearModel, WearOutCanStickShort) {
+  MemristorSpec spec;
+  spec.endurance_cycles = 3.0;
+  spec.endurance_sigma = 0.0;
+  spec.wear_fail_open = 0.0;  // force the over-formed failure mode
+  Rng rng(7);
+  Memristor m(spec);
+  for (int i = 0; i < 4; ++i) {
+    m.program(5, rng);
+  }
+  EXPECT_EQ(m.health(), MemristorHealth::kStuckShort);
+  EXPECT_DOUBLE_EQ(m.conductance(), spec.stuck_short_conductance());
+}
+
+TEST(MemristorWearModel, StuckSignaturesMatchInjectedFaultWindows) {
+  // Wear-out must land in the same conductance windows
+  // RcmArray::inject_fault realises, so one set of verify windows
+  // detects field faults and worn-out devices alike.
+  const MemristorSpec spec;
+  EXPECT_DOUBLE_EQ(spec.stuck_open_conductance(), 0.01 * spec.g_min());
+  EXPECT_DOUBLE_EQ(spec.stuck_short_conductance(), 4.0 * spec.g_max());
+}
+
+TEST(MemristorWearModel, DriftPullsRealisedTargetTowardMid) {
+  MemristorSpec spec;
+  spec.write_sigma = 0.0;  // isolate the deterministic drift term
+  spec.endurance_cycles = 1000.0;
+  spec.endurance_sigma = 0.0;
+  spec.wear_drift = 0.5;
+  spec.wear_sigma_growth = 0.0;
+  Rng rng(8);
+  Memristor m(spec);
+  const double fresh_target = spec.level_conductance(31);
+  const double g_mid = 0.5 * (spec.g_min() + spec.g_max());
+  double previous = fresh_target + 1.0;
+  for (int i = 0; i < 500; ++i) {
+    m.program(31, rng);
+    EXPECT_LT(m.conductance(), previous);  // monotone drift toward mid
+    previous = m.conductance();
+  }
+  // At wear fraction 0.5 the realised target sits halfway along
+  // wear_drift * w of the way from the fresh target to mid-conductance.
+  const double expected = fresh_target + 0.5 * 0.5 * (g_mid - fresh_target);
+  EXPECT_NEAR(m.conductance(), expected, 1e-9);
+}
+
+TEST(MemristorWearModel, WriteNoiseGrowsWithWear) {
+  MemristorSpec spec;
+  spec.endurance_cycles = 1000.0;
+  spec.endurance_sigma = 0.0;
+  spec.wear_drift = 0.0;  // isolate the noise-growth term
+  spec.wear_sigma_growth = 2.0;
+  Rng rng(9);
+  RunningStats stats;
+  MemristorWear aged;
+  aged.write_cycles = 999;  // next write lands at wear fraction ~1
+  aged.endurance_limit = 1000.0;
+  for (int i = 0; i < 3000; ++i) {
+    Memristor m(spec);
+    m.set_wear(aged);
+    m.program(20, rng);
+    stats.add(m.conductance() / spec.level_conductance(20));
+  }
+  // Effective sigma = write_sigma * (1 + growth * wear) = 0.03 * 3.
+  EXPECT_NEAR(stats.stddev(), 0.09, 0.01);
+}
+
+TEST(MemristorWearModel, WearSnapshotRoundTrips) {
+  MemristorSpec spec;
+  spec.endurance_cycles = 100.0;
+  spec.endurance_sigma = 0.0;
+  Rng rng(10);
+  Memristor first(spec);
+  for (int i = 0; i < 7; ++i) {
+    first.program(12, rng);
+  }
+  const MemristorWear snapshot = first.wear();
+  EXPECT_EQ(snapshot.write_cycles, 7u);
+
+  // A fresh model cell continues the physical device's life.
+  Memristor second(spec);
+  second.set_wear(snapshot);
+  EXPECT_EQ(second.write_cycles(), 7u);
+  second.program(12, rng);
+  EXPECT_EQ(second.write_cycles(), 8u);
+
+  // A failed snapshot pins the stuck signature immediately.
+  MemristorWear dead = snapshot;
+  dead.health = MemristorHealth::kStuckShort;
+  Memristor third(spec);
+  third.set_wear(dead);
+  EXPECT_TRUE(third.worn_out());
+  EXPECT_DOUBLE_EQ(third.conductance(), spec.stuck_short_conductance());
+}
+
+TEST(MemristorWearModel, RestoreIsNotAPhysicalWrite) {
+  MemristorSpec spec;
+  Rng rng(11);
+  Memristor m(spec);
+  m.program(9, rng);
+  const double realised = m.conductance();
+  Memristor copy(spec);
+  copy.restore(9, realised);
+  EXPECT_EQ(copy.write_cycles(), 0u);  // no cycle charged
+  EXPECT_DOUBLE_EQ(copy.conductance(), realised);
+  EXPECT_EQ(copy.level(), 9u);
+}
+
+TEST(MemristorWearModel, EnduranceLimitSamplesPerDevice) {
+  MemristorSpec spec;
+  spec.endurance_cycles = 1000.0;
+  spec.endurance_sigma = 0.3;
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 3000; ++i) {
+    const Memristor m(spec, rng);
+    stats.add(m.wear().endurance_limit / spec.endurance_cycles);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 0.3, 0.05);
+}
+
 }  // namespace
 }  // namespace spinsim

@@ -667,6 +667,50 @@ TEST(RecognitionService, LeafCacheCountersSurfaceThroughTieredComposition) {
   EXPECT_GT(stats.reprogram_energy_j, 0.0);
 }
 
+TEST(RecognitionService, LeafEnduranceStatsSurfaceAcrossShards) {
+  // Endurance-mode leaf caches behind the service edge: reprogram-heavy
+  // traffic over finite-endurance devices must surface the wear story —
+  // physical writes, delta savings, detected faults, remaps, and the
+  // worst per-slot wear — through stats(), summed across shards, while
+  // the periodic verify/repair scans run on the shard worker threads.
+  const auto templates = build_templates(testing::small_dataset(), small_spec());
+  const auto inputs = all_inputs();
+
+  LeafCacheEngineConfig leaf_config;
+  leaf_config.hierarchy.features = small_spec();
+  leaf_config.hierarchy.clusters = 2;
+  leaf_config.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  leaf_config.hierarchy.seed = 59;
+  leaf_config.hierarchy.memristor.endurance_cycles = 25.0;
+  leaf_config.hierarchy.memristor.endurance_sigma = 0.2;
+  leaf_config.leaf_slots = 1;  // thrash: reprogram on nearly every switch
+  leaf_config.endurance.delta_writes = true;
+  leaf_config.endurance.spare_columns = 2;
+  leaf_config.endurance.verify_interval = 20;
+  leaf_config.endurance.repair = true;
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  RecognitionService service(config, make_leaf_cache_factory(leaf_config));
+  service.store_templates(templates);
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::vector<Recognition> got = service.submit_batch(inputs).get();
+    ASSERT_EQ(got.size(), inputs.size());
+  }
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_GT(stats.leaf_device_writes, 0u);
+  EXPECT_GT(stats.leaf_device_writes_saved, 0u);
+  EXPECT_GT(stats.leaf_max_slot_write_cycles, 0u);
+  // Finite endurance under thrash: devices died in the field, the scans
+  // noticed, and the repair path spent spare columns on them.
+  EXPECT_GT(stats.leaf_worn_out_devices, 0u);
+  EXPECT_GT(stats.leaf_faults_detected, 0u);
+  EXPECT_GT(stats.leaf_columns_remapped, 0u);
+}
+
 TEST(RecognitionService, InputStageDedupComputesRowCurrentsOncePerQuery) {
   // Shard-local input-stage dedup: with identically configured spin
   // shards sharing the flat sizing, the realised input row currents of
