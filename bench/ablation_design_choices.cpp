@@ -119,7 +119,7 @@ int main() {
     d.dwn_threshold = c.dwn.i_threshold;
     t4.add_row({AsciiTable::num(barrier, 3), AsciiTable::eng(c.dwn.i_threshold, "A"),
                 AsciiTable::num(100.0 * acc, 4) + " %",
-                AsciiTable::eng(spin_amm_power(d).total(), "W")});
+                AsciiTable::eng(spin_amm_power(d).total().in(units::W), "W")});
   }
   t4.add_note("lower barriers shrink static power (Fig. 13a) but raise the");
   t4.add_note("thermal error rate; 20 kT is the paper's sweet spot");

@@ -70,8 +70,8 @@ int main() {
         ++total;
       }
     }
-    const double active = amm.active_path_power().total();
-    const double flat = amm.flat_equivalent_power().total();
+    const double active = amm.active_path_power().total().in(units::W);
+    const double flat = amm.flat_equivalent_power().total().in(units::W);
     ta.add_row({std::to_string(k),
                 AsciiTable::num(100.0 * routed_ok / total, 4) + " %",
                 AsciiTable::num(100.0 * correct / total, 4) + " %",

@@ -28,11 +28,12 @@ int main() {
     SpinAmmDesign d;
     d.dwn_threshold = ith_ua * units::uA;
     const PowerReport r = spin_amm_power(d);
-    statics.push_back(r.static_total());
-    dynamics.push_back(r.dynamic_total());
+    statics.push_back(r.static_total().in(units::W));
+    dynamics.push_back(r.dynamic_total().in(units::W));
     fig13a.add_row({AsciiTable::eng(d.dwn_threshold, "A"),
-                    AsciiTable::eng(r.static_total(), "W"),
-                    AsciiTable::eng(r.dynamic_total(), "W"), AsciiTable::eng(r.total(), "W"),
+                    AsciiTable::eng(r.static_total().in(units::W), "W"),
+                    AsciiTable::eng(r.dynamic_total().in(units::W), "W"),
+                    AsciiTable::eng(r.total().in(units::W), "W"),
                     r.static_total() > r.dynamic_total() ? "static" : "dynamic"});
   }
   fig13a.add_note("paper Table 1: 65 uW total at I_th = 1 uA");
@@ -67,7 +68,7 @@ int main() {
 
   const SpinAmmDesign spin;
   const PowerReport spin_power = spin_amm_power(spin);
-  const double spin_pd = spin_power.total() / spin.clock;
+  const double spin_pd = spin_power.total().in(units::W) / spin.clock;
 
   AsciiTable fig13b("Fig. 13b: PD ratio vs sigma_VT (min-size devices)");
   fig13b.set_header({"sigma_VT", "MS-CMOS power", "MS-CMOS PD", "PD ratio vs spin"});
@@ -78,11 +79,11 @@ int main() {
     d.resolution_bits = resolution_bits;
     d.sigma_vt_min_size = sigma_mv * units::mV;
     const MsCmosEvaluation eval = mscmos_wta_power(d);
-    const double pd = eval.power.total() / eval.max_clock;
+    const double pd = eval.power.total().in(units::W) / eval.max_clock;
     ratios.push_back(pd / spin_pd);
     fig13b.add_row({AsciiTable::num(sigma_mv, 3) + " mV",
-                    AsciiTable::eng(eval.power.total(), "W"), AsciiTable::eng(pd, "J"),
-                    AsciiTable::num(pd / spin_pd, 4)});
+                    AsciiTable::eng(eval.power.total().in(units::W), "W"),
+                    AsciiTable::eng(pd, "J"), AsciiTable::num(pd / spin_pd, 4)});
   }
   fig13b.add_note("spin PD reference: " + AsciiTable::eng(spin_pd, "J") +
                   " (power / conversion rate)");

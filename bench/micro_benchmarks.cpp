@@ -386,7 +386,7 @@ TierRow time_tier_engine(const char* label, const FaceDataset& dataset, const Fe
   row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
   // Sampled after the traffic above, so a tiered engine reports the
   // energy of its *observed* tier mix.
-  row.energy_per_query_j = engine.energy_per_query();
+  row.energy_per_query_j = engine.energy_per_query().in(units::J / units::query);
   return row;
 }
 
@@ -508,11 +508,11 @@ std::vector<LeafCacheRow> run_leaf_cache_benchmark() {
 
     const LeafCacheCounters counters = engine.counters();
     row.hit_rate = counters.hit_rate();
-    row.energy_per_query_j = engine.energy_per_query();
+    row.energy_per_query_j = engine.energy_per_query().in(units::J / units::query);
     row.reprogram_energy_per_query_j =
         counters.queries == 0
             ? 0.0
-            : counters.reprogram_energy_j / static_cast<double>(counters.queries);
+            : counters.reprogram_energy.in(units::J) / static_cast<double>(counters.queries);
     rows.push_back(row);
   }
   return rows;
@@ -584,7 +584,7 @@ std::vector<EnduranceRow> run_endurance_benchmark() {
         row.accuracy = evaluate_engine(*dataset, spec, engine).accuracy();
         const LeafCacheCounters counters = engine.counters();
         row.queries = counters.queries;
-        row.energy_per_query_j = engine.energy_per_query();
+        row.energy_per_query_j = engine.energy_per_query().in(units::J / units::query);
         row.hit_rate = counters.hit_rate();
         row.device_writes = counters.device_writes;
         row.device_writes_saved = counters.device_writes_saved;

@@ -27,7 +27,7 @@ DesignPoint spin_point(unsigned bits) {
   SpinAmmDesign d;
   d.resolution_bits = bits;
   DesignPoint p;
-  p.power = spin_amm_power(d).total();
+  p.power = spin_amm_power(d).total().in(units::W);
   p.frequency = d.clock;
   return p;
 }
@@ -38,7 +38,7 @@ DesignPoint mscmos_point(MsCmosTopology topology, unsigned bits) {
   d.resolution_bits = bits;
   const MsCmosEvaluation eval = mscmos_wta_power(d);
   DesignPoint p;
-  p.power = eval.power.total();
+  p.power = eval.power.total().in(units::W);
   p.frequency = eval.max_clock;
   return p;
 }
@@ -48,8 +48,8 @@ DesignPoint digital_point(unsigned bits) {
   d.bits = bits;
   const DigitalAsicEvaluation eval = digital_asic_power(d);
   DesignPoint p;
-  p.power = eval.power.total();
-  p.frequency = eval.recognition_rate;
+  p.power = eval.power.total().in(units::W);
+  p.frequency = eval.recognition_rate.in(units::Hz);
   return p;
 }
 

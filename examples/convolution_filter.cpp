@@ -120,6 +120,6 @@ int main() {
   std::printf("\neach patch lookup = one analog dot product against all %zu filters\n",
               n_filters);
   std::printf("plus one %u-cycle spin WTA: energy per lookup = %s\n", config.wta_bits,
-              AsciiTable::eng(amm.power().total() / config.clock, "J").c_str());
+              AsciiTable::eng(amm.power().total().in(units::W) / config.clock, "J").c_str());
   return 0;
 }

@@ -101,17 +101,17 @@ int main(int argc, char** argv) {
   const auto dig_eval = static_cast<DigitalAmm&>(*engines[2]).evaluation();
   AsciiTable power("power / energy comparison (Table-1 style)");
   power.set_header({"design", "power", "op rate", "energy/op", "vs spin"});
-  const double e_spin = spin_power.total() / spin_config.clock;
-  power.add_row({"spin-CMOS AMM", AsciiTable::eng(spin_power.total(), "W"), "100 MHz",
-                 AsciiTable::eng(e_spin, "J"), "1"});
-  const double e_ms = ms_eval.power.total() / ms_eval.max_clock;
-  power.add_row({"MS-CMOS BT-WTA", AsciiTable::eng(ms_eval.power.total(), "W"),
+  const double e_spin = spin_power.total().in(units::W) / spin_config.clock;
+  power.add_row({"spin-CMOS AMM", AsciiTable::eng(spin_power.total().in(units::W), "W"),
+                 "100 MHz", AsciiTable::eng(e_spin, "J"), "1"});
+  const double e_ms = ms_eval.power.total().in(units::W) / ms_eval.max_clock;
+  power.add_row({"MS-CMOS BT-WTA", AsciiTable::eng(ms_eval.power.total().in(units::W), "W"),
                  AsciiTable::eng(ms_eval.max_clock, "Hz"), AsciiTable::eng(e_ms, "J"),
                  AsciiTable::num(e_ms / e_spin, 3) + "x"});
-  const double e_dig = dig_eval.energy_per_recognition;
-  power.add_row({"45nm digital CMOS", AsciiTable::eng(dig_eval.power.total(), "W"),
-                 AsciiTable::eng(dig_eval.recognition_rate, "Hz"), AsciiTable::eng(e_dig, "J"),
-                 AsciiTable::num(e_dig / e_spin, 3) + "x"});
+  const double e_dig = dig_eval.energy_per_recognition.in(units::J);
+  power.add_row({"45nm digital CMOS", AsciiTable::eng(dig_eval.power.total().in(units::W), "W"),
+                 AsciiTable::eng(dig_eval.recognition_rate.in(units::Hz), "Hz"),
+                 AsciiTable::eng(e_dig, "J"), AsciiTable::num(e_dig / e_spin, 3) + "x"});
   power.print();
 
   // --- the service edge: the same workload, sharded ---

@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
   }
   std::printf("sampled accuracy: %d / %d\n\n", correct, total);
 
-  const double active = amm.active_path_power().total();
-  const double flat = amm.flat_equivalent_power().total();
+  const double active = amm.active_path_power().total().in(units::W);
+  const double flat = amm.flat_equivalent_power().total().in(units::W);
   AsciiTable t("energy scaling");
   t.set_header({"design", "power", "note"});
   t.add_row({"flat 120-column AMM", AsciiTable::eng(flat, "W"), "every column on every query"});

@@ -77,10 +77,10 @@ int main(int argc, char** argv) {
       (void)engine.recognize_batch(sweep_probes);
     }
     const LeafCacheCounters counters = engine.counters();
-    const double energy = engine.energy_per_query();
+    const double energy = engine.energy_per_query().in(units::J / units::query);
     const double write = counters.queries == 0
                              ? 0.0
-                             : counters.reprogram_energy_j /
+                             : counters.reprogram_energy.in(units::J) /
                                    static_cast<double>(counters.queries);
     table.add_row({std::to_string(pool), AsciiTable::num(100.0 * accuracy, 4) + " %",
                    AsciiTable::num(100.0 * counters.hit_rate(), 4) + " %",
@@ -134,7 +134,8 @@ int main(int argc, char** argv) {
   std::printf("  %zu/%zu correct | %.0f queries/s | leaf hit rate %.1f %%\n", correct,
               served.size(), stats.queries_per_sec, 100.0 * stats.leaf_hit_rate);
   std::printf("  reprogram energy charged: %.3e J total | energy/query across shards: %.3e J\n",
-              stats.reprogram_energy_j, stats.energy_per_query_j);
+              stats.reprogram_energy.in(units::J),
+              stats.energy_per_query.in(units::J / units::query));
 
   // The headline: a pool far smaller than the template set serves with
   // useful accuracy because reprogrammed leaves answer identically.

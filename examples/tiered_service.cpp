@@ -80,15 +80,17 @@ int main(int argc, char** argv) {
   AsciiTable table("flat vs hierarchical vs tiered (margin threshold " +
                    AsciiTable::num(escalation_margin, 3) + ")");
   table.set_header({"design", "accuracy", "energy/query", "vs flat", "escalation"});
-  const double e_flat = flat.energy_per_query();
+  const EnergyPerQuery joule_per_query = units::J / units::query;
+  const double e_flat = flat.energy_per_query().in(joule_per_query);
   table.add_row({"flat spin", AsciiTable::num(100.0 * flat_acc, 4) + " %",
                  AsciiTable::eng(e_flat, "J"), "1", "-"});
   table.add_row({"hierarchical", AsciiTable::num(100.0 * hier_acc, 4) + " %",
-                 AsciiTable::eng(hier.energy_per_query(), "J"),
-                 AsciiTable::num(hier.energy_per_query() / e_flat, 3) + "x", "-"});
+                 AsciiTable::eng(hier.energy_per_query().in(joule_per_query), "J"),
+                 AsciiTable::num(hier.energy_per_query().in(joule_per_query) / e_flat, 3) + "x",
+                 "-"});
   table.add_row({"tiered", AsciiTable::num(100.0 * tiered_acc, 4) + " %",
-                 AsciiTable::eng(tiered.energy_per_query(), "J"),
-                 AsciiTable::num(tiered.energy_per_query() / e_flat, 3) + "x",
+                 AsciiTable::eng(tiered.energy_per_query().in(joule_per_query), "J"),
+                 AsciiTable::num(tiered.energy_per_query().in(joule_per_query) / e_flat, 3) + "x",
                  AsciiTable::num(100.0 * counters.escalation_rate(), 3) + " %"});
   table.print();
 
@@ -132,7 +134,8 @@ int main(int argc, char** argv) {
   std::printf("  client latency: p50 %.0f us, p95 %.0f us, p99 %.0f us (max %.0f us)\n",
               stats.p50_latency_us, stats.p95_latency_us, stats.p99_latency_us,
               stats.max_latency_us);
-  std::printf("  estimated energy/query across shards: %.3e J\n", stats.energy_per_query_j);
+  std::printf("  estimated energy/query across shards: %.3e J\n",
+              stats.energy_per_query.in(units::J / units::query));
   for (std::size_t s = 0; s < stats.shards.size(); ++s) {
     std::printf("  shard %zu engine time per batch: p50 %.0f us, p95 %.0f us, p99 %.0f us "
                 "(%llu batches)\n",
@@ -147,6 +150,6 @@ int main(int argc, char** argv) {
       tiered_acc >= 0.95 * flat_acc && tiered.energy_per_query() < flat.energy_per_query();
   std::printf("\n%s: tiered reaches %.1f %% of flat accuracy at %.0f %% of flat energy/query\n",
               ok ? "OK" : "FAILED", 100.0 * tiered_acc / flat_acc,
-              100.0 * tiered.energy_per_query() / e_flat);
+              100.0 * tiered.energy_per_query().in(joule_per_query) / e_flat);
   return ok ? 0 : 1;
 }

@@ -78,7 +78,9 @@ std::vector<Recognition> DigitalAmm::recognize_batch(const std::vector<FeatureVe
 
 PowerReport DigitalAmm::power() const { return evaluation().power; }
 
-double DigitalAmm::energy_per_query() const { return evaluation().energy_per_recognition; }
+EnergyPerQuery DigitalAmm::energy_per_query() const {
+  return evaluation().energy_per_recognition / units::query;
+}
 
 DigitalAsicEvaluation DigitalAmm::evaluation() const {
   DigitalAsicDesign design;

@@ -52,7 +52,7 @@ class DigitalAmm : public AssociativeEngine {
   PowerReport power() const override;
 
   /// The ASIC model's per-recognition energy (`templates` MAC cycles) [J].
-  double energy_per_query() const override;
+  EnergyPerQuery energy_per_query() const override;
 
   /// Energy/performance evaluation of this design point.
   DigitalAsicEvaluation evaluation() const;

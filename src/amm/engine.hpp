@@ -141,14 +141,17 @@ class AssociativeEngine {
   /// Analytic power of this design point.
   virtual PowerReport power() const = 0;
 
-  /// Estimated energy one recognition costs on this design point [J]:
+  /// Estimated energy one recognition costs on this design point:
   /// power() over the design's recognition rate (an M-cycle WTA search for
   /// the spin designs, `templates` MAC cycles for the digital ASIC, one
   /// settling clock for the MS-CMOS tree). This is the figure the tiered
   /// router and the service's per-query energy accounting compose, so it
   /// must stay safe to call concurrently with recognition (pure function
   /// of the configuration, or of atomically maintained counters).
-  virtual double energy_per_query() const = 0;
+  /// Dimensionally typed: extract raw numbers with
+  /// `energy_per_query().in(units::pJ / units::query)` or compose with
+  /// `Queries` counts — a J-vs-W mixup no longer compiles.
+  virtual EnergyPerQuery energy_per_query() const = 0;
 };
 
 }  // namespace spinsim

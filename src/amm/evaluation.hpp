@@ -22,7 +22,9 @@ using Classifier = std::function<std::size_t(const FeatureVector&)>;
 struct AccuracyResult {
   std::size_t correct = 0;
   std::size_t total = 0;
-  double accuracy() const { return total == 0 ? 0.0 : static_cast<double>(correct) / total; }
+  double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
 };
 
 /// Runs every image of `dataset` (reduced per `spec`) through

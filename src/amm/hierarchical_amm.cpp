@@ -246,10 +246,12 @@ PowerReport HierarchicalAmm::active_path_power() const {
   return combined;
 }
 
-double HierarchicalAmm::energy_per_query() const {
+EnergyPerQuery HierarchicalAmm::energy_per_query() const {
   // Router search followed by one leaf search, each an M-cycle SAR/WTA
   // conversion of the active path's modules.
-  return active_path_power().total() * static_cast<double>(config_.wta_bits) / config_.clock;
+  const Energy search = active_path_power().total() * static_cast<double>(config_.wta_bits) /
+                        (config_.clock * units::Hz);
+  return search / units::query;
 }
 
 PowerReport HierarchicalAmm::flat_equivalent_power() const {

@@ -127,7 +127,7 @@ class HierarchicalAmm : public AssociativeEngine {
 
   /// Energy of one routed recognition: router search + worst-case leaf
   /// search, each an M-cycle WTA conversion [J].
-  double energy_per_query() const override;
+  EnergyPerQuery energy_per_query() const override;
 
   /// Power a *flat* AMM holding all templates would burn, for comparison.
   PowerReport flat_equivalent_power() const;

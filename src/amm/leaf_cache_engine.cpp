@@ -533,38 +533,43 @@ LeafCacheCounters LeafCacheEngine::counters() const {
       out.slot_write_cycles.push_back(slot_writes_[s].load(std::memory_order_relaxed));
     }
   }
-  out.reprogram_energy_j =
+  out.reprogram_energy =
       config_.write_cost.device_write_energy(config_.hierarchy.memristor) *
       static_cast<double>(out.device_writes);
-  out.reprogram_latency_s = config_.write_cost.array_write_latency(
+  out.repair_energy =
+      config_.write_cost.device_write_energy(config_.hierarchy.memristor) *
+      static_cast<double>(out.repair_device_writes);
+  out.reprogram_latency = config_.write_cost.array_write_latency(
       static_cast<std::size_t>(columns_written_.load(std::memory_order_relaxed)));
   return out;
 }
 
-double LeafCacheEngine::search_energy_per_query() const {
+EnergyPerQuery LeafCacheEngine::search_energy_per_query() const {
   // Router search followed by one leaf search, each an M-cycle SAR/WTA
   // conversion — the same active path a fully resident hierarchy prices.
   const HierarchicalAmmConfig& h = config_.hierarchy;
-  const double search_power =
+  const Power search_power =
       spin_amm_power(hierarchical_module_design(h, h.clusters)).total() +
       spin_amm_power(hierarchical_module_design(h, largest_leaf_)).total();
-  return search_power * static_cast<double>(h.wta_bits) / h.clock;
+  return search_power * static_cast<double>(h.wta_bits) / (h.clock * units::Hz) / units::query;
 }
 
-double LeafCacheEngine::energy_per_query() const {
+EnergyPerQuery LeafCacheEngine::energy_per_query() const {
   require(router_ != nullptr, "LeafCacheEngine: store_templates() first");
-  const double search = search_energy_per_query();
+  const EnergyPerQuery search = search_energy_per_query();
   const std::uint64_t devices = devices_written_.load(std::memory_order_relaxed);
   const std::uint64_t queries = queries_.load(std::memory_order_relaxed);
-  const double device_energy = config_.write_cost.device_write_energy(config_.hierarchy.memristor);
+  const Energy device_energy = config_.write_cost.device_write_energy(config_.hierarchy.memristor);
   if (queries == 0) {
     // No traffic yet: assume every query misses the largest leaf — the
     // conservative upper bound, mirroring TieredEngine's convention.
-    return search + device_energy * static_cast<double>(config_.hierarchy.features.dimension()) *
-                        static_cast<double>(std::max<std::size_t>(largest_leaf_, 2));
+    const Energy all_miss = device_energy *
+                            static_cast<double>(config_.hierarchy.features.dimension()) *
+                            static_cast<double>(std::max<std::size_t>(largest_leaf_, 2));
+    return search + all_miss / units::query;
   }
-  return search +
-         device_energy * static_cast<double>(devices) / static_cast<double>(queries);
+  return search + device_energy * static_cast<double>(devices) /
+                      Queries{static_cast<double>(queries)};
 }
 
 PowerReport LeafCacheEngine::power() const {
@@ -577,8 +582,8 @@ PowerReport LeafCacheEngine::power() const {
                             spin_amm_power(hierarchical_module_design(h, largest_leaf_)));
   // Amortized write power at the observed miss mix: reprogram energy per
   // query times the design's query rate (one M-cycle search per query).
-  const double write_energy_per_query = energy_per_query() - search_energy_per_query();
-  const double query_rate = h.clock / static_cast<double>(h.wta_bits);
+  const EnergyPerQuery write_energy_per_query = energy_per_query() - search_energy_per_query();
+  const auto query_rate = (h.clock * units::Hz) / static_cast<double>(h.wta_bits) * units::query;
   combined.add("write: reprogram (amortized)", PowerKind::kDynamic,
                write_energy_per_query * query_rate);
   return combined;

@@ -122,8 +122,11 @@ struct LeafCacheCounters {
   std::uint64_t misses = 0;       ///< leaf had to be programmed
   std::uint64_t evictions = 0;    ///< a resident leaf was displaced
   std::uint64_t reprograms = 0;   ///< arrays programmed (== misses)
-  double reprogram_energy_j = 0.0;   ///< total write energy charged [J]
-  double reprogram_latency_s = 0.0;  ///< total write wall-clock charged [s]
+  Energy reprogram_energy;        ///< total write energy charged
+  /// Subset of reprogram_energy spent by self-repair rewrites (priced at
+  /// the same per-device write cost as the miss path).
+  Energy repair_energy;
+  Time reprogram_latency;         ///< total write wall-clock charged
 
   // Endurance / self-repair accounting:
   std::uint64_t device_writes = 0;        ///< physical device writes performed
@@ -243,7 +246,7 @@ class LeafCacheEngine : public AssociativeEngine {
   /// observed reprogram energy amortized over the queries served. Before
   /// any traffic it conservatively assumes every query misses the
   /// largest leaf. Safe to call concurrently with recognition.
-  double energy_per_query() const override;
+  EnergyPerQuery energy_per_query() const override;
 
  private:
   struct Slot {
@@ -272,7 +275,7 @@ class LeafCacheEngine : public AssociativeEngine {
   void maybe_verify(std::uint64_t served);
   bool verify_ok(double weight, double realised) const;
   void refresh_worn_count();
-  double search_energy_per_query() const;
+  EnergyPerQuery search_energy_per_query() const;
 
   LeafCacheEngineConfig config_;
   std::unique_ptr<SpinAmm> router_;

@@ -65,9 +65,9 @@ class MsCmosAmm : public AssociativeEngine {
   PowerReport power() const override { return evaluation_.power; }
 
   /// Energy of one recognition: one settling period of the analog tree at
-  /// the clock its sizing achieves [J].
-  double energy_per_query() const override {
-    return evaluation_.power.total() / evaluation_.max_clock;
+  /// the clock its sizing achieves.
+  EnergyPerQuery energy_per_query() const override {
+    return evaluation_.power.total() / (evaluation_.max_clock * units::Hz) / units::query;
   }
 
   /// The sizing/power evaluation of this design point.

@@ -268,8 +268,12 @@ SpinAmmDesign SpinAmm::power_design() const {
 
 PowerReport SpinAmm::power() const { return spin_amm_power(power_design()); }
 
-double SpinAmm::energy_per_query() const {
-  return power().total() * static_cast<double>(config_.wta_bits) / config_.clock;
+EnergyPerQuery SpinAmm::energy_per_query() const {
+  // One recognition is an M-cycle WTA search: total power held for
+  // M / f_clock seconds, charged to a single query.
+  const Energy search =
+      power().total() * static_cast<double>(config_.wta_bits) / (config_.clock * units::Hz);
+  return search / units::query;
 }
 
 }  // namespace spinsim

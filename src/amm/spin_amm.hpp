@@ -151,7 +151,7 @@ class SpinAmm : public AssociativeEngine {
 
   /// Energy of one recognition: the design's power over one M-cycle WTA
   /// search (the SAR conversion is what paces a recognition) [J].
-  double energy_per_query() const override;
+  EnergyPerQuery energy_per_query() const override;
 
   /// The design-point parameters fed to the power model.
   SpinAmmDesign power_design() const;

@@ -108,7 +108,7 @@ PowerReport TieredEngine::power() const {
   return combined;
 }
 
-double TieredEngine::energy_per_query() const {
+EnergyPerQuery TieredEngine::energy_per_query() const {
   // account() bumps queries_ before escalated_, so reading escalated_
   // first keeps a mid-traffic snapshot at escalated <= queries (a rate
   // above 1 would overstate the documented tier0+tier1 upper bound).

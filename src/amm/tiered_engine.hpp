@@ -90,7 +90,7 @@ class TieredEngine : public AssociativeEngine {
   /// Estimated energy of one query under the *observed* tier mix:
   /// tier0 energy + escalation_rate * tier1 energy. Before any traffic it
   /// assumes every query escalates (the conservative upper bound).
-  double energy_per_query() const override;
+  EnergyPerQuery energy_per_query() const override;
 
   /// Counter snapshot (safe while traffic is in flight).
   TieredCounters counters() const;

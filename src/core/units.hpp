@@ -1,38 +1,234 @@
 /// \file units.hpp
-/// SI unit multipliers and physical constants used throughout spinsim.
+/// Compile-time dimensional analysis plus the SI unit vocabulary of
+/// spinsim.
 ///
-/// All spinsim quantities are stored in plain SI base units (metre, second,
-/// ampere, volt, ohm, farad, joule, kelvin). The constants below make the
-/// intent of literals explicit at the point of use:
+/// Every headline number of this reproduction — pJ/query recognition
+/// energy, the tiered router's energy ratio, the leaf cache's reprogram
+/// pricing — used to flow through plain `double`s, where a J-vs-W mixup
+/// compiles silently. `Quantity<Dim>` makes the dimension part of the
+/// type: adding an Energy to a Power, or assigning one to the other, is
+/// a compile error, while the generated code is a bare `double` (the
+/// wrapper is trivially copyable and every operation is constexpr).
+///
+/// Dimensions are tracked as integer exponents over six bases: metre,
+/// kilogram, second, ampere, kelvin — and `query`, the bookkeeping base
+/// that distinguishes a Joule from a Joule-per-recognition. Products and
+/// quotients combine exponents at compile time:
+///
+///     Power  * Time        -> Energy
+///     Voltage * Conductance -> Current
+///     Energy / Queries      -> EnergyPerQuery
+///
+/// Values are stored in SI base units. Construct quantities from typed
+/// unit constants, and extract raw numbers explicitly:
+///
+///     Energy e = 3.2 * units::pJ;
+///     double picojoules = e.in(units::pJ);     // 3.2
+///     double joules     = e.si();              // 3.2e-12
+///
+/// A quantity divided by a same-dimensioned quantity collapses to plain
+/// `double` (that is what `.in()` is), as does any product or quotient
+/// whose exponents all cancel.
+///
+/// The plain-`double` multipliers (`units::nm`, `units::uA`, ...) remain
+/// for the dimensions the device/circuit layers still carry as raw SI
+/// doubles:
 ///
 ///     double strip_length = 60.0 * units::nm;
 ///     double threshold    = 1.0 * units::uA;
+///
+/// The energy/power/frequency constants, in contrast, are fully typed —
+/// that layer has been migrated and its public APIs accept and return
+/// `Quantity` types only. Migrating another layer means replacing its
+/// double multipliers here with typed constants and following the
+/// compile errors.
 
 #pragma once
 
-namespace spinsim::units {
+#include <ostream>
+#include <type_traits>
 
-// --- length ---
+namespace spinsim {
+
+/// Integer dimension exponents over spinsim's base dimensions.
+template <int MetreExp, int KilogramExp, int SecondExp, int AmpereExp, int KelvinExp, int QueryExp>
+struct Dimension {
+  static constexpr int metre = MetreExp;
+  static constexpr int kilogram = KilogramExp;
+  static constexpr int second = SecondExp;
+  static constexpr int ampere = AmpereExp;
+  static constexpr int kelvin = KelvinExp;
+  static constexpr int query = QueryExp;
+};
+
+using Dimensionless = Dimension<0, 0, 0, 0, 0, 0>;
+
+/// Exponent arithmetic: the compile-time engine behind `*` and `/`.
+template <class A, class B>
+using DimProduct =
+    Dimension<A::metre + B::metre, A::kilogram + B::kilogram, A::second + B::second,
+              A::ampere + B::ampere, A::kelvin + B::kelvin, A::query + B::query>;
+
+template <class A, class B>
+using DimQuotient =
+    Dimension<A::metre - B::metre, A::kilogram - B::kilogram, A::second - B::second,
+              A::ampere - B::ampere, A::kelvin - B::kelvin, A::query - B::query>;
+
+/// A physical value of dimension `D`, stored in SI base units.
+///
+/// Zero overhead: the only member is the double, every operation is a
+/// constexpr inline wrapper around the same double arithmetic, and the
+/// type is trivially copyable — a `Quantity` in an API is the same
+/// machine word the raw double was, with the dimension moved into the
+/// type system.
+template <class D>
+class Quantity {
+ public:
+  using Dim = D;
+
+  constexpr Quantity() = default;
+  /// Constructs from a raw SI value. Explicit on purpose: a bare double
+  /// never silently becomes a typed quantity — multiply by a unit
+  /// constant (`3.2 * units::pJ`) or name the conversion (`Energy{x}`).
+  constexpr explicit Quantity(double raw_si) : value_(raw_si) {}
+
+  /// Raw value in SI base units (J, W, Hz, ...).
+  constexpr double si() const { return value_; }
+
+  /// Value expressed in `unit`: `energy.in(units::pJ)` reads "energy in
+  /// picojoules". The dimensions must match — that is the signature.
+  constexpr double in(Quantity unit) const { return value_ / unit.value_; }
+
+  // --- same-dimension arithmetic ---
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+  // --- dimensionless scaling ---
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.value_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{s * a.value_}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.value_ / s}; }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  // --- comparisons (same dimension only) ---
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.value_ >= b.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Dimension-crossing product: exponents add. A product whose exponents
+/// all cancel collapses to plain double.
+template <class DA, class DB>
+constexpr auto operator*(Quantity<DA> a, Quantity<DB> b) {
+  if constexpr (std::is_same_v<DimProduct<DA, DB>, Dimensionless>) {
+    return a.si() * b.si();
+  } else {
+    return Quantity<DimProduct<DA, DB>>{a.si() * b.si()};
+  }
+}
+
+/// Dimension-crossing quotient: exponents subtract. A same-dimension
+/// ratio is a plain double — `energy / unit` IS `.in(unit)`.
+template <class DA, class DB>
+constexpr auto operator/(Quantity<DA> a, Quantity<DB> b) {
+  if constexpr (std::is_same_v<DimQuotient<DA, DB>, Dimensionless>) {
+    return a.si() / b.si();
+  } else {
+    return Quantity<DimQuotient<DA, DB>>{a.si() / b.si()};
+  }
+}
+
+/// Reciprocal of a quantity: `1.0 / Time` is a Frequency.
+template <class D>
+constexpr auto operator/(double s, Quantity<D> q) {
+  return Quantity<DimQuotient<Dimensionless, D>>{s / q.si()};
+}
+
+/// Streams the raw SI value (gtest failure messages, logs). Deliberately
+/// without a unit suffix: the dimension lives in the type, and pretty
+/// printing belongs to the table/report layers.
+template <class D>
+std::ostream& operator<<(std::ostream& out, Quantity<D> q) {
+  return out << q.si();
+}
+
+// --- the named dimensions spinsim works in ---
+using Length = Quantity<Dimension<1, 0, 0, 0, 0, 0>>;
+using Mass = Quantity<Dimension<0, 1, 0, 0, 0, 0>>;
+using Time = Quantity<Dimension<0, 0, 1, 0, 0, 0>>;
+using Frequency = Quantity<Dimension<0, 0, -1, 0, 0, 0>>;
+using Current = Quantity<Dimension<0, 0, 0, 1, 0, 0>>;
+using Temperature = Quantity<Dimension<0, 0, 0, 0, 1, 0>>;
+/// Recognitions served — the bookkeeping base dimension that keeps
+/// per-query figures from masquerading as plain energies.
+using Queries = Quantity<Dimension<0, 0, 0, 0, 0, 1>>;
+using Charge = Quantity<Dimension<0, 0, 1, 1, 0, 0>>;
+using Voltage = Quantity<Dimension<2, 1, -3, -1, 0, 0>>;
+using Resistance = Quantity<Dimension<2, 1, -3, -2, 0, 0>>;
+using Conductance = Quantity<Dimension<-2, -1, 3, 2, 0, 0>>;
+using Capacitance = Quantity<Dimension<-2, -1, 4, 2, 0, 0>>;
+using Energy = Quantity<Dimension<2, 1, -2, 0, 0, 0>>;
+using Power = Quantity<Dimension<2, 1, -3, 0, 0, 0>>;
+using EnergyPerQuery = Quantity<Dimension<2, 1, -2, 0, 0, -1>>;
+
+// The dimension algebra holds by construction; spell out the identities
+// the energy layer leans on so a broken exponent table cannot compile.
+static_assert(std::is_same_v<decltype(Power{} * Time{}), Energy>, "P * t = E");
+static_assert(std::is_same_v<decltype(Voltage{} * Current{}), Power>, "V * I = P");
+static_assert(std::is_same_v<decltype(Voltage{} * Conductance{}), Current>, "V * G = I");
+static_assert(std::is_same_v<decltype(Energy{} / Queries{}), EnergyPerQuery>, "E / q");
+static_assert(std::is_same_v<decltype(Energy{} / Time{}), Power>, "E / t = P");
+static_assert(sizeof(Energy) == sizeof(double), "Quantity is zero-overhead");
+static_assert(std::is_trivially_copyable_v<Energy>, "Quantity is a plain value");
+
+namespace units {
+
+// --- length (legacy double multipliers; device layer unmigrated) ---
 inline constexpr double m = 1.0;
 inline constexpr double cm = 1e-2;
 inline constexpr double mm = 1e-3;
 inline constexpr double um = 1e-6;
 inline constexpr double nm = 1e-9;
 
-// --- time ---
+// --- time (legacy double multipliers; device layer unmigrated) ---
 inline constexpr double s = 1.0;
 inline constexpr double ms = 1e-3;
 inline constexpr double us = 1e-6;
 inline constexpr double ns = 1e-9;
 inline constexpr double ps = 1e-12;
 
-// --- frequency ---
-inline constexpr double Hz = 1.0;
-inline constexpr double kHz = 1e3;
-inline constexpr double MHz = 1e6;
-inline constexpr double GHz = 1e9;
+// --- frequency (typed) ---
+inline constexpr Frequency Hz{1.0};
+inline constexpr Frequency kHz{1e3};
+inline constexpr Frequency MHz{1e6};
+inline constexpr Frequency GHz{1e9};
 
-// --- electrical ---
+// --- electrical (legacy double multipliers; circuit layer unmigrated) ---
 inline constexpr double A = 1.0;
 inline constexpr double mA = 1e-3;
 inline constexpr double uA = 1e-6;
@@ -50,18 +246,35 @@ inline constexpr double F = 1.0;
 inline constexpr double pF = 1e-12;
 inline constexpr double fF = 1e-15;
 
-// --- energy / power ---
-inline constexpr double J = 1.0;
-inline constexpr double mJ = 1e-3;
-inline constexpr double uJ = 1e-6;
-inline constexpr double nJ = 1e-9;
-inline constexpr double pJ = 1e-12;
-inline constexpr double fJ = 1e-15;
-inline constexpr double aJ = 1e-18;
-inline constexpr double W = 1.0;
-inline constexpr double mW = 1e-3;
-inline constexpr double uW = 1e-6;
-inline constexpr double nW = 1e-9;
+// --- typed canonical units, for quantity-typed arithmetic across the
+// --- not-yet-migrated dimensions (full names so the legacy multipliers
+// --- above keep their short ones until their layers migrate) ---
+inline constexpr Length metre{1.0};
+inline constexpr Mass kilogram{1.0};
+inline constexpr Time second{1.0};
+inline constexpr Current ampere{1.0};
+inline constexpr Temperature kelvin{1.0};
+inline constexpr Voltage volt{1.0};
+inline constexpr Resistance ohm{1.0};
+inline constexpr Conductance siemens{1.0};
+inline constexpr Capacitance farad{1.0};
+inline constexpr Charge coulomb{1.0};
+
+// --- energy / power (typed: the migrated layer) ---
+inline constexpr Energy J{1.0};
+inline constexpr Energy mJ{1e-3};
+inline constexpr Energy uJ{1e-6};
+inline constexpr Energy nJ{1e-9};
+inline constexpr Energy pJ{1e-12};
+inline constexpr Energy fJ{1e-15};
+inline constexpr Energy aJ{1e-18};
+inline constexpr Power W{1.0};
+inline constexpr Power mW{1e-3};
+inline constexpr Power uW{1e-6};
+inline constexpr Power nW{1e-9};
+
+// --- queries (typed) ---
+inline constexpr Queries query{1.0};
 
 // --- magnetics ---
 /// emu/cm^3 expressed in A/m (CGS magnetisation unit used in the paper:
@@ -73,7 +286,8 @@ inline constexpr double oersted = 1e-4 / (4e-7 * 3.14159265358979323846);  // A/
 // --- temperature ---
 inline constexpr double K = 1.0;
 
-}  // namespace spinsim::units
+}  // namespace units
+}  // namespace spinsim
 
 namespace spinsim::constants {
 

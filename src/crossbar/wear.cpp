@@ -140,4 +140,8 @@ std::size_t CrossbarSubstrate::worn_out_devices() const {
   return count;
 }
 
+Energy CrossbarSubstrate::lifetime_write_energy(const CrossbarWriteCost& cost) const {
+  return cost.device_write_energy(spec_) * static_cast<double>(total_write_cycles());
+}
+
 }  // namespace spinsim

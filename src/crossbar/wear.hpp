@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "core/random.hpp"
+#include "core/units.hpp"
 #include "device/memristor.hpp"
+#include "energy/write_cost.hpp"
 
 namespace spinsim {
 
@@ -94,6 +96,12 @@ class CrossbarSubstrate {
   std::uint64_t total_write_cycles() const;
   std::uint64_t max_device_write_cycles() const;
   std::size_t worn_out_devices() const;
+
+  /// Total write energy this slot's physical devices have absorbed over
+  /// their lifetime, priced by `cost` — the substrate-level wear-energy
+  /// counter (every programming cycle ages the device, whoever issued
+  /// it: miss reprogramming and repair rewrites alike).
+  Energy lifetime_write_energy(const CrossbarWriteCost& cost) const;
 
  private:
   MemristorSpec spec_;

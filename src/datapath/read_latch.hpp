@@ -18,6 +18,7 @@
 
 #include "circuit/transient.hpp"
 #include "core/random.hpp"
+#include "core/units.hpp"
 #include "device/tech45.hpp"
 
 namespace spinsim {
@@ -28,9 +29,9 @@ struct ReadLatchDesign {
   double offset_sigma = 0.01;    ///< relative resistance offset spread
   double sense_time = 200e-12;   ///< discharge window before regeneration [s]
 
-  /// Energy of one decision: both branches swing VDD [J].
-  double decision_energy(const Tech45& tech = Tech45::nominal()) const {
-    return 2.0 * sense_cap * tech.vdd * tech.vdd;
+  /// Energy of one decision: both branches swing VDD.
+  Energy decision_energy(const Tech45& tech = Tech45::nominal()) const {
+    return (2.0 * sense_cap * tech.vdd * tech.vdd) * units::J;
   }
 };
 

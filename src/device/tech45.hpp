@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include "core/units.hpp"
+
 namespace spinsim {
 
 /// 45 nm process corner used throughout the reproduction.
@@ -33,21 +35,21 @@ struct Tech45 {
 
   // --- capacitance ---
   double c_gate_per_area = 0.009; ///< gate capacitance [F/m^2] (~9 fF/um^2)
-  double c_overlap_per_w = 0.3e-9;///< overlap + fringe capacitance [F/m]
+  double c_overlap_per_w = 0.3e-9;///< overlap + fringe capacitance [F/m] // lint:allow(raw-double-energy) per unit channel width, not watts
   double c_wire_per_len = 0.2e-9; ///< local interconnect capacitance [F/m] (0.2 fF/um)
 
   // --- digital energy model ---
   /// Switching energy of a minimum-size inverter-equivalent gate output
-  /// (C V^2, full swing) [J]. ~0.1 fJ at 45 nm / 1 V.
-  double gate_switch_energy = 0.10e-15;
-  /// Leakage power of a minimum-size gate [W].
-  double gate_leakage = 1.0e-9;
-  /// Energy of a single-bit full-adder operation [J].
-  double full_adder_energy = 0.8e-15;
-  /// Energy of reading one bit from a local SRAM array [J].
-  double sram_read_energy_per_bit = 2.0e-15;
-  /// Energy of a flip-flop toggle [J].
-  double flop_energy = 0.5e-15;
+  /// (C V^2, full swing). ~0.1 fJ at 45 nm / 1 V.
+  Energy gate_switch_energy = 0.10e-15 * units::J;
+  /// Leakage power of a minimum-size gate.
+  Power gate_leakage = 1.0e-9 * units::W;
+  /// Energy of a single-bit full-adder operation.
+  Energy full_adder_energy = 0.8e-15 * units::J;
+  /// Energy of reading one bit from a local SRAM array.
+  Energy sram_read_energy_per_bit = 2.0e-15 * units::J;
+  /// Energy of a flip-flop toggle.
+  Energy flop_energy = 0.5e-15 * units::J;
 
   /// Pelgrom sigma_VT for a device of the given geometry [V].
   double sigma_vt(double w, double l) const;

@@ -18,28 +18,27 @@ DigitalAsicEvaluation digital_asic_power(const DigitalAsicDesign& d, const Tech4
   // One b x b multiply is ~b^2 full-adder cells; the accumulator adds a
   // (2b + log2(templates))-bit addition per MAC.
   const double acc_bits = 2.0 * b + std::ceil(std::log2(static_cast<double>(d.templates)));
-  const double e_multiply = b * b * tech.full_adder_energy;
-  const double e_accumulate = acc_bits * tech.full_adder_energy;
-  const double e_register = acc_bits * tech.flop_energy;
+  const Energy e_multiply = b * b * tech.full_adder_energy;
+  const Energy e_accumulate = acc_bits * tech.full_adder_energy;
+  const Energy e_register = acc_bits * tech.flop_energy;
 
   eval.energy_per_mac =
       d.activity * d.overhead_factor * (e_multiply + e_accumulate) + e_register;
 
   // Winner search: a comparator pass over the scores.
-  const double e_compare =
-      static_cast<double>(d.templates) * acc_bits * tech.full_adder_energy * d.overhead_factor *
-      d.activity;
+  const Energy e_compare = static_cast<double>(d.templates) * acc_bits * tech.full_adder_energy *
+                           d.overhead_factor * d.activity;
 
   eval.energy_per_recognition = n_mac * eval.energy_per_mac + e_compare;
 
-  double e_memory = 0.0;
+  Energy e_memory;
   if (d.include_memory_read) {
     e_memory = n_mac * b * tech.sram_read_energy_per_bit;
     eval.energy_per_recognition += e_memory;
   }
 
   // `dimension` parallel lanes: one template per cycle.
-  eval.recognition_rate = d.clock / static_cast<double>(d.templates);
+  eval.recognition_rate = (d.clock * units::Hz) / static_cast<double>(d.templates);
 
   eval.power.add("MAC datapath", PowerKind::kDynamic,
                  n_mac * eval.energy_per_mac * eval.recognition_rate);

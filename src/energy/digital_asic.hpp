@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "core/units.hpp"
 #include "device/tech45.hpp"
 #include "energy/power_report.hpp"
 
@@ -34,9 +35,9 @@ struct DigitalAsicDesign {
 
 /// Evaluated digital design.
 struct DigitalAsicEvaluation {
-  double recognition_rate = 0.0;       ///< recognitions per second [Hz]
-  double energy_per_recognition = 0.0; ///< [J]
-  double energy_per_mac = 0.0;         ///< [J]
+  Frequency recognition_rate;       ///< recognitions per second
+  Energy energy_per_recognition;
+  Energy energy_per_mac;
   PowerReport power;
 };
 

@@ -82,10 +82,11 @@ MsCmosEvaluation mscmos_wta_power(const MsCmosDesign& d, const Tech45& tech) {
 
   // 4. Currents -> power at full VDD.
   const double n = static_cast<double>(d.inputs);
-  eval.power.add("tree mirrors (winner propagation)", PowerKind::kStatic,
-                 topo.mirror_factor * n * eval.unit_current * tech.vdd);
-  eval.power.add("regulated input-mirror bias", PowerKind::kStatic,
-                 topo.bias_current * n * tech.vdd);
+  const Voltage vdd = tech.vdd * units::volt;
+  const Current i_tree = topo.mirror_factor * n * eval.unit_current * units::ampere;
+  eval.power.add("tree mirrors (winner propagation)", PowerKind::kStatic, i_tree * vdd);
+  const Current i_bias = topo.bias_current * n * units::ampere;
+  eval.power.add("regulated input-mirror bias", PowerKind::kStatic, i_bias * vdd);
   return eval;
 }
 

@@ -1,5 +1,10 @@
 /// \file power_report.hpp
 /// Named power accounting shared by all design-point models.
+///
+/// Every figure in a report is a typed `Power`; totals are `Power` and
+/// per-operation figures are `Energy`. Callers extract raw numbers
+/// explicitly (`total().in(units::uW)`), so a W-vs-J mixup is a compile
+/// error, not a bench regression.
 
 #pragma once
 
@@ -7,38 +12,39 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/units.hpp"
 
 namespace spinsim {
 
 /// Whether a contribution burns power continuously or per clock edge.
 enum class PowerKind { kStatic, kDynamic };
 
-/// One named power contribution [W].
+/// One named power contribution.
 struct PowerItem {
   std::string name;
   PowerKind kind = PowerKind::kStatic;
-  double watts = 0.0;
+  Power power;
 };
 
 /// A named collection of power contributions for one design point.
 class PowerReport {
  public:
   /// Adds a contribution; negative values are rejected.
-  void add(std::string name, PowerKind kind, double watts);
+  void add(std::string name, PowerKind kind, Power power);
 
   /// Adds every item of `other` under "<prefix><its name>" — how composite
   /// designs (hierarchical router+leaf, tiered router+authority) fold
   /// their stages into one breakdown.
   void add_all_prefixed(const std::string& prefix, const PowerReport& other);
 
-  double static_total() const;
-  double dynamic_total() const;
-  double total() const { return static_total() + dynamic_total(); }
+  Power static_total() const;
+  Power dynamic_total() const;
+  Power total() const { return static_total() + dynamic_total(); }
 
   const std::vector<PowerItem>& items() const { return items_; }
 
-  /// Energy per operation at the given operation rate [J].
-  double energy_per_op(double op_rate_hz) const;
+  /// Energy per operation at the given operation rate.
+  Energy energy_per_op(Frequency op_rate) const;
 
   /// Multi-line human-readable breakdown.
   std::string str() const;

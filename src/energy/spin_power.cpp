@@ -31,31 +31,32 @@ PowerReport spin_amm_power(const SpinAmmDesign& d, const Tech45& tech) {
   // --- static: current x small terminal voltage ---
   const double n_in = static_cast<double>(d.dimension);
   const double n_col = static_cast<double>(d.templates);
+  const Voltage delta_v = d.delta_v * units::volt;
 
   // DTCS-DAC input currents flow from V + dV into the crossbar held at V.
-  const double p_rcm = n_in * d.max_input_current() * d.input_activity * d.delta_v;
-  report.add("RCM input currents (I_in x dV)", PowerKind::kStatic, p_rcm);
+  const Current i_in = n_in * d.max_input_current() * d.input_activity * units::ampere;
+  report.add("RCM input currents (I_in x dV)", PowerKind::kStatic, i_in * delta_v);
 
   // SAR-DAC currents sink the column current at V - dV: a 2 dV drop.
-  const double p_sar_dac =
-      n_col * d.full_scale_current() * d.sar_dac_activity * 2.0 * d.delta_v;
-  report.add("SAR-DAC sink currents (I_dac x 2dV)", PowerKind::kStatic, p_sar_dac);
+  const Current i_dac = n_col * d.full_scale_current() * d.sar_dac_activity * units::ampere;
+  report.add("SAR-DAC sink currents (I_dac x 2dV)", PowerKind::kStatic, i_dac * (2.0 * delta_v));
 
   // --- dynamic: full-swing CMOS switching at the conversion clock ---
   const double vdd2 = tech.vdd * tech.vdd;
   const double bit_scale = static_cast<double>(d.resolution_bits) / 5.0;  // coefficients @5-bit
+  const Frequency clock = d.clock * units::Hz;
 
-  const double p_latch = n_col * d.latch_cap * vdd2 * d.clock;
-  report.add("dynamic read latches", PowerKind::kDynamic, p_latch);
+  const Energy e_latch = n_col * d.latch_cap * vdd2 * units::J;
+  report.add("dynamic read latches", PowerKind::kDynamic, e_latch * clock);
 
-  const double p_sar_logic = n_col * d.sar_logic_energy * bit_scale * d.clock;
-  report.add("SAR registers + mux", PowerKind::kDynamic, p_sar_logic);
+  const Energy e_sar_logic = n_col * d.sar_logic_energy * bit_scale;
+  report.add("SAR registers + mux", PowerKind::kDynamic, e_sar_logic * clock);
 
-  const double p_tracking = n_col * d.tracking_logic_energy * bit_scale * d.clock;
-  report.add("winner tracking (TR/DR/DL)", PowerKind::kDynamic, p_tracking);
+  const Energy e_tracking = n_col * d.tracking_logic_energy * bit_scale;
+  report.add("winner tracking (TR/DR/DL)", PowerKind::kDynamic, e_tracking * clock);
 
-  const double p_dac_drive = n_col * d.dac_driver_energy * bit_scale * d.clock;
-  report.add("DTCS gate drivers", PowerKind::kDynamic, p_dac_drive);
+  const Energy e_dac_drive = n_col * d.dac_driver_energy * bit_scale;
+  report.add("DTCS gate drivers", PowerKind::kDynamic, e_dac_drive * clock);
 
   return report;
 }

@@ -38,9 +38,9 @@ struct SpinAmmDesign {
 
   // Dynamic-energy coefficients at the 45 nm node.
   double latch_cap = 2e-15;              ///< read-latch switched cap [F]
-  double sar_logic_energy = 2.5e-15;     ///< SAR logic per column per cycle [J]
-  double tracking_logic_energy = 1.0e-15;///< TR/DR/DL per column per cycle [J]
-  double dac_driver_energy = 1.0e-15;    ///< DTCS gate drivers per column per cycle [J]
+  Energy sar_logic_energy = 2.5e-15 * units::J;      ///< SAR logic per column per cycle
+  Energy tracking_logic_energy = 1.0e-15 * units::J; ///< TR/DR/DL per column per cycle
+  Energy dac_driver_energy = 1.0e-15 * units::J;     ///< DTCS gate drivers per column per cycle
 
   /// Full-scale column current 2^M * I_th [A].
   double full_scale_current() const;

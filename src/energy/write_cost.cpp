@@ -2,20 +2,21 @@
 
 namespace spinsim {
 
-double CrossbarWriteCost::device_write_energy(const MemristorSpec& spec) const {
-  const double g_mid = 0.5 * (spec.g_min() + spec.g_max());
-  const double pulse_energy =
-      write_voltage * write_voltage * g_mid * pulse_duration + driver_energy_per_pulse;
+Energy CrossbarWriteCost::device_write_energy(const MemristorSpec& spec) const {
+  const Voltage v_write = write_voltage * units::volt;
+  const Conductance g_mid = 0.5 * (spec.g_min() + spec.g_max()) * units::siemens;
+  const Energy pulse_energy = v_write * v_write * g_mid * (pulse_duration * units::second) +
+                              driver_energy_per_pulse;
   return verify_pulses * pulse_energy;
 }
 
-double CrossbarWriteCost::array_write_energy(const MemristorSpec& spec, std::size_t rows,
+Energy CrossbarWriteCost::array_write_energy(const MemristorSpec& spec, std::size_t rows,
                                              std::size_t cols) const {
   return device_write_energy(spec) * static_cast<double>(rows) * static_cast<double>(cols);
 }
 
-double CrossbarWriteCost::array_write_latency(std::size_t cols) const {
-  return static_cast<double>(cols) * verify_pulses * pulse_duration;
+Time CrossbarWriteCost::array_write_latency(std::size_t cols) const {
+  return static_cast<double>(cols) * verify_pulses * (pulse_duration * units::second);
 }
 
 }  // namespace spinsim

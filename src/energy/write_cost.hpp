@@ -22,6 +22,7 @@
 
 #include <cstddef>
 
+#include "core/units.hpp"
 #include "device/memristor.hpp"
 
 namespace spinsim {
@@ -33,20 +34,20 @@ struct CrossbarWriteCost {
   /// Mean program-and-verify iterations until the conductance lands in
   /// its level window (multi-level cells need several trims).
   double verify_pulses = 4.0;
-  /// CV^2 energy of the write driver + row/column decode per pulse [J].
-  double driver_energy_per_pulse = 5e-15;
+  /// CV^2 energy of the write driver + row/column decode per pulse.
+  Energy driver_energy_per_pulse = 5e-15 * units::J;
 
-  /// Mean energy to program one device to an arbitrary level [J]:
+  /// Mean energy to program one device to an arbitrary level:
   /// verify_pulses * (V^2 * g_mid * t_pulse + driver), with g_mid the
   /// midpoint of the spec's conductance range.
-  double device_write_energy(const MemristorSpec& spec) const;
+  Energy device_write_energy(const MemristorSpec& spec) const;
 
-  /// Energy to program a full rows x cols array [J].
-  double array_write_energy(const MemristorSpec& spec, std::size_t rows, std::size_t cols) const;
+  /// Energy to program a full rows x cols array.
+  Energy array_write_energy(const MemristorSpec& spec, std::size_t rows, std::size_t cols) const;
 
-  /// Wall-clock time to program a rows x cols array [s]: columns are
+  /// Wall-clock time to program a rows x cols array: columns are
   /// written serially, each column's rows in parallel.
-  double array_write_latency(std::size_t cols) const;
+  Time array_write_latency(std::size_t cols) const;
 };
 
 }  // namespace spinsim

@@ -289,12 +289,13 @@ RecognitionServiceStats RecognitionService::stats() const {
       ss.p99_batch_us = shard->batch_latency_us.percentile(0.99);
     }
     out.shards.push_back(ss);
-    out.energy_per_query_j += shard->engine->energy_per_query();
+    out.energy_per_query += shard->engine->energy_per_query();
     for (const LeafCacheEngine* leaf_cache : find_leaf_caches(shard->engine.get())) {
       const LeafCacheCounters counters = leaf_cache->counters();
       out.leaf_hits += counters.hits;
       out.leaf_misses += counters.misses;
-      out.reprogram_energy_j += counters.reprogram_energy_j;
+      out.reprogram_energy += counters.reprogram_energy;
+      out.repair_energy += counters.repair_energy;
       out.leaf_device_writes += counters.device_writes;
       out.leaf_device_writes_saved += counters.device_writes_saved;
       out.leaf_faults_detected += counters.faults_detected;

@@ -97,11 +97,12 @@ struct RecognitionServiceStats {
   std::uint64_t rejected = 0;
   double escalation_rate = 0.0;     ///< escalated / successful queries
   double reject_rate = 0.0;         ///< rejected / successful queries
-  /// Estimated energy one query costs across the deployed shard engines
-  /// [J]: every query visits every shard, so this sums each shard
-  /// engine's energy_per_query() — which, for tiered shards, already
-  /// folds in the observed tier mix.
-  double energy_per_query_j = 0.0;
+  /// Estimated energy one query costs across the deployed shard engines:
+  /// every query visits every shard, so this sums each shard engine's
+  /// energy_per_query() — which, for tiered shards, already folds in the
+  /// observed tier mix. Typed: read it out with
+  /// `.in(units::pJ / units::query)`.
+  EnergyPerQuery energy_per_query;
 
   // Leaf-cache accounting, summed across shards (nonzero only with
   // LeafCacheEngine shard backends — see make_leaf_cache_factory):
@@ -110,7 +111,8 @@ struct RecognitionServiceStats {
   std::uint64_t leaf_hits = 0;
   std::uint64_t leaf_misses = 0;
   double leaf_hit_rate = 0.0;        ///< leaf_hits / (leaf_hits + leaf_misses)
-  double reprogram_energy_j = 0.0;   ///< total leaf write energy [J]
+  Energy reprogram_energy;           ///< total leaf write energy
+  Energy repair_energy;              ///< subset spent by self-repair rewrites
 
   // Endurance / self-repair accounting, summed across the same leaf
   // caches (nonzero only when their endurance config is active):

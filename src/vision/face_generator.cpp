@@ -135,8 +135,8 @@ Image FaceGenerator::generate(std::size_t individual, std::size_t variant) const
 
           if (id.glasses) {
             // Dark ring around each eye.
-            const double r = std::sqrt((x - ex) * (x - ex) + (y - eye_y) * (y - eye_y));
-            const double ring = std::exp(-0.5 * std::pow((r - 2.2 * id.eye_size) /
+            const double rim = std::sqrt((x - ex) * (x - ex) + (y - eye_y) * (y - eye_y));
+            const double ring = std::exp(-0.5 * std::pow((rim - 2.2 * id.eye_size) /
                                                          (0.5 * id.eye_size), 2.0));
             v = v * (1.0 - 0.6 * ring) + 0.1 * 0.6 * ring;
           }

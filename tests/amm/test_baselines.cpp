@@ -106,7 +106,7 @@ TEST(DigitalAmm, EvaluationRatesFollowClock) {
   c.templates = 10;
   c.clock = 50e6;
   DigitalAmm amm(c);
-  EXPECT_NEAR(amm.evaluation().recognition_rate, 5e6, 1.0);
+  EXPECT_NEAR(amm.evaluation().recognition_rate.in(units::Hz), 5e6, 1.0);
 }
 
 TEST(MsCmosAmm, NearIdealAccuracyAtCleanProcess) {

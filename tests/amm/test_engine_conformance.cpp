@@ -285,7 +285,7 @@ void run_randomized_trial(const std::string& label, const MakeEngine& make, std:
   sequential->store_templates(stored);
   batched->store_templates(stored);
 
-  EXPECT_GT(sequential->energy_per_query(), 0.0) << label << " seed " << seed;
+  EXPECT_GT(sequential->energy_per_query(), EnergyPerQuery{}) << label << " seed " << seed;
 
   std::vector<Recognition> expected;
   expected.reserve(queries.size());
@@ -319,7 +319,8 @@ void run_randomized_trial(const std::string& label, const MakeEngine& make, std:
       }
     }
   }
-  EXPECT_GT(sequential->energy_per_query(), 0.0) << label << " (post-traffic) seed " << seed;
+  EXPECT_GT(sequential->energy_per_query(), EnergyPerQuery{})
+      << label << " (post-traffic) seed " << seed;
 }
 
 constexpr std::uint64_t kRandomizedTrials = 20;
@@ -426,7 +427,7 @@ TEST(EngineConformance, PolymorphicUseThroughBasePointer) {
   for (auto& engine : engines) {
     engine->store_templates(templates);
     EXPECT_EQ(engine->template_count(), 10u) << engine->name();
-    EXPECT_GT(engine->power().total(), 0.0) << engine->name();
+    EXPECT_GT(engine->power().total(), Power{}) << engine->name();
     const Recognition r = engine->recognize(inputs[0]);
     EXPECT_LT(r.winner, 10u) << engine->name();
     const auto batch = engine->recognize_batch(inputs, 2);

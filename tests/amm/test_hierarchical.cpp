@@ -101,8 +101,8 @@ TEST(HierarchicalAmm, ActivePathPowerBelowFlatForLargeBanks) {
   }
   amm.store_templates(bank);
 
-  const double active = amm.active_path_power().total();
-  const double flat = amm.flat_equivalent_power().total();
+  const Power active = amm.active_path_power().total();
+  const Power flat = amm.flat_equivalent_power().total();
   EXPECT_LT(active, flat);
 }
 

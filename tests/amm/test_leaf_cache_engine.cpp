@@ -106,8 +106,8 @@ TEST(LeafCacheEngine, CapacityOneThrashStillMatchesHierarchical) {
   const LeafCacheCounters counters = cached.counters();
   EXPECT_GT(counters.misses, 1u);
   EXPECT_GT(counters.evictions, 0u);
-  EXPECT_GT(counters.reprogram_energy_j, 0.0);
-  EXPECT_GT(counters.reprogram_latency_s, 0.0);
+  EXPECT_GT(counters.reprogram_energy, Energy{});
+  EXPECT_GT(counters.reprogram_latency, Time{});
 }
 
 TEST(LeafCacheEngine, HitEvictPinAccounting) {
@@ -254,7 +254,7 @@ TEST(LeafCacheEngine, BatchSharesMissCostAcrossClusterGroups) {
   // for the whole batch, against a sequential schedule that thrashes.
   EXPECT_LE(bat.misses, batched.cluster_count());
   EXPECT_GT(seq.misses, bat.misses);
-  EXPECT_LT(bat.reprogram_energy_j, seq.reprogram_energy_j);
+  EXPECT_LT(bat.reprogram_energy, seq.reprogram_energy);
 }
 
 TEST(LeafCacheEngine, BatchDeterministicUnderThreadsAndMatchesSequential) {
@@ -307,7 +307,7 @@ TEST(LeafCacheEngine, RestoreResetsCountersAndPool) {
   EXPECT_EQ(fresh.hits, 0u);
   EXPECT_EQ(fresh.misses, 0u);
   EXPECT_EQ(fresh.evictions, 0u);
-  EXPECT_DOUBLE_EQ(fresh.reprogram_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.reprogram_energy.in(units::J), 0.0);
   for (std::size_t c = 0; c < cached.cluster_count(); ++c) {
     EXPECT_FALSE(cached.resident(c)) << "cluster " << c;
     EXPECT_FALSE(cached.pinned(c)) << "cluster " << c;
@@ -329,8 +329,8 @@ TEST(LeafCacheEngine, EnergyChargesReprogramPath) {
   resident.store_templates(templates);
 
   // Before traffic both report the conservative every-query-misses bound.
-  EXPECT_GT(thrashing.energy_per_query(), 0.0);
-  const double upfront = resident.energy_per_query();
+  EXPECT_GT(thrashing.energy_per_query(), EnergyPerQuery{});
+  const EnergyPerQuery upfront = resident.energy_per_query();
 
   for (const auto& input : inputs) {
     (void)thrashing.recognize(input);
@@ -347,7 +347,7 @@ TEST(LeafCacheEngine, EnergyChargesReprogramPath) {
   for (const auto& item : report.items()) {
     if (item.name.rfind("write:", 0) == 0) {
       has_write_item = true;
-      EXPECT_GT(item.watts, 0.0);
+      EXPECT_GT(item.power, Power{});
     }
   }
   EXPECT_TRUE(has_write_item);
@@ -413,7 +413,7 @@ TEST(LeafCacheEngine, DeltaReprogrammingSavesDeviceWrites) {
   EXPECT_EQ(d.device_writes + d.device_writes_saved, p.device_writes);
   EXPECT_GT(d.device_writes_saved, 0u);
   EXPECT_LT(d.device_writes, p.device_writes);
-  EXPECT_LT(d.reprogram_energy_j, p.reprogram_energy_j);
+  EXPECT_LT(d.reprogram_energy, p.reprogram_energy);
 }
 
 TEST(LeafCacheEngine, DeltaModeKeepsBatchAndSequentialAgreement) {
@@ -463,13 +463,14 @@ TEST(LeafCacheEngine, EnergyPerQueryAmortizesAtTheObservedRate) {
   LeafCacheEngine cached(config);
   cached.store_templates(templates);
 
-  const double upfront = cached.energy_per_query();
+  const EnergyPerQuery joule_per_query = units::J / units::query;
+  const double upfront = cached.energy_per_query().in(joule_per_query);
 
   for (const auto& input : inputs) {
     (void)cached.recognize(input);
   }
   const LeafCacheCounters c1 = cached.counters();
-  const double e1 = cached.energy_per_query();
+  const double e1 = cached.energy_per_query().in(joule_per_query);
   ASSERT_GT(c1.queries, 0u);
   EXPECT_LT(e1, upfront);
 
@@ -479,12 +480,14 @@ TEST(LeafCacheEngine, EnergyPerQueryAmortizesAtTheObservedRate) {
     (void)cached.recognize(input);
   }
   const LeafCacheCounters c2 = cached.counters();
-  const double e2 = cached.energy_per_query();
+  const double e2 = cached.energy_per_query().in(joule_per_query);
   ASSERT_EQ(c2.misses, c1.misses);
   EXPECT_LT(e2, e1);
 
-  const double search1 = e1 - c1.reprogram_energy_j / static_cast<double>(c1.queries);
-  const double search2 = e2 - c2.reprogram_energy_j / static_cast<double>(c2.queries);
+  const double search1 =
+      e1 - c1.reprogram_energy.in(units::J) / static_cast<double>(c1.queries);
+  const double search2 =
+      e2 - c2.reprogram_energy.in(units::J) / static_cast<double>(c2.queries);
   EXPECT_NEAR(search1, search2, 1e-15 + 1e-9 * search1);
 }
 

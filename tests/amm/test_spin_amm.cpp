@@ -147,8 +147,8 @@ TEST(SpinAmm, PowerReportMatchesStandaloneModel) {
   SpinAmm amm(c);
   const PowerReport r = amm.power();
   const PowerReport ref = spin_amm_power(amm.power_design());
-  EXPECT_DOUBLE_EQ(r.total(), ref.total());
-  EXPECT_GT(r.total(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total().in(units::W), ref.total().in(units::W));
+  EXPECT_GT(r.total(), Power{});
 }
 
 TEST(SpinAmm, RecognizeBeforeStoreThrows) {

@@ -179,21 +179,22 @@ TEST(TieredEngine, EnergyEstimateFollowsObservedTierMix) {
   auto tiered = make_tiered(policy, templates.size());
   tiered->store_templates(templates);
 
-  const double e0 = tiered->tier0().energy_per_query();
-  const double e1 = tiered->tier1().energy_per_query();
+  const EnergyPerQuery joule_per_query = units::J / units::query;
+  const double e0 = tiered->tier0().energy_per_query().in(joule_per_query);
+  const double e1 = tiered->tier1().energy_per_query().in(joule_per_query);
   ASSERT_GT(e0, 0.0);
   ASSERT_GT(e1, 0.0);
 
   // No traffic yet: the estimate assumes full escalation (upper bound).
-  EXPECT_NEAR(tiered->energy_per_query(), e0 + e1, 1e-12 * (e0 + e1));
+  EXPECT_NEAR(tiered->energy_per_query().in(joule_per_query), e0 + e1, 1e-12 * (e0 + e1));
 
   // All of this policy's traffic terminates in tier 0.
   (void)tiered->recognize_batch(inputs);
-  EXPECT_NEAR(tiered->energy_per_query(), e0, 1e-12 * e0);
+  EXPECT_NEAR(tiered->energy_per_query().in(joule_per_query), e0, 1e-12 * e0);
 
   // The tiered active path must undercut the flat authoritative engine
   // when nothing escalates — the Section-5 energy argument, routed.
-  EXPECT_LT(tiered->energy_per_query(), e1);
+  EXPECT_LT(tiered->energy_per_query().in(joule_per_query), e1);
 }
 
 TEST(TieredEngine, PowerReportCoversBothTiers) {
@@ -209,7 +210,7 @@ TEST(TieredEngine, PowerReportCoversBothTiers) {
   }
   EXPECT_TRUE(saw_tier0);
   EXPECT_TRUE(saw_tier1);
-  EXPECT_GT(report.total(), 0.0);
+  EXPECT_GT(report.total(), Power{});
 }
 
 }  // namespace

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a Power value is not an Energy value; the assignment
+// requires an explicit physical relation (multiply by a Time).
+#include "core/units.hpp"
+
+int main() {
+  using namespace spinsim;
+  const Power p = 65e-6 * units::W;
+  const Energy e = p;  // cross-dimension assignment
+  return e.si() > 0.0 ? 0 : 1;
+}

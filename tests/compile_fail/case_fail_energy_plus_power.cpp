@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: adding an Energy to a Power mixes dimensions.
+// operator+ is defined only between Quantities of the same Dimension.
+#include "core/units.hpp"
+
+int main() {
+  using namespace spinsim;
+  const Energy e = 1.0 * units::pJ;
+  const Power p = 1.0 * units::uW;
+  const auto bad = e + p;  // dimension mismatch: J + W
+  return bad.si() > 0.0 ? 0 : 1;
+}

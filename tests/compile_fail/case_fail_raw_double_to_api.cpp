@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: a bare double never silently becomes a typed
+// quantity. Quantity's double constructor is explicit, so an energy API
+// taking Energy rejects an unlabelled 1e-12 — the caller has to write
+// the unit (1e-12 * units::J) or name the conversion (Energy{1e-12}).
+#include "core/units.hpp"
+
+namespace {
+double charge_write(spinsim::Energy per_device) { return per_device.si(); }
+}  // namespace
+
+int main() {
+  return charge_write(1e-12) > 0.0 ? 0 : 1;  // raw double into an Energy API
+}

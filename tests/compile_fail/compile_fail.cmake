@@ -1,0 +1,39 @@
+# Negative compile tests for the Quantity dimensional-analysis layer.
+#
+# Each case_fail_*.cpp encodes one violation the type system must reject
+# (adding mismatched dimensions, assigning across dimensions, passing a
+# raw double where a typed quantity is required). try_compile runs at
+# configure time: a case that unexpectedly *builds* aborts the configure,
+# so a regression that weakens the type system can never reach the test
+# or CI stage looking green.
+
+set(_cf_dir ${CMAKE_CURRENT_SOURCE_DIR}/tests/compile_fail)
+
+# Positive control first: proves the harness compiles well-formed code,
+# so the failures below mean "rejected by the type system", not "broken
+# include path".
+try_compile(_cf_control ${CMAKE_BINARY_DIR}/compile_fail
+            ${_cf_dir}/control_ok.cpp
+            CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 17 CXX_STANDARD_REQUIRED ON)
+if(NOT _cf_control)
+  message(FATAL_ERROR
+          "compile_fail: the positive control failed to compile — the "
+          "harness itself is broken, negative results would be meaningless")
+endif()
+
+file(GLOB _cf_cases ${_cf_dir}/case_fail_*.cpp)
+foreach(_case ${_cf_cases})
+  get_filename_component(_name ${_case} NAME_WE)
+  try_compile(_cf_built ${CMAKE_BINARY_DIR}/compile_fail
+              ${_case}
+              CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+              CXX_STANDARD 17 CXX_STANDARD_REQUIRED ON)
+  if(_cf_built)
+    message(FATAL_ERROR
+            "compile_fail: ${_name} compiled but must not — the Quantity "
+            "layer no longer rejects this dimensional-analysis violation")
+  endif()
+  message(STATUS "compile_fail: ${_name} rejected as required")
+endforeach()
+message(STATUS "compile_fail: control compiled, all negative cases rejected")

@@ -43,7 +43,7 @@ TEST(ReadLatch, ZeroOffsetIsDeterministic) {
 TEST(ReadLatch, DecisionEnergyFormula) {
   ReadLatchDesign d;
   d.sense_cap = 2e-15;
-  EXPECT_NEAR(d.decision_energy(), 2.0 * 2e-15 * 1.0, 1e-18);
+  EXPECT_NEAR(d.decision_energy().in(units::J), 2.0 * 2e-15 * 1.0, 1e-18);
 }
 
 TEST(ReadLatch, TransientAgreesWithBehavioralOnClearMargins) {

@@ -12,14 +12,14 @@ namespace {
 
 TEST(PowerReport, Accounting) {
   PowerReport r;
-  r.add("a", PowerKind::kStatic, 1e-6);
-  r.add("b", PowerKind::kDynamic, 2e-6);
-  r.add("c", PowerKind::kStatic, 3e-6);
-  EXPECT_NEAR(r.static_total(), 4e-6, 1e-18);
-  EXPECT_NEAR(r.dynamic_total(), 2e-6, 1e-18);
-  EXPECT_NEAR(r.total(), 6e-6, 1e-18);
-  EXPECT_NEAR(r.energy_per_op(1e6), 6e-12, 1e-20);
-  EXPECT_THROW(r.add("bad", PowerKind::kStatic, -1.0), InvalidArgument);
+  r.add("a", PowerKind::kStatic, 1e-6 * units::W);
+  r.add("b", PowerKind::kDynamic, 2e-6 * units::W);
+  r.add("c", PowerKind::kStatic, 3e-6 * units::W);
+  EXPECT_NEAR(r.static_total().in(units::W), 4e-6, 1e-18);
+  EXPECT_NEAR(r.dynamic_total().in(units::W), 2e-6, 1e-18);
+  EXPECT_NEAR(r.total().in(units::W), 6e-6, 1e-18);
+  EXPECT_NEAR(r.energy_per_op(1e6 * units::Hz).in(units::J), 6e-12, 1e-20);
+  EXPECT_THROW(r.add("bad", PowerKind::kStatic, -1.0 * units::W), InvalidArgument);
 }
 
 // --- proposed design (paper Table 1: 65 uW at 5-bit / 1 uA / 100 MHz) ---
@@ -27,8 +27,8 @@ TEST(PowerReport, Accounting) {
 TEST(SpinPower, PaperDesignPointLandsNearTable1) {
   const SpinAmmDesign d;  // defaults are the paper's point
   const PowerReport r = spin_amm_power(d);
-  EXPECT_GT(r.total(), 40e-6);
-  EXPECT_LT(r.total(), 90e-6);
+  EXPECT_GT(r.total().in(units::W), 40e-6);
+  EXPECT_LT(r.total().in(units::W), 90e-6);
 }
 
 TEST(SpinPower, MaxInputCurrentNearTenMicroamp) {
@@ -46,7 +46,7 @@ TEST(SpinPower, StaticScalesWithThreshold) {
   const PowerReport r_hi = spin_amm_power(hi);
   EXPECT_NEAR(r_hi.static_total() / r_lo.static_total(), 16.0, 0.1);
   // Dynamic power is threshold-independent (Fig. 13a flattening).
-  EXPECT_NEAR(r_hi.dynamic_total(), r_lo.dynamic_total(), 1e-12);
+  EXPECT_NEAR(r_hi.dynamic_total().in(units::W), r_lo.dynamic_total().in(units::W), 1e-12);
 }
 
 TEST(SpinPower, DynamicDominatesAtLowThreshold) {
@@ -69,9 +69,9 @@ TEST(SpinPower, PowerFallsWithResolution) {
   b4.resolution_bits = 4;
   SpinAmmDesign b3 = b5;
   b3.resolution_bits = 3;
-  const double p5 = spin_amm_power(b5).total();
-  const double p4 = spin_amm_power(b4).total();
-  const double p3 = spin_amm_power(b3).total();
+  const double p5 = spin_amm_power(b5).total().in(units::W);
+  const double p4 = spin_amm_power(b4).total().in(units::W);
+  const double p3 = spin_amm_power(b3).total().in(units::W);
   EXPECT_GT(p5, p4);
   EXPECT_GT(p4, p3);
 }
@@ -88,13 +88,13 @@ TEST(SpinPower, ScalesWithDeltaV) {
 TEST(MsCmosPower, FiveBitDesignsLandInTable1Band) {
   MsCmosDesign d17;
   d17.topology = MsCmosTopology::kStandardBt;
-  const double p17 = mscmos_wta_power(d17).power.total();
+  const double p17 = mscmos_wta_power(d17).power.total().in(units::W);
   EXPECT_GT(p17, 3e-3);
   EXPECT_LT(p17, 20e-3);
 
   MsCmosDesign d18;
   d18.topology = MsCmosTopology::kAsyncMinMax;
-  const double p18 = mscmos_wta_power(d18).power.total();
+  const double p18 = mscmos_wta_power(d18).power.total().in(units::W);
   EXPECT_GT(p18, 2e-3);
   EXPECT_LT(p18, 15e-3);
   EXPECT_LT(p18, p17);  // [18] is the lower-power design
@@ -114,9 +114,9 @@ TEST(MsCmosPower, PowerFallsWithResolution) {
   b4.resolution_bits = 4;
   MsCmosDesign b3 = b5;
   b3.resolution_bits = 3;
-  const double p5 = mscmos_wta_power(b5).power.total();
-  const double p4 = mscmos_wta_power(b4).power.total();
-  const double p3 = mscmos_wta_power(b3).power.total();
+  const double p5 = mscmos_wta_power(b5).power.total().in(units::W);
+  const double p4 = mscmos_wta_power(b4).power.total().in(units::W);
+  const double p3 = mscmos_wta_power(b3).power.total().in(units::W);
   EXPECT_GT(p5, p4);
   EXPECT_GT(p4, p3);
 }
@@ -139,8 +139,8 @@ TEST(MsCmosPower, PowerGrowsWithSigmaVt) {
 
 TEST(MsCmosPower, HundredXGapVersusSpin) {
   // The headline claim: spin PE ~100x lower power than MS-CMOS.
-  const double p_spin = spin_amm_power(SpinAmmDesign{}).total();
-  const double p_ms = mscmos_wta_power(MsCmosDesign{}).power.total();
+  const double p_spin = spin_amm_power(SpinAmmDesign{}).total().in(units::W);
+  const double p_ms = mscmos_wta_power(MsCmosDesign{}).power.total().in(units::W);
   EXPECT_GT(p_ms / p_spin, 30.0);
   EXPECT_LT(p_ms / p_spin, 500.0);
 }
@@ -150,9 +150,9 @@ TEST(MsCmosPower, HundredXGapVersusSpin) {
 TEST(DigitalPower, PaperDesignPoint) {
   const DigitalAsicDesign d;  // 128 x 40, 5-bit, 100 MHz
   const DigitalAsicEvaluation e = digital_asic_power(d);
-  EXPECT_NEAR(e.recognition_rate, 2.5e6, 1.0);  // clock / templates
-  EXPECT_GT(e.power.total(), 1e-3);
-  EXPECT_LT(e.power.total(), 10e-3);
+  EXPECT_NEAR(e.recognition_rate.in(units::Hz), 2.5e6, 1.0);  // clock / templates
+  EXPECT_GT(e.power.total().in(units::W), 1e-3);
+  EXPECT_LT(e.power.total().in(units::W), 10e-3);
 }
 
 TEST(DigitalPower, EnergyFallsWithPrecision) {
@@ -166,9 +166,9 @@ TEST(DigitalPower, EnergyFallsWithPrecision) {
 TEST(DigitalPower, ThousandXEnergyGapVersusSpin) {
   // Table 1's headline: ~2460x at 5-bit (energy per recognition).
   const SpinAmmDesign spin;
-  const double e_spin = spin_amm_power(spin).energy_per_op(spin.clock);
+  const double e_spin = spin_amm_power(spin).energy_per_op(spin.clock * units::Hz).in(units::J);
   const DigitalAsicEvaluation digital = digital_asic_power(DigitalAsicDesign{});
-  const double e_dig = digital.energy_per_recognition;
+  const double e_dig = digital.energy_per_recognition.in(units::J);
   EXPECT_GT(e_dig / e_spin, 800.0);
   EXPECT_LT(e_dig / e_spin, 8000.0);
 }
@@ -186,9 +186,9 @@ TEST(DigitalPower, MsCmosBarely10xBetterThanDigital) {
   // digital implementation (energy per op).
   MsCmosDesign ms;
   const MsCmosEvaluation ems = mscmos_wta_power(ms);
-  const double e_ms = ems.power.total() / ms.target_clock;
+  const double e_ms = ems.power.total().in(units::W) / ms.target_clock;
   const DigitalAsicEvaluation dig = digital_asic_power(DigitalAsicDesign{});
-  const double ratio = dig.energy_per_recognition / e_ms;
+  const double ratio = dig.energy_per_recognition.in(units::J) / e_ms;
   EXPECT_GT(ratio, 2.0);
   EXPECT_LT(ratio, 60.0);
 }
@@ -206,18 +206,19 @@ TEST(WriteCost, DeviceEnergyIsResistivePlusDriver) {
   const double expected =
       cost.verify_pulses * (cost.write_voltage * cost.write_voltage * g_mid *
                                 cost.pulse_duration +
-                            cost.driver_energy_per_pulse);
-  EXPECT_NEAR(cost.device_write_energy(spec), expected, 1e-24);
-  EXPECT_GT(cost.device_write_energy(spec), 0.0);
+                            cost.driver_energy_per_pulse.in(units::J));
+  EXPECT_NEAR(cost.device_write_energy(spec).in(units::J), expected, 1e-24);
+  EXPECT_GT(cost.device_write_energy(spec).in(units::J), 0.0);
 }
 
 TEST(WriteCost, ArrayCostsScaleWithGeometry) {
   CrossbarWriteCost cost;
   MemristorSpec spec;
-  const double one = cost.array_write_energy(spec, 1, 1);
-  EXPECT_NEAR(cost.array_write_energy(spec, 128, 40), 128.0 * 40.0 * one, 1e-18);
+  const double one = cost.array_write_energy(spec, 1, 1).in(units::J);
+  EXPECT_NEAR(cost.array_write_energy(spec, 128, 40).in(units::J), 128.0 * 40.0 * one, 1e-18);
   // Column-serial write: latency scales with columns, not rows.
-  EXPECT_NEAR(cost.array_write_latency(40), 40.0 * cost.array_write_latency(1), 1e-15);
+  EXPECT_NEAR(cost.array_write_latency(40).in(units::second),
+              40.0 * cost.array_write_latency(1).in(units::second), 1e-15);
 }
 
 TEST(WriteCost, WriteDwarfsRead) {
@@ -227,8 +228,8 @@ TEST(WriteCost, WriteDwarfsRead) {
   CrossbarWriteCost cost;
   MemristorSpec spec;
   SpinAmmDesign design;  // the paper's 128x40 point
-  const double search_energy =
-      spin_amm_power(design).total() * design.resolution_bits / design.clock;
+  const Energy search_energy =
+      spin_amm_power(design).total() * design.resolution_bits / (design.clock * units::Hz);
   EXPECT_GT(cost.array_write_energy(spec, design.dimension, design.templates),
             100.0 * search_energy);
 }

@@ -341,7 +341,9 @@ class ScriptedEngine : public AssociativeEngine {
     return out;
   }
   PowerReport power() const override { return {}; }
-  double energy_per_query() const override { return 1e-9; }
+  EnergyPerQuery energy_per_query() const override {
+    return 1e-9 * units::J / units::query;
+  }
 
  private:
   Answer answer_;
@@ -464,7 +466,7 @@ TEST(RecognitionService, StatsSurfaceLatencyPercentilesAndEnergy) {
   EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
   // Every query visits both shards, so the service-level energy estimate
   // is the sum of the shard engines' per-query figures.
-  EXPECT_GT(stats.energy_per_query_j, 0.0);
+  EXPECT_GT(stats.energy_per_query, EnergyPerQuery{});
   ASSERT_EQ(stats.shards.size(), 2u);
   for (const auto& shard : stats.shards) {
     EXPECT_GT(shard.batches, 0u);
@@ -539,7 +541,7 @@ TEST(RecognitionService, TieredForcedEscalationMatchesFlatTier1) {
   const RecognitionServiceStats stats = service.stats();
   EXPECT_EQ(stats.escalated, inputs.size());
   EXPECT_DOUBLE_EQ(stats.escalation_rate, 1.0);
-  EXPECT_GT(stats.energy_per_query_j, 0.0);
+  EXPECT_GT(stats.energy_per_query, EnergyPerQuery{});
 }
 
 TEST(RecognitionService, TieredServiceReportsPartialEscalation) {
@@ -576,7 +578,7 @@ TEST(RecognitionService, TieredServiceReportsPartialEscalation) {
   EXPECT_LE(stats.escalated, stats.queries);
   EXPECT_GE(stats.escalation_rate, 0.0);
   EXPECT_LE(stats.escalation_rate, 1.0);
-  EXPECT_GT(stats.energy_per_query_j, 0.0);
+  EXPECT_GT(stats.energy_per_query, EnergyPerQuery{});
 }
 
 TEST(RecognitionService, LeafCacheShardsServeOversizedTemplateSets) {
@@ -628,8 +630,8 @@ TEST(RecognitionService, LeafCacheShardsServeOversizedTemplateSets) {
   EXPECT_DOUBLE_EQ(stats.leaf_hit_rate,
                    static_cast<double>(stats.leaf_hits) /
                        static_cast<double>(stats.leaf_hits + stats.leaf_misses));
-  EXPECT_GT(stats.reprogram_energy_j, 0.0);
-  EXPECT_GT(stats.energy_per_query_j, 0.0);
+  EXPECT_GT(stats.reprogram_energy, Energy{});
+  EXPECT_GT(stats.energy_per_query, EnergyPerQuery{});
 }
 
 TEST(RecognitionService, LeafCacheCountersSurfaceThroughTieredComposition) {
@@ -664,7 +666,7 @@ TEST(RecognitionService, LeafCacheCountersSurfaceThroughTieredComposition) {
   const RecognitionServiceStats stats = service.stats();
   EXPECT_GT(stats.leaf_misses, 0u) << "tiered wrapper hid the leaf-cache counters";
   EXPECT_GT(stats.leaf_hits + stats.leaf_misses, 0u);
-  EXPECT_GT(stats.reprogram_energy_j, 0.0);
+  EXPECT_GT(stats.reprogram_energy, Energy{});
 }
 
 TEST(RecognitionService, LeafEnduranceStatsSurfaceAcrossShards) {

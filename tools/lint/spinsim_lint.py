@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Project-specific lint for spinsim.
+
+Four checks, each encoding a repo invariant the compiler cannot see:
+
+  rng-determinism   No ambient/unseeded randomness outside src/core/random*:
+                    std::random_device, rand()/srand(), and time()-derived
+                    seeds break the bit-reproducibility contract every
+                    conformance and baseline test relies on. All randomness
+                    must flow through spinsim::Rng with an explicit seed.
+
+  raw-double-energy Energy/power-returning public APIs in src/ headers must
+                    use the Quantity types (Energy, Power, EnergyPerQuery,
+                    ...), not raw double. A double named *_j / *_w /
+                    *energy* / *power* in a signature or struct field is a
+                    unit bug waiting to happen — the whole point of
+                    core/units.hpp.
+
+  bare-lock         No bare .lock()/.unlock() on mutexes where a
+                    std::lock_guard / std::scoped_lock / std::unique_lock
+                    belongs; a throw between the pair leaks the mutex.
+                    (condition_variable wait protocols use unique_lock and
+                    pass the linter by construction.)
+
+  sleep-in-tests    No std::this_thread::sleep_for in tests/: timing-based
+                    synchronization is flaky under load. Tests synchronize
+                    on futures, condition variables, or drain().
+
+Usage: tools/lint/spinsim_lint.py [--root DIR]
+Exit status: 0 clean, 1 violations found.
+
+Suppressing a finding: append  // lint:allow(<check>) <reason>  to the
+line. Suppressions are themselves counted and printed, so an audit sees
+every grandfathered site.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_GLOBS = ("*.cpp", "*.hpp", "*.h", "*.cc")
+SCANNED_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<check>[a-z-]+)\)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal bodies (keeps quotes)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, check, path, lineno, line, message):
+        self.check = check
+        self.path = path
+        self.lineno = lineno
+        self.line = line.strip()
+        self.message = message
+
+    def __str__(self):
+        return (f"{self.path}:{self.lineno}: [{self.check}] {self.message}\n"
+                f"    {self.line}")
+
+
+# --- check: rng-determinism ----------------------------------------------
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() bypass spinsim::Rng"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)?\s*\)"),
+     "wall-clock seeding breaks reproducibility"),
+]
+
+
+def check_rng(root, path, rel, lines, findings, suppressed):
+    if rel.parts[:2] == ("src", "core") and rel.name.startswith("random"):
+        return  # the one sanctioned randomness implementation site
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for pattern, why in RNG_PATTERNS:
+            if pattern.search(code):
+                record(findings, suppressed, raw, "rng-determinism",
+                       Finding("rng-determinism", rel, lineno, raw, why))
+
+
+# --- check: raw-double-energy --------------------------------------------
+
+# Declaration-ish lines in src/ headers where a raw double carries an
+# energy/power quantity: `double energy...`, `double ..._j = `, function
+# returns `double ...energy...()` etc.
+ENERGY_NAME = r"[A-Za-z_]*(?:energy|power|watt|joule)[A-Za-z_]*|[A-Za-z_]+_[jw]\b"
+RAW_DOUBLE_RE = re.compile(
+    r"\bdouble\s+(?P<name>" + ENERGY_NAME + r")\s*(?:=|;|\()")
+
+
+def check_raw_double(root, path, rel, lines, findings, suppressed):
+    if rel.parts[0] != "src" or rel.suffix not in (".hpp", ".h"):
+        return
+    if rel == Path("src/core/units.hpp"):
+        return  # the conversion layer itself manipulates raw doubles
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        m = RAW_DOUBLE_RE.search(code)
+        if m:
+            record(findings, suppressed, raw, "raw-double-energy",
+                   Finding("raw-double-energy", rel, lineno, raw,
+                           f"'{m.group('name')}' should be a Quantity type "
+                           "(Energy/Power/EnergyPerQuery from core/units.hpp)"))
+
+
+# --- check: bare-lock -----------------------------------------------------
+
+BARE_LOCK_RE = re.compile(r"\b(?P<obj>[A-Za-z_][\w.\->]*)\s*\.\s*(?:un)?lock\s*\(\s*\)")
+# unique_lock/scoped objects legitimately expose .lock()/.unlock(); only
+# direct mutex member access is flagged.
+MUTEXISH = re.compile(r"(?:^|_|\b)(?:mutex|mtx|mu)(?:_|\b)", re.IGNORECASE)
+
+
+def check_bare_lock(root, path, rel, lines, findings, suppressed):
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for m in BARE_LOCK_RE.finditer(code):
+            if MUTEXISH.search(m.group("obj")):
+                record(findings, suppressed, raw, "bare-lock",
+                       Finding("bare-lock", rel, lineno, raw,
+                               "use std::lock_guard/std::scoped_lock instead of "
+                               "bare mutex lock()/unlock()"))
+
+
+# --- check: sleep-in-tests ------------------------------------------------
+
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(|\bsleep_until\s*\(")
+
+
+def check_sleep(root, path, rel, lines, findings, suppressed):
+    if rel.parts[0] != "tests":
+        return
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if SLEEP_RE.search(code):
+            record(findings, suppressed, raw, "sleep-in-tests",
+                   Finding("sleep-in-tests", rel, lineno, raw,
+                           "tests must synchronize on futures/cv/drain(), "
+                           "not wall-clock sleeps"))
+
+
+# --------------------------------------------------------------------------
+
+def record(findings, suppressed, raw_line, check, finding):
+    m = ALLOW_RE.search(raw_line)
+    if m and m.group("check") == check:
+        suppressed.append(finding)
+    else:
+        findings.append(finding)
+
+
+CHECKS = [check_rng, check_raw_double, check_bare_lock, check_sleep]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this script)")
+    args = parser.parse_args()
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
+
+    findings, suppressed = [], []
+    scanned = 0
+    for top in SCANNED_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for glob in CPP_GLOBS:
+            for path in sorted(base.rglob(glob)):
+                rel = path.relative_to(root)
+                lines = path.read_text(encoding="utf-8").splitlines()
+                scanned += 1
+                for check in CHECKS:
+                    check(root, path, rel, lines, findings, suppressed)
+
+    for f in findings:
+        print(f)
+    for f in suppressed:
+        print(f"note: suppressed [{f.check}] at {f.path}:{f.lineno}")
+    status = "FAIL" if findings else "OK"
+    print(f"spinsim-lint: {status} — {scanned} files, "
+          f"{len(findings)} violation(s), {len(suppressed)} suppression(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
