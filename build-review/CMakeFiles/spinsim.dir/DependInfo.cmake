@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amm/digital_amm.cpp" "CMakeFiles/spinsim.dir/src/amm/digital_amm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/digital_amm.cpp.o.d"
+  "/root/repo/src/amm/engine.cpp" "CMakeFiles/spinsim.dir/src/amm/engine.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/engine.cpp.o.d"
+  "/root/repo/src/amm/evaluation.cpp" "CMakeFiles/spinsim.dir/src/amm/evaluation.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/evaluation.cpp.o.d"
+  "/root/repo/src/amm/hierarchical_amm.cpp" "CMakeFiles/spinsim.dir/src/amm/hierarchical_amm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/hierarchical_amm.cpp.o.d"
+  "/root/repo/src/amm/leaf_cache_engine.cpp" "CMakeFiles/spinsim.dir/src/amm/leaf_cache_engine.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/leaf_cache_engine.cpp.o.d"
+  "/root/repo/src/amm/mscmos_amm.cpp" "CMakeFiles/spinsim.dir/src/amm/mscmos_amm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/mscmos_amm.cpp.o.d"
+  "/root/repo/src/amm/spin_amm.cpp" "CMakeFiles/spinsim.dir/src/amm/spin_amm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/spin_amm.cpp.o.d"
+  "/root/repo/src/amm/tiered_engine.cpp" "CMakeFiles/spinsim.dir/src/amm/tiered_engine.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/amm/tiered_engine.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "CMakeFiles/spinsim.dir/src/circuit/mna.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "CMakeFiles/spinsim.dir/src/circuit/netlist.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/resistive_network.cpp" "CMakeFiles/spinsim.dir/src/circuit/resistive_network.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/circuit/resistive_network.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "CMakeFiles/spinsim.dir/src/circuit/transient.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/circuit/transient.cpp.o.d"
+  "/root/repo/src/core/cg.cpp" "CMakeFiles/spinsim.dir/src/core/cg.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/cg.cpp.o.d"
+  "/root/repo/src/core/cholesky.cpp" "CMakeFiles/spinsim.dir/src/core/cholesky.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/cholesky.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "CMakeFiles/spinsim.dir/src/core/error.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/error.cpp.o.d"
+  "/root/repo/src/core/kmeans.cpp" "CMakeFiles/spinsim.dir/src/core/kmeans.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/kmeans.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "CMakeFiles/spinsim.dir/src/core/log.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/log.cpp.o.d"
+  "/root/repo/src/core/lu.cpp" "CMakeFiles/spinsim.dir/src/core/lu.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/lu.cpp.o.d"
+  "/root/repo/src/core/matrix.cpp" "CMakeFiles/spinsim.dir/src/core/matrix.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/matrix.cpp.o.d"
+  "/root/repo/src/core/random.cpp" "CMakeFiles/spinsim.dir/src/core/random.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/random.cpp.o.d"
+  "/root/repo/src/core/sparse.cpp" "CMakeFiles/spinsim.dir/src/core/sparse.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/sparse.cpp.o.d"
+  "/root/repo/src/core/statistics.cpp" "CMakeFiles/spinsim.dir/src/core/statistics.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/statistics.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "CMakeFiles/spinsim.dir/src/core/table.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/core/table.cpp.o.d"
+  "/root/repo/src/crossbar/partitioned_rcm.cpp" "CMakeFiles/spinsim.dir/src/crossbar/partitioned_rcm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/crossbar/partitioned_rcm.cpp.o.d"
+  "/root/repo/src/crossbar/rcm.cpp" "CMakeFiles/spinsim.dir/src/crossbar/rcm.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/crossbar/rcm.cpp.o.d"
+  "/root/repo/src/crossbar/wear.cpp" "CMakeFiles/spinsim.dir/src/crossbar/wear.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/crossbar/wear.cpp.o.d"
+  "/root/repo/src/datapath/dtcs_dac.cpp" "CMakeFiles/spinsim.dir/src/datapath/dtcs_dac.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/datapath/dtcs_dac.cpp.o.d"
+  "/root/repo/src/datapath/input_stage_cache.cpp" "CMakeFiles/spinsim.dir/src/datapath/input_stage_cache.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/datapath/input_stage_cache.cpp.o.d"
+  "/root/repo/src/datapath/read_latch.cpp" "CMakeFiles/spinsim.dir/src/datapath/read_latch.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/datapath/read_latch.cpp.o.d"
+  "/root/repo/src/datapath/sar.cpp" "CMakeFiles/spinsim.dir/src/datapath/sar.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/datapath/sar.cpp.o.d"
+  "/root/repo/src/device/dwn.cpp" "CMakeFiles/spinsim.dir/src/device/dwn.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/dwn.cpp.o.d"
+  "/root/repo/src/device/llg.cpp" "CMakeFiles/spinsim.dir/src/device/llg.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/llg.cpp.o.d"
+  "/root/repo/src/device/memristor.cpp" "CMakeFiles/spinsim.dir/src/device/memristor.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/memristor.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "CMakeFiles/spinsim.dir/src/device/mosfet.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/mosfet.cpp.o.d"
+  "/root/repo/src/device/mtj.cpp" "CMakeFiles/spinsim.dir/src/device/mtj.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/mtj.cpp.o.d"
+  "/root/repo/src/device/tech45.cpp" "CMakeFiles/spinsim.dir/src/device/tech45.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/tech45.cpp.o.d"
+  "/root/repo/src/device/variation.cpp" "CMakeFiles/spinsim.dir/src/device/variation.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/device/variation.cpp.o.d"
+  "/root/repo/src/energy/digital_asic.cpp" "CMakeFiles/spinsim.dir/src/energy/digital_asic.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/energy/digital_asic.cpp.o.d"
+  "/root/repo/src/energy/mscmos_power.cpp" "CMakeFiles/spinsim.dir/src/energy/mscmos_power.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/energy/mscmos_power.cpp.o.d"
+  "/root/repo/src/energy/power_report.cpp" "CMakeFiles/spinsim.dir/src/energy/power_report.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/energy/power_report.cpp.o.d"
+  "/root/repo/src/energy/spin_power.cpp" "CMakeFiles/spinsim.dir/src/energy/spin_power.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/energy/spin_power.cpp.o.d"
+  "/root/repo/src/energy/write_cost.cpp" "CMakeFiles/spinsim.dir/src/energy/write_cost.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/energy/write_cost.cpp.o.d"
+  "/root/repo/src/service/recognition_service.cpp" "CMakeFiles/spinsim.dir/src/service/recognition_service.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/service/recognition_service.cpp.o.d"
+  "/root/repo/src/vision/dataset.cpp" "CMakeFiles/spinsim.dir/src/vision/dataset.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/vision/dataset.cpp.o.d"
+  "/root/repo/src/vision/face_generator.cpp" "CMakeFiles/spinsim.dir/src/vision/face_generator.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/vision/face_generator.cpp.o.d"
+  "/root/repo/src/vision/features.cpp" "CMakeFiles/spinsim.dir/src/vision/features.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/vision/features.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "CMakeFiles/spinsim.dir/src/vision/image.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/vision/image.cpp.o.d"
+  "/root/repo/src/vision/pgm_io.cpp" "CMakeFiles/spinsim.dir/src/vision/pgm_io.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/vision/pgm_io.cpp.o.d"
+  "/root/repo/src/wta/analog_wta.cpp" "CMakeFiles/spinsim.dir/src/wta/analog_wta.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/wta/analog_wta.cpp.o.d"
+  "/root/repo/src/wta/ideal_wta.cpp" "CMakeFiles/spinsim.dir/src/wta/ideal_wta.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/wta/ideal_wta.cpp.o.d"
+  "/root/repo/src/wta/spin_sar_wta.cpp" "CMakeFiles/spinsim.dir/src/wta/spin_sar_wta.cpp.o" "gcc" "CMakeFiles/spinsim.dir/src/wta/spin_sar_wta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amm/test_baselines.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_baselines.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_baselines.cpp.o.d"
+  "/root/repo/tests/amm/test_endurance.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_endurance.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_endurance.cpp.o.d"
+  "/root/repo/tests/amm/test_engine_conformance.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_engine_conformance.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_engine_conformance.cpp.o.d"
+  "/root/repo/tests/amm/test_hierarchical.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_hierarchical.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/amm/test_integration.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_integration.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_integration.cpp.o.d"
+  "/root/repo/tests/amm/test_leaf_cache_engine.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_leaf_cache_engine.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_leaf_cache_engine.cpp.o.d"
+  "/root/repo/tests/amm/test_recognize_batch.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_recognize_batch.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_recognize_batch.cpp.o.d"
+  "/root/repo/tests/amm/test_spin_amm.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_spin_amm.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_spin_amm.cpp.o.d"
+  "/root/repo/tests/amm/test_tiered_engine.cpp" "CMakeFiles/test_amm.dir/tests/amm/test_tiered_engine.cpp.o" "gcc" "CMakeFiles/test_amm.dir/tests/amm/test_tiered_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

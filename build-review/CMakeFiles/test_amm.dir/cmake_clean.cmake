@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amm.dir/tests/amm/test_baselines.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_baselines.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_endurance.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_endurance.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_engine_conformance.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_engine_conformance.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_hierarchical.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_hierarchical.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_integration.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_integration.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_leaf_cache_engine.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_leaf_cache_engine.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_recognize_batch.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_recognize_batch.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_spin_amm.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_spin_amm.cpp.o.d"
+  "CMakeFiles/test_amm.dir/tests/amm/test_tiered_engine.cpp.o"
+  "CMakeFiles/test_amm.dir/tests/amm/test_tiered_engine.cpp.o.d"
+  "test_amm"
+  "test_amm.pdb"
+  "test_amm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

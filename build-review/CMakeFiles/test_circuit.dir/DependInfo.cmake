@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_netlist_mna.cpp" "CMakeFiles/test_circuit.dir/tests/circuit/test_netlist_mna.cpp.o" "gcc" "CMakeFiles/test_circuit.dir/tests/circuit/test_netlist_mna.cpp.o.d"
+  "/root/repo/tests/circuit/test_resistive_network.cpp" "CMakeFiles/test_circuit.dir/tests/circuit/test_resistive_network.cpp.o" "gcc" "CMakeFiles/test_circuit.dir/tests/circuit/test_resistive_network.cpp.o.d"
+  "/root/repo/tests/circuit/test_transient.cpp" "CMakeFiles/test_circuit.dir/tests/circuit/test_transient.cpp.o" "gcc" "CMakeFiles/test_circuit.dir/tests/circuit/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

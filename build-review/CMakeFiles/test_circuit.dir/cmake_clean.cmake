@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_netlist_mna.cpp.o"
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_netlist_mna.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_resistive_network.cpp.o"
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_resistive_network.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_transient.cpp.o"
+  "CMakeFiles/test_circuit.dir/tests/circuit/test_transient.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

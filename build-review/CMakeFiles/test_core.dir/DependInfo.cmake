@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cholesky.cpp" "CMakeFiles/test_core.dir/tests/core/test_cholesky.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_cholesky.cpp.o.d"
+  "/root/repo/tests/core/test_kmeans.cpp" "CMakeFiles/test_core.dir/tests/core/test_kmeans.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_kmeans.cpp.o.d"
+  "/root/repo/tests/core/test_log.cpp" "CMakeFiles/test_core.dir/tests/core/test_log.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_log.cpp.o.d"
+  "/root/repo/tests/core/test_matrix.cpp" "CMakeFiles/test_core.dir/tests/core/test_matrix.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_matrix.cpp.o.d"
+  "/root/repo/tests/core/test_random.cpp" "CMakeFiles/test_core.dir/tests/core/test_random.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_random.cpp.o.d"
+  "/root/repo/tests/core/test_sparse_cg.cpp" "CMakeFiles/test_core.dir/tests/core/test_sparse_cg.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_sparse_cg.cpp.o.d"
+  "/root/repo/tests/core/test_statistics.cpp" "CMakeFiles/test_core.dir/tests/core/test_statistics.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_statistics.cpp.o.d"
+  "/root/repo/tests/core/test_table.cpp" "CMakeFiles/test_core.dir/tests/core/test_table.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_table.cpp.o.d"
+  "/root/repo/tests/core/test_units.cpp" "CMakeFiles/test_core.dir/tests/core/test_units.cpp.o" "gcc" "CMakeFiles/test_core.dir/tests/core/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/tests/core/test_cholesky.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_kmeans.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_log.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_log.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_matrix.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_matrix.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_random.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_random.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_sparse_cg.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_sparse_cg.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_statistics.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_statistics.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_table.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/tests/core/test_units.cpp.o"
+  "CMakeFiles/test_core.dir/tests/core/test_units.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crossbar/test_faults.cpp" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_faults.cpp.o" "gcc" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_faults.cpp.o.d"
+  "/root/repo/tests/crossbar/test_partitioned_rcm.cpp" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_partitioned_rcm.cpp.o" "gcc" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_partitioned_rcm.cpp.o.d"
+  "/root/repo/tests/crossbar/test_rcm.cpp" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_rcm.cpp.o" "gcc" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_rcm.cpp.o.d"
+  "/root/repo/tests/crossbar/test_solver_paths.cpp" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_solver_paths.cpp.o" "gcc" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_solver_paths.cpp.o.d"
+  "/root/repo/tests/crossbar/test_wear.cpp" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_wear.cpp.o" "gcc" "CMakeFiles/test_crossbar.dir/tests/crossbar/test_wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

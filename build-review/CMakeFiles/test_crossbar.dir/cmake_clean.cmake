@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_faults.cpp.o"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_faults.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_partitioned_rcm.cpp.o"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_partitioned_rcm.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_rcm.cpp.o"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_rcm.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_solver_paths.cpp.o"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_solver_paths.cpp.o.d"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_wear.cpp.o"
+  "CMakeFiles/test_crossbar.dir/tests/crossbar/test_wear.cpp.o.d"
+  "test_crossbar"
+  "test_crossbar.pdb"
+  "test_crossbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

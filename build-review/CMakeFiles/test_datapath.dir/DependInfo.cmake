@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datapath/test_dtcs_dac.cpp" "CMakeFiles/test_datapath.dir/tests/datapath/test_dtcs_dac.cpp.o" "gcc" "CMakeFiles/test_datapath.dir/tests/datapath/test_dtcs_dac.cpp.o.d"
+  "/root/repo/tests/datapath/test_read_latch.cpp" "CMakeFiles/test_datapath.dir/tests/datapath/test_read_latch.cpp.o" "gcc" "CMakeFiles/test_datapath.dir/tests/datapath/test_read_latch.cpp.o.d"
+  "/root/repo/tests/datapath/test_sar.cpp" "CMakeFiles/test_datapath.dir/tests/datapath/test_sar.cpp.o" "gcc" "CMakeFiles/test_datapath.dir/tests/datapath/test_sar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_dtcs_dac.cpp.o"
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_dtcs_dac.cpp.o.d"
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_read_latch.cpp.o"
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_read_latch.cpp.o.d"
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_sar.cpp.o"
+  "CMakeFiles/test_datapath.dir/tests/datapath/test_sar.cpp.o.d"
+  "test_datapath"
+  "test_datapath.pdb"
+  "test_datapath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/test_dwn.cpp" "CMakeFiles/test_device.dir/tests/device/test_dwn.cpp.o" "gcc" "CMakeFiles/test_device.dir/tests/device/test_dwn.cpp.o.d"
+  "/root/repo/tests/device/test_llg.cpp" "CMakeFiles/test_device.dir/tests/device/test_llg.cpp.o" "gcc" "CMakeFiles/test_device.dir/tests/device/test_llg.cpp.o.d"
+  "/root/repo/tests/device/test_memristor.cpp" "CMakeFiles/test_device.dir/tests/device/test_memristor.cpp.o" "gcc" "CMakeFiles/test_device.dir/tests/device/test_memristor.cpp.o.d"
+  "/root/repo/tests/device/test_mosfet.cpp" "CMakeFiles/test_device.dir/tests/device/test_mosfet.cpp.o" "gcc" "CMakeFiles/test_device.dir/tests/device/test_mosfet.cpp.o.d"
+  "/root/repo/tests/device/test_variation.cpp" "CMakeFiles/test_device.dir/tests/device/test_variation.cpp.o" "gcc" "CMakeFiles/test_device.dir/tests/device/test_variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

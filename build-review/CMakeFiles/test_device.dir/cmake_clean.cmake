@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/tests/device/test_dwn.cpp.o"
+  "CMakeFiles/test_device.dir/tests/device/test_dwn.cpp.o.d"
+  "CMakeFiles/test_device.dir/tests/device/test_llg.cpp.o"
+  "CMakeFiles/test_device.dir/tests/device/test_llg.cpp.o.d"
+  "CMakeFiles/test_device.dir/tests/device/test_memristor.cpp.o"
+  "CMakeFiles/test_device.dir/tests/device/test_memristor.cpp.o.d"
+  "CMakeFiles/test_device.dir/tests/device/test_mosfet.cpp.o"
+  "CMakeFiles/test_device.dir/tests/device/test_mosfet.cpp.o.d"
+  "CMakeFiles/test_device.dir/tests/device/test_variation.cpp.o"
+  "CMakeFiles/test_device.dir/tests/device/test_variation.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vision/test_face_dataset.cpp" "CMakeFiles/test_vision.dir/tests/vision/test_face_dataset.cpp.o" "gcc" "CMakeFiles/test_vision.dir/tests/vision/test_face_dataset.cpp.o.d"
+  "/root/repo/tests/vision/test_features.cpp" "CMakeFiles/test_vision.dir/tests/vision/test_features.cpp.o" "gcc" "CMakeFiles/test_vision.dir/tests/vision/test_features.cpp.o.d"
+  "/root/repo/tests/vision/test_image.cpp" "CMakeFiles/test_vision.dir/tests/vision/test_image.cpp.o" "gcc" "CMakeFiles/test_vision.dir/tests/vision/test_image.cpp.o.d"
+  "/root/repo/tests/vision/test_pgm_io.cpp" "CMakeFiles/test_vision.dir/tests/vision/test_pgm_io.cpp.o" "gcc" "CMakeFiles/test_vision.dir/tests/vision/test_pgm_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

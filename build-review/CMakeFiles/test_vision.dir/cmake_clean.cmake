@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vision.dir/tests/vision/test_face_dataset.cpp.o"
+  "CMakeFiles/test_vision.dir/tests/vision/test_face_dataset.cpp.o.d"
+  "CMakeFiles/test_vision.dir/tests/vision/test_features.cpp.o"
+  "CMakeFiles/test_vision.dir/tests/vision/test_features.cpp.o.d"
+  "CMakeFiles/test_vision.dir/tests/vision/test_image.cpp.o"
+  "CMakeFiles/test_vision.dir/tests/vision/test_image.cpp.o.d"
+  "CMakeFiles/test_vision.dir/tests/vision/test_pgm_io.cpp.o"
+  "CMakeFiles/test_vision.dir/tests/vision/test_pgm_io.cpp.o.d"
+  "test_vision"
+  "test_vision.pdb"
+  "test_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wta/test_analog_wta.cpp" "CMakeFiles/test_wta.dir/tests/wta/test_analog_wta.cpp.o" "gcc" "CMakeFiles/test_wta.dir/tests/wta/test_analog_wta.cpp.o.d"
+  "/root/repo/tests/wta/test_cc_wta.cpp" "CMakeFiles/test_wta.dir/tests/wta/test_cc_wta.cpp.o" "gcc" "CMakeFiles/test_wta.dir/tests/wta/test_cc_wta.cpp.o.d"
+  "/root/repo/tests/wta/test_ideal_wta.cpp" "CMakeFiles/test_wta.dir/tests/wta/test_ideal_wta.cpp.o" "gcc" "CMakeFiles/test_wta.dir/tests/wta/test_ideal_wta.cpp.o.d"
+  "/root/repo/tests/wta/test_spin_sar_wta.cpp" "CMakeFiles/test_wta.dir/tests/wta/test_spin_sar_wta.cpp.o" "gcc" "CMakeFiles/test_wta.dir/tests/wta/test_spin_sar_wta.cpp.o.d"
+  "/root/repo/tests/wta/test_wta_properties.cpp" "CMakeFiles/test_wta.dir/tests/wta/test_wta_properties.cpp.o" "gcc" "CMakeFiles/test_wta.dir/tests/wta/test_wta_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/spinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wta.dir/tests/wta/test_analog_wta.cpp.o"
+  "CMakeFiles/test_wta.dir/tests/wta/test_analog_wta.cpp.o.d"
+  "CMakeFiles/test_wta.dir/tests/wta/test_cc_wta.cpp.o"
+  "CMakeFiles/test_wta.dir/tests/wta/test_cc_wta.cpp.o.d"
+  "CMakeFiles/test_wta.dir/tests/wta/test_ideal_wta.cpp.o"
+  "CMakeFiles/test_wta.dir/tests/wta/test_ideal_wta.cpp.o.d"
+  "CMakeFiles/test_wta.dir/tests/wta/test_spin_sar_wta.cpp.o"
+  "CMakeFiles/test_wta.dir/tests/wta/test_spin_sar_wta.cpp.o.d"
+  "CMakeFiles/test_wta.dir/tests/wta/test_wta_properties.cpp.o"
+  "CMakeFiles/test_wta.dir/tests/wta/test_wta_properties.cpp.o.d"
+  "test_wta"
+  "test_wta.pdb"
+  "test_wta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

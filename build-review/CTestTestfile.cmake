@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/test_amm[1]_include.cmake")
+include("/root/repo/build-review/test_circuit[1]_include.cmake")
+include("/root/repo/build-review/test_core[1]_include.cmake")
+include("/root/repo/build-review/test_crossbar[1]_include.cmake")
+include("/root/repo/build-review/test_datapath[1]_include.cmake")
+include("/root/repo/build-review/test_device[1]_include.cmake")
+include("/root/repo/build-review/test_energy[1]_include.cmake")
+include("/root/repo/build-review/test_service[1]_include.cmake")
+include("/root/repo/build-review/test_vision[1]_include.cmake")
+include("/root/repo/build-review/test_wta[1]_include.cmake")
