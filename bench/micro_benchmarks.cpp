@@ -10,9 +10,13 @@
 /// single engine's recognize_batch vs a sharded RecognitionService, at
 /// several batch sizes and thread counts), tier rows (flat spin vs
 /// hierarchical vs tiered: accuracy, throughput, energy/query and the
-/// tiered escalation/reject rates on one face workload), and leaf-cache
+/// tiered escalation/reject rates on one face workload), leaf-cache
 /// rows (hit rate and reprogram-amortized energy/query vs pool size for
-/// the larger-than-memory serving path).
+/// the larger-than-memory serving path), endurance rows (wear-out under
+/// reprogram traffic), and overload rows (an open-loop Poisson/Zipf
+/// driver vs the hardened service edge: shed/reject/degraded rates,
+/// served p99 and coverage at offered loads past the knee, plus a
+/// stuck-shard run).
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +27,7 @@
 #include <string>
 
 #include "amm/evaluation.hpp"
+#include "amm/fault_injection.hpp"
 #include "amm/hierarchical_amm.hpp"
 #include "amm/leaf_cache_engine.hpp"
 #include "amm/spin_amm.hpp"
@@ -30,6 +35,7 @@
 #include "crossbar/rcm.hpp"
 #include "datapath/sar.hpp"
 #include "device/llg.hpp"
+#include "service/load_gen.hpp"
 #include "service/recognition_service.hpp"
 #include "vision/dataset.hpp"
 #include "wta/spin_sar_wta.hpp"
@@ -186,7 +192,7 @@ BENCHMARK(BM_RecognizeBatch64);
 // Self-timed (no google-benchmark) so the output format is ours.
 // ---------------------------------------------------------------------------
 
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // lint:allow(bare-clock) self-timed bench loops are wall-clock by definition
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -598,6 +604,213 @@ std::vector<EnduranceRow> run_endurance_benchmark() {
   return rows;
 }
 
+// --------------------------------------------------------------------------
+// Overload rows: the open-loop Poisson/Zipf driver pushes a 2-shard
+// tiered spin service past its knee and records what the hardening does
+// about it — deadline shed rate, queue-cap reject rate, brown-out
+// (degraded) rate and served p99 at each offered-load multiple, plus one
+// row with a shard wedged solid (watchdog + breaker keep the service
+// answering at coverage 0.5). Every row gets a fresh service so its
+// stats are that load point's alone.
+// --------------------------------------------------------------------------
+
+struct OverloadRow {
+  const char* label = "";
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p99_served_us = 0.0;
+  double shed_rate = 0.0;
+  double reject_rate = 0.0;
+  double degraded_rate = 0.0;
+  double mean_coverage = 0.0;
+};
+
+struct OverloadBenchResult {
+  double knee_qps = 0.0;
+  double unloaded_p99_us = 0.0;
+  double deadline_us = 0.0;
+  double target_p99_us = 0.0;
+  std::vector<OverloadRow> rows;
+};
+
+OverloadBenchResult run_overload_benchmark() {
+  // Same 40-identity / 16x8x5b workload as the tier rows, so the tiered
+  // shard engines (hierarchical tier 0 + flat spin tier 1) are the shapes
+  // whose tier trade the `tiers` section already characterises.
+  const FaceDataset* dataset = &bench_identity_dataset();
+  FeatureSpec spec;  // 16x8, 5-bit
+  const auto templates = build_templates(*dataset, spec);
+
+  SpinAmmConfig flat_config;
+  flat_config.features = spec;
+  flat_config.templates = templates.size();
+  flat_config.dwn = DwnParams::from_barrier(20.0);
+  flat_config.seed = 7;
+  SpinAmm flat(flat_config);
+  flat.store_templates(templates);
+  const double full_scale = flat.input_full_scale();
+  const double row_target = flat.crossbar().row_conductance(0);
+
+  std::vector<FeatureVector> probes;
+  probes.reserve(dataset->size());
+  for (const auto& sample : dataset->all()) {
+    probes.push_back(extract_features(sample.image, spec));
+  }
+
+  const auto make_factory = [&](std::shared_ptr<FaultSwitch> control) {
+    TieredEngineConfig policy;
+    policy.escalation_margin = 0.02;
+    auto tier0 = [spec](std::size_t, std::size_t) -> std::unique_ptr<AssociativeEngine> {
+      HierarchicalAmmConfig h;
+      h.features = spec;
+      h.clusters = 4;
+      h.dwn = DwnParams::from_barrier(20.0);
+      h.seed = 7;
+      return std::make_unique<HierarchicalAmm>(h);
+    };
+    auto tier1 = [flat_config, full_scale,
+                  row_target](std::size_t, std::size_t columns) -> std::unique_ptr<AssociativeEngine> {
+      SpinAmmConfig c = flat_config;
+      c.templates = columns;
+      c.input_full_scale_override = full_scale;
+      c.row_target_conductance = row_target;
+      return std::make_unique<SpinAmm>(c);
+    };
+    auto tiered = make_tiered_factory(tier0, tier1, policy);
+    // The fault switch (when given) wedges shard 0 only — the stuck-shard
+    // row is about the service surviving one bad shard, not all of them.
+    return RecognitionService::EngineFactory(
+        [tiered, control](std::size_t shard, std::size_t columns) {
+          std::unique_ptr<AssociativeEngine> engine = tiered(shard, columns);
+          if (control != nullptr && shard == 0) {
+            engine = std::make_unique<FaultInjectingEngine>(std::move(engine),
+                                                            FaultInjectionConfig{}, control);
+          }
+          return engine;
+        });
+  };
+
+  OverloadBenchResult out;
+
+  // The shared edge shape: small micro-batches and threaded shard
+  // workers keep per-batch engine time short, which is what bounds a
+  // served query's tail (worst case = deadline spent queued + one batch).
+  const auto edge_config = [] {
+    RecognitionServiceConfig config;
+    config.shards = 2;
+    config.max_batch = 8;
+    config.admission_window = std::chrono::microseconds(200);
+    config.engine_threads = 2;
+    config.max_queue = 512;
+    return config;
+  };
+
+  // Knee: closed-loop capacity of the healthy service (the completion
+  // rate when the client never outruns it), at the same edge shape the
+  // loaded rows use.
+  {
+    RecognitionServiceConfig config = edge_config();
+    config.admission_window = std::chrono::microseconds(0);
+    config.max_queue = 0;
+    RecognitionService service(config, make_factory(nullptr));
+    service.store_templates(templates);
+    service.submit_batch(probes).get();  // warm caches
+    const std::size_t total_queries = 2048;
+    const auto start = Clock::now();
+    std::size_t done = 0;
+    while (done < total_queries) {
+      service.submit_batch(probes).get();
+      done += probes.size();
+    }
+    out.knee_qps = static_cast<double>(done) / seconds_since(start);
+  }
+
+  // Unloaded p99: an open-loop trickle (5 % of knee) through the same
+  // edge shape and the same stats channel the loaded rows use. The
+  // service is warmed with serial singles first (a warm-up *batch* would
+  // put its own long queue-wait latencies into the tail) and the trickle
+  // is long enough that the few remaining cold outliers sit above the
+  // 99th percentile.
+  {
+    RecognitionService service(edge_config(), make_factory(nullptr));
+    service.store_templates(templates);
+    for (std::size_t i = 0; i < 32; ++i) {
+      (void)service.submit(probes[i % probes.size()]).get();
+    }
+    LoadGenConfig load;
+    load.offered_qps = std::max(50.0, 0.05 * out.knee_qps);
+    load.queries = 1024;
+    (void)run_open_loop(service, probes, load);
+    out.unloaded_p99_us = service.stats().p99_latency_us;
+  }
+
+  // The hardening knobs, anchored to the unloaded latency. A served
+  // query's worst case is roughly deadline (queueing it survives) plus
+  // one micro-batch of engine time, so with the deadline at 1.5x the
+  // unloaded p99 and short batches the served p99 holds under 5x
+  // unloaded even past the knee. The controller starts trading accuracy
+  // for latency at 1.25x.
+  out.deadline_us = std::max(500.0, 1.5 * out.unloaded_p99_us);
+  out.target_p99_us = std::max(300.0, 1.25 * out.unloaded_p99_us);
+
+  const auto hardened_config = [&] {
+    RecognitionServiceConfig config = edge_config();
+    config.overload.enabled = true;
+    config.overload.target_p99_us = out.target_p99_us;
+    config.overload.brownout_factor = 2.0;
+    config.overload.min_escalation_margin = 0.0;
+    config.overload.period_queries = 128;
+    return config;
+  };
+
+  const auto measure = [&](const char* label, double offered_qps,
+                           RecognitionService& service) {
+    LoadGenConfig load;
+    load.offered_qps = offered_qps;
+    load.queries = 1024;
+    load.deadline = std::chrono::microseconds(static_cast<long>(out.deadline_us));
+    const LoadGenReport report = run_open_loop(service, probes, load);
+    OverloadRow row;
+    row.label = label;
+    row.offered_qps = offered_qps;
+    row.achieved_qps = report.achieved_qps;
+    row.p99_served_us = service.stats().p99_latency_us;
+    row.shed_rate = report.shed_rate();
+    row.reject_rate = report.reject_rate();
+    row.degraded_rate = report.degraded_rate();
+    row.mean_coverage = report.mean_coverage;
+    out.rows.push_back(row);
+  };
+
+  // Offered-load sweep: below the knee, at it, and well past it.
+  const struct {
+    const char* label;
+    double multiple;
+  } sweep[] = {{"0.5x", 0.5}, {"1x", 1.0}, {"2x", 2.0}, {"4x", 4.0}};
+  for (const auto& point : sweep) {
+    RecognitionService service(hardened_config(), make_factory(nullptr));
+    service.store_templates(templates);
+    measure(point.label, point.multiple * out.knee_qps, service);
+  }
+
+  // One shard wedged solid for the whole run: the watchdog abandons it,
+  // the breaker ejects it, and the service keeps answering best-effort
+  // over the surviving shard (coverage 0.5).
+  {
+    auto control = std::make_shared<FaultSwitch>();
+    RecognitionServiceConfig config = hardened_config();
+    config.shard_timeout = std::chrono::microseconds(2000);
+    config.breaker_failure_threshold = 2;
+    RecognitionService service(config, make_factory(control));
+    service.store_templates(templates);
+    control->stick();
+    measure("stuck-shard-0.5x", 0.5 * out.knee_qps, service);
+    // Unwedge before the service destructor joins the stuck worker.
+    control->release();
+  }
+  return out;
+}
+
 int run_json_benchmark(const std::string& path) {
   const std::size_t rows = 64;
   const std::size_t cols = 20;
@@ -722,6 +935,31 @@ int run_json_benchmark(const std::string& path) {
                  i + 1 < endurance_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+
+  // Overload rows: the open-loop driver vs the hardened service edge.
+  std::printf("timing the overload sweep (open-loop load vs the hardened service edge)...\n");
+  const OverloadBenchResult overload = run_overload_benchmark();
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f,
+               "    \"workload\": {\"identities\": 40, \"features\": \"16x8x5b\", \"shards\": 2, "
+               "\"backend\": \"tiered(hierarchical+spin)\", \"max_queue\": 512, "
+               "\"knee_qps\": %.1f, \"unloaded_p99_us\": %.1f, \"deadline_us\": %.1f, "
+               "\"target_p99_us\": %.1f},\n",
+               overload.knee_qps, overload.unloaded_p99_us, overload.deadline_us,
+               overload.target_p99_us);
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < overload.rows.size(); ++i) {
+    const OverloadRow& row = overload.rows[i];
+    std::fprintf(f,
+                 "      {\"load\": \"%s\", \"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+                 "\"p99_served_us\": %.1f, \"shed_rate\": %.4f, \"reject_rate\": %.4f, "
+                 "\"degraded_rate\": %.4f, \"mean_coverage\": %.4f}%s\n",
+                 row.label, row.offered_qps, row.achieved_qps, row.p99_served_us, row.shed_rate,
+                 row.reject_rate, row.degraded_rate, row.mean_coverage,
+                 i + 1 < overload.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -760,6 +998,15 @@ int run_json_benchmark(const std::string& path) {
                 static_cast<unsigned long long>(row.max_slot_write_cycles),
                 static_cast<unsigned long long>(row.worn_out_devices),
                 static_cast<unsigned long long>(row.columns_remapped));
+  }
+  std::printf("  overload knee %.1f q/s, unloaded p99 %.1f us\n", overload.knee_qps,
+              overload.unloaded_p99_us);
+  for (const OverloadRow& row : overload.rows) {
+    std::printf("  overload %-16s offered %9.1f q/s: served %9.1f q/s, p99 %8.1f us, "
+                "shed %5.1f %%, reject %5.1f %%, degraded %5.1f %%, coverage %.2f\n",
+                row.label, row.offered_qps, row.achieved_qps, row.p99_served_us,
+                100.0 * row.shed_rate, 100.0 * row.reject_rate, 100.0 * row.degraded_rate,
+                row.mean_coverage);
   }
   return 0;
 }

@@ -91,6 +91,16 @@ struct Recognition {
   /// dom >= the engine's accept threshold *and* the winner was unique —
   /// accepted implies unique, so escalation/merge can trust it.
   bool accepted = true;
+  /// Fraction of the stored template set this answer actually searched.
+  /// 1.0 everywhere except a RecognitionService merge that had to skip
+  /// ejected/stuck shards: a best-effort answer over the surviving
+  /// shards reports the surviving fraction, so the client knows the
+  /// winner was only best among `coverage` of the templates.
+  double coverage = 1.0;
+  /// True when the answer was served in brown-out mode (the overload
+  /// controller forced tier-0-only serving to protect the latency SLO):
+  /// a valid answer, but from the cheap tier regardless of confidence.
+  bool degraded = false;
   RecognitionDetail detail;
 
   /// Typed accessors: non-null when the detail holds that backend's extras.

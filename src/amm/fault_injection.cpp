@@ -1,0 +1,101 @@
+#include "amm/fault_injection.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+void FaultSwitch::stick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stick_requested_ = true;
+}
+
+void FaultSwitch::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stick_requested_ = false;
+  }
+  cv_.notify_all();
+}
+
+void FaultSwitch::set_throwing(bool throwing) {
+  throwing_.store(throwing, std::memory_order_release);
+}
+
+std::size_t FaultSwitch::stuck_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stuck_calls_;
+}
+
+bool FaultSwitch::wait_if_stuck() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!stick_requested_) {
+    return false;
+  }
+  ++stuck_calls_;
+  cv_.wait(lock, [this] { return !stick_requested_; });
+  --stuck_calls_;
+  return true;
+}
+
+FaultInjectingEngine::FaultInjectingEngine(std::unique_ptr<AssociativeEngine> inner,
+                                           const FaultInjectionConfig& config,
+                                           std::shared_ptr<FaultSwitch> control)
+    : config_(config), inner_(std::move(inner)), control_(std::move(control)), rng_(config.seed) {
+  require(inner_ != nullptr, "FaultInjectingEngine: inner engine must be non-null");
+  require(config_.throw_rate >= 0.0 && config_.throw_rate <= 1.0,
+          "FaultInjectingEngine: throw_rate must lie in [0, 1]");
+  require(config_.spike_rate >= 0.0 && config_.spike_rate <= 1.0,
+          "FaultInjectingEngine: spike_rate must lie in [0, 1]");
+  require(config_.spike.count() >= 0, "FaultInjectingEngine: spike duration cannot be negative");
+}
+
+std::string FaultInjectingEngine::name() const { return "faulty(" + inner_->name() + ")"; }
+
+void FaultInjectingEngine::store_templates(const std::vector<FeatureVector>& templates) {
+  // Serving-path decorator: programming passes through clean by design.
+  inner_->store_templates(templates);
+}
+
+void FaultInjectingEngine::maybe_fault() {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  if (control_ && control_->wait_if_stuck()) {
+    stuck_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The seeded decision stream is two draws per call — fixed order, so
+  // the schedule is a pure function of the seed and the call index.
+  const bool spike = rng_.bernoulli(config_.spike_rate);
+  const bool seeded_throw = rng_.bernoulli(config_.throw_rate);
+  if (spike && config_.spike.count() > 0) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(config_.spike);
+  }
+  if ((control_ && control_->throwing()) || seeded_throw) {
+    throws_.fetch_add(1, std::memory_order_relaxed);
+    throw ModelError("FaultInjectingEngine: injected fault in " + inner_->name());
+  }
+}
+
+Recognition FaultInjectingEngine::recognize(const FeatureVector& input) {
+  maybe_fault();
+  return inner_->recognize(input);
+}
+
+std::vector<Recognition> FaultInjectingEngine::recognize_batch(
+    const std::vector<FeatureVector>& inputs, std::size_t threads) {
+  maybe_fault();
+  return inner_->recognize_batch(inputs, threads);
+}
+
+FaultInjectionCounters FaultInjectingEngine::counters() const {
+  FaultInjectionCounters out;
+  out.calls = calls_.load(std::memory_order_relaxed);
+  out.throws = throws_.load(std::memory_order_relaxed);
+  out.spikes = spikes_.load(std::memory_order_relaxed);
+  out.stuck_waits = stuck_waits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace spinsim

@@ -9,8 +9,16 @@ namespace spinsim {
 TieredEngine::TieredEngine(std::unique_ptr<AssociativeEngine> tier0,
                            std::unique_ptr<AssociativeEngine> tier1,
                            const TieredEngineConfig& config)
-    : config_(config), tier0_(std::move(tier0)), tier1_(std::move(tier1)) {
+    : config_(config),
+      tier0_(std::move(tier0)),
+      tier1_(std::move(tier1)),
+      margin_(config.escalation_margin) {
   require(tier0_ != nullptr && tier1_ != nullptr, "TieredEngine: both tiers must be non-null");
+}
+
+void TieredEngine::set_escalation_margin(double margin) {
+  require(margin >= 0.0, "TieredEngine: escalation margin cannot be negative");
+  margin_.store(margin, std::memory_order_relaxed);
 }
 
 std::string TieredEngine::name() const {
@@ -27,13 +35,16 @@ void TieredEngine::store_templates(const std::vector<FeatureVector>& templates) 
 }
 
 bool TieredEngine::should_escalate(const Recognition& first) const {
+  if (force_tier0_.load(std::memory_order_relaxed)) {
+    return false;  // brown-out: the cheap tier answers everything
+  }
   if (config_.escalate_rejected && !first.accepted) {
     return true;
   }
   if (config_.escalate_ties && !first.unique) {
     return true;
   }
-  return first.margin < config_.escalation_margin;
+  return first.margin < margin_.load(std::memory_order_relaxed);
 }
 
 void TieredEngine::account(const Recognition& final_answer, bool escalated) {

@@ -63,7 +63,26 @@ class TieredEngine : public AssociativeEngine {
   TieredEngine(std::unique_ptr<AssociativeEngine> tier0, std::unique_ptr<AssociativeEngine> tier1,
                const TieredEngineConfig& config = {});
 
+  /// The construction-time policy. `config().escalation_margin` is the
+  /// *initial* threshold; the live one is escalation_margin() (the
+  /// service's overload controller servos it at runtime).
   const TieredEngineConfig& config() const { return config_; }
+
+  /// Live escalation threshold (atomic: safe against in-flight traffic).
+  double escalation_margin() const { return margin_.load(std::memory_order_relaxed); }
+
+  /// Adjusts the live escalation threshold. Raising it escalates more
+  /// (more accuracy, more energy/latency); lowering it keeps more
+  /// traffic in the cheap tier. The service-edge overload controller
+  /// calls this against the p99-latency SLO. Thread-safe.
+  void set_escalation_margin(double margin);
+
+  /// Brown-out: while forced, no query escalates — every answer comes
+  /// from tier 0 whatever its confidence. The overload controller's
+  /// second watermark; answers served this way are flagged `degraded`
+  /// by the service merge. Thread-safe.
+  void set_force_tier0(bool force) { force_tier0_.store(force, std::memory_order_relaxed); }
+  bool force_tier0() const { return force_tier0_.load(std::memory_order_relaxed); }
 
   std::string name() const override;
   std::size_t template_count() const override { return tier1_->template_count(); }
@@ -97,6 +116,10 @@ class TieredEngine : public AssociativeEngine {
 
   const AssociativeEngine& tier0() const { return *tier0_; }
   const AssociativeEngine& tier1() const { return *tier1_; }
+  /// Mutable tier access, for owners only: the service walks through
+  /// here to reach scrub-able leaf caches inside a tier.
+  AssociativeEngine& tier0() { return *tier0_; }
+  AssociativeEngine& tier1() { return *tier1_; }
 
  private:
   bool should_escalate(const Recognition& first) const;
@@ -105,6 +128,10 @@ class TieredEngine : public AssociativeEngine {
   TieredEngineConfig config_;
   std::unique_ptr<AssociativeEngine> tier0_;
   std::unique_ptr<AssociativeEngine> tier1_;
+
+  // Live policy knobs (config_ keeps the construction-time values).
+  std::atomic<double> margin_;
+  std::atomic<bool> force_tier0_{false};
 
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> escalated_{0};

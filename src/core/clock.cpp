@@ -1,0 +1,30 @@
+#include "core/clock.hpp"
+
+#include "core/error.hpp"
+
+namespace spinsim {
+
+Clock::~Clock() = default;
+
+Clock::TimePoint SteadyClock::now() const {
+  // The one sanctioned raw clock read; everything else injects a Clock.
+  return std::chrono::steady_clock::now();
+}
+
+std::shared_ptr<SteadyClock> SteadyClock::instance() {
+  static const std::shared_ptr<SteadyClock> shared = std::make_shared<SteadyClock>();
+  return shared;
+}
+
+Clock::TimePoint FakeClock::now() const {
+  // A fixed epoch keeps fake time points comparable across FakeClock
+  // instances and independent of when the test process started.
+  return TimePoint(Duration(offset_.load(std::memory_order_acquire)));
+}
+
+void FakeClock::advance(Duration by) {
+  require(by.count() >= 0, "FakeClock::advance: time cannot move backwards");
+  offset_.fetch_add(by.count(), std::memory_order_acq_rel);
+}
+
+}  // namespace spinsim

@@ -33,6 +33,34 @@ class ModelError : public std::runtime_error {
   explicit ModelError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// -- Service-edge failure taxonomy (see README "Overload & failure
+// handling"). These three are *expected* production outcomes, not bugs:
+// clients are meant to catch them and decide whether to retry.
+
+/// Retriable: the service refused new work because a capacity limit
+/// (queue depth, no healthy shard) is currently exceeded. Back off and
+/// resubmit; nothing about the request itself was wrong.
+class Overloaded : public std::runtime_error {
+ public:
+  explicit Overloaded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The query's deadline expired while it waited for dispatch, so the
+/// collector shed it instead of spending shard time on an answer the
+/// client no longer wants. Counted as `shed_deadline`, never `failed`.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The service was destroyed or re-initialised (store_templates) while
+/// this query was in flight. Every pending future is failed with this —
+/// shutdown never abandons a future.
+class ServiceStopped : public std::runtime_error {
+ public:
+  explicit ServiceStopped(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 /// Aborts with a diagnostic; used by SPINSIM_ASSERT. Never returns.
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line, const char* msg);

@@ -1,0 +1,102 @@
+#include "service/load_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/random.hpp"
+
+namespace spinsim {
+
+namespace {
+
+/// Zipf CDF over pool indices: weight(k) = 1 / (k+1)^s, sampled by
+/// inverse transform (binary search over the cumulative sum).
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) {
+    c /= total;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+LoadGenReport run_open_loop(RecognitionService& service, const std::vector<FeatureVector>& pool,
+                            const LoadGenConfig& config) {
+  require(!pool.empty(), "run_open_loop: query pool must be non-empty");
+  require(config.offered_qps > 0.0, "run_open_loop: offered_qps must be positive");
+  require(config.queries >= 1, "run_open_loop: need at least one query");
+  require(config.zipf_s >= 0.0, "run_open_loop: zipf_s cannot be negative");
+
+  Rng rng(config.seed);
+  const std::vector<double> cdf = zipf_cdf(pool.size(), config.zipf_s);
+  SubmitOptions options;
+  options.deadline = config.deadline;
+
+  LoadGenReport report;
+  std::vector<std::future<Recognition>> futures;
+  futures.reserve(config.queries);
+
+  // Open loop: the q-th arrival happens at start + sum of exponential
+  // interarrivals, regardless of how far behind the service is. Pacing
+  // reads the real clock — this is a wall-clock bench driver, not a
+  // simulated-time harness.
+  using WallClock = std::chrono::steady_clock;  // lint:allow(bare-clock) open-loop pacing is wall-clock by definition
+  const WallClock::time_point start = WallClock::now();
+  WallClock::time_point next_arrival = start;
+  for (std::size_t q = 0; q < config.queries; ++q) {
+    const double interarrival_s = -std::log(1.0 - rng.uniform()) / config.offered_qps;
+    next_arrival += std::chrono::duration_cast<WallClock::duration>(
+        std::chrono::duration<double>(interarrival_s));
+    std::this_thread::sleep_until(next_arrival);
+
+    const double u = rng.uniform();
+    const std::size_t pick = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    report.offered += 1;
+    try {
+      futures.push_back(service.submit(pool[std::min(pick, pool.size() - 1)], options));
+    } catch (const Overloaded&) {
+      report.rejected_overload += 1;
+    }
+  }
+
+  // Reap every future: each offered query resolves into exactly one
+  // outcome bucket, so nothing is silently dropped.
+  double coverage_sum = 0.0;
+  for (std::future<Recognition>& future : futures) {
+    try {
+      const Recognition answer = future.get();
+      report.served += 1;
+      report.degraded += answer.degraded ? 1 : 0;
+      report.best_effort += answer.coverage < 1.0 ? 1 : 0;
+      report.min_coverage = std::min(report.min_coverage, answer.coverage);
+      coverage_sum += answer.coverage;
+    } catch (const DeadlineExceeded&) {
+      report.shed_deadline += 1;
+    } catch (...) {
+      report.failed += 1;
+    }
+  }
+  const WallClock::time_point end = WallClock::now();
+
+  report.mean_coverage =
+      report.served == 0 ? 0.0 : coverage_sum / static_cast<double>(report.served);
+  if (report.served == 0) {
+    report.min_coverage = 0.0;
+  }
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  report.achieved_qps =
+      report.wall_seconds > 0.0 ? static_cast<double>(report.served) / report.wall_seconds : 0.0;
+  return report;
+}
+
+}  // namespace spinsim

@@ -1,0 +1,80 @@
+/// \file load_gen.hpp
+/// Open-loop Poisson/Zipf load driver for the RecognitionService edge.
+///
+/// Closed-loop benchmarks (submit a batch, wait, repeat) can never drive
+/// a service past its knee: the client slows down exactly as fast as the
+/// service does, so queues stay short and sheds never happen. This
+/// driver is *open-loop*: arrivals follow a Poisson process at a fixed
+/// offered rate whatever the service's backlog looks like, which is the
+/// regime where deadlines, the bounded queue, brown-out and shedding
+/// actually earn their keep. Inputs are drawn Zipf-distributed from a
+/// query pool (skewed popularity, like real recognition traffic — and
+/// the access pattern leaf caches are designed around).
+///
+/// Determinism: the arrival schedule and the query choices come from one
+/// seeded Rng, so two runs at the same offered load replay the same
+/// traffic. Wall-clock pacing is inherently real-time — this is a bench
+/// driver, not a unit-test harness; tests that need determinism drive
+/// the service directly with a FakeClock instead.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "service/recognition_service.hpp"
+#include "vision/features.hpp"
+
+namespace spinsim {
+
+/// One open-loop run's traffic model.
+struct LoadGenConfig {
+  /// Offered arrival rate [queries/s]; the driver holds it whatever the
+  /// service's completion rate is.
+  double offered_qps = 1000.0;
+  /// Total arrivals to offer.
+  std::size_t queries = 1000;
+  /// Zipf popularity exponent over the query pool (0 = uniform).
+  double zipf_s = 1.0;
+  /// Seed of the arrival-schedule + query-choice stream.
+  std::uint64_t seed = 0x10AD;
+  /// Per-query deadline passed to submit() (0 = none).
+  std::chrono::microseconds deadline{0};
+};
+
+/// What happened to the offered load. Every offered query lands in
+/// exactly one of served / shed_deadline / rejected_overload / failed —
+/// the driver never drops a future.
+struct LoadGenReport {
+  std::size_t offered = 0;            ///< arrivals generated
+  std::size_t served = 0;             ///< futures that delivered an answer
+  std::size_t shed_deadline = 0;      ///< futures failed with DeadlineExceeded
+  std::size_t rejected_overload = 0;  ///< submissions refused with Overloaded
+  std::size_t failed = 0;             ///< futures failed with anything else
+  std::size_t degraded = 0;           ///< served answers flagged degraded (brown-out)
+  std::size_t best_effort = 0;        ///< served answers with coverage < 1
+  double min_coverage = 1.0;          ///< worst served coverage
+  double mean_coverage = 0.0;         ///< mean served coverage
+  double achieved_qps = 0.0;          ///< served / wall_seconds
+  double wall_seconds = 0.0;          ///< first arrival -> last future settled
+
+  double shed_rate() const {
+    return offered == 0 ? 0.0 : static_cast<double>(shed_deadline) / static_cast<double>(offered);
+  }
+  double reject_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(rejected_overload) / static_cast<double>(offered);
+  }
+  double degraded_rate() const {
+    return served == 0 ? 0.0 : static_cast<double>(degraded) / static_cast<double>(served);
+  }
+};
+
+/// Drives `service` open-loop with Poisson arrivals at
+/// `config.offered_qps`, inputs Zipf-sampled from `pool`, and reaps every
+/// future. Blocks until the last future settles.
+LoadGenReport run_open_loop(RecognitionService& service, const std::vector<FeatureVector>& pool,
+                            const LoadGenConfig& config);
+
+}  // namespace spinsim

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "amm/fault_injection.hpp"
 #include "amm/spin_amm.hpp"
 #include "core/error.hpp"
 
@@ -14,37 +15,85 @@ namespace {
 
 /// Leaf-cache engines reachable from `engine`, looking through tiered
 /// compositions (e.g. a TieredEngine with a leaf-cache tier 0 built by
-/// stacking make_tiered_factory on make_leaf_cache_factory), so stats()
-/// surfaces hit/miss/reprogram counters wherever the cache sits.
-std::vector<const LeafCacheEngine*> find_leaf_caches(const AssociativeEngine* engine) {
-  std::vector<const LeafCacheEngine*> found;
-  if (const auto* leaf_cache = dynamic_cast<const LeafCacheEngine*>(engine)) {
+/// stacking make_tiered_factory on make_leaf_cache_factory) and through
+/// FaultInjectingEngine decorators, so stats() and idle scrubbing find
+/// the cache wherever it sits. Mutable: scrubs call verify_and_repair().
+std::vector<LeafCacheEngine*> find_leaf_caches(AssociativeEngine* engine) {
+  std::vector<LeafCacheEngine*> found;
+  if (auto* leaf_cache = dynamic_cast<LeafCacheEngine*>(engine)) {
     found.push_back(leaf_cache);
-  } else if (const auto* tiered = dynamic_cast<const TieredEngine*>(engine)) {
-    for (const AssociativeEngine* tier : {&tiered->tier0(), &tiered->tier1()}) {
-      const std::vector<const LeafCacheEngine*> below = find_leaf_caches(tier);
+  } else if (auto* tiered = dynamic_cast<TieredEngine*>(engine)) {
+    for (AssociativeEngine* tier : {&tiered->tier0(), &tiered->tier1()}) {
+      const std::vector<LeafCacheEngine*> below = find_leaf_caches(tier);
       found.insert(found.end(), below.begin(), below.end());
     }
+  } else if (auto* faulty = dynamic_cast<FaultInjectingEngine*>(engine)) {
+    const std::vector<LeafCacheEngine*> below = find_leaf_caches(&faulty->inner());
+    found.insert(found.end(), below.begin(), below.end());
   }
   return found;
+}
+
+/// The TieredEngine a shard serves from, looking through a
+/// FaultInjectingEngine decorator — the overload controller's actuator.
+TieredEngine* find_tiered(AssociativeEngine* engine) {
+  if (auto* tiered = dynamic_cast<TieredEngine*>(engine)) {
+    return tiered;
+  }
+  if (auto* faulty = dynamic_cast<FaultInjectingEngine*>(engine)) {
+    return find_tiered(&faulty->inner());
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 RecognitionService::RecognitionService(const RecognitionServiceConfig& config,
                                        EngineFactory factory)
-    : config_(config), factory_(std::move(factory)) {
+    : config_(config),
+      factory_(std::move(factory)),
+      clock_(config.clock ? config.clock : SteadyClock::instance()) {
   require(config_.shards >= 1, "RecognitionService: need at least one shard");
   require(config_.max_batch >= 1, "RecognitionService: max_batch must be positive");
   require(static_cast<bool>(factory_), "RecognitionService: empty engine factory");
+  require(config_.shard_timeout.count() >= 0,
+          "RecognitionService: shard_timeout cannot be negative");
+  require(config_.breaker_failure_threshold >= 1,
+          "RecognitionService: breaker_failure_threshold must be positive");
+  require(config_.breaker_backoff >= 1.0, "RecognitionService: breaker_backoff must be >= 1");
+  require(config_.breaker_cooldown.count() >= 0,
+          "RecognitionService: breaker_cooldown cannot be negative");
+  require(config_.breaker_max_cooldown >= config_.breaker_cooldown,
+          "RecognitionService: breaker_max_cooldown must be >= breaker_cooldown");
+  if (config_.overload.enabled) {
+    const OverloadControlConfig& oc = config_.overload;
+    require(oc.target_p99_us > 0.0,
+            "RecognitionService: overload control needs a positive target_p99_us");
+    require(oc.margin_step > 0.0 && oc.margin_step <= 1.0,
+            "RecognitionService: overload margin_step must lie in (0, 1]");
+    require(oc.brownout_factor >= 1.0,
+            "RecognitionService: overload brownout_factor must be >= 1");
+    require(oc.low_watermark >= 0.0 && oc.low_watermark < 1.0,
+            "RecognitionService: overload low_watermark must lie in [0, 1)");
+    require(oc.min_escalation_margin >= 0.0,
+            "RecognitionService: overload min_escalation_margin cannot be negative");
+    require(oc.period_queries >= 1,
+            "RecognitionService: overload period_queries must be positive");
+  }
 }
 
-RecognitionService::~RecognitionService() {
+RecognitionService::~RecognitionService() { stop_threads(); }
+
+void RecognitionService::stop_threads() {
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // The collector fails everything still queued with ServiceStopped on
+  // its way out, so no future is ever silently dropped. A worker wedged
+  // *inside* an engine call (FaultSwitch::stick) must be released before
+  // this join can finish — the service cannot preempt a hung engine.
   if (collector_.joinable()) {
     collector_.join();
   }
@@ -61,9 +110,50 @@ RecognitionService::~RecognitionService() {
 }
 
 void RecognitionService::store_templates(const std::vector<FeatureVector>& templates) {
-  require(!started_, "RecognitionService: store_templates() may run only once");
   require(templates.size() >= 2 * config_.shards,
           "RecognitionService: every shard needs at least two templates");
+
+  if (started_) {
+    // Re-initialisation: tear the running edge down first. The collector
+    // fails every queued future with ServiceStopped, then every counter
+    // and controller state resets — the new shard set starts clean.
+    stop_threads();
+    shards_.clear();
+    tiered_.clear();
+    base_margins_.clear();
+    input_cache_.reset();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      stopping_ = false;
+      started_ = false;
+      in_flight_ = 0;
+    }
+    brownout_ = false;
+    window_latency_us_ = GeometricHistogram{};
+    window_max_us_ = 0.0;
+    window_count_ = 0;
+    queries_since_scrub_ = 0;
+    {
+      std::unique_lock<std::mutex> lock(stats_mutex_);
+      stat_queries_ = 0;
+      stat_failed_ = 0;
+      stat_batches_ = 0;
+      stat_dispatched_ = 0;
+      stat_escalated_ = 0;
+      stat_rejected_ = 0;
+      stat_shed_deadline_ = 0;
+      stat_rejected_overload_ = 0;
+      stat_degraded_ = 0;
+      stat_best_effort_ = 0;
+      stat_coverage_sum_ = 0.0;
+      stat_idle_scrubs_ = 0;
+      stat_controller_adjustments_ = 0;
+      stat_brownout_ = false;
+      stat_latency_sum_us_ = 0.0;
+      stat_latency_max_us_ = 0.0;
+      stat_latency_us_ = GeometricHistogram{};
+    }
+  }
 
   // Contiguous split, remainder spread over the leading shards, so
   // global index = shard base + local index.
@@ -76,6 +166,7 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     const std::size_t count = per_shard + (s < remainder ? 1 : 0);
     auto shard = std::make_unique<Shard>();
     shard->base = base;
+    shard->columns = count;
     shard->engine = factory_(s, count);
     require(shard->engine != nullptr, "RecognitionService: factory returned null engine");
     const std::vector<FeatureVector> slice(templates.begin() + static_cast<std::ptrdiff_t>(base),
@@ -86,9 +177,15 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     // their template count from store_templates().
     require(shard->engine->template_count() == count,
             "RecognitionService: factory sized the engine for the wrong column count");
+    shard->leaf_caches = find_leaf_caches(shard->engine.get());
+    if (TieredEngine* tiered = find_tiered(shard->engine.get())) {
+      tiered_.push_back(tiered);
+      base_margins_.push_back(tiered->escalation_margin());
+    }
     base += count;
     shards_.push_back(std::move(shard));
   }
+  total_columns_ = templates.size();
 
   if (config_.dedup_input_stage) {
     // One per-dispatch cache of realised input row currents, shared by
@@ -137,30 +234,45 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
 
   for (auto& shard : shards_) {
     Shard* raw = shard.get();
-    const std::size_t engine_threads = config_.engine_threads;
-    shard->worker = std::thread([raw, engine_threads] { shard_loop(raw, engine_threads); });
+    shard->worker = std::thread([this, raw] { shard_loop(raw); });
   }
-  started_at_ = std::chrono::steady_clock::now();
+  started_at_ = clock_->now();
   started_ = true;
   collector_ = std::thread([this] { collector_loop(); });
 }
 
 void RecognitionService::enqueue(Request&& request) {
+  bool rejected = false;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     require(started_, "RecognitionService: store_templates() before submit");
     require(!stopping_, "RecognitionService: service is shutting down");
-    queue_.push_back(std::move(request));
+    if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+      rejected = true;
+    } else {
+      queue_.push_back(std::move(request));
+    }
+  }
+  if (rejected) {
+    {
+      std::unique_lock<std::mutex> lock(stats_mutex_);
+      stat_rejected_overload_ += 1;
+    }
+    throw Overloaded("RecognitionService: queue full (max_queue pending requests)");
   }
   queue_cv_.notify_one();
 }
 
-std::future<Recognition> RecognitionService::submit(FeatureVector input) {
+std::future<Recognition> RecognitionService::submit(FeatureVector input,
+                                                    const SubmitOptions& options) {
   auto promise = std::make_shared<std::promise<Recognition>>();
   std::future<Recognition> future = promise->get_future();
+  const Clock::TimePoint now = clock_->now();
   Request request;
   request.input = std::move(input);
-  request.enqueued = std::chrono::steady_clock::now();
+  request.enqueued = now;
+  request.deadline =
+      options.deadline.count() > 0 ? now + options.deadline : Clock::TimePoint::max();
   request.deliver = [promise](Recognition&& result, std::exception_ptr error) {
     if (error) {
       promise->set_exception(error);
@@ -173,7 +285,7 @@ std::future<Recognition> RecognitionService::submit(FeatureVector input) {
 }
 
 std::future<std::vector<Recognition>> RecognitionService::submit_batch(
-    std::vector<FeatureVector> inputs) {
+    std::vector<FeatureVector> inputs, const SubmitOptions& options) {
   struct Join {
     std::vector<Recognition> results;
     std::size_t remaining = 0;
@@ -190,13 +302,16 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
     return future;
   }
 
-  const auto now = std::chrono::steady_clock::now();
+  const Clock::TimePoint now = clock_->now();
+  const Clock::TimePoint deadline =
+      options.deadline.count() > 0 ? now + options.deadline : Clock::TimePoint::max();
   std::vector<Request> requests;
   requests.reserve(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     Request request;
     request.input = std::move(inputs[i]);
     request.enqueued = now;
+    request.deadline = deadline;
     request.deliver = [join, i](Recognition&& result, std::exception_ptr error) {
       std::unique_lock<std::mutex> lock(join->mutex);
       if (error) {
@@ -216,13 +331,27 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
 
   // One lock round-trip for the whole batch so the admission window sees
   // it at once and coalesces it into ceil(n / max_batch) dispatches.
+  // Queue-cap admission is all-or-nothing: a batch that does not fit
+  // leaves the queue untouched.
+  bool rejected = false;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     require(started_, "RecognitionService: store_templates() before submit");
     require(!stopping_, "RecognitionService: service is shutting down");
-    for (auto& request : requests) {
-      queue_.push_back(std::move(request));
+    if (config_.max_queue > 0 && queue_.size() + requests.size() > config_.max_queue) {
+      rejected = true;
+    } else {
+      for (auto& request : requests) {
+        queue_.push_back(std::move(request));
+      }
     }
+  }
+  if (rejected) {
+    {
+      std::unique_lock<std::mutex> lock(stats_mutex_);
+      stat_rejected_overload_ += requests.size();
+    }
+    throw Overloaded("RecognitionService: queue full (batch exceeds max_queue)");
   }
   queue_cv_.notify_one();
   return future;
@@ -245,6 +374,7 @@ std::size_t RecognitionService::shard_base(std::size_t index) const {
 
 RecognitionServiceStats RecognitionService::stats() const {
   RecognitionServiceStats out;
+  std::vector<Health> health(shards_.size());
   {
     std::unique_lock<std::mutex> lock(stats_mutex_);
     out.queries = stat_queries_;
@@ -252,12 +382,23 @@ RecognitionServiceStats RecognitionService::stats() const {
     out.batches = stat_batches_;
     out.escalated = stat_escalated_;
     out.rejected = stat_rejected_;
+    out.shed_deadline = stat_shed_deadline_;
+    out.rejected_overload = stat_rejected_overload_;
+    out.degraded = stat_degraded_;
+    out.best_effort = stat_best_effort_;
+    out.idle_scrubs = stat_idle_scrubs_;
+    out.controller_adjustments = stat_controller_adjustments_;
+    out.brownout_active = stat_brownout_;
     out.mean_batch_size = stat_batches_ == 0 ? 0.0
-                                             : static_cast<double>(stat_queries_) /
+                                             : static_cast<double>(stat_dispatched_) /
                                                    static_cast<double>(stat_batches_);
-    const std::uint64_t delivered = stat_queries_ - stat_failed_;
+    // "Successes" are answered futures: delivered minus engine failures
+    // minus deadline sheds. Latency/coverage/rate stats cover only them.
+    const std::uint64_t successes = stat_queries_ - stat_failed_ - stat_shed_deadline_;
     out.mean_latency_us =
-        delivered == 0 ? 0.0 : stat_latency_sum_us_ / static_cast<double>(delivered);
+        successes == 0 ? 0.0 : stat_latency_sum_us_ / static_cast<double>(successes);
+    out.mean_coverage =
+        successes == 0 ? 0.0 : stat_coverage_sum_ / static_cast<double>(successes);
     out.max_latency_us = stat_latency_max_us_;
     // The histogram interpolates to bucket edges (~26 % resolution); the
     // exactly-tracked maximum bounds what a quantile can honestly claim.
@@ -265,32 +406,57 @@ RecognitionServiceStats RecognitionService::stats() const {
     out.p95_latency_us = std::min(stat_latency_us_.percentile(0.95), stat_latency_max_us_);
     out.p99_latency_us = std::min(stat_latency_us_.percentile(0.99), stat_latency_max_us_);
     out.escalation_rate =
-        delivered == 0 ? 0.0 : static_cast<double>(stat_escalated_) / static_cast<double>(delivered);
+        successes == 0 ? 0.0 : static_cast<double>(stat_escalated_) / static_cast<double>(successes);
     out.reject_rate =
-        delivered == 0 ? 0.0 : static_cast<double>(stat_rejected_) / static_cast<double>(delivered);
+        successes == 0 ? 0.0 : static_cast<double>(stat_rejected_) / static_cast<double>(successes);
     if (stat_queries_ > 0) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
+      const double elapsed = std::chrono::duration<double>(clock_->now() - started_at_).count();
       out.queries_per_sec = elapsed > 0.0 ? static_cast<double>(stat_queries_) / elapsed : 0.0;
     }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      health[s] = shards_[s]->health;
+    }
   }
-  // Per-shard engine-time quantiles and the per-query energy estimate.
-  // Every query visits every shard, so the energies add; tiered shard
-  // engines fold their observed escalation rate in (energy_per_query is
-  // documented safe to call concurrently with recognition).
+  // Live escalation threshold: the servo output, averaged over the
+  // tiered shard engines (atomic reads, safe against traffic).
+  if (!tiered_.empty()) {
+    double margin_sum = 0.0;
+    for (const TieredEngine* tiered : tiered_) {
+      margin_sum += tiered->escalation_margin();
+    }
+    out.escalation_margin = margin_sum / static_cast<double>(tiered_.size());
+  }
+  // Per-shard engine-time quantiles, health, and the per-query energy
+  // estimate. Every query visits every (healthy) shard, so the energies
+  // add; tiered shard engines fold their observed escalation rate in
+  // (energy_per_query is documented safe to call concurrently with
+  // recognition).
   out.shards.reserve(shards_.size());
-  for (const auto& shard : shards_) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& shard = shards_[s];
     RecognitionServiceStats::ShardStats ss;
+    bool busy = false;
     {
       std::unique_lock<std::mutex> lock(shard->mutex);
       ss.batches = shard->batches_run;
       ss.p50_batch_us = shard->batch_latency_us.percentile(0.50);
       ss.p95_batch_us = shard->batch_latency_us.percentile(0.95);
       ss.p99_batch_us = shard->batch_latency_us.percentile(0.99);
+      busy = shard->busy;
     }
+    ss.breaker = health[s].state;
+    ss.available = health[s].state != RecognitionServiceStats::BreakerState::kOpen && !busy;
+    ss.failures = health[s].failures;
+    ss.timeouts = health[s].timeouts;
+    ss.retries = health[s].retries;
+    ss.ejections = health[s].ejections;
+    out.shard_failures += ss.failures;
+    out.shard_timeouts += ss.timeouts;
+    out.shard_retries += ss.retries;
+    out.breaker_ejections += ss.ejections;
     out.shards.push_back(ss);
     out.energy_per_query += shard->engine->energy_per_query();
-    for (const LeafCacheEngine* leaf_cache : find_leaf_caches(shard->engine.get())) {
+    for (const LeafCacheEngine* leaf_cache : shard->leaf_caches) {
       const LeafCacheCounters counters = leaf_cache->counters();
       out.leaf_hits += counters.hits;
       out.leaf_misses += counters.misses;
@@ -303,6 +469,7 @@ RecognitionServiceStats RecognitionService::stats() const {
       out.leaf_columns_remapped += counters.columns_remapped;
       out.leaf_unrepairable += counters.unrepairable;
       out.leaf_worn_out_devices += counters.worn_out_devices;
+      out.leaf_verify_scans += counters.verify_scans;
       out.leaf_max_slot_write_cycles =
           std::max(out.leaf_max_slot_write_cycles, counters.max_slot_write_cycles());
     }
@@ -319,96 +486,233 @@ RecognitionServiceStats RecognitionService::stats() const {
   return out;
 }
 
+void RecognitionService::fail_stopped(std::vector<Request>& doomed) {
+  if (doomed.empty()) {
+    return;
+  }
+  const auto stopped = std::make_exception_ptr(
+      ServiceStopped("RecognitionService: service stopped before the query was dispatched"));
+  for (auto& request : doomed) {
+    request.deliver(Recognition{}, stopped);
+  }
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  stat_queries_ += doomed.size();
+  stat_failed_ += doomed.size();
+}
+
 void RecognitionService::collector_loop() {
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> shed;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // stopping_ and nothing left to do.
+      if (!stopping_ && queue_.size() < config_.max_batch &&
+          config_.admission_window.count() > 0) {
+        // Admission window: from the moment work is pending, wait a
+        // bounded extra beat for more arrivals so they share one dispatch.
+        queue_cv_.wait_for(lock, config_.admission_window,
+                           [&] { return stopping_ || queue_.size() >= config_.max_batch; });
+      }
+      if (stopping_) {
+        // Shutdown (or re-init): nothing queued gets dispatched, nothing
+        // gets dropped — every future fails with ServiceStopped.
+        std::vector<Request> doomed(std::make_move_iterator(queue_.begin()),
+                                    std::make_move_iterator(queue_.end()));
+        queue_.clear();
+        idle_cv_.notify_all();
+        lock.unlock();
+        fail_stopped(doomed);
         return;
       }
-      // Admission window: from the moment work is pending, wait a bounded
-      // extra beat for more arrivals so they share one dispatch.
-      if (queue_.size() < config_.max_batch && config_.admission_window.count() > 0) {
-        const auto deadline = std::chrono::steady_clock::now() + config_.admission_window;
-        queue_cv_.wait_until(lock, deadline,
-                             [&] { return stopping_ || queue_.size() >= config_.max_batch; });
-      }
-      const std::size_t count = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Deadline shedding at batch formation: expired queries never reach
+      // a shard. (Expired entries deeper in the queue are shed when they
+      // surface — order is preserved, so they surface before anything
+      // that could still make its deadline behind them.)
+      const Clock::TimePoint now = clock_->now();
+      while (batch.size() < config_.max_batch && !queue_.empty()) {
+        Request request = std::move(queue_.front());
         queue_.pop_front();
+        if (request.deadline <= now) {
+          shed.push_back(std::move(request));
+        } else {
+          batch.push_back(std::move(request));
+        }
       }
       in_flight_ += batch.size();
+      if (batch.empty() && queue_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+
+    if (!shed.empty()) {
+      const auto expired = std::make_exception_ptr(
+          DeadlineExceeded("RecognitionService: deadline expired before dispatch"));
+      for (auto& request : shed) {
+        request.deliver(Recognition{}, expired);
+      }
+      std::unique_lock<std::mutex> lock(stats_mutex_);
+      stat_queries_ += shed.size();
+      stat_shed_deadline_ += shed.size();
+    }
+    if (batch.empty()) {
+      continue;
     }
 
     dispatch(batch);
 
+    bool idle = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       in_flight_ -= batch.size();
-      if (queue_.empty() && in_flight_ == 0) {
+      idle = queue_.empty() && in_flight_ == 0;
+      if (idle) {
         idle_cv_.notify_all();
       }
+    }
+    queries_since_scrub_ += batch.size();
+    if (idle) {
+      maybe_post_idle_scrub();
     }
   }
 }
 
-void RecognitionService::shard_loop(Shard* shard, std::size_t engine_threads) {
-  for (;;) {
-    const std::vector<FeatureVector>* job = nullptr;
+void RecognitionService::maybe_post_idle_scrub() {
+  if (config_.idle_scrub_interval == 0 || queries_since_scrub_ < config_.idle_scrub_interval) {
+    return;
+  }
+  bool posted = false;
+  for (auto& shard : shards_) {
+    if (shard->leaf_caches.empty()) {
+      continue;
+    }
     {
       std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->cv.wait(lock, [&] { return shard->stop || shard->job != nullptr; });
+      shard->scrub = true;
+    }
+    shard->cv.notify_all();
+    posted = true;
+  }
+  if (!posted) {
+    return;
+  }
+  queries_since_scrub_ = 0;
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  stat_idle_scrubs_ += 1;
+}
+
+void RecognitionService::shard_loop(Shard* shard) {
+  for (;;) {
+    const std::vector<FeatureVector>* job = nullptr;
+    std::uint64_t gen = 0;
+    bool do_scrub = false;
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->cv.wait(lock, [&] { return shard->stop || shard->job != nullptr || shard->scrub; });
       if (shard->stop) {
         return;
       }
-      job = shard->job;
+      if (shard->job != nullptr) {
+        // Serving beats scrubbing: a pending scrub flag survives to the
+        // next wake-up.
+        job = shard->job;
+        gen = shard->job_gen;
+        shard->job = nullptr;
+      } else {
+        do_scrub = true;
+        shard->scrub = false;
+      }
+    }
+    if (do_scrub) {
+      // Verify-read scrub out of the serving path (the collector only
+      // posts these when the service is idle). This thread is the only
+      // one touching the engine, so no lock is held while scanning.
+      for (LeafCacheEngine* leaf_cache : shard->leaf_caches) {
+        leaf_cache->verify_and_repair();
+      }
+      continue;
     }
     std::vector<Recognition> results;
     std::exception_ptr error;
-    const auto engine_start = std::chrono::steady_clock::now();
+    const Clock::TimePoint engine_start = clock_->now();
     try {
-      results = shard->engine->recognize_batch(*job, engine_threads);
+      results = shard->engine->recognize_batch(*job, config_.engine_threads);
     } catch (...) {
       // Propagate through the collector to the client futures instead of
       // terminating the worker thread.
       error = std::current_exception();
     }
-    const double engine_us = std::chrono::duration<double, std::micro>(
-                                 std::chrono::steady_clock::now() - engine_start)
-                                 .count();
+    const double engine_us =
+        std::chrono::duration<double, std::micro>(clock_->now() - engine_start).count();
     {
       std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->results = std::move(results);
-      shard->job_error = error;
-      shard->job = nullptr;
-      shard->job_done = true;
-      shard->batch_latency_us.add(engine_us);
-      shard->batches_run += 1;
+      // A job the watchdog abandoned already got answered without this
+      // shard; its late results must not leak into the next batch.
+      const bool abandoned = shard->abandoned_gen >= gen;
+      if (!abandoned) {
+        shard->results = std::move(results);
+        shard->job_error = error;
+        shard->done_gen = gen;
+        shard->batch_latency_us.add(engine_us);
+        shard->batches_run += 1;
+      }
+      shard->busy = false;
     }
     shard->cv.notify_all();
   }
 }
 
-Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) const {
+void RecognitionService::post_job(Shard& shard, const std::vector<FeatureVector>& inputs) {
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.busy = true;
+    shard.job = &inputs;
+    shard.job_gen += 1;
+  }
+  shard.cv.notify_all();
+}
+
+bool RecognitionService::await_job(Shard& shard, std::vector<Recognition>& results,
+                                   std::exception_ptr& error) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  const std::uint64_t gen = shard.job_gen;
+  const auto done = [&] { return shard.done_gen == gen; };
+  if (config_.shard_timeout.count() > 0) {
+    if (!shard.cv.wait_for(lock, config_.shard_timeout, done)) {
+      // Stuck-shard watchdog: abandon the job. The worker keeps running
+      // and discards the stale results; `busy` stays set until then, so
+      // later dispatches skip this shard instead of queueing behind it.
+      shard.abandoned_gen = gen;
+      return false;
+    }
+  } else {
+    shard.cv.wait(lock, done);
+  }
+  error = shard.job_error;
+  shard.job_error = nullptr;
+  if (!error) {
+    results = std::move(shard.results);
+  }
+  return true;
+}
+
+Recognition RecognitionService::merge(const std::vector<Recognition*>& shard_answers,
+                                      const std::vector<std::size_t>& shard_ids) const {
   // Highest score wins; ties resolve toward the lowest global template
   // index — the rule a flat WTA/argmax applies, which is what makes a
   // sharded service winner-for-winner identical to a flat engine when
-  // shard scores are comparable (see header).
-  std::size_t best_shard = 0;
-  for (std::size_t s = 1; s < shard_answers.size(); ++s) {
-    if (shard_answers[s]->score > shard_answers[best_shard]->score) {
-      best_shard = s;
+  // shard scores are comparable (see header). `shard_ids` names the
+  // shards that actually answered (all of them in the healthy case).
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < shard_answers.size(); ++k) {
+    if (shard_answers[k]->score > shard_answers[best]->score) {
+      best = k;
     }
   }
-  Recognition out = *shard_answers[best_shard];
-  out.winner += shards_[best_shard]->base;
-  for (std::size_t s = 0; s < shard_answers.size(); ++s) {
-    if (s != best_shard && shard_answers[s]->score == out.score) {
+  Recognition out = *shard_answers[best];
+  out.winner += shards_[shard_ids[best]]->base;
+  for (std::size_t k = 0; k < shard_answers.size(); ++k) {
+    if (k != best && shard_answers[k]->score == out.score) {
       out.unique = false;
     }
   }
@@ -424,9 +728,9 @@ Recognition RecognitionService::merge(std::vector<Recognition*>& shard_answers) 
   if (shard_answers.size() > 1) {
     if (out.score > 0.0) {
       double second = -std::numeric_limits<double>::infinity();
-      for (std::size_t s = 0; s < shard_answers.size(); ++s) {
-        if (s != best_shard) {
-          second = std::max(second, shard_answers[s]->score);
+      for (std::size_t k = 0; k < shard_answers.size(); ++k) {
+        if (k != best) {
+          second = std::max(second, shard_answers[k]->score);
         }
       }
       out.margin = std::min(out.margin, (out.score - second) / out.score);
@@ -452,62 +756,178 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     inputs.push_back(std::move(request.input));  // dead after dispatch
   }
 
-  // Hand the batch to every shard worker, then collect.
-  for (auto& shard : shards_) {
-    {
-      std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->job = &inputs;
-      shard->job_done = false;
+  // Shard eligibility: skip workers still wedged in an abandoned job and
+  // shards whose breaker is open (an elapsed cooldown admits one
+  // half-open probe).
+  std::vector<std::size_t> candidates;
+  candidates.reserve(shards_.size());
+  {
+    const Clock::TimePoint now = clock_->now();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      bool busy = false;
+      {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        busy = shard.busy;
+      }
+      if (busy) {
+        continue;
+      }
+      bool admit = true;
+      {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        Health& health = shard.health;
+        if (health.state == RecognitionServiceStats::BreakerState::kOpen) {
+          if (now >= health.open_until) {
+            health.state = RecognitionServiceStats::BreakerState::kHalfOpen;
+          } else {
+            admit = false;
+          }
+        }
+      }
+      if (admit) {
+        candidates.push_back(s);
+      }
     }
-    shard->cv.notify_all();
+  }
+
+  // Breaker bookkeeping, collector-thread-only, under stats_mutex_ so
+  // stats() snapshots are consistent.
+  const auto note_success = [&](Health& health) {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    health.state = RecognitionServiceStats::BreakerState::kClosed;
+    health.consecutive_failures = 0;
+    health.cooldown = std::chrono::microseconds{0};
+  };
+  const auto note_exclusion = [&](Health& health, bool timeout) {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    if (timeout) {
+      health.timeouts += 1;
+    }
+    health.consecutive_failures += 1;
+    // A failed half-open probe re-opens immediately; a closed shard needs
+    // the full consecutive-failure run. The cooldown backs off
+    // exponentially per consecutive ejection, capped.
+    if (health.state == RecognitionServiceStats::BreakerState::kHalfOpen ||
+        health.consecutive_failures >= config_.breaker_failure_threshold) {
+      health.state = RecognitionServiceStats::BreakerState::kOpen;
+      if (health.cooldown.count() == 0) {
+        health.cooldown = config_.breaker_cooldown;
+      }
+      health.open_until = clock_->now() + health.cooldown;
+      health.cooldown = std::min(
+          std::chrono::microseconds{static_cast<std::int64_t>(
+              std::llround(static_cast<double>(health.cooldown.count()) *
+                           config_.breaker_backoff))},
+          config_.breaker_max_cooldown);
+      health.ejections += 1;
+    }
+  };
+
+  // Fan out to every candidate at once, then collect — retrying a shard
+  // whose engine threw, in place, up to shard_retries times.
+  for (const std::size_t s : candidates) {
+    post_job(*shards_[s], inputs);
   }
   std::vector<std::vector<Recognition>> per_shard(shards_.size());
-  std::exception_ptr error;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    std::unique_lock<std::mutex> lock(shards_[s]->mutex);
-    shards_[s]->cv.wait(lock, [&] { return shards_[s]->job_done; });
-    per_shard[s] = std::move(shards_[s]->results);
-    if (shards_[s]->job_error && !error) {
-      error = shards_[s]->job_error;
+  std::vector<std::size_t> answered;
+  std::exception_ptr first_error;
+  for (const std::size_t s : candidates) {
+    Shard& shard = *shards_[s];
+    std::size_t retries_left = config_.shard_retries;
+    for (;;) {
+      std::vector<Recognition> results;
+      std::exception_ptr error;
+      if (!await_job(shard, results, error)) {
+        note_exclusion(shard.health, /*timeout=*/true);
+        break;
+      }
+      if (!error) {
+        per_shard[s] = std::move(results);
+        answered.push_back(s);
+        note_success(shard.health);
+        break;
+      }
+      if (!first_error) {
+        first_error = error;
+      }
+      {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        shard.health.failures += 1;
+      }
+      if (retries_left > 0) {
+        --retries_left;
+        {
+          std::unique_lock<std::mutex> lock(stats_mutex_);
+          shard.health.retries += 1;
+        }
+        post_job(shard, inputs);
+        continue;
+      }
+      note_exclusion(shard.health, /*timeout=*/false);
+      break;
     }
-    shards_[s]->job_error = nullptr;
-    shards_[s]->job_done = false;
   }
-  if (error) {
+
+  if (answered.empty()) {
+    // Nothing served the batch. Propagate the engine's own error when
+    // there was one (the single-shard contract); otherwise the refusal
+    // is capacity-shaped and retriable.
+    std::exception_ptr error = first_error;
+    if (!error) {
+      error = std::make_exception_ptr(
+          Overloaded("RecognitionService: no healthy shard available for the batch"));
+    }
     for (auto& request : batch) {
       request.deliver(Recognition{}, error);
     }
     // Failed queries still count: every delivered future shows up in
     // `queries` (and in `failed`), so mean_batch_size keeps meaning
-    // queries/batches whatever the error rate. Latency stats only track
-    // successes — see RecognitionServiceStats.
+    // dispatched/batches whatever the error rate. Latency stats only
+    // track successes — see RecognitionServiceStats.
     std::unique_lock<std::mutex> lock(stats_mutex_);
     stat_queries_ += batch.size();
     stat_failed_ += batch.size();
+    stat_dispatched_ += batch.size();
     stat_batches_ += 1;
     return;
   }
 
-  const auto now = std::chrono::steady_clock::now();
+  // Best-effort coverage: the fraction of the stored template set the
+  // answering shards actually hold (1.0 in the healthy case).
+  std::size_t covered = 0;
+  for (const std::size_t s : answered) {
+    covered += shards_[s]->columns;
+  }
+  const double coverage =
+      total_columns_ == 0 ? 1.0
+                          : static_cast<double>(covered) / static_cast<double>(total_columns_);
+  const bool degraded_now = brownout_;
+
+  const Clock::TimePoint now = clock_->now();
   std::vector<Recognition> merged;
   merged.reserve(batch.size());
   std::vector<double> latencies_us;
   latencies_us.reserve(batch.size());
   std::uint64_t escalated = 0;
   std::uint64_t rejected = 0;
-  std::vector<Recognition*> answers(shards_.size());
+  std::vector<Recognition*> answers(answered.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      answers[s] = &per_shard[s][i];
+    for (std::size_t k = 0; k < answered.size(); ++k) {
+      answers[k] = &per_shard[answered[k]][i];
     }
-    merged.push_back(merge(answers));
-    const Recognition& answer = merged.back();
+    Recognition answer = merge(answers, answered);
+    answer.coverage = coverage;
+    if (degraded_now) {
+      answer.degraded = true;
+    }
     if (const TieredRecognitionDetail* tiered = answer.tiered()) {
       escalated += tiered->tier == 1 ? 1 : 0;
     }
     rejected += answer.accepted ? 0 : 1;
     latencies_us.push_back(
         std::chrono::duration<double, std::micro>(now - batch[i].enqueued).count());
+    merged.push_back(std::move(answer));
   }
 
   // Stats first: once a future resolves, a client may read stats() and
@@ -515,9 +935,17 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   {
     std::unique_lock<std::mutex> lock(stats_mutex_);
     stat_queries_ += batch.size();
+    stat_dispatched_ += batch.size();
     stat_batches_ += 1;
     stat_escalated_ += escalated;
     stat_rejected_ += rejected;
+    if (degraded_now) {
+      stat_degraded_ += batch.size();
+    }
+    if (coverage < 1.0) {
+      stat_best_effort_ += batch.size();
+    }
+    stat_coverage_sum_ += coverage * static_cast<double>(batch.size());
     for (const double latency_us : latencies_us) {
       stat_latency_sum_us_ += latency_us;
       stat_latency_max_us_ = std::max(stat_latency_max_us_, latency_us);
@@ -526,6 +954,77 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i].deliver(std::move(merged[i]), nullptr);
+  }
+
+  controller_step(latencies_us);
+}
+
+void RecognitionService::controller_step(const std::vector<double>& latencies_us) {
+  const OverloadControlConfig& oc = config_.overload;
+  if (!oc.enabled || tiered_.empty()) {
+    return;
+  }
+  for (const double latency : latencies_us) {
+    window_latency_us_.add(latency);
+    window_max_us_ = std::max(window_max_us_, latency);
+  }
+  window_count_ += latencies_us.size();
+  if (window_count_ < oc.period_queries) {
+    return;
+  }
+  const double p99 = std::min(window_latency_us_.percentile(0.99), window_max_us_);
+  bool changed = false;
+  // Multiplicative servo on the live TieredEngine escalation threshold:
+  // tighten = escalate less (cheaper, faster), relax = walk back toward
+  // the construction-time margin. Tightening from a positive margin never
+  // reaches exactly zero, so relaxing (division) always recovers.
+  const auto adjust = [&](bool tighten) {
+    for (std::size_t i = 0; i < tiered_.size(); ++i) {
+      const double margin = tiered_[i]->escalation_margin();
+      const double next = tighten
+                              ? std::max(oc.min_escalation_margin, margin * oc.margin_step)
+                              : std::min(base_margins_[i], margin / oc.margin_step);
+      if (next != margin) {
+        tiered_[i]->set_escalation_margin(next);
+        changed = true;
+      }
+    }
+  };
+  if (p99 > oc.brownout_factor * oc.target_p99_us) {
+    // Second watermark: brown out — tier 0 answers everything, answers
+    // are flagged `degraded` — and keep tightening for the recovery.
+    if (!brownout_) {
+      brownout_ = true;
+      for (TieredEngine* tiered : tiered_) {
+        tiered->set_force_tier0(true);
+      }
+      changed = true;
+    }
+    adjust(/*tighten=*/true);
+  } else if (p99 > oc.target_p99_us) {
+    adjust(/*tighten=*/true);
+  } else {
+    // Back under the SLO: brown-out lifts (hysteresis: it held while p99
+    // sat between the target and the brown-out watermark), and a deep
+    // margin walks back once p99 clears the low watermark.
+    if (brownout_) {
+      brownout_ = false;
+      for (TieredEngine* tiered : tiered_) {
+        tiered->set_force_tier0(false);
+      }
+      changed = true;
+    }
+    if (p99 < oc.low_watermark * oc.target_p99_us) {
+      adjust(/*tighten=*/false);
+    }
+  }
+  window_latency_us_ = GeometricHistogram{};
+  window_max_us_ = 0.0;
+  window_count_ = 0;
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  stat_brownout_ = brownout_;
+  if (changed) {
+    stat_controller_adjustments_ += 1;
   }
 }
 

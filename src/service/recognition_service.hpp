@@ -27,6 +27,42 @@
 /// bit-exact and need no care). Under that contract a sharded service
 /// answers winner-for-winner identically to one flat engine holding the
 /// whole template set — tested in tests/service/.
+///
+/// Overload & failure hardening (README "Overload & failure handling"):
+///
+///  * Deadlines — submit()/submit_batch() take a per-query deadline; the
+///    collector sheds expired queries at batch formation (the future
+///    fails with DeadlineExceeded, counted as `shed_deadline`, never
+///    `failed`), so shard time is never spent on answers nobody wants.
+///  * Bounded queue — `max_queue` caps the pending-request depth; beyond
+///    it submissions throw the retriable Overloaded instead of growing
+///    the queue (and the latency tail) without bound.
+///  * Shard fault tolerance — a shard whose engine throws is retried up
+///    to `shard_retries` times, then skipped for the batch; repeated
+///    failures trip a per-shard circuit breaker (cooldown with
+///    exponential backoff, half-open probe on expiry). A shard that
+///    exceeds `shard_timeout` is *abandoned*: its worker keeps running
+///    (it will discard the stale results), the dispatch proceeds without
+///    it. Either way the merge returns best-effort answers over the
+///    shards that did respond, with `Recognition.coverage` < 1 telling
+///    the client which fraction of the template set was searched.
+///  * Adaptive overload control — with `overload.enabled`, a controller
+///    on the collector thread servos the TieredEngine escalation
+///    threshold against a p99-latency SLO; past a second watermark it
+///    forces tier-0-only *brown-out* serving (answers flagged
+///    `degraded`) until the latency recovers.
+///  * Graceful shutdown — destruction and store_templates() re-init fail
+///    every queued future with ServiceStopped; a future is never
+///    silently dropped. (A worker stuck *inside* an engine call must be
+///    unstuck — e.g. FaultSwitch::release() — before destruction, or the
+///    join blocks; the service cannot preempt a hung engine.)
+///  * Idle scrubbing — with `idle_scrub_interval`, the collector posts
+///    LeafCacheEngine verify-read scrubs to the shard workers whenever
+///    the service goes idle after enough traffic, so endurance repair
+///    runs out of the serving path.
+///
+/// All time is read through the injected core/clock.hpp Clock, so every
+/// one of these policies is testable with a FakeClock and zero sleeps.
 
 #pragma once
 
@@ -44,11 +80,36 @@
 #include "amm/engine.hpp"
 #include "amm/leaf_cache_engine.hpp"
 #include "amm/tiered_engine.hpp"
+#include "core/clock.hpp"
 #include "core/statistics.hpp"
 #include "datapath/input_stage_cache.hpp"
 #include "vision/features.hpp"
 
 namespace spinsim {
+
+/// Collector-thread overload controller: servo the tiered escalation
+/// threshold (and, past a second watermark, brown out to tier-0-only
+/// serving) against a client-latency SLO. Inert unless the shard engines
+/// are TieredEngines (directly or behind a FaultInjectingEngine).
+struct OverloadControlConfig {
+  bool enabled = false;
+  /// The p99 client-latency SLO the controller defends [us].
+  double target_p99_us = 0.0;
+  /// Brown-out watermark: p99 above `brownout_factor * target_p99_us`
+  /// forces tier-0-only serving (answers flagged `degraded`) until p99
+  /// falls back under the target.
+  double brownout_factor = 2.0;
+  /// Relax watermark: p99 below `low_watermark * target_p99_us` walks the
+  /// escalation threshold back toward its construction-time value.
+  double low_watermark = 0.5;
+  /// Floor the servo never tightens the escalation margin below.
+  double min_escalation_margin = 0.0;
+  /// Multiplicative step per adjustment period: tighten multiplies the
+  /// live margin by this (in (0, 1]), relax divides by it.
+  double margin_step = 0.5;
+  /// Delivered queries per controller decision (the p99 window length).
+  std::uint64_t period_queries = 256;
+};
 
 /// Tuning knobs of one RecognitionService.
 struct RecognitionServiceConfig {
@@ -69,25 +130,85 @@ struct RecognitionServiceConfig {
   /// input_full_scale_override and row_target_conductance) — the same
   /// contract that makes shard scores comparable.
   bool dedup_input_stage = false;
+
+  /// Time source for deadlines, latencies and breaker cooldowns. Null
+  /// picks the shared SteadyClock; tests inject a FakeClock. (Condition-
+  /// variable *waits* still run on the real clock — a FakeClock controls
+  /// every time-point comparison, not thread scheduling.)
+  std::shared_ptr<Clock> clock;
+  /// Queue-depth cap: pending requests beyond this are refused with the
+  /// retriable Overloaded (counted as `rejected_overload`; no future is
+  /// created). 0 = unbounded, the pre-hardening behaviour.
+  std::size_t max_queue = 0;
+  /// Stuck-shard watchdog: how long a dispatch waits for one shard's
+  /// recognize_batch before abandoning it for this batch (its results are
+  /// discarded when they eventually arrive, and the wait counts toward
+  /// the shard's circuit breaker). 0 disables the watchdog — a dispatch
+  /// then waits forever, the pre-hardening behaviour.
+  std::chrono::microseconds shard_timeout{0};
+  /// In-dispatch retries after a shard engine throws, before the shard is
+  /// skipped for the batch.
+  std::size_t shard_retries = 1;
+  /// Consecutive failed dispatches (throws after retry, or timeouts) that
+  /// trip a shard's circuit breaker open.
+  std::size_t breaker_failure_threshold = 3;
+  /// Breaker cooldown before the half-open probe; doubles (`breaker_backoff`)
+  /// per consecutive ejection, capped at `breaker_max_cooldown`.
+  std::chrono::microseconds breaker_cooldown{100000};
+  double breaker_backoff = 2.0;
+  std::chrono::microseconds breaker_max_cooldown{5000000};
+  /// Idle scrubbing: when > 0 and the service goes idle after at least
+  /// this many delivered queries since the last round, the collector
+  /// posts a verify-read scrub (LeafCacheEngine::verify_and_repair) to
+  /// every shard worker holding leaf caches. 0 disables.
+  std::uint64_t idle_scrub_interval = 0;
+  /// Adaptive overload control (see OverloadControlConfig).
+  OverloadControlConfig overload;
+};
+
+/// Per-query submission options.
+struct SubmitOptions {
+  /// Relative deadline: how long past submission the answer is still
+  /// wanted. The collector sheds the query (DeadlineExceeded) if it is
+  /// still queued when the deadline passes. 0 = no deadline.
+  std::chrono::microseconds deadline{0};
 };
 
 /// Running counters of one service instance.
 struct RecognitionServiceStats {
-  /// Delivered futures, *failed ones included*: a query whose dispatch
-  /// raised counts here and in `failed`, so mean_batch_size stays
-  /// queries/batches for every dispatch the collector issued.
+  /// Delivered futures — *failed and shed ones included*: every future
+  /// the service ever fulfilled shows up here exactly once.
   std::uint64_t queries = 0;
-  std::uint64_t failed = 0;         ///< futures that carried an exception
+  std::uint64_t failed = 0;         ///< futures that carried an engine/shard error
   std::uint64_t batches = 0;        ///< dispatches (micro-batches)
-  double mean_batch_size = 0.0;     ///< queries / batches
+  double mean_batch_size = 0.0;     ///< dispatched queries / batches
   double mean_latency_us = 0.0;     ///< submit -> future fulfilled (successes)
   double max_latency_us = 0.0;
   /// Client-side latency quantiles (submit -> future fulfilled), for the
-  /// per-query SLO story; failed queries are excluded, like the mean.
+  /// per-query SLO story; failed/shed queries are excluded, like the mean.
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double queries_per_sec = 0.0;     ///< since store_templates()
+
+  // Overload / degradation accounting.
+  std::uint64_t shed_deadline = 0;     ///< shed before dispatch (DeadlineExceeded)
+  std::uint64_t rejected_overload = 0; ///< refused at submit (queue full; no future)
+  std::uint64_t degraded = 0;          ///< answers served in brown-out mode
+  std::uint64_t best_effort = 0;       ///< answers with coverage < 1
+  double mean_coverage = 0.0;          ///< mean Recognition.coverage (successes)
+  bool brownout_active = false;        ///< controller currently forcing tier 0
+  /// Mean live TieredEngine escalation threshold across shards (the servo
+  /// output; equals the construction-time margin when the controller is
+  /// off or inactive, 0 with no tiered shards).
+  double escalation_margin = 0.0;
+  std::uint64_t controller_adjustments = 0;  ///< periods that changed the servo
+
+  // Shard fault accounting, summed across shards.
+  std::uint64_t shard_failures = 0;   ///< dispatch attempts that threw
+  std::uint64_t shard_timeouts = 0;   ///< dispatches abandoned by the watchdog
+  std::uint64_t shard_retries = 0;    ///< in-dispatch retry attempts
+  std::uint64_t breaker_ejections = 0;  ///< breaker open transitions
 
   // Tiered-routing / admission-control accounting. `escalated` counts
   // merged answers whose winning shard served from tier 1 (nonzero only
@@ -124,19 +245,29 @@ struct RecognitionServiceStats {
   std::uint64_t leaf_unrepairable = 0;         ///< faults left in service
   std::uint64_t leaf_worn_out_devices = 0;     ///< devices currently stuck
   std::uint64_t leaf_max_slot_write_cycles = 0;  ///< worst slot wear anywhere
+  std::uint64_t leaf_verify_scans = 0;         ///< verify-read passes run
+  std::uint64_t idle_scrubs = 0;               ///< idle scrub rounds posted
 
   // Input-stage dedup accounting (nonzero only with dedup_input_stage):
   // how many realised-row-current evaluations ran vs were shared.
   std::uint64_t input_stage_computes = 0;
   std::uint64_t input_stage_hits = 0;
 
-  /// Per-shard engine-time quantiles, one entry per shard: the time that
-  /// shard's recognize_batch took per dispatched micro-batch.
+  /// Circuit-breaker position of one shard in the stats snapshot.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// Per-shard engine-time quantiles and health, one entry per shard.
   struct ShardStats {
     std::uint64_t batches = 0;
     double p50_batch_us = 0.0;
     double p95_batch_us = 0.0;
     double p99_batch_us = 0.0;
+    BreakerState breaker = BreakerState::kClosed;
+    bool available = false;   ///< breaker not open and worker not wedged
+    std::uint64_t failures = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t ejections = 0;
   };
   std::vector<ShardStats> shards;
 };
@@ -151,7 +282,8 @@ class RecognitionService {
 
   RecognitionService(const RecognitionServiceConfig& config, EngineFactory factory);
 
-  /// Drains outstanding requests, then stops the worker threads.
+  /// Stops the worker threads; every still-queued request's future fails
+  /// with ServiceStopped (shutdown never abandons a future).
   ~RecognitionService();
 
   RecognitionService(const RecognitionService&) = delete;
@@ -160,21 +292,27 @@ class RecognitionService {
   /// Splits `templates` contiguously across the configured shards,
   /// builds one engine per shard through the factory, programs each with
   /// its slice, and starts the collector + shard worker threads. Every
-  /// shard must receive at least two templates.
+  /// shard must receive at least two templates. Re-callable: a second
+  /// call first shuts the running edge down (queued futures fail with
+  /// ServiceStopped, stats reset) and then brings up the new shard set.
   void store_templates(const std::vector<FeatureVector>& templates);
 
   /// Enqueues one query. The future's Recognition carries the *global*
   /// template index; its detail is the winning shard's (shard-local
   /// routing indices and all), and its margin is the winning shard's
   /// local margin capped by the relative cross-shard score gap (see
-  /// merge()), so it never overstates flat-engine confidence.
-  std::future<Recognition> submit(FeatureVector input);
+  /// merge()), so it never overstates flat-engine confidence. Throws
+  /// Overloaded when the queue is at max_queue.
+  std::future<Recognition> submit(FeatureVector input, const SubmitOptions& options = {});
 
   /// Enqueues a whole batch (one lock round-trip, so the admission
   /// window coalesces it into as few dispatches as max_batch allows).
   /// The future resolves once every query of the batch is answered,
-  /// results[i] corresponding to inputs[i].
-  std::future<std::vector<Recognition>> submit_batch(std::vector<FeatureVector> inputs);
+  /// results[i] corresponding to inputs[i]. Admission is all-or-nothing:
+  /// if the batch does not fit under max_queue, nothing is enqueued and
+  /// Overloaded is thrown.
+  std::future<std::vector<Recognition>> submit_batch(std::vector<FeatureVector> inputs,
+                                                     const SubmitOptions& options = {});
 
   /// Blocks until everything submitted so far has been fulfilled.
   void drain();
@@ -197,39 +335,86 @@ class RecognitionService {
     /// Fulfils the client future: a result, or an exception from the
     /// shard engine (never both).
     std::function<void(Recognition&&, std::exception_ptr)> deliver;
-    std::chrono::steady_clock::time_point enqueued;
+    Clock::TimePoint enqueued;
+    /// Absolute shed deadline (TimePoint::max() = none).
+    Clock::TimePoint deadline;
+  };
+
+  /// Per-shard serving health, written only by the collector thread
+  /// (under stats_mutex_, so stats() snapshots are consistent).
+  struct Health {
+    RecognitionServiceStats::BreakerState state =
+        RecognitionServiceStats::BreakerState::kClosed;
+    std::size_t consecutive_failures = 0;
+    Clock::TimePoint open_until{};
+    std::chrono::microseconds cooldown{0};  ///< next open duration (backoff)
+    std::uint64_t failures = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t ejections = 0;
   };
 
   struct Shard {
     std::unique_ptr<AssociativeEngine> engine;
-    std::size_t base = 0;  ///< global index of the shard's first template
+    std::size_t base = 0;     ///< global index of the shard's first template
+    std::size_t columns = 0;  ///< templates stored on this shard
     std::thread worker;
+    /// Mutable leaf caches inside `engine` (scrub targets), found once at
+    /// store_templates() — the worker thread runs the scrubs.
+    std::vector<LeafCacheEngine*> leaf_caches;
 
-    // Collector -> worker handoff: one batch at a time.
+    // Collector -> worker handoff: one batch at a time, generation-tagged
+    // so an abandoned (timed-out) job's late results are discarded
+    // instead of being mistaken for the next batch's.
     std::mutex mutex;
     std::condition_variable cv;
     const std::vector<FeatureVector>* job = nullptr;
+    std::uint64_t job_gen = 0;        ///< generation of the posted job
+    std::uint64_t done_gen = 0;       ///< generation of the last completed job
+    std::uint64_t abandoned_gen = 0;  ///< generations the collector gave up on
+    bool busy = false;                ///< worker holds a job it has not finished
+    bool scrub = false;               ///< pending idle-scrub request
     std::vector<Recognition> results;
     std::exception_ptr job_error;
-    bool job_done = false;
     bool stop = false;
 
     // Engine time per dispatched batch [us], written by the worker under
     // `mutex` while posting results, read by stats().
     GeometricHistogram batch_latency_us;
     std::uint64_t batches_run = 0;
+
+    Health health;  // guarded by the service's stats_mutex_
   };
 
   void collector_loop();
-  static void shard_loop(Shard* shard, std::size_t engine_threads);
+  void shard_loop(Shard* shard);
   void dispatch(std::vector<Request>& batch);
-  Recognition merge(std::vector<Recognition*>& shard_answers) const;
+  /// Hands a generation-tagged batch to the shard worker.
+  void post_job(Shard& shard, const std::vector<FeatureVector>& inputs);
+  /// Waits for the posted job (bounded by shard_timeout when set).
+  /// Returns false when the watchdog abandoned it — the shard stays busy
+  /// until its worker notices and discards the stale results.
+  bool await_job(Shard& shard, std::vector<Recognition>& results, std::exception_ptr& error);
+  Recognition merge(const std::vector<Recognition*>& shard_answers,
+                    const std::vector<std::size_t>& shard_ids) const;
   void enqueue(Request&& request);
+  /// Fails every request in `doomed` with ServiceStopped (shutdown path).
+  void fail_stopped(std::vector<Request>& doomed);
+  void stop_threads();
+  void controller_step(const std::vector<double>& latencies_us);
+  void maybe_post_idle_scrub();
 
   RecognitionServiceConfig config_;
   EngineFactory factory_;
+  std::shared_ptr<Clock> clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t total_columns_ = 0;
   std::shared_ptr<InputStageCache> input_cache_;  // set iff dedup_input_stage
+  /// Tiered engines inside the shards (directly or behind a
+  /// FaultInjectingEngine) — the overload controller's actuators — and
+  /// their construction-time margins (the relax ceiling).
+  std::vector<TieredEngine*> tiered_;
+  std::vector<double> base_margins_;
 
   std::thread collector_;
   mutable std::mutex queue_mutex_;
@@ -240,16 +425,32 @@ class RecognitionService {
   bool stopping_ = false;
   bool started_ = false;
 
+  // Collector-thread-only overload-controller state.
+  bool brownout_ = false;
+  GeometricHistogram window_latency_us_;
+  double window_max_us_ = 0.0;
+  std::uint64_t window_count_ = 0;
+  std::uint64_t queries_since_scrub_ = 0;
+
   mutable std::mutex stats_mutex_;
   std::uint64_t stat_queries_ = 0;
   std::uint64_t stat_failed_ = 0;
   std::uint64_t stat_batches_ = 0;
+  std::uint64_t stat_dispatched_ = 0;
   std::uint64_t stat_escalated_ = 0;
   std::uint64_t stat_rejected_ = 0;
+  std::uint64_t stat_shed_deadline_ = 0;
+  std::uint64_t stat_rejected_overload_ = 0;
+  std::uint64_t stat_degraded_ = 0;
+  std::uint64_t stat_best_effort_ = 0;
+  double stat_coverage_sum_ = 0.0;
+  std::uint64_t stat_idle_scrubs_ = 0;
+  std::uint64_t stat_controller_adjustments_ = 0;
+  bool stat_brownout_ = false;
   double stat_latency_sum_us_ = 0.0;
   double stat_latency_max_us_ = 0.0;
   GeometricHistogram stat_latency_us_;
-  std::chrono::steady_clock::time_point started_at_;
+  Clock::TimePoint started_at_;
 };
 
 /// Composes two engine factories into one that builds a TieredEngine per

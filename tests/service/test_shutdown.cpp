@@ -1,0 +1,170 @@
+/// Graceful-shutdown regressions: neither destruction nor a
+/// store_templates() re-init ever abandons a client future. Every queued
+/// request fails promptly with ServiceStopped; in-flight work completes.
+/// Timing is orchestrated with a FaultSwitch (the collector is provably
+/// wedged inside a shard call while we queue the doomed requests), so
+/// there are no sleeps and no races on "did it dispatch yet".
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "amm/fault_injection.hpp"
+#include "core/error.hpp"
+#include "service/recognition_service.hpp"
+
+namespace spinsim {
+namespace {
+
+/// Fixed-answer stub backend (service tests all compile into one binary;
+/// anonymous namespace keeps this copy private to the file).
+class ScriptedEngine : public AssociativeEngine {
+ public:
+  std::string name() const override { return "scripted"; }
+  std::size_t template_count() const override { return columns_; }
+  void store_templates(const std::vector<FeatureVector>& templates) override {
+    columns_ = templates.size();
+  }
+  Recognition recognize(const FeatureVector&) override {
+    Recognition r;
+    r.winner = 0;
+    r.score = 1.0;
+    r.margin = 0.5;
+    r.accepted = true;
+    return r;
+  }
+  std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
+                                           std::size_t) override {
+    return std::vector<Recognition>(inputs.size(), recognize(inputs.front()));
+  }
+  PowerReport power() const override { return {}; }
+  EnergyPerQuery energy_per_query() const override { return 1e-9 * units::J / units::query; }
+
+ private:
+  std::size_t columns_ = 0;
+};
+
+std::vector<FeatureVector> scripted_templates() {
+  std::vector<FeatureVector> templates(4);
+  for (auto& t : templates) {
+    t.analog.assign(4, 0.5);
+    t.digital.assign(4, 16);
+  }
+  return templates;
+}
+
+/// One scripted shard behind a FaultSwitch-controlled injector.
+RecognitionService::EngineFactory stuck_factory(std::shared_ptr<FaultSwitch> control) {
+  return [control](std::size_t, std::size_t) -> std::unique_ptr<AssociativeEngine> {
+    return std::make_unique<FaultInjectingEngine>(std::make_unique<ScriptedEngine>(),
+                                                  FaultInjectionConfig{}, control);
+  };
+}
+
+RecognitionServiceConfig one_stuck_shard_config() {
+  RecognitionServiceConfig config;
+  config.shards = 1;
+  config.max_batch = 1;  // q1 dispatches alone; later queries stay queued
+  config.admission_window = std::chrono::microseconds(0);
+  return config;
+}
+
+/// Sticks the switch, dispatches q1 into the wedged shard, then queues
+/// q2/q3 behind it. On return the collector is provably inside the shard
+/// call and q2/q3 are still in the request queue.
+struct WedgedService {
+  std::shared_ptr<FaultSwitch> control = std::make_shared<FaultSwitch>();
+  std::unique_ptr<RecognitionService> service;
+  RecognitionService* raw = nullptr;  ///< stays valid while ~service joins the wedged worker
+  std::future<Recognition> in_flight;
+  std::vector<std::future<Recognition>> queued;
+
+  WedgedService() {
+    service =
+        std::make_unique<RecognitionService>(one_stuck_shard_config(), stuck_factory(control));
+    raw = service.get();
+    service->store_templates(scripted_templates());
+    control->stick();
+    in_flight = service->submit(scripted_templates().front());
+    while (control->stuck_calls() == 0) {
+      std::this_thread::yield();
+    }
+    queued.push_back(service->submit(scripted_templates().front()));
+    queued.push_back(service->submit(scripted_templates().front()));
+  }
+
+  /// Spins (yielding) until the shutdown initiated on another thread is
+  /// visible — i.e. submissions are refused — so the queued futures are
+  /// provably doomed before the worker is unwedged. Probes accepted in
+  /// the race window join `queued` and are doomed with the rest. (The
+  /// shutdown thread is parked joining the wedged worker the whole time,
+  /// so the service object outlives every probe.)
+  void wait_until_stopping() {
+    for (;;) {
+      try {
+        queued.push_back(raw->submit(scripted_templates().front()));
+      } catch (const InvalidArgument&) {
+        return;  // "service is shutting down"
+      }
+      std::this_thread::yield();
+    }
+  }
+};
+
+TEST(ServiceShutdown, DestructorFailsQueuedFuturesWithServiceStopped) {
+  WedgedService w;
+
+  // Destruction blocks on the wedged worker (the service cannot preempt a
+  // hung engine), so run it on its own thread, wait until the shutdown is
+  // in force, and only then release the jam.
+  std::thread destroyer([&] { w.service.reset(); });
+  w.wait_until_stopping();
+  w.control->release();
+  destroyer.join();
+
+  // The in-flight query was real work and completes; the queued ones are
+  // failed — not hung, not dropped — with the shutdown error.
+  EXPECT_EQ(w.in_flight.get().winner, 0u);
+  for (auto& future : w.queued) {
+    EXPECT_THROW(future.get(), ServiceStopped);
+  }
+}
+
+TEST(ServiceShutdown, ReinitFailsQueuedFuturesAndServesFresh) {
+  WedgedService w;
+
+  // store_templates() on a live service is a full re-init: same shutdown
+  // contract for the old queue, then a fresh serving edge.
+  std::thread reiniter([&] { w.service->store_templates(scripted_templates()); });
+  w.wait_until_stopping();
+  w.control->release();
+  reiniter.join();
+
+  EXPECT_EQ(w.in_flight.get().winner, 0u);
+  for (auto& future : w.queued) {
+    EXPECT_THROW(future.get(), ServiceStopped);
+  }
+
+  // The re-initialised service serves, and its stats restarted from zero
+  // (the ServiceStopped deliveries belonged to the old incarnation).
+  EXPECT_EQ(w.service->submit(scripted_templates().front()).get().winner, 0u);
+  const RecognitionServiceStats stats = w.service->stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServiceShutdown, IdleDestructionIsClean) {
+  // The trivial path stays trivial: destroying an idle service (and one
+  // that served everything it was given) must not hang or throw.
+  auto control = std::make_shared<FaultSwitch>();
+  RecognitionService service(one_stuck_shard_config(), stuck_factory(control));
+  service.store_templates(scripted_templates());
+  EXPECT_EQ(service.submit(scripted_templates().front()).get().winner, 0u);
+  service.drain();
+}
+
+}  // namespace
+}  // namespace spinsim

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint for spinsim.
 
-Four checks, each encoding a repo invariant the compiler cannot see:
+Five checks, each encoding a repo invariant the compiler cannot see:
 
   rng-determinism   No ambient/unseeded randomness outside src/core/random*:
                     std::random_device, rand()/srand(), and time()-derived
@@ -25,6 +25,13 @@ Four checks, each encoding a repo invariant the compiler cannot see:
   sleep-in-tests    No std::this_thread::sleep_for in tests/: timing-based
                     synchronization is flaky under load. Tests synchronize
                     on futures, condition variables, or drain().
+
+  bare-clock        No bare std::chrono clock reads (steady_clock::now()
+                    and friends, or aliasing a chrono clock type) outside
+                    src/core/clock* — time must flow through the injected
+                    core/clock.hpp Clock so deadlines, breaker cooldowns
+                    and scrub scheduling stay testable with a FakeClock.
+                    Wall-clock bench pacing earns an explicit lint:allow.
 
 Usage: tools/lint/spinsim_lint.py [--root DIR]
 Exit status: 0 clean, 1 violations found.
@@ -165,6 +172,31 @@ def check_sleep(root, path, rel, lines, findings, suppressed):
                            "not wall-clock sleeps"))
 
 
+# --- check: bare-clock ----------------------------------------------------
+
+CLOCK_NOW_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+CLOCK_ALIAS_RE = re.compile(
+    r"=\s*std::chrono::(?:steady_clock|system_clock|high_resolution_clock)\b")
+
+
+def check_bare_clock(root, path, rel, lines, findings, suppressed):
+    if rel.parts[:2] == ("src", "core") and rel.name.startswith("clock"):
+        return  # the one sanctioned raw-clock site (SteadyClock itself)
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if CLOCK_NOW_RE.search(code):
+            record(findings, suppressed, raw, "bare-clock",
+                   Finding("bare-clock", rel, lineno, raw,
+                           "read time through the injected core/clock.hpp "
+                           "Clock, not a raw chrono clock"))
+        elif CLOCK_ALIAS_RE.search(code):
+            record(findings, suppressed, raw, "bare-clock",
+                   Finding("bare-clock", rel, lineno, raw,
+                           "aliasing a raw chrono clock bypasses the "
+                           "core/clock.hpp injection seam"))
+
+
 # --------------------------------------------------------------------------
 
 def record(findings, suppressed, raw_line, check, finding):
@@ -175,7 +207,7 @@ def record(findings, suppressed, raw_line, check, finding):
         findings.append(finding)
 
 
-CHECKS = [check_rng, check_raw_double, check_bare_lock, check_sleep]
+CHECKS = [check_rng, check_raw_double, check_bare_lock, check_sleep, check_bare_clock]
 
 
 def main():
