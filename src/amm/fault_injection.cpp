@@ -8,13 +8,13 @@
 namespace spinsim {
 
 void FaultSwitch::stick() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   stick_requested_ = true;
 }
 
 void FaultSwitch::release() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stick_requested_ = false;
   }
   cv_.notify_all();
@@ -25,17 +25,19 @@ void FaultSwitch::set_throwing(bool throwing) {
 }
 
 std::size_t FaultSwitch::stuck_calls() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stuck_calls_;
 }
 
 bool FaultSwitch::wait_if_stuck() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (!stick_requested_) {
     return false;
   }
   ++stuck_calls_;
-  cv_.wait(lock, [this] { return !stick_requested_; });
+  // TSA cannot follow the cv's unlock/relock around the predicate; the
+  // lambda runs with mutex_ held by construction.
+  cv_.wait(lock, [this]() SPINSIM_NO_TSA { return !stick_requested_; });
   --stuck_calls_;
   return true;
 }

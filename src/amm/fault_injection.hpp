@@ -33,15 +33,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "amm/engine.hpp"
 #include "core/random.hpp"
+#include "core/sync.hpp"
 
 namespace spinsim {
 
@@ -85,10 +84,12 @@ class FaultSwitch {
   bool wait_if_stuck();
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stick_requested_ = false;
-  std::size_t stuck_calls_ = 0;
+  mutable Mutex mutex_{LockRank::kFaultSwitch};
+  CondVar cv_;
+  bool stick_requested_ SPINSIM_GUARDED_BY(mutex_) = false;
+  std::size_t stuck_calls_ SPINSIM_GUARDED_BY(mutex_) = 0;
+  /// Release/acquire pair: set_throwing() publishes, the shard worker's
+  /// throwing() read observes — no lock on the serving path.
   std::atomic<bool> throwing_{false};
 };
 

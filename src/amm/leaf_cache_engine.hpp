@@ -285,6 +285,14 @@ class LeafCacheEngine : public AssociativeEngine {
   std::size_t total_templates_ = 0;
   std::size_t largest_leaf_ = 0;
 
+  // Threading: all cache state below (slots, residency map, LRU clock,
+  // substrates, verify cadence) is owned by the single serving thread —
+  // one LeafCacheEngine belongs to one shard worker, and the service's
+  // scrub calls arrive on that same worker. The std::atomic counters
+  // further down are the one cross-thread surface: counters() snapshots
+  // them from the stats/repair-alarm path while serving is in flight.
+  // Relaxed everywhere — independent monotonic tallies, no snapshot
+  // invariant spans two counters.
   std::vector<Slot> slots_;
   std::vector<std::ptrdiff_t> slot_of_;  // cluster -> slot index, -1 if absent
   std::uint64_t lru_clock_ = 0;

@@ -129,8 +129,14 @@ class TieredEngine : public AssociativeEngine {
   std::unique_ptr<AssociativeEngine> tier0_;
   std::unique_ptr<AssociativeEngine> tier1_;
 
-  // Live policy knobs (config_ keeps the construction-time values).
-  std::atomic<double> margin_;
+  // Threading: a TieredEngine is served by one shard worker; the tiers
+  // themselves are never shared. The atomics below exist so *other*
+  // threads (counters()/stats snapshots, live policy pokes) can read and
+  // write concurrently with serving. All relaxed: the knobs are
+  // independent policy samples with no publication protocol (each query
+  // reads whatever value is current), and the counters are monotonic
+  // tallies with no cross-counter invariant a snapshot must observe.
+  std::atomic<double> margin_;  // live knob (config_ keeps the ctor value)
   std::atomic<bool> force_tier0_{false};
 
   std::atomic<std::uint64_t> queries_{0};

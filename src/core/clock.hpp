@@ -64,7 +64,11 @@ class FakeClock : public Clock {
   void advance(Duration by);
 
  private:
-  // Offset from the fixed epoch, in steady_clock ticks.
+  // Offset from the fixed epoch, in steady_clock ticks. advance() is
+  // acq_rel and now() is acquire: a thread that observes the new time
+  // also observes every write the advancing test made before advancing —
+  // so "set up state, then advance past the deadline" publishes the
+  // state to whichever worker wakes on the deadline.
   std::atomic<Duration::rep> offset_{0};
 };
 

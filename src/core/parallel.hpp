@@ -11,9 +11,10 @@
 
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace spinsim {
 
@@ -47,7 +48,7 @@ void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
   }
 
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex(LockRank::kParallelError);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
@@ -57,7 +58,7 @@ void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
           fn(i);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        LockGuard lock(error_mutex);
         if (!error) {
           error = std::current_exception();
         }

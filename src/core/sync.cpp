@@ -1,0 +1,105 @@
+#include "core/sync.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spinsim {
+namespace {
+
+/// One relaxed load per lock operation — noise next to the lock itself.
+/// Defaults on in debug builds so every debug test run doubles as a
+/// lock-order audit; Release binaries (the tier-1 build) can opt in per
+/// test via set_lock_rank_checks(true).
+std::atomic<bool>& checks_flag() noexcept {
+  static std::atomic<bool> enabled{
+#ifdef NDEBUG
+      false
+#else
+      true
+#endif
+  };
+  return enabled;
+}
+
+/// Fixed-capacity per-thread stack: no heap traffic on the lock path and
+/// no destructor-order hazards at thread exit. Depth 32 is an order of
+/// magnitude beyond anything the rank table permits (8 distinct ranks).
+constexpr int kMaxDepth = 32;
+thread_local int g_rank_stack[kMaxDepth];
+thread_local int g_rank_depth = 0;
+
+[[noreturn]] void rank_violation(const char* what, int held, int acquiring) {
+  std::fprintf(stderr,
+               "spinsim lock-rank violation: %s (held rank %d, acquiring "
+               "rank %d) — see the lock-rank table in src/core/sync.hpp\n",
+               what, held, acquiring);
+  std::abort();
+}
+
+}  // namespace
+
+void set_lock_rank_checks(bool enabled) noexcept {
+  checks_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool lock_rank_checks_enabled() noexcept {
+  return checks_flag().load(std::memory_order_relaxed);
+}
+
+namespace sync_detail {
+
+void rank_acquire(int rank) {
+  if (g_rank_depth > 0 && lock_rank_checks_enabled()) {
+    const int top = g_rank_stack[g_rank_depth - 1];
+    if (rank <= top) {
+      rank_violation("locks must be acquired in strictly increasing rank "
+                     "order",
+                     top, rank);
+    }
+  }
+  if (g_rank_depth >= kMaxDepth) {
+    rank_violation("lock depth exceeded the rank-stack capacity",
+                   g_rank_stack[kMaxDepth - 1], rank);
+  }
+  g_rank_stack[g_rank_depth++] = rank;
+}
+
+void rank_release(int rank) noexcept {
+  // Locks may be released in any order (std::unique_lock allows it), so
+  // remove the most recent occurrence rather than insisting on LIFO.
+  for (int i = g_rank_depth - 1; i >= 0; --i) {
+    if (g_rank_stack[i] == rank) {
+      for (int j = i; j + 1 < g_rank_depth; ++j) {
+        g_rank_stack[j] = g_rank_stack[j + 1];
+      }
+      --g_rank_depth;
+      return;
+    }
+  }
+  if (lock_rank_checks_enabled()) {
+    rank_violation("released a rank this thread does not hold", -1, rank);
+  }
+}
+
+bool rank_held(int rank) noexcept {
+  for (int i = 0; i < g_rank_depth; ++i) {
+    if (g_rank_stack[i] == rank) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int rank_depth() noexcept { return g_rank_depth; }
+
+}  // namespace sync_detail
+
+void Mutex::assert_held() const {
+  if (lock_rank_checks_enabled() && !sync_detail::rank_held(rank_)) {
+    rank_violation("assert_held: calling thread does not hold this rank", -1,
+                   rank_);
+  }
+}
+
+}  // namespace spinsim

@@ -27,6 +27,13 @@
 /// that rewrites cannot bring back into its level window, the engine
 /// retires that physical column and reloads the leaf on the remaining
 /// healthy columns.
+///
+/// Threading: a substrate is plain (unsynchronized) state touched only
+/// by its slot's serving thread — programming, verify scans, repair and
+/// retirement all happen on the shard worker that owns the engine.
+/// Cross-thread visibility (e.g. a test injecting faults before serving
+/// resumes) is inherited from the shard job handoff, which synchronizes
+/// through spinsim::Mutex/CondVar (see service/recognition_service.hpp).
 
 #pragma once
 

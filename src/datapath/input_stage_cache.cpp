@@ -16,7 +16,7 @@ std::vector<double> InputStageCache::lookup_or_compute(
     const std::vector<std::uint32_t>& key,
     const std::function<std::vector<double>()>& compute) {
   const std::uint64_t h = hash_key(key);
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ++stats_.lookups;
   auto& bucket = entries_[h];
   for (const Entry& entry : bucket) {
@@ -37,12 +37,12 @@ std::vector<double> InputStageCache::lookup_or_compute(
 }
 
 void InputStageCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   entries_.clear();
 }
 
 InputStageCache::Stats InputStageCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stats_;
 }
 

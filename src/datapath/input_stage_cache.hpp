@@ -22,9 +22,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace spinsim {
 
@@ -58,9 +59,10 @@ class InputStageCache {
     std::vector<double> currents;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
-  Stats stats_;
+  mutable Mutex mutex_{LockRank::kInputStage};
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_
+      SPINSIM_GUARDED_BY(mutex_);
+  Stats stats_ SPINSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace spinsim

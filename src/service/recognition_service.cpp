@@ -86,7 +86,7 @@ RecognitionService::~RecognitionService() { stop_threads(); }
 
 void RecognitionService::stop_threads() {
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
+    LockGuard lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -99,7 +99,7 @@ void RecognitionService::stop_threads() {
   }
   for (auto& shard : shards_) {
     {
-      std::unique_lock<std::mutex> lock(shard->mutex);
+      LockGuard lock(shard->mutex);
       shard->stop = true;
     }
     shard->cv.notify_all();
@@ -109,11 +109,38 @@ void RecognitionService::stop_threads() {
   }
 }
 
+void RecognitionService::reset_stats_locked() {
+  stat_queries_ = 0;
+  stat_failed_ = 0;
+  stat_batches_ = 0;
+  stat_dispatched_ = 0;
+  stat_escalated_ = 0;
+  stat_rejected_ = 0;
+  stat_shed_deadline_ = 0;
+  stat_rejected_overload_ = 0;
+  stat_degraded_ = 0;
+  stat_best_effort_ = 0;
+  stat_coverage_sum_ = 0.0;
+  stat_idle_scrubs_ = 0;
+  stat_repair_alarms_ = 0;
+  stat_controller_adjustments_ = 0;
+  stat_brownout_ = false;
+  stat_latency_sum_us_ = 0.0;
+  stat_latency_max_us_ = 0.0;
+  stat_latency_us_ = GeometricHistogram{};
+  health_.clear();
+}
+
 void RecognitionService::store_templates(const std::vector<FeatureVector>& templates) {
   require(templates.size() >= 2 * config_.shards,
           "RecognitionService: every shard needs at least two templates");
 
-  if (started_) {
+  bool was_started = false;
+  {
+    LockGuard lock(queue_mutex_);
+    was_started = started_;
+  }
+  if (was_started) {
     // Re-initialisation: tear the running edge down first. The collector
     // fails every queued future with ServiceStopped, then every counter
     // and controller state resets — the new shard set starts clean.
@@ -123,7 +150,7 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     base_margins_.clear();
     input_cache_.reset();
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      LockGuard lock(queue_mutex_);
       stopping_ = false;
       started_ = false;
       in_flight_ = 0;
@@ -133,25 +160,10 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     window_max_us_ = 0.0;
     window_count_ = 0;
     queries_since_scrub_ = 0;
+    repair_alarm_active_ = false;
     {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
-      stat_queries_ = 0;
-      stat_failed_ = 0;
-      stat_batches_ = 0;
-      stat_dispatched_ = 0;
-      stat_escalated_ = 0;
-      stat_rejected_ = 0;
-      stat_shed_deadline_ = 0;
-      stat_rejected_overload_ = 0;
-      stat_degraded_ = 0;
-      stat_best_effort_ = 0;
-      stat_coverage_sum_ = 0.0;
-      stat_idle_scrubs_ = 0;
-      stat_controller_adjustments_ = 0;
-      stat_brownout_ = false;
-      stat_latency_sum_us_ = 0.0;
-      stat_latency_max_us_ = 0.0;
-      stat_latency_us_ = GeometricHistogram{};
+      LockGuard lock(stats_mutex_);
+      reset_stats_locked();
     }
   }
 
@@ -236,15 +248,22 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     Shard* raw = shard.get();
     shard->worker = std::thread([this, raw] { shard_loop(raw); });
   }
-  started_at_ = clock_->now();
-  started_ = true;
+  {
+    LockGuard lock(stats_mutex_);
+    started_at_ = clock_->now();
+    health_.assign(shards_.size(), Health{});
+  }
+  {
+    LockGuard lock(queue_mutex_);
+    started_ = true;
+  }
   collector_ = std::thread([this] { collector_loop(); });
 }
 
 void RecognitionService::enqueue(Request&& request) {
   bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
+    LockGuard lock(queue_mutex_);
     require(started_, "RecognitionService: store_templates() before submit");
     require(!stopping_, "RecognitionService: service is shutting down");
     if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
@@ -255,7 +274,7 @@ void RecognitionService::enqueue(Request&& request) {
   }
   if (rejected) {
     {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
+      LockGuard lock(stats_mutex_);
       stat_rejected_overload_ += 1;
     }
     throw Overloaded("RecognitionService: queue full (max_queue pending requests)");
@@ -290,7 +309,9 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
     std::vector<Recognition> results;
     std::size_t remaining = 0;
     bool failed = false;
-    std::mutex mutex;
+    // Rank kClientJoin: the deliver callbacks run on the collector thread
+    // with no other lock held.
+    Mutex mutex{LockRank::kClientJoin};
     std::promise<std::vector<Recognition>> promise;
   };
   auto join = std::make_shared<Join>();
@@ -313,7 +334,7 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
     request.enqueued = now;
     request.deadline = deadline;
     request.deliver = [join, i](Recognition&& result, std::exception_ptr error) {
-      std::unique_lock<std::mutex> lock(join->mutex);
+      LockGuard lock(join->mutex);
       if (error) {
         if (!join->failed) {
           join->failed = true;
@@ -335,7 +356,7 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
   // leaves the queue untouched.
   bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
+    LockGuard lock(queue_mutex_);
     require(started_, "RecognitionService: store_templates() before submit");
     require(!stopping_, "RecognitionService: service is shutting down");
     if (config_.max_queue > 0 && queue_.size() + requests.size() > config_.max_queue) {
@@ -348,7 +369,7 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
   }
   if (rejected) {
     {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
+      LockGuard lock(stats_mutex_);
       stat_rejected_overload_ += requests.size();
     }
     throw Overloaded("RecognitionService: queue full (batch exceeds max_queue)");
@@ -358,8 +379,10 @@ std::future<std::vector<Recognition>> RecognitionService::submit_batch(
 }
 
 void RecognitionService::drain() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  UniqueLock lock(queue_mutex_);
+  // TSA cannot follow the cv's unlock/relock; the predicate runs with
+  // queue_mutex_ held.
+  idle_cv_.wait(lock, [&]() SPINSIM_NO_TSA { return queue_.empty() && in_flight_ == 0; });
 }
 
 const AssociativeEngine& RecognitionService::shard(std::size_t index) const {
@@ -376,7 +399,7 @@ RecognitionServiceStats RecognitionService::stats() const {
   RecognitionServiceStats out;
   std::vector<Health> health(shards_.size());
   {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     out.queries = stat_queries_;
     out.failed = stat_failed_;
     out.batches = stat_batches_;
@@ -413,8 +436,16 @@ RecognitionServiceStats RecognitionService::stats() const {
       const double elapsed = std::chrono::duration<double>(clock_->now() - started_at_).count();
       out.queries_per_sec = elapsed > 0.0 ? static_cast<double>(stat_queries_) / elapsed : 0.0;
     }
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      health[s] = shards_[s]->health;
+    // The delivered-query denominator of the repair rate is pinned here,
+    // under the same lock that counted the deliveries, so the rate and
+    // the alarm counter below never disagree about "how much traffic".
+    if (stat_queries_ > 0) {
+      out.repair_rate_per_kq = static_cast<double>(repair_events_total()) * 1000.0 /
+                               static_cast<double>(stat_queries_);
+    }
+    out.repair_alarms = stat_repair_alarms_;
+    for (std::size_t s = 0; s < shards_.size() && s < health_.size(); ++s) {
+      health[s] = health_[s];
     }
   }
   // Live escalation threshold: the servo output, averaged over the
@@ -437,7 +468,7 @@ RecognitionServiceStats RecognitionService::stats() const {
     RecognitionServiceStats::ShardStats ss;
     bool busy = false;
     {
-      std::unique_lock<std::mutex> lock(shard->mutex);
+      LockGuard lock(shard->mutex);
       ss.batches = shard->batches_run;
       ss.p50_batch_us = shard->batch_latency_us.percentile(0.50);
       ss.p95_batch_us = shard->batch_latency_us.percentile(0.95);
@@ -495,7 +526,7 @@ void RecognitionService::fail_stopped(std::vector<Request>& doomed) {
   for (auto& request : doomed) {
     request.deliver(Recognition{}, stopped);
   }
-  std::unique_lock<std::mutex> lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   stat_queries_ += doomed.size();
   stat_failed_ += doomed.size();
 }
@@ -505,14 +536,17 @@ void RecognitionService::collector_loop() {
     std::vector<Request> batch;
     std::vector<Request> shed;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(queue_mutex_);
+      // The SPINSIM_NO_TSA predicates run with queue_mutex_ held — TSA
+      // cannot follow the cv's unlock/relock around them.
+      queue_cv_.wait(lock, [&]() SPINSIM_NO_TSA { return stopping_ || !queue_.empty(); });
       if (!stopping_ && queue_.size() < config_.max_batch &&
           config_.admission_window.count() > 0) {
         // Admission window: from the moment work is pending, wait a
         // bounded extra beat for more arrivals so they share one dispatch.
-        queue_cv_.wait_for(lock, config_.admission_window,
-                           [&] { return stopping_ || queue_.size() >= config_.max_batch; });
+        queue_cv_.wait_for(lock, config_.admission_window, [&]() SPINSIM_NO_TSA {
+          return stopping_ || queue_.size() >= config_.max_batch;
+        });
       }
       if (stopping_) {
         // Shutdown (or re-init): nothing queued gets dispatched, nothing
@@ -551,7 +585,7 @@ void RecognitionService::collector_loop() {
       for (auto& request : shed) {
         request.deliver(Recognition{}, expired);
       }
-      std::unique_lock<std::mutex> lock(stats_mutex_);
+      LockGuard lock(stats_mutex_);
       stat_queries_ += shed.size();
       stat_shed_deadline_ += shed.size();
     }
@@ -560,10 +594,11 @@ void RecognitionService::collector_loop() {
     }
 
     dispatch(batch);
+    maybe_raise_repair_alarm();
 
     bool idle = false;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      LockGuard lock(queue_mutex_);
       in_flight_ -= batch.size();
       idle = queue_.empty() && in_flight_ == 0;
       if (idle) {
@@ -577,6 +612,41 @@ void RecognitionService::collector_loop() {
   }
 }
 
+std::uint64_t RecognitionService::repair_events_total() const {
+  // Relaxed atomic counter reads inside the leaf caches — safe against
+  // live worker traffic, no lock taken.
+  std::uint64_t events = 0;
+  for (const auto& shard : shards_) {
+    for (const LeafCacheEngine* leaf_cache : shard->leaf_caches) {
+      const LeafCacheCounters counters = leaf_cache->counters();
+      events += counters.devices_rewritten + counters.columns_remapped;
+    }
+  }
+  return events;
+}
+
+void RecognitionService::maybe_raise_repair_alarm() {
+  if (config_.repair_alarm_per_kq <= 0.0) {
+    return;
+  }
+  const std::uint64_t events = repair_events_total();
+  double rate = 0.0;
+  {
+    LockGuard lock(stats_mutex_);
+    if (stat_queries_ == 0) {
+      return;
+    }
+    rate = static_cast<double>(events) * 1000.0 / static_cast<double>(stat_queries_);
+    // Edge-triggered under the same lock that publishes the counter: one
+    // alarm per excursion above the threshold, re-armed once the rate
+    // decays back under it (traffic grows the denominator).
+    if (rate > config_.repair_alarm_per_kq && !repair_alarm_active_) {
+      stat_repair_alarms_ += 1;
+    }
+  }
+  repair_alarm_active_ = rate > config_.repair_alarm_per_kq;
+}
+
 void RecognitionService::maybe_post_idle_scrub() {
   if (config_.idle_scrub_interval == 0 || queries_since_scrub_ < config_.idle_scrub_interval) {
     return;
@@ -587,7 +657,7 @@ void RecognitionService::maybe_post_idle_scrub() {
       continue;
     }
     {
-      std::unique_lock<std::mutex> lock(shard->mutex);
+      LockGuard lock(shard->mutex);
       shard->scrub = true;
     }
     shard->cv.notify_all();
@@ -597,25 +667,31 @@ void RecognitionService::maybe_post_idle_scrub() {
     return;
   }
   queries_since_scrub_ = 0;
-  std::unique_lock<std::mutex> lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   stat_idle_scrubs_ += 1;
 }
 
 void RecognitionService::shard_loop(Shard* shard) {
   for (;;) {
-    const std::vector<FeatureVector>* job = nullptr;
+    // Shared ownership of the batch: if the watchdog abandons this job
+    // the collector's dispatch frame (and its copy of the batch) is long
+    // gone by the time a wedged engine call returns — this reference
+    // keeps the inputs alive until then.
+    std::shared_ptr<const std::vector<FeatureVector>> job;
     std::uint64_t gen = 0;
     bool do_scrub = false;
     {
-      std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->cv.wait(lock, [&] { return shard->stop || shard->job != nullptr || shard->scrub; });
+      UniqueLock lock(shard->mutex);
+      shard->cv.wait(lock, [&]() SPINSIM_NO_TSA {
+        return shard->stop || shard->job != nullptr || shard->scrub;
+      });
       if (shard->stop) {
         return;
       }
       if (shard->job != nullptr) {
         // Serving beats scrubbing: a pending scrub flag survives to the
         // next wake-up.
-        job = shard->job;
+        job = std::move(shard->job);
         gen = shard->job_gen;
         shard->job = nullptr;
       } else {
@@ -645,7 +721,7 @@ void RecognitionService::shard_loop(Shard* shard) {
     const double engine_us =
         std::chrono::duration<double, std::micro>(clock_->now() - engine_start).count();
     {
-      std::unique_lock<std::mutex> lock(shard->mutex);
+      LockGuard lock(shard->mutex);
       // A job the watchdog abandoned already got answered without this
       // shard; its late results must not leak into the next batch.
       const bool abandoned = shard->abandoned_gen >= gen;
@@ -662,11 +738,12 @@ void RecognitionService::shard_loop(Shard* shard) {
   }
 }
 
-void RecognitionService::post_job(Shard& shard, const std::vector<FeatureVector>& inputs) {
+void RecognitionService::post_job(Shard& shard,
+                                  const std::shared_ptr<const std::vector<FeatureVector>>& inputs) {
   {
-    std::unique_lock<std::mutex> lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     shard.busy = true;
-    shard.job = &inputs;
+    shard.job = inputs;
     shard.job_gen += 1;
   }
   shard.cv.notify_all();
@@ -674,9 +751,11 @@ void RecognitionService::post_job(Shard& shard, const std::vector<FeatureVector>
 
 bool RecognitionService::await_job(Shard& shard, std::vector<Recognition>& results,
                                    std::exception_ptr& error) {
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  UniqueLock lock(shard.mutex);
   const std::uint64_t gen = shard.job_gen;
-  const auto done = [&] { return shard.done_gen == gen; };
+  // TSA cannot follow the cv's unlock/relock; the predicate runs with
+  // shard.mutex held.
+  const auto done = [&]() SPINSIM_NO_TSA { return shard.done_gen == gen; };
   if (config_.shard_timeout.count() > 0) {
     if (!shard.cv.wait_for(lock, config_.shard_timeout, done)) {
       // Stuck-shard watchdog: abandon the job. The worker keeps running
@@ -750,11 +829,14 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     // cache footprint is bounded by the admission window.
     input_cache_->clear();
   }
-  std::vector<FeatureVector> inputs;
-  inputs.reserve(batch.size());
+  // Shared ownership (not a dispatch-frame local): an abandoned worker
+  // may still be reading these inputs long after this frame returned.
+  auto inputs = std::make_shared<std::vector<FeatureVector>>();
+  inputs->reserve(batch.size());
   for (auto& request : batch) {
-    inputs.push_back(std::move(request.input));  // dead after dispatch
+    inputs->push_back(std::move(request.input));  // dead after dispatch
   }
+  const std::shared_ptr<const std::vector<FeatureVector>> shared_inputs = inputs;
 
   // Shard eligibility: skip workers still wedged in an abandoned job and
   // shards whose breaker is open (an elapsed cooldown admits one
@@ -767,7 +849,7 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
       Shard& shard = *shards_[s];
       bool busy = false;
       {
-        std::unique_lock<std::mutex> lock(shard.mutex);
+        LockGuard lock(shard.mutex);
         busy = shard.busy;
       }
       if (busy) {
@@ -775,8 +857,8 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
       }
       bool admit = true;
       {
-        std::unique_lock<std::mutex> lock(stats_mutex_);
-        Health& health = shard.health;
+        LockGuard lock(stats_mutex_);
+        Health& health = health_[s];
         if (health.state == RecognitionServiceStats::BreakerState::kOpen) {
           if (now >= health.open_until) {
             health.state = RecognitionServiceStats::BreakerState::kHalfOpen;
@@ -793,14 +875,16 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
 
   // Breaker bookkeeping, collector-thread-only, under stats_mutex_ so
   // stats() snapshots are consistent.
-  const auto note_success = [&](Health& health) {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
+  const auto note_success = [&](std::size_t s) {
+    LockGuard lock(stats_mutex_);
+    Health& health = health_[s];
     health.state = RecognitionServiceStats::BreakerState::kClosed;
     health.consecutive_failures = 0;
     health.cooldown = std::chrono::microseconds{0};
   };
-  const auto note_exclusion = [&](Health& health, bool timeout) {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
+  const auto note_exclusion = [&](std::size_t s, bool timeout) {
+    LockGuard lock(stats_mutex_);
+    Health& health = health_[s];
     if (timeout) {
       health.timeouts += 1;
     }
@@ -827,7 +911,7 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   // Fan out to every candidate at once, then collect — retrying a shard
   // whose engine threw, in place, up to shard_retries times.
   for (const std::size_t s : candidates) {
-    post_job(*shards_[s], inputs);
+    post_job(*shards_[s], shared_inputs);
   }
   std::vector<std::vector<Recognition>> per_shard(shards_.size());
   std::vector<std::size_t> answered;
@@ -839,32 +923,32 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
       std::vector<Recognition> results;
       std::exception_ptr error;
       if (!await_job(shard, results, error)) {
-        note_exclusion(shard.health, /*timeout=*/true);
+        note_exclusion(s, /*timeout=*/true);
         break;
       }
       if (!error) {
         per_shard[s] = std::move(results);
         answered.push_back(s);
-        note_success(shard.health);
+        note_success(s);
         break;
       }
       if (!first_error) {
         first_error = error;
       }
       {
-        std::unique_lock<std::mutex> lock(stats_mutex_);
-        shard.health.failures += 1;
+        LockGuard lock(stats_mutex_);
+        health_[s].failures += 1;
       }
       if (retries_left > 0) {
         --retries_left;
         {
-          std::unique_lock<std::mutex> lock(stats_mutex_);
-          shard.health.retries += 1;
+          LockGuard lock(stats_mutex_);
+          health_[s].retries += 1;
         }
-        post_job(shard, inputs);
+        post_job(shard, shared_inputs);
         continue;
       }
-      note_exclusion(shard.health, /*timeout=*/false);
+      note_exclusion(s, /*timeout=*/false);
       break;
     }
   }
@@ -885,7 +969,7 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     // `queries` (and in `failed`), so mean_batch_size keeps meaning
     // dispatched/batches whatever the error rate. Latency stats only
     // track successes — see RecognitionServiceStats.
-    std::unique_lock<std::mutex> lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stat_queries_ += batch.size();
     stat_failed_ += batch.size();
     stat_dispatched_ += batch.size();
@@ -933,7 +1017,7 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   // Stats first: once a future resolves, a client may read stats() and
   // must see its own query counted.
   {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stat_queries_ += batch.size();
     stat_dispatched_ += batch.size();
     stat_batches_ += 1;
@@ -1021,7 +1105,7 @@ void RecognitionService::controller_step(const std::vector<double>& latencies_us
   window_latency_us_ = GeometricHistogram{};
   window_max_us_ = 0.0;
   window_count_ = 0;
-  std::unique_lock<std::mutex> lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   stat_brownout_ = brownout_;
   if (changed) {
     stat_controller_adjustments_ += 1;

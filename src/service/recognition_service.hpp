@@ -67,13 +67,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -82,6 +80,7 @@
 #include "amm/tiered_engine.hpp"
 #include "core/clock.hpp"
 #include "core/statistics.hpp"
+#include "core/sync.hpp"
 #include "datapath/input_stage_cache.hpp"
 #include "vision/features.hpp"
 
@@ -162,6 +161,14 @@ struct RecognitionServiceConfig {
   /// posts a verify-read scrub (LeafCacheEngine::verify_and_repair) to
   /// every shard worker holding leaf caches. 0 disables.
   std::uint64_t idle_scrub_interval = 0;
+  /// Repair-rate alarm: when > 0, the collector raises an alarm each time
+  /// the live self-repair rate — leaf devices rewritten plus columns
+  /// remapped per 1000 delivered queries (stats().repair_rate_per_kq) —
+  /// crosses this threshold from below. Edge-triggered: one alarm per
+  /// excursion, counted in stats().repair_alarms. A rising repair rate
+  /// means the substrate is wearing out faster than traffic justifies —
+  /// the operator signal to schedule replacement. 0 disables.
+  double repair_alarm_per_kq = 0.0;
   /// Adaptive overload control (see OverloadControlConfig).
   OverloadControlConfig overload;
 };
@@ -247,6 +254,13 @@ struct RecognitionServiceStats {
   std::uint64_t leaf_max_slot_write_cycles = 0;  ///< worst slot wear anywhere
   std::uint64_t leaf_verify_scans = 0;         ///< verify-read passes run
   std::uint64_t idle_scrubs = 0;               ///< idle scrub rounds posted
+  /// Live self-repair pressure: (leaf_devices_rewritten +
+  /// leaf_columns_remapped) per 1000 delivered queries. 0 until the first
+  /// delivery.
+  double repair_rate_per_kq = 0.0;
+  /// Times the repair rate crossed config.repair_alarm_per_kq from below
+  /// (edge-triggered; 0 when the alarm is disabled).
+  std::uint64_t repair_alarms = 0;
 
   // Input-stage dedup accounting (nonzero only with dedup_input_stage):
   // how many realised-row-current evaluations ran vs were shared.
@@ -340,8 +354,10 @@ class RecognitionService {
     Clock::TimePoint deadline;
   };
 
-  /// Per-shard serving health, written only by the collector thread
-  /// (under stats_mutex_, so stats() snapshots are consistent).
+  /// Per-shard serving health, written only by the collector thread.
+  /// Lives in `health_` on the service (not in Shard) so the whole vector
+  /// can carry one SPINSIM_GUARDED_BY(stats_mutex_) and stats() snapshots
+  /// are provably consistent.
   struct Health {
     RecognitionServiceStats::BreakerState state =
         RecognitionServiceStats::BreakerState::kClosed;
@@ -366,35 +382,43 @@ class RecognitionService {
     // Collector -> worker handoff: one batch at a time, generation-tagged
     // so an abandoned (timed-out) job's late results are discarded
     // instead of being mistaken for the next batch's.
-    std::mutex mutex;
-    std::condition_variable cv;
-    const std::vector<FeatureVector>* job = nullptr;
-    std::uint64_t job_gen = 0;        ///< generation of the posted job
-    std::uint64_t done_gen = 0;       ///< generation of the last completed job
-    std::uint64_t abandoned_gen = 0;  ///< generations the collector gave up on
-    bool busy = false;                ///< worker holds a job it has not finished
-    bool scrub = false;               ///< pending idle-scrub request
-    std::vector<Recognition> results;
-    std::exception_ptr job_error;
-    bool stop = false;
+    Mutex mutex{LockRank::kShard};
+    CondVar cv;
+    /// The posted batch. Shared ownership, not a raw pointer: when the
+    /// watchdog abandons a wedged shard the dispatch returns and destroys
+    /// its local batch, but the worker is still inside recognize_batch on
+    /// these inputs — the shared_ptr keeps them alive until the worker
+    /// lets go.
+    std::shared_ptr<const std::vector<FeatureVector>> job SPINSIM_GUARDED_BY(mutex);
+    std::uint64_t job_gen SPINSIM_GUARDED_BY(mutex) = 0;  ///< posted generation
+    std::uint64_t done_gen SPINSIM_GUARDED_BY(mutex) = 0;  ///< last completed
+    /// Generations the collector gave up on.
+    std::uint64_t abandoned_gen SPINSIM_GUARDED_BY(mutex) = 0;
+    /// Worker holds a job it has not finished.
+    bool busy SPINSIM_GUARDED_BY(mutex) = false;
+    bool scrub SPINSIM_GUARDED_BY(mutex) = false;  ///< pending idle scrub
+    std::vector<Recognition> results SPINSIM_GUARDED_BY(mutex);
+    std::exception_ptr job_error SPINSIM_GUARDED_BY(mutex);
+    bool stop SPINSIM_GUARDED_BY(mutex) = false;
 
     // Engine time per dispatched batch [us], written by the worker under
     // `mutex` while posting results, read by stats().
-    GeometricHistogram batch_latency_us;
-    std::uint64_t batches_run = 0;
-
-    Health health;  // guarded by the service's stats_mutex_
+    GeometricHistogram batch_latency_us SPINSIM_GUARDED_BY(mutex);
+    std::uint64_t batches_run SPINSIM_GUARDED_BY(mutex) = 0;
   };
 
   void collector_loop();
   void shard_loop(Shard* shard);
   void dispatch(std::vector<Request>& batch);
   /// Hands a generation-tagged batch to the shard worker.
-  void post_job(Shard& shard, const std::vector<FeatureVector>& inputs);
+  void post_job(Shard& shard,
+                const std::shared_ptr<const std::vector<FeatureVector>>& inputs)
+      SPINSIM_EXCLUDES(shard.mutex);
   /// Waits for the posted job (bounded by shard_timeout when set).
   /// Returns false when the watchdog abandoned it — the shard stays busy
   /// until its worker notices and discards the stale results.
-  bool await_job(Shard& shard, std::vector<Recognition>& results, std::exception_ptr& error);
+  bool await_job(Shard& shard, std::vector<Recognition>& results, std::exception_ptr& error)
+      SPINSIM_EXCLUDES(shard.mutex);
   Recognition merge(const std::vector<Recognition*>& shard_answers,
                     const std::vector<std::size_t>& shard_ids) const;
   void enqueue(Request&& request);
@@ -403,6 +427,14 @@ class RecognitionService {
   void stop_threads();
   void controller_step(const std::vector<double>& latencies_us);
   void maybe_post_idle_scrub();
+  /// Resets every stats counter (the store_templates re-init path).
+  void reset_stats_locked() SPINSIM_REQUIRES(stats_mutex_);
+  /// Sum of self-repair events (devices rewritten + columns remapped)
+  /// across every shard leaf cache — relaxed atomic reads, lock-free.
+  std::uint64_t repair_events_total() const;
+  /// Edge-triggered repair-rate alarm, evaluated by the collector after
+  /// each dispatch (see RecognitionServiceConfig::repair_alarm_per_kq).
+  void maybe_raise_repair_alarm();
 
   RecognitionServiceConfig config_;
   EngineFactory factory_;
@@ -417,40 +449,54 @@ class RecognitionService {
   std::vector<double> base_margins_;
 
   std::thread collector_;
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Request> queue_;
-  std::size_t in_flight_ = 0;  // popped but not yet fulfilled
-  bool stopping_ = false;
-  bool started_ = false;
+  /// Admission queue + lifecycle. Rank kServiceQueue: acquired before any
+  /// shard or stats lock (and never held across either — the collector
+  /// releases it before dispatching).
+  mutable Mutex queue_mutex_{LockRank::kServiceQueue};
+  CondVar queue_cv_;
+  CondVar idle_cv_;
+  std::deque<Request> queue_ SPINSIM_GUARDED_BY(queue_mutex_);
+  /// Popped but not yet fulfilled.
+  std::size_t in_flight_ SPINSIM_GUARDED_BY(queue_mutex_) = 0;
+  bool stopping_ SPINSIM_GUARDED_BY(queue_mutex_) = false;
+  bool started_ SPINSIM_GUARDED_BY(queue_mutex_) = false;
 
-  // Collector-thread-only overload-controller state.
+  // Collector-thread-only overload-controller and alarm state: touched
+  // exclusively by the collector thread between store_templates() calls
+  // (when no collector runs), so it needs no lock — and must never grow a
+  // reader on another thread without growing a capability here.
   bool brownout_ = false;
   GeometricHistogram window_latency_us_;
   double window_max_us_ = 0.0;
   std::uint64_t window_count_ = 0;
   std::uint64_t queries_since_scrub_ = 0;
+  bool repair_alarm_active_ = false;
 
-  mutable std::mutex stats_mutex_;
-  std::uint64_t stat_queries_ = 0;
-  std::uint64_t stat_failed_ = 0;
-  std::uint64_t stat_batches_ = 0;
-  std::uint64_t stat_dispatched_ = 0;
-  std::uint64_t stat_escalated_ = 0;
-  std::uint64_t stat_rejected_ = 0;
-  std::uint64_t stat_shed_deadline_ = 0;
-  std::uint64_t stat_rejected_overload_ = 0;
-  std::uint64_t stat_degraded_ = 0;
-  std::uint64_t stat_best_effort_ = 0;
-  double stat_coverage_sum_ = 0.0;
-  std::uint64_t stat_idle_scrubs_ = 0;
-  std::uint64_t stat_controller_adjustments_ = 0;
-  bool stat_brownout_ = false;
-  double stat_latency_sum_us_ = 0.0;
-  double stat_latency_max_us_ = 0.0;
-  GeometricHistogram stat_latency_us_;
-  Clock::TimePoint started_at_;
+  /// Counters + breaker Health. Rank kServiceStats: may be acquired while
+  /// no other lock is held (every holder releases before the next lock).
+  mutable Mutex stats_mutex_{LockRank::kServiceStats};
+  std::uint64_t stat_queries_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_failed_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_batches_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_dispatched_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_escalated_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_rejected_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_shed_deadline_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_rejected_overload_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_degraded_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_best_effort_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  double stat_coverage_sum_ SPINSIM_GUARDED_BY(stats_mutex_) = 0.0;
+  std::uint64_t stat_idle_scrubs_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_repair_alarms_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stat_controller_adjustments_ SPINSIM_GUARDED_BY(stats_mutex_) = 0;
+  bool stat_brownout_ SPINSIM_GUARDED_BY(stats_mutex_) = false;
+  double stat_latency_sum_us_ SPINSIM_GUARDED_BY(stats_mutex_) = 0.0;
+  double stat_latency_max_us_ SPINSIM_GUARDED_BY(stats_mutex_) = 0.0;
+  GeometricHistogram stat_latency_us_ SPINSIM_GUARDED_BY(stats_mutex_);
+  Clock::TimePoint started_at_ SPINSIM_GUARDED_BY(stats_mutex_);
+  /// One Health per shard (indexed like shards_), written by the
+  /// collector, snapshotted by stats().
+  std::vector<Health> health_ SPINSIM_GUARDED_BY(stats_mutex_);
 };
 
 /// Composes two engine factories into one that builds a TieredEngine per

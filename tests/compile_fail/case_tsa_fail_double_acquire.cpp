@@ -1,0 +1,31 @@
+// Thread-safety negative case: acquiring the same mutex twice in one
+// scope — a self-deadlock on std::mutex. Clang must reject this under
+// -Wthread-safety -Werror ("acquiring mutex 'mutex_' that is already
+// held"). The runtime lock-rank registry catches the ordering cousin of
+// this bug (two *different* same-rank mutexes) in tests/core/
+// test_sync.cpp; this case proves the compile-time side.
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Doubler {
+ public:
+  void lock_twice() {
+    spinsim::LockGuard first(mutex_);
+    spinsim::LockGuard second(mutex_);  // the bug under test
+    value_ += 1;
+  }
+
+ private:
+  spinsim::Mutex mutex_{spinsim::LockRank::kShard};
+  int value_ SPINSIM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Doubler doubler;
+  doubler.lock_twice();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Thread-safety negative case: calling a SPINSIM_REQUIRES helper
+// without holding the capability it names. Clang must reject this under
+// -Wthread-safety -Werror ("calling function 'bump_locked' requires
+// holding mutex 'mutex_'"). This is the pattern the service layer leans
+// on (e.g. RecognitionService::reset_stats_locked), so a regression here
+// would silently strip the lock contract off every *_locked helper.
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // The bug under test: the REQUIRES contract is ignored at the call
+  // site — no lock held.
+  void bump_forgetting_the_lock() { bump_locked(); }
+
+ private:
+  void bump_locked() SPINSIM_REQUIRES(mutex_) { value_ += 1; }
+
+  spinsim::Mutex mutex_{spinsim::LockRank::kServiceStats};
+  int value_ SPINSIM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_forgetting_the_lock();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Thread-safety negative case: writing a SPINSIM_GUARDED_BY field
+// without holding its mutex. Clang must reject this under
+// -Wthread-safety -Werror ("writing variable 'value_' requires holding
+// mutex 'mutex_'"). Only compiled by the clang leg of the compile_fail
+// harness — GCC ignores the attributes entirely.
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // The bug under test: no lock taken before touching value_.
+  void bump_without_lock() { value_ += 1; }
+
+ private:
+  spinsim::Mutex mutex_{spinsim::LockRank::kServiceStats};
+  int value_ SPINSIM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_without_lock();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Positive control for the thread-safety negative cases: the same
+// annotation vocabulary the case_tsa_fail_*.cpp files violate, used
+// correctly. Must compile warning-free under
+// -Wthread-safety -Wthread-safety-beta -Werror (clang only; the
+// static-analysis CI job drives this).
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    spinsim::LockGuard lock(mutex_);
+    value_ += 1;
+  }
+
+  int read() {
+    spinsim::LockGuard lock(mutex_);
+    return value_;
+  }
+
+  void bump_many(int n) {
+    spinsim::LockGuard lock(mutex_);
+    for (int i = 0; i < n; ++i) {
+      bump_locked();
+    }
+  }
+
+  void wait_for_positive() {
+    spinsim::UniqueLock lock(mutex_);
+    cv_.wait(lock, [this]() SPINSIM_NO_TSA { return value_ > 0; });
+    value_ -= 1;
+  }
+
+  void signal() {
+    {
+      spinsim::LockGuard lock(mutex_);
+      value_ += 1;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void bump_locked() SPINSIM_REQUIRES(mutex_) { value_ += 1; }
+
+  spinsim::Mutex mutex_{spinsim::LockRank::kServiceStats};
+  spinsim::CondVar cv_;
+  int value_ SPINSIM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  counter.bump_many(3);
+  counter.signal();
+  counter.wait_for_positive();
+  return counter.read() == 4 ? 0 : 1;
+}

@@ -225,5 +225,45 @@ TEST(ServiceFaultTolerance, StuckShardTimesOutAndServiceKeepsAnswering) {
   EXPECT_EQ(recovered.winner, 0u);
 }
 
+TEST(ServiceFaultTolerance, AbandonedJobInputsOutliveTheDispatch) {
+  // Regression: the shard job handoff used to pass a raw pointer to the
+  // dispatch frame's input batch. When the watchdog abandoned a wedged
+  // shard, the dispatch returned and destroyed that batch while the
+  // worker was still stuck *before* reading it — so on release the
+  // engine read freed memory (a heap use-after-free ASan catches, and a
+  // data race TSan catches). The handoff now shares ownership of the
+  // batch, so the inputs live until the last worker lets go. This test
+  // scripts exactly that schedule and pumps fresh dispatches through the
+  // heap between abandonment and release so the freed allocation is
+  // recycled, not just stale.
+  RecognitionServiceConfig config;
+  config.shard_timeout = std::chrono::milliseconds(50);
+  config.breaker_failure_threshold = 100;  // keep the breaker out of this test
+  TwoShardRig rig(config);
+
+  rig.controls[0]->stick();
+  const Recognition abandoned = rig.ask();
+  EXPECT_EQ(abandoned.winner, 2u) << "shard 1 answered alone";
+
+  // The abandoned batch's storage is free (old code) or alive (new
+  // code); these dispatches churn the allocator either way, overwriting
+  // a freed block with new feature data.
+  for (int i = 0; i < 8; ++i) {
+    const Recognition churn = rig.ask();
+    EXPECT_DOUBLE_EQ(churn.coverage, 0.5) << "wedged shard must stay skipped";
+  }
+
+  // Release the wedged worker: it now reads the (shared) abandoned
+  // inputs, runs the engine, and discards the stale results.
+  rig.controls[0]->release();
+  while (!rig.service->stats().shards[0].available) {
+    std::this_thread::yield();
+  }
+  const Recognition recovered = rig.ask();
+  EXPECT_DOUBLE_EQ(recovered.coverage, 1.0);
+  EXPECT_EQ(recovered.winner, 0u);
+  EXPECT_EQ(rig.service->stats().failed, 0u);
+}
+
 }  // namespace
 }  // namespace spinsim

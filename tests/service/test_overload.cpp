@@ -276,6 +276,80 @@ TEST(ServiceOverload, IdleScrubRunsDuringIdleWindows) {
   EXPECT_GE(stats.leaf_verify_scans, 1u) << "scrub reached the leaf caches";
 }
 
+TEST(ServiceOverload, RepairRateAlarmIsEdgeTriggered) {
+  // Leaf-cache shards with verify-on-serve self-repair, and the service's
+  // repair-rate alarm armed at 1 repair per 1000 queries. Stuck-short
+  // damage injected into shard 0's resident slot forces the verify scans
+  // to remap columns to spares — the repair rate jumps far past the
+  // threshold, and the collector must raise exactly ONE alarm for the
+  // whole excursion (edge-triggered), not one per dispatch.
+  LeafCacheEngineConfig leaf;
+  leaf.hierarchy.features = small_spec();
+  leaf.hierarchy.clusters = 3;
+  leaf.hierarchy.dwn = DwnParams::from_barrier(20.0);
+  leaf.hierarchy.seed = 9;
+  leaf.leaf_slots = 2;
+  leaf.endurance.delta_writes = true;
+  leaf.endurance.spare_columns = 3;
+  leaf.endurance.verify_interval = 1;  // scan on every served query
+  leaf.endurance.repair = true;
+
+  RecognitionServiceConfig config;
+  config.shards = 2;
+  config.admission_window = microseconds(0);
+  config.repair_alarm_per_kq = 1.0;
+
+  // Capture the engines the factory builds so the test can damage them
+  // directly (the service only exposes a const view).
+  std::vector<LeafCacheEngine*> engines;
+  const RecognitionService::EngineFactory base = make_leaf_cache_factory(leaf);
+  RecognitionService service(
+      config, [&engines, base](std::size_t shard, std::size_t columns) {
+        std::unique_ptr<AssociativeEngine> engine = base(shard, columns);
+        engines.push_back(dynamic_cast<LeafCacheEngine*>(engine.get()));
+        return engine;
+      });
+  service.store_templates(build_templates(testing::small_dataset(), small_spec()));
+  ASSERT_EQ(engines.size(), 2u);
+  ASSERT_NE(engines[0], nullptr);
+
+  const auto inputs = all_inputs();
+  // Warm the leaf pools so slot 0 holds a programmed array to damage.
+  service.submit(inputs.front()).get();
+  EXPECT_EQ(service.stats().repair_alarms, 0u);
+
+  // Stuck-shorts down the first physical column of shard 0's slot 0: a
+  // fault a rewrite cannot clear, so repair must retire the column.
+  // The service is idle (no scrubs configured), so no worker touches the
+  // engine while the test damages it.
+  for (std::size_t row = 0; row < small_spec().height * small_spec().width; row += 4) {
+    engines[0]->inject_slot_fault(0, row, 0, RcmArray::StuckFault::kShort);
+  }
+
+  // Serve until a verify scan lands a repair; the collector checks the
+  // alarm after every dispatch.
+  std::size_t queries = 1;
+  RecognitionServiceStats stats = service.stats();
+  while (stats.leaf_devices_rewritten + stats.leaf_columns_remapped == 0 && queries < 200) {
+    service.submit(inputs[queries % inputs.size()]).get();
+    ++queries;
+    stats = service.stats();
+  }
+  ASSERT_GT(stats.leaf_devices_rewritten + stats.leaf_columns_remapped, 0u)
+      << "injected stuck-shorts never provoked a repair";
+  EXPECT_GT(stats.repair_rate_per_kq, config.repair_alarm_per_kq);
+  EXPECT_EQ(stats.repair_alarms, 1u) << "one excursion, one alarm";
+
+  // More traffic with the rate still above threshold: the alarm count
+  // must hold at one — edge-triggered, not re-raised per dispatch.
+  for (int i = 0; i < 5; ++i) {
+    service.submit(inputs[static_cast<std::size_t>(i) % inputs.size()]).get();
+  }
+  const RecognitionServiceStats after = service.stats();
+  EXPECT_EQ(after.repair_alarms, 1u);
+  EXPECT_GT(after.repair_rate_per_kq, 0.0);
+}
+
 TEST(LoadGen, OpenLoopAccountsForEveryOfferedQuery) {
   const auto templates = build_templates(testing::small_dataset(), small_spec());
   RecognitionServiceConfig config;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint for spinsim.
 
-Five checks, each encoding a repo invariant the compiler cannot see:
+Seven checks, each encoding a repo invariant the compiler cannot see:
 
   rng-determinism   No ambient/unseeded randomness outside src/core/random*:
                     std::random_device, rand()/srand(), and time()-derived
@@ -32,6 +32,22 @@ Five checks, each encoding a repo invariant the compiler cannot see:
                     core/clock.hpp Clock so deadlines, breaker cooldowns
                     and scrub scheduling stay testable with a FakeClock.
                     Wall-clock bench pacing earns an explicit lint:allow.
+
+  raw-mutex         No raw std synchronization primitives (std::mutex,
+                    std::condition_variable, std::shared_mutex, their
+                    guards, or their headers) in src/ outside
+                    src/core/sync* — locking flows through the annotated
+                    spinsim::Mutex/CondVar wrappers so clang Thread
+                    Safety Analysis and the lock-rank registry see every
+                    acquisition. A raw mutex is invisible to both.
+
+  atomic-memory-order
+                    Every std::atomic operation in src/ must spell out
+                    its memory order (.load(std::memory_order_...) etc.).
+                    A bare .load()/.store()/.fetch_add() silently means
+                    seq_cst, which both hides the intended protocol from
+                    reviewers and costs fences the hot paths measured in
+                    BENCH_recognition.json cannot afford.
 
 Usage: tools/lint/spinsim_lint.py [--root DIR]
 Exit status: 0 clean, 1 violations found.
@@ -197,6 +213,56 @@ def check_bare_clock(root, path, rel, lines, findings, suppressed):
                            "core/clock.hpp injection seam"))
 
 
+# --- check: raw-mutex -----------------------------------------------------
+
+RAW_MUTEX_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+RAW_MUTEX_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def check_raw_mutex(root, path, rel, lines, findings, suppressed):
+    if rel.parts[0] != "src":
+        return
+    if rel.parts[:2] == ("src", "core") and rel.name.startswith("sync"):
+        return  # the one sanctioned wrapper site (spinsim::Mutex itself)
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if RAW_MUTEX_TYPE_RE.search(code) or RAW_MUTEX_INCLUDE_RE.search(code):
+            record(findings, suppressed, raw, "raw-mutex",
+                   Finding("raw-mutex", rel, lineno, raw,
+                           "use the annotated spinsim::Mutex/CondVar wrappers "
+                           "from core/sync.hpp, not raw std primitives"))
+
+
+# --- check: atomic-memory-order -------------------------------------------
+
+ATOMIC_OP_RE = re.compile(
+    r"\.\s*(?:load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+def check_atomic_order(root, path, rel, lines, findings, suppressed):
+    if rel.parts[0] != "src":
+        return
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if not ATOMIC_OP_RE.search(code):
+            continue
+        # The order argument may sit on the continuation line when the
+        # call wraps; accept either.
+        next_code = (strip_comments_and_strings(lines[lineno])
+                     if lineno < len(lines) else "")
+        if "memory_order" in code or "memory_order" in next_code:
+            continue
+        record(findings, suppressed, raw, "atomic-memory-order",
+               Finding("atomic-memory-order", rel, lineno, raw,
+                       "spell out the memory order — implicit seq_cst hides "
+                       "the protocol and costs fences on hot paths"))
+
+
 # --------------------------------------------------------------------------
 
 def record(findings, suppressed, raw_line, check, finding):
@@ -207,7 +273,8 @@ def record(findings, suppressed, raw_line, check, finding):
         findings.append(finding)
 
 
-CHECKS = [check_rng, check_raw_double, check_bare_lock, check_sleep, check_bare_clock]
+CHECKS = [check_rng, check_raw_double, check_bare_lock, check_sleep,
+          check_bare_clock, check_raw_mutex, check_atomic_order]
 
 
 def main():
