@@ -254,6 +254,23 @@ struct ServiceRow {
   double queries_per_sec = 0.0;
 };
 
+/// Per-stage wall clock of the fused batch pipeline (DAC -> blocked GEMM
+/// -> WTA -> assemble), per query, from SpinAmm::last_batch_timing()
+/// accumulated over the direct t=1 measurement loop.
+struct PipelineRow {
+  std::size_t batch = 0;
+  double dac_us = 0.0;
+  double gemm_us = 0.0;
+  double wta_us = 0.0;
+  double assemble_us = 0.0;
+  double total_us = 0.0;
+};
+
+struct ServiceBenchResult {
+  std::vector<ServiceRow> rows;
+  std::vector<PipelineRow> pipeline;
+};
+
 SpinAmmConfig service_bench_config(std::size_t templates) {
   SpinAmmConfig c;
   c.features.height = 8;
@@ -278,7 +295,7 @@ std::vector<FeatureVector> service_bench_probes(const FaceDataset& dataset,
   return probes;
 }
 
-std::vector<ServiceRow> run_service_benchmark() {
+ServiceBenchResult run_service_benchmark() {
   const std::size_t templates = 160;
   static const FaceDataset* dataset = new FaceDataset(templates, 4, [] {
     FaceGeneratorConfig c;
@@ -297,7 +314,7 @@ std::vector<ServiceRow> run_service_benchmark() {
   const double row_target = flat.crossbar().row_conductance(0);
 
   const std::size_t total_queries = 4096;
-  std::vector<ServiceRow> out;
+  ServiceBenchResult out;
   for (const std::size_t batch : {std::size_t{16}, std::size_t{64}, std::size_t{256}}) {
     const auto probes = service_bench_probes(*dataset, flat_config.features, batch);
 
@@ -305,18 +322,40 @@ std::vector<ServiceRow> run_service_benchmark() {
     // worker threads (thread fan-out only pays off on multi-core hosts).
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
       (void)flat.recognize_batch(probes, threads);  // warm caches
+      SpinBatchTiming stages;
       const auto start = Clock::now();
       std::size_t done = 0;
       while (done < total_queries) {
         (void)flat.recognize_batch(probes, threads);
         done += probes.size();
+        if (threads == 1) {
+          // Per-stage breakdown rides the t=1 measurement loop for free.
+          const SpinBatchTiming& t = flat.last_batch_timing();
+          stages.dac_us += t.dac_us;
+          stages.gemm_us += t.gemm_us;
+          stages.wta_us += t.wta_us;
+          stages.assemble_us += t.assemble_us;
+          stages.queries += t.queries;
+        }
       }
       ServiceRow row;
       row.mode = "direct";
       row.threads = threads;
       row.batch = batch;
       row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
-      out.push_back(row);
+      out.rows.push_back(row);
+      if (threads == 1 && stages.queries > 0) {
+        PipelineRow stage_row;
+        stage_row.batch = batch;
+        const double n = static_cast<double>(stages.queries);
+        stage_row.dac_us = stages.dac_us / n;
+        stage_row.gemm_us = stages.gemm_us / n;
+        stage_row.wta_us = stages.wta_us / n;
+        stage_row.assemble_us = stages.assemble_us / n;
+        stage_row.total_us =
+            (stages.dac_us + stages.gemm_us + stages.wta_us + stages.assemble_us) / n;
+        out.pipeline.push_back(stage_row);
+      }
     }
 
     // Sharded: a RecognitionService with single-threaded shard workers
@@ -348,7 +387,7 @@ std::vector<ServiceRow> run_service_benchmark() {
       row.shards = shards;
       row.batch = batch;
       row.queries_per_sec = static_cast<double>(done) / seconds_since(start);
-      out.push_back(row);
+      out.rows.push_back(row);
     }
   }
   return out;
@@ -811,18 +850,13 @@ OverloadBenchResult run_overload_benchmark() {
   return out;
 }
 
-int run_json_benchmark(const std::string& path) {
+int run_json_benchmark(const std::string& path, const std::string& section) {
   const std::size_t rows = 64;
   const std::size_t cols = 20;
 
-  // The seed path: CG per query, cold cache counted against it only once
-  // (warm-started across queries, as in the seed).
-  const PathTiming cg = time_path(CrossbarSolver::kCg, rows, cols, 200, false);
-  const PathTiming factored = time_path(CrossbarSolver::kFactored, rows, cols, 2000, false);
-  const PathTiming transfer = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, false);
-  // Amortized: one cold start (factorization + operator build) spread
-  // over a batch of queries, the steady-traffic figure of merit.
-  const PathTiming batch = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, true);
+  // `--section <name>` runs and emits just that section — the fast mode
+  // CI's bench smoke job uses. Empty means everything.
+  const auto want = [&](const char* name) { return section.empty() || section == name; };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -831,150 +865,203 @@ int run_json_benchmark(const std::string& path) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"recognition_paths\",\n");
-  std::fprintf(f, "  \"crossbar\": {\"rows\": %zu, \"cols\": %zu},\n", rows, cols);
-  std::fprintf(f, "  \"paths\": {\n");
-  const auto emit = [&](const char* name, const PathTiming& t, const char* sep) {
-    std::fprintf(f, "    \"%s\": {\"queries_per_sec\": %.1f, \"ns_per_query\": %.1f}%s\n", name,
-                 t.queries_per_sec, t.ns_per_query, sep);
-  };
-  emit("cg", cg, ",");
-  emit("factored", factored, ",");
-  emit("transfer", transfer, ",");
-  emit("batch_amortized", batch, "");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup_vs_cg\": {\n");
-  std::fprintf(f, "    \"factored\": %.2f,\n", factored.queries_per_sec / cg.queries_per_sec);
-  std::fprintf(f, "    \"transfer\": %.2f,\n", transfer.queries_per_sec / cg.queries_per_sec);
-  std::fprintf(f, "    \"batch_amortized\": %.2f\n", batch.queries_per_sec / cg.queries_per_sec);
-  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"crossbar\": {\"rows\": %zu, \"cols\": %zu}", rows, cols);
 
-  // Service-level rows: *full recognitions* (front end + WTA), not bare
-  // crossbar matvecs, so these sit far below the solver-path numbers.
-  std::printf("timing the service edge (full recognitions, direct vs sharded)...\n");
-  const std::vector<ServiceRow> service_rows = run_service_benchmark();
-  std::fprintf(f, "  \"service\": {\n");
-  std::fprintf(f, "    \"workload\": {\"backend\": \"spin\", \"rows\": 64, \"templates\": 160, "
-                  "\"crossbar\": \"parasitic-transfer\", \"unit\": \"full recognitions/s\"},\n");
-  std::fprintf(f, "    \"rows\": [\n");
-  for (std::size_t i = 0; i < service_rows.size(); ++i) {
-    const ServiceRow& row = service_rows[i];
-    std::fprintf(f,
-                 "      {\"mode\": \"%s\", \"threads\": %zu, \"shards\": %zu, \"batch\": %zu, "
-                 "\"queries_per_sec\": %.1f}%s\n",
-                 row.mode, row.threads, row.shards, row.batch, row.queries_per_sec,
-                 i + 1 < service_rows.size() ? "," : "");
+  PathTiming cg;
+  PathTiming factored;
+  PathTiming transfer;
+  PathTiming batch;
+  if (want("paths")) {
+    // The seed path: CG per query, cold cache counted against it only
+    // once (warm-started across queries, as in the seed).
+    cg = time_path(CrossbarSolver::kCg, rows, cols, 200, false);
+    factored = time_path(CrossbarSolver::kFactored, rows, cols, 2000, false);
+    transfer = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, false);
+    // Amortized: one cold start (factorization + operator build) spread
+    // over a batch of queries, the steady-traffic figure of merit.
+    batch = time_path(CrossbarSolver::kTransfer, rows, cols, 20000, true);
+    std::fprintf(f, ",\n  \"paths\": {\n");
+    const auto emit = [&](const char* name, const PathTiming& t, const char* sep) {
+      std::fprintf(f, "    \"%s\": {\"queries_per_sec\": %.1f, \"ns_per_query\": %.1f}%s\n", name,
+                   t.queries_per_sec, t.ns_per_query, sep);
+    };
+    emit("cg", cg, ",");
+    emit("factored", factored, ",");
+    emit("transfer", transfer, ",");
+    emit("batch_amortized", batch, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"speedup_vs_cg\": {\n");
+    std::fprintf(f, "    \"factored\": %.2f,\n", factored.queries_per_sec / cg.queries_per_sec);
+    std::fprintf(f, "    \"transfer\": %.2f,\n", transfer.queries_per_sec / cg.queries_per_sec);
+    std::fprintf(f, "    \"batch_amortized\": %.2f\n", batch.queries_per_sec / cg.queries_per_sec);
+    std::fprintf(f, "  }");
   }
-  std::fprintf(f, "    ]\n");
-  std::fprintf(f, "  },\n");
 
-  // Tier rows: the accuracy/energy trade the tiered router buys.
-  std::printf("timing the tier comparison (flat vs hierarchical vs tiered)...\n");
-  const std::vector<TierRow> tier_rows = run_tier_benchmark();
-  std::fprintf(f, "  \"tiers\": {\n");
-  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": \"16x8x5b\", "
-                  "\"clusters\": 4, \"escalation_margin\": 0.02, \"unit\": \"full recognitions/s\"},\n");
-  std::fprintf(f, "    \"rows\": [\n");
-  for (std::size_t i = 0; i < tier_rows.size(); ++i) {
-    const TierRow& row = tier_rows[i];
-    std::fprintf(f,
-                 "      {\"engine\": \"%s\", \"accuracy\": %.4f, \"queries_per_sec\": %.1f, "
-                 "\"energy_per_query_j\": %.4e",
-                 row.engine, row.accuracy, row.queries_per_sec, row.energy_per_query_j);
-    if (row.escalation_rate >= 0.0) {
-      std::fprintf(f, ", \"escalation_rate\": %.4f, \"reject_rate\": %.4f", row.escalation_rate,
-                   row.reject_rate);
+  ServiceBenchResult service_bench;
+  if (want("service")) {
+    // Service-level rows: *full recognitions* (front end + WTA), not bare
+    // crossbar matvecs, so these sit far below the solver-path numbers.
+    std::printf("timing the service edge (full recognitions, direct vs sharded)...\n");
+    service_bench = run_service_benchmark();
+    std::fprintf(f, ",\n  \"service\": {\n");
+    std::fprintf(f, "    \"workload\": {\"backend\": \"spin\", \"rows\": 64, \"templates\": 160, "
+                    "\"crossbar\": \"parasitic-transfer\", \"unit\": \"full recognitions/s\"},\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < service_bench.rows.size(); ++i) {
+      const ServiceRow& row = service_bench.rows[i];
+      std::fprintf(f,
+                   "      {\"mode\": \"%s\", \"threads\": %zu, \"shards\": %zu, \"batch\": %zu, "
+                   "\"queries_per_sec\": %.1f}%s\n",
+                   row.mode, row.threads, row.shards, row.batch, row.queries_per_sec,
+                   i + 1 < service_bench.rows.size() ? "," : "");
     }
-    std::fprintf(f, "}%s\n", i + 1 < tier_rows.size() ? "," : "");
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    // Per-stage latency of the fused batch pipeline (direct t=1): where a
+    // query's microseconds actually go.
+    std::fprintf(f, "  \"pipeline\": {\n");
+    std::fprintf(f, "    \"workload\": {\"backend\": \"spin\", \"mode\": \"direct\", "
+                    "\"threads\": 1, \"unit\": \"us/query\"},\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < service_bench.pipeline.size(); ++i) {
+      const PipelineRow& row = service_bench.pipeline[i];
+      std::fprintf(f,
+                   "      {\"batch\": %zu, \"dac_us\": %.3f, \"gemm_us\": %.3f, "
+                   "\"wta_us\": %.3f, \"assemble_us\": %.3f, \"total_us\": %.3f}%s\n",
+                   row.batch, row.dac_us, row.gemm_us, row.wta_us, row.assemble_us, row.total_us,
+                   i + 1 < service_bench.pipeline.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
   }
-  std::fprintf(f, "    ]\n");
-  std::fprintf(f, "  },\n");
 
-  // Leaf-cache rows: hit rate and reprogram-amortized energy vs pool size.
-  std::printf("timing the leaf cache (pool size sweep, larger-than-memory serving)...\n");
-  const std::vector<LeafCacheRow> leaf_rows = run_leaf_cache_benchmark();
-  std::fprintf(f, "  \"leaf_cache\": {\n");
-  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
-                  "\"16x8x5b\", \"clusters\": 4, \"unit\": \"full recognitions/s\"},\n");
-  std::fprintf(f, "    \"rows\": [\n");
-  for (std::size_t i = 0; i < leaf_rows.size(); ++i) {
-    const LeafCacheRow& row = leaf_rows[i];
-    std::fprintf(f,
-                 "      {\"slots\": %zu, \"clusters\": %zu, \"accuracy\": %.4f, "
-                 "\"queries_per_sec\": %.1f, \"hit_rate\": %.4f, \"energy_per_query_j\": %.4e, "
-                 "\"reprogram_energy_per_query_j\": %.4e}%s\n",
-                 row.slots, row.clusters, row.accuracy, row.queries_per_sec, row.hit_rate,
-                 row.energy_per_query_j, row.reprogram_energy_per_query_j,
-                 i + 1 < leaf_rows.size() ? "," : "");
+  std::vector<TierRow> tier_rows;
+  if (want("tiers")) {
+    // Tier rows: the accuracy/energy trade the tiered router buys.
+    std::printf("timing the tier comparison (flat vs hierarchical vs tiered)...\n");
+    tier_rows = run_tier_benchmark();
+    std::fprintf(f, ",\n  \"tiers\": {\n");
+    std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": \"16x8x5b\", "
+                    "\"clusters\": 4, \"escalation_margin\": 0.02, \"unit\": \"full recognitions/s\"},\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+      const TierRow& row = tier_rows[i];
+      std::fprintf(f,
+                   "      {\"engine\": \"%s\", \"accuracy\": %.4f, \"queries_per_sec\": %.1f, "
+                   "\"energy_per_query_j\": %.4e",
+                   row.engine, row.accuracy, row.queries_per_sec, row.energy_per_query_j);
+      if (row.escalation_rate >= 0.0) {
+        std::fprintf(f, ", \"escalation_rate\": %.4f, \"reject_rate\": %.4f", row.escalation_rate,
+                     row.reject_rate);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < tier_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
   }
-  std::fprintf(f, "    ]\n");
-  std::fprintf(f, "  },\n");
 
-  // Endurance rows: wear-out under reprogram traffic, policy x repair.
-  std::printf("timing the endurance sweep (LRU vs wear-leveled, repair on/off)...\n");
-  const std::vector<EnduranceRow> endurance_rows = run_endurance_benchmark();
-  std::fprintf(f, "  \"endurance\": {\n");
-  std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
-                  "\"16x8x5b\", \"clusters\": 4, \"slots\": 2, \"endurance_cycles\": 18, "
-                  "\"spare_columns\": 6, \"delta_writes\": true},\n");
-  std::fprintf(f, "    \"rows\": [\n");
-  for (std::size_t i = 0; i < endurance_rows.size(); ++i) {
-    const EnduranceRow& row = endurance_rows[i];
-    std::fprintf(f,
-                 "      {\"policy\": \"%s\", \"repair\": %s, \"queries\": %zu, "
-                 "\"accuracy\": %.4f, \"energy_per_query_j\": %.4e, \"hit_rate\": %.4f, "
-                 "\"device_writes\": %llu, \"device_writes_saved\": %llu, "
-                 "\"max_slot_write_cycles\": %llu, \"worn_out_devices\": %llu, "
-                 "\"columns_remapped\": %llu}%s\n",
-                 row.policy, row.repair ? "true" : "false", row.queries, row.accuracy,
-                 row.energy_per_query_j, row.hit_rate,
-                 static_cast<unsigned long long>(row.device_writes),
-                 static_cast<unsigned long long>(row.device_writes_saved),
-                 static_cast<unsigned long long>(row.max_slot_write_cycles),
-                 static_cast<unsigned long long>(row.worn_out_devices),
-                 static_cast<unsigned long long>(row.columns_remapped),
-                 i + 1 < endurance_rows.size() ? "," : "");
+  std::vector<LeafCacheRow> leaf_rows;
+  if (want("leaf_cache")) {
+    // Leaf-cache rows: hit rate and reprogram-amortized energy vs pool size.
+    std::printf("timing the leaf cache (pool size sweep, larger-than-memory serving)...\n");
+    leaf_rows = run_leaf_cache_benchmark();
+    std::fprintf(f, ",\n  \"leaf_cache\": {\n");
+    std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
+                    "\"16x8x5b\", \"clusters\": 4, \"unit\": \"full recognitions/s\"},\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < leaf_rows.size(); ++i) {
+      const LeafCacheRow& row = leaf_rows[i];
+      std::fprintf(f,
+                   "      {\"slots\": %zu, \"clusters\": %zu, \"accuracy\": %.4f, "
+                   "\"queries_per_sec\": %.1f, \"hit_rate\": %.4f, \"energy_per_query_j\": %.4e, "
+                   "\"reprogram_energy_per_query_j\": %.4e}%s\n",
+                   row.slots, row.clusters, row.accuracy, row.queries_per_sec, row.hit_rate,
+                   row.energy_per_query_j, row.reprogram_energy_per_query_j,
+                   i + 1 < leaf_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
   }
-  std::fprintf(f, "    ]\n");
-  std::fprintf(f, "  },\n");
 
-  // Overload rows: the open-loop driver vs the hardened service edge.
-  std::printf("timing the overload sweep (open-loop load vs the hardened service edge)...\n");
-  const OverloadBenchResult overload = run_overload_benchmark();
-  std::fprintf(f, "  \"overload\": {\n");
-  std::fprintf(f,
-               "    \"workload\": {\"identities\": 40, \"features\": \"16x8x5b\", \"shards\": 2, "
-               "\"backend\": \"tiered(hierarchical+spin)\", \"max_queue\": 512, "
-               "\"knee_qps\": %.1f, \"unloaded_p99_us\": %.1f, \"deadline_us\": %.1f, "
-               "\"target_p99_us\": %.1f},\n",
-               overload.knee_qps, overload.unloaded_p99_us, overload.deadline_us,
-               overload.target_p99_us);
-  std::fprintf(f, "    \"rows\": [\n");
-  for (std::size_t i = 0; i < overload.rows.size(); ++i) {
-    const OverloadRow& row = overload.rows[i];
-    std::fprintf(f,
-                 "      {\"load\": \"%s\", \"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
-                 "\"p99_served_us\": %.1f, \"shed_rate\": %.4f, \"reject_rate\": %.4f, "
-                 "\"degraded_rate\": %.4f, \"mean_coverage\": %.4f}%s\n",
-                 row.label, row.offered_qps, row.achieved_qps, row.p99_served_us, row.shed_rate,
-                 row.reject_rate, row.degraded_rate, row.mean_coverage,
-                 i + 1 < overload.rows.size() ? "," : "");
+  std::vector<EnduranceRow> endurance_rows;
+  if (want("endurance")) {
+    // Endurance rows: wear-out under reprogram traffic, policy x repair.
+    std::printf("timing the endurance sweep (LRU vs wear-leveled, repair on/off)...\n");
+    endurance_rows = run_endurance_benchmark();
+    std::fprintf(f, ",\n  \"endurance\": {\n");
+    std::fprintf(f, "    \"workload\": {\"identities\": 40, \"probes\": 160, \"features\": "
+                    "\"16x8x5b\", \"clusters\": 4, \"slots\": 2, \"endurance_cycles\": 18, "
+                    "\"spare_columns\": 6, \"delta_writes\": true},\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < endurance_rows.size(); ++i) {
+      const EnduranceRow& row = endurance_rows[i];
+      std::fprintf(f,
+                   "      {\"policy\": \"%s\", \"repair\": %s, \"queries\": %zu, "
+                   "\"accuracy\": %.4f, \"energy_per_query_j\": %.4e, \"hit_rate\": %.4f, "
+                   "\"device_writes\": %llu, \"device_writes_saved\": %llu, "
+                   "\"max_slot_write_cycles\": %llu, \"worn_out_devices\": %llu, "
+                   "\"columns_remapped\": %llu}%s\n",
+                   row.policy, row.repair ? "true" : "false", row.queries, row.accuracy,
+                   row.energy_per_query_j, row.hit_rate,
+                   static_cast<unsigned long long>(row.device_writes),
+                   static_cast<unsigned long long>(row.device_writes_saved),
+                   static_cast<unsigned long long>(row.max_slot_write_cycles),
+                   static_cast<unsigned long long>(row.worn_out_devices),
+                   static_cast<unsigned long long>(row.columns_remapped),
+                   i + 1 < endurance_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
   }
-  std::fprintf(f, "    ]\n");
-  std::fprintf(f, "  }\n");
-  std::fprintf(f, "}\n");
+
+  OverloadBenchResult overload;
+  if (want("overload")) {
+    // Overload rows: the open-loop driver vs the hardened service edge.
+    std::printf("timing the overload sweep (open-loop load vs the hardened service edge)...\n");
+    overload = run_overload_benchmark();
+    std::fprintf(f, ",\n  \"overload\": {\n");
+    std::fprintf(f,
+                 "    \"workload\": {\"identities\": 40, \"features\": \"16x8x5b\", \"shards\": 2, "
+                 "\"backend\": \"tiered(hierarchical+spin)\", \"max_queue\": 512, "
+                 "\"knee_qps\": %.1f, \"unloaded_p99_us\": %.1f, \"deadline_us\": %.1f, "
+                 "\"target_p99_us\": %.1f},\n",
+                 overload.knee_qps, overload.unloaded_p99_us, overload.deadline_us,
+                 overload.target_p99_us);
+    std::fprintf(f, "    \"rows\": [\n");
+    for (std::size_t i = 0; i < overload.rows.size(); ++i) {
+      const OverloadRow& row = overload.rows[i];
+      std::fprintf(f,
+                   "      {\"load\": \"%s\", \"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+                   "\"p99_served_us\": %.1f, \"shed_rate\": %.4f, \"reject_rate\": %.4f, "
+                   "\"degraded_rate\": %.4f, \"mean_coverage\": %.4f}%s\n",
+                   row.label, row.offered_qps, row.achieved_qps, row.p99_served_us, row.shed_rate,
+                   row.reject_rate, row.degraded_rate, row.mean_coverage,
+                   i + 1 < overload.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 
   std::printf("wrote %s\n", path.c_str());
-  std::printf("  cg:              %12.1f queries/s\n", cg.queries_per_sec);
-  std::printf("  factored:        %12.1f queries/s (%.1fx)\n", factored.queries_per_sec,
-              factored.queries_per_sec / cg.queries_per_sec);
-  std::printf("  transfer:        %12.1f queries/s (%.1fx)\n", transfer.queries_per_sec,
-              transfer.queries_per_sec / cg.queries_per_sec);
-  std::printf("  batch amortized: %12.1f queries/s (%.1fx)\n", batch.queries_per_sec,
-              batch.queries_per_sec / cg.queries_per_sec);
-  for (const ServiceRow& row : service_rows) {
+  if (want("paths")) {
+    std::printf("  cg:              %12.1f queries/s\n", cg.queries_per_sec);
+    std::printf("  factored:        %12.1f queries/s (%.1fx)\n", factored.queries_per_sec,
+                factored.queries_per_sec / cg.queries_per_sec);
+    std::printf("  transfer:        %12.1f queries/s (%.1fx)\n", transfer.queries_per_sec,
+                transfer.queries_per_sec / cg.queries_per_sec);
+    std::printf("  batch amortized: %12.1f queries/s (%.1fx)\n", batch.queries_per_sec,
+                batch.queries_per_sec / cg.queries_per_sec);
+  }
+  for (const ServiceRow& row : service_bench.rows) {
     std::printf("  service %-7s t=%zu b=%-3zu: %12.1f full recognitions/s\n", row.mode,
                 row.threads, row.batch, row.queries_per_sec);
+  }
+  for (const PipelineRow& row : service_bench.pipeline) {
+    std::printf("  pipeline b=%-3zu: dac %6.3f, gemm %6.3f, wta %6.3f, assemble %6.3f "
+                "-> %6.3f us/query\n",
+                row.batch, row.dac_us, row.gemm_us, row.wta_us, row.assemble_us, row.total_us);
   }
   for (const TierRow& row : tier_rows) {
     std::printf("  tier %-12s: %6.2f %% acc, %10.1f q/s, %.3e J/query", row.engine,
@@ -999,8 +1086,10 @@ int run_json_benchmark(const std::string& path) {
                 static_cast<unsigned long long>(row.worn_out_devices),
                 static_cast<unsigned long long>(row.columns_remapped));
   }
-  std::printf("  overload knee %.1f q/s, unloaded p99 %.1f us\n", overload.knee_qps,
-              overload.unloaded_p99_us);
+  if (want("overload")) {
+    std::printf("  overload knee %.1f q/s, unloaded p99 %.1f us\n", overload.knee_qps,
+                overload.unloaded_p99_us);
+  }
   for (const OverloadRow& row : overload.rows) {
     std::printf("  overload %-16s offered %9.1f q/s: served %9.1f q/s, p99 %8.1f us, "
                 "shed %5.1f %%, reject %5.1f %%, degraded %5.1f %%, coverage %.2f\n",
@@ -1014,12 +1103,21 @@ int run_json_benchmark(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  std::string section;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      const std::string path =
+      json_path =
           (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : "BENCH_recognition.json";
-      return run_json_benchmark(path);
+    } else if (std::strcmp(argv[i], "--section") == 0 && i + 1 < argc) {
+      // Run and emit only one JSON section (paths | service | tiers |
+      // leaf_cache | endurance | overload) — the fast mode CI's bench
+      // smoke job uses. `service` also emits the `pipeline` breakdown.
+      section = argv[++i];
     }
+  }
+  if (!json_path.empty()) {
+    return run_json_benchmark(json_path, section);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -1,8 +1,11 @@
 #include "amm/spin_amm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
+#include "core/clock.hpp"
 #include "core/error.hpp"
 #include "core/parallel.hpp"
 
@@ -117,22 +120,27 @@ void SpinAmm::calibrate_input_gain(const std::vector<FeatureVector>& templates) 
 }
 
 std::vector<double> SpinAmm::input_row_currents(const FeatureVector& input) const {
+  std::vector<double> input_currents(input.dimension(), 0.0);
+  input_row_currents_into(input, input_currents.data());
+  return input_currents;
+}
+
+void SpinAmm::input_row_currents_into(const FeatureVector& input, double* out) const {
   // Per-row DTCS DACs: the realised current depends on the row's total
   // conductance (series division, Fig. 8b).
-  const auto evaluate = [&] {
-    std::vector<double> input_currents(input.dimension(), 0.0);
-    for (std::size_t row = 0; row < input.dimension(); ++row) {
-      input_currents[row] =
-          input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
+  const std::size_t dim = input.dimension();
+  const auto evaluate_into = [&](double* dst) {
+    for (std::size_t row = 0; row < dim; ++row) {
+      dst[row] = input_dacs_[row].output_current(input.digital[row], rcm_->row_conductance(row));
     }
-    return input_currents;
   };
   if (input_cache_ != nullptr) {
     // Sibling shards with identical input stages share the evaluation:
     // the first engine to see these digital codes computes, the rest hit.
-    return input_cache_->lookup_or_compute(input.digital, evaluate);
+    input_cache_->lookup_or_compute_into(input.digital, evaluate_into, out, dim);
+    return;
   }
-  return evaluate();
+  evaluate_into(out);
 }
 
 std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
@@ -147,14 +155,6 @@ std::vector<double> SpinAmm::column_currents(const FeatureVector& input) {
   return rcm_->column_currents_parasitic(input_currents, /*v_bias=*/0.0);
 }
 
-std::vector<double> SpinAmm::front_end_const(const FeatureVector& input) const {
-  const std::vector<double> input_currents = input_row_currents(input);
-  if (config_.model == CrossbarModel::kIdeal) {
-    return rcm_->column_currents_ideal(input_currents);
-  }
-  return rcm_->column_currents_transfer(input_currents, /*v_bias=*/0.0);
-}
-
 Recognition SpinAmm::assemble(std::vector<double>&& currents, SpinWtaOutcome&& wta) const {
   Recognition out;
   out.winner = wta.winner;
@@ -167,11 +167,21 @@ Recognition SpinAmm::assemble(std::vector<double>&& currents, SpinWtaOutcome&& w
 
   // Analog detection margin: best minus runner-up over full scale. A
   // zero-DOM winner carries no confidence whatever the raw analog gap
-  // says — non-positive winners must report zero margin.
+  // says — non-positive winners must report zero margin. One max/runner-up
+  // scan: the same two values nth_element used to produce, without the
+  // per-query copy and partial sort.
   if (currents.size() >= 2 && out.dom > 0) {
-    std::vector<double> sorted = currents;
-    std::nth_element(sorted.begin(), sorted.begin() + 1, sorted.end(), std::greater<>());
-    out.margin = (sorted[0] - sorted[1]) / config_.full_scale_current();
+    double best = -std::numeric_limits<double>::infinity();
+    double second = best;
+    for (const double v : currents) {
+      if (v > best) {
+        second = best;
+        best = v;
+      } else if (v > second) {
+        second = v;
+      }
+    }
+    out.margin = (best - second) / config_.full_scale_current();
   }
   out.detail = SpinRecognitionDetail{std::move(currents), std::move(wta)};
   return out;
@@ -186,50 +196,133 @@ Recognition SpinAmm::recognize(const FeatureVector& input) {
 std::vector<Recognition> SpinAmm::recognize_batch(const std::vector<FeatureVector>& inputs,
                                                   std::size_t threads) {
   require(templates_stored_, "SpinAmm: store_templates() before recognition");
-  for (const auto& input : inputs) {
-    require(input.dimension() == config_.features.dimension(),
-            "SpinAmm::recognize_batch: input dimension mismatch");
-  }
-
   std::vector<Recognition> results(inputs.size());
   if (inputs.empty()) {
     return results;
   }
+  const std::size_t dim = config_.features.dimension();
+  for (const auto& input : inputs) {
+    require(input.dimension() == dim, "SpinAmm::recognize_batch: input dimension mismatch");
+  }
+
+  const std::size_t batch = inputs.size();
+  const std::size_t cols = config_.templates;
+  const std::shared_ptr<Clock> clock = SteadyClock::instance();
+  const auto elapsed_us = [](Clock::TimePoint a, Clock::TimePoint b) {
+    return std::chrono::duration<double, std::micro>(b - a).count();
+  };
 
   // The front end is shareable when evaluating a query never mutates the
-  // crossbar: the ideal closed form is const, and the transfer operator
-  // is const once prepared. CG/factored solves mutate solver state, so
-  // they stay on the calling thread.
+  // crossbar: the ideal closed form is const once its operator is built,
+  // and the transfer operator is const once prepared. CG/factored solves
+  // mutate solver state, so they stay on the calling thread.
   const bool parasitic = config_.model == CrossbarModel::kParasitic;
   bool shareable = !parasitic;
   if (parasitic && config_.parasitic_solver == CrossbarSolver::kTransfer) {
     rcm_->prepare_parasitic(/*v_bias=*/0.0);
     shareable = true;
   }
+  if (!parasitic) {
+    rcm_->prepare_ideal();
+  }
   if (shareable) {
     // Warm the lazy row-conductance cache before the workers fan out.
     (void)rcm_->row_conductance(0);
   }
 
-  threads = resolve_threads(threads, inputs.size());
+  // Workers are sized against the query count; the dispatch below then
+  // hands each worker whole chunks of kMinItemsPerThread queries, so one
+  // chunk is one DAC -> GEMM -> WTA -> assemble pipeline pass over a
+  // cache-resident slice of the flat buffers.
+  threads = resolve_threads(threads, batch);
+  const std::size_t chunk_size = kMinItemsPerThread;
+  const std::size_t num_chunks = (batch + chunk_size - 1) / chunk_size;
 
-  std::vector<std::vector<double>> currents(inputs.size());
-  if (shareable && threads > 1) {
-    parallel_for_strided(inputs.size(), threads,
-                         [&](std::size_t i) { currents[i] = front_end_const(inputs[i]); });
-  } else {
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      currents[i] = column_currents(inputs[i]);
+  // Flat column-current buffer C (batch x cols): query q's currents live
+  // at C[q * cols .. (q + 1) * cols).
+  std::vector<double> currents_flat(batch * cols);
+
+  // Per-chunk stage timings, summed into batch_timing_ after the join
+  // (disjoint slots, so no synchronisation needed).
+  std::vector<double> dac_us(num_chunks, 0.0);
+  std::vector<double> gemm_us(num_chunks, 0.0);
+  std::vector<double> wta_us(num_chunks, 0.0);
+  std::vector<double> assemble_us(num_chunks, 0.0);
+
+  // Reserve the batch's WTA noise slots up front: chunk workers then
+  // consume exactly the slots a sequential recognize() loop would.
+  const std::uint64_t base = wta_->reserve_query_slots(batch);
+
+  if (!shareable) {
+    // CG/factored parasitic solves mutate the network; run the front end
+    // serially on this thread (counted as the DAC stage — there is no
+    // separate GEMM on this path), then let WTA + assemble fan out below.
+    const auto t0 = clock->now();
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::vector<double> c = column_currents(inputs[i]);
+      std::copy(c.begin(), c.end(), currents_flat.begin() + static_cast<std::ptrdiff_t>(i * cols));
     }
+    dac_us[0] = elapsed_us(t0, clock->now());
   }
 
-  // WTA stage: each query owns a counter-based noise slot, so the winner
-  // search fans out across threads while staying bit-identical to a
-  // sequential loop of recognize() calls (ROADMAP "true batched WTA").
-  std::vector<SpinWtaOutcome> outcomes = wta_->run_batch(currents, threads);
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    results[i] = assemble(std::move(currents[i]), std::move(outcomes[i]));
+  parallel_for_resolved(num_chunks, threads, [&](std::size_t c) {
+    const std::size_t q0 = c * chunk_size;
+    const std::size_t qn = std::min(chunk_size, batch - q0);
+    double* chunk_currents = currents_flat.data() + q0 * cols;
+
+    if (shareable) {
+      // Stage 1 — DAC front end into thread-local scratch (no per-query
+      // heap allocation).
+      thread_local std::vector<double> input_scratch;
+      input_scratch.resize(chunk_size * dim);
+      const auto t0 = clock->now();
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        input_row_currents_into(inputs[q0 + qi], input_scratch.data() + qi * dim);
+      }
+      const auto t1 = clock->now();
+
+      // Stage 2 — one blocked GEMM against the cached crossbar operator.
+      if (parasitic) {
+        rcm_->column_currents_transfer_batch(input_scratch.data(), qn, chunk_currents,
+                                             /*v_bias=*/0.0);
+      } else {
+        rcm_->column_currents_ideal_batch(input_scratch.data(), qn, chunk_currents);
+      }
+      const auto t2 = clock->now();
+      dac_us[c] = elapsed_us(t0, t1);
+      gemm_us[c] = elapsed_us(t1, t2);
+    }
+
+    // Stage 3 — WTA winner search per query slot.
+    const auto t2 = clock->now();
+    thread_local std::vector<SpinWtaOutcome> outcomes;
+    outcomes.resize(qn);
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      outcomes[qi] = wta_->run_query_span(chunk_currents + qi * cols, base + q0 + qi);
+    }
+    const auto t3 = clock->now();
+
+    // Stage 4 — assemble Recognitions (the detail keeps a per-query copy
+    // of the currents, as the sequential path does).
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      const double* q_currents = chunk_currents + qi * cols;
+      results[q0 + qi] = assemble(std::vector<double>(q_currents, q_currents + cols),
+                                  std::move(outcomes[qi]));
+    }
+    const auto t4 = clock->now();
+    wta_us[c] = elapsed_us(t2, t3);
+    assemble_us[c] = elapsed_us(t3, t4);
+  });
+
+  SpinBatchTiming timing;
+  timing.queries = static_cast<std::uint64_t>(batch);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    timing.dac_us += dac_us[c];
+    timing.gemm_us += gemm_us[c];
+    timing.wta_us += wta_us[c];
+    timing.assemble_us += assemble_us[c];
   }
+  batch_timing_ = timing;
   return results;
 }
 

@@ -74,6 +74,17 @@ struct SpinAmmConfig {
   double input_full_scale_current() const;
 };
 
+/// Wall-clock breakdown of the last SpinAmm::recognize_batch() call,
+/// split by pipeline stage and summed across worker chunks [µs]. What
+/// the bench's `pipeline` section reports.
+struct SpinBatchTiming {
+  double dac_us = 0.0;       ///< input-DAC front end (incl. dedup cache)
+  double gemm_us = 0.0;      ///< blocked operator product (crossbar)
+  double wta_us = 0.0;       ///< SAR + winner-tracking search
+  double assemble_us = 0.0;  ///< Recognition assembly (margin, detail)
+  std::uint64_t queries = 0;
+};
+
 /// The proposed spin-CMOS associative memory module.
 class SpinAmm : public AssociativeEngine {
  public:
@@ -100,14 +111,23 @@ class SpinAmm : public AssociativeEngine {
 
   /// Batched recognition: results[i] corresponds to inputs[i], and is
   /// winner-for-winner identical to calling recognize() on each input in
-  /// order. The analog front end is dispatched across `threads` worker
-  /// threads when the crossbar path is safely shareable (ideal model, or
-  /// parasitic with the transfer-operator solver); the WTA stage always
-  /// fans out, because its thermal noise comes from counter-based
-  /// per-query streams (SpinSarWta::run_query) rather than one shared
-  /// sequential draw order. threads == 0 picks hardware concurrency.
+  /// order. The batch flows through flat rows x batch buffers in chunks
+  /// of kMinItemsPerThread queries, each chunk a DAC -> blocked-GEMM ->
+  /// WTA -> assemble pipeline on one worker: when the crossbar path is
+  /// safely shareable (ideal model, or parasitic with the
+  /// transfer-operator solver) the crossbar stage is one cache-blocked
+  /// matrix product per chunk against the cached operator, and the WTA
+  /// stage always fans out because its thermal noise comes from
+  /// counter-based per-query streams (SpinSarWta::run_query_span) rather
+  /// than one shared sequential draw order. threads == 0 picks hardware
+  /// concurrency; last_batch_timing() reports the per-stage wall clock.
   std::vector<Recognition> recognize_batch(const std::vector<FeatureVector>& inputs,
                                            std::size_t threads = 0) override;
+
+  /// Per-stage wall-clock breakdown of the most recent recognize_batch()
+  /// call (zeroed queries if none ran yet). Written by recognize_batch on
+  /// the calling thread — read it from that thread, not concurrently.
+  const SpinBatchTiming& last_batch_timing() const { return batch_timing_; }
 
   /// The realised input-DAC full-scale current [A] (after calibration or
   /// the configured override). Feed this to sibling shards so one logical
@@ -160,7 +180,11 @@ class SpinAmm : public AssociativeEngine {
   void calibrate_input_gain(const std::vector<FeatureVector>& templates);
   void rebuild_input_dacs(double full_scale);
   std::vector<double> input_row_currents(const FeatureVector& input) const;
-  std::vector<double> front_end_const(const FeatureVector& input) const;
+  /// Allocation-free front end for the batch path: writes the realised
+  /// per-row input currents into `out[0 .. dimension)`, going through the
+  /// shared dedup cache when one is attached. Values are bit-identical to
+  /// input_row_currents().
+  void input_row_currents_into(const FeatureVector& input, double* out) const;
   Recognition assemble(std::vector<double>&& currents, SpinWtaOutcome&& wta) const;
 
   SpinAmmConfig config_;
@@ -171,6 +195,7 @@ class SpinAmm : public AssociativeEngine {
   double input_full_scale_ = 0.0;
   std::unique_ptr<SpinSarWta> wta_;
   bool templates_stored_ = false;
+  SpinBatchTiming batch_timing_;
 };
 
 }  // namespace spinsim

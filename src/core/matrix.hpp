@@ -98,4 +98,24 @@ std::size_t argmax(const std::vector<double>& v);
 /// Index of the smallest element (first on ties). Requires non-empty input.
 std::size_t argmin(const std::vector<double>& v);
 
+// --- batched operator application (the recognition hot path) ---
+
+/// Applies a cols x rows row-major operator to a micro-batch of inputs:
+///
+///     c[q * cols + j] = offset[j] + sum_r op[j * rows + r] * x[q * rows + r]
+///
+/// `x` holds `batch` input vectors of length `rows` back to back; `c`
+/// holds `batch` output vectors of length `cols`. `offset` may be null
+/// (treated as all zeros).
+///
+/// Register-blocked over (q, j) tiles so each operator row and each input
+/// vector is streamed once per tile, but the reduction over r is kept
+/// strictly sequential per (q, j) accumulator — the result is
+/// bit-identical to the naive per-query loop
+/// `acc = offset[j]; for r: acc += op[j][r] * x[q][r]`, which is what
+/// lets batched recognition reproduce the sequential recognize() path
+/// exactly (no floating-point reassociation).
+void gemm_operator_batch(const double* op, const double* offset, const double* x,
+                         std::size_t rows, std::size_t cols, std::size_t batch, double* c);
+
 }  // namespace spinsim

@@ -18,28 +18,52 @@
 
 namespace spinsim {
 
+/// Minimum items a strided worker must receive before a fan-out is worth
+/// its thread-spawn cost. Below this floor the per-item work (a few µs of
+/// DAC/WTA arithmetic) is dwarfed by thread creation + join, which is how
+/// `direct t=4 b=16` used to come out *slower* than `t=1`.
+inline constexpr std::size_t kMinItemsPerThread = 16;
+
 /// Resolves a user-facing thread-count knob: 0 picks the hardware
-/// concurrency; the result never exceeds `items` (no idle workers).
+/// concurrency. The result is capped three ways: never more workers than
+/// `items` (no idle workers), never more than the hardware concurrency
+/// (oversubscribing a compute-bound strided loop only adds scheduler
+/// overhead), and never so many that a worker would see fewer than
+/// kMinItemsPerThread items (tiny batches run serial). Monotone in
+/// `threads`, and always >= 1.
 inline std::size_t resolve_threads(std::size_t threads, std::size_t items) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) {
-      threads = 1;
-    }
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
   }
-  return threads < items ? threads : (items == 0 ? 1 : items);
+  if (threads == 0 || threads > hw) {
+    threads = hw;
+  }
+  const std::size_t by_work = items / kMinItemsPerThread;
+  if (threads > by_work) {
+    threads = by_work;
+  }
+  if (threads > items) {
+    threads = items;
+  }
+  return threads == 0 ? 1 : threads;
 }
 
-/// Runs fn(i) for i in [0, items), striding the index space across
-/// `threads` workers (resolved per resolve_threads). Serial when one
-/// worker suffices. The first exception thrown by any worker is
-/// rethrown here once all workers have joined.
+/// Runs fn(i) for i in [0, items) across exactly min(threads, items)
+/// workers — no work-size floor. For callers that already resolved the
+/// worker count against a finer-grained measure than the loop's items
+/// (e.g. a chunked dispatch resolving against the query count); everyone
+/// else wants parallel_for_strided. Serial when one worker suffices; the
+/// first exception thrown by any worker is rethrown here once all
+/// workers have joined.
 template <typename Fn>
-void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
+void parallel_for_resolved(std::size_t items, std::size_t threads, Fn&& fn) {
   if (items == 0) {
     return;
   }
-  threads = resolve_threads(threads, items);
+  if (threads > items) {
+    threads = items;
+  }
   if (threads <= 1) {
     for (std::size_t i = 0; i < items; ++i) {
       fn(i);
@@ -71,6 +95,14 @@ void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
   if (error) {
     std::rethrow_exception(error);
   }
+}
+
+/// Runs fn(i) for i in [0, items), striding the index space across
+/// `threads` workers (resolved per resolve_threads, including the
+/// work-size floor). Serial when one worker suffices.
+template <typename Fn>
+void parallel_for_strided(std::size_t items, std::size_t threads, Fn&& fn) {
+  parallel_for_resolved(items, resolve_threads(threads, items), std::forward<Fn>(fn));
 }
 
 }  // namespace spinsim

@@ -27,7 +27,8 @@
 ///   rank  name            protects
 ///   ----  --------------  ------------------------------------------------
 ///    10   kServiceQueue   RecognitionService admission queue + lifecycle
-///    20   kShard          one shard's job handoff slot (never two at once)
+///    20   kShard          one shard's job queue + worker state (never two at once)
+///    25   kServiceDone    RecognitionService streamed completion queue
 ///    30   kServiceStats   service counters, breaker Health, histograms
 ///    40   kClientJoin     client-side join/wait state in tests & harnesses
 ///    50   kFaultSwitch    fault-injection stick/throw toggles
@@ -99,6 +100,12 @@ namespace spinsim {
 enum class LockRank : int {
   kServiceQueue = 10,
   kShard = 20,
+  /// Sits between kShard and kServiceStats on purpose: a shard worker
+  /// pushes its completion while still holding its shard mutex (20 -> 25,
+  /// ascending), which makes the abandoned-generation check and the push
+  /// one atomic step — the watchdog can never abandon a generation whose
+  /// results are concurrently landing in the completion queue.
+  kServiceDone = 25,
   kServiceStats = 30,
   kClientJoin = 40,
   kFaultSwitch = 50,

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/error.hpp"
+#include "core/matrix.hpp"
 
 namespace spinsim {
 
@@ -222,6 +223,43 @@ std::vector<double> RcmArray::column_currents_ideal(
   return out;
 }
 
+void RcmArray::prepare_ideal() {
+  ensure_row_sums();
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    SPINSIM_ASSERT(dummy_g_[row] + row_sums_[row] > 0.0, "RcmArray: row with zero conductance");
+  }
+  if (ideal_built_) {
+    return;
+  }
+  ideal_op_.assign(config_.cols * config_.rows, 0.0);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    const Memristor* row_cells = &cells_[row * config_.cols];
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      ideal_op_[col * config_.rows + row] = row_cells[col].conductance();
+    }
+  }
+  ideal_built_ = true;
+}
+
+void RcmArray::column_currents_ideal_batch(const double* inputs, std::size_t batch,
+                                           double* out) const {
+  require(ideal_built_, "RcmArray::column_currents_ideal_batch: call prepare_ideal() first");
+  const std::size_t rows = config_.rows;
+  // Same current division as column_currents_ideal(): scale each input by
+  // its row's total conductance, then the operator entries are the raw
+  // crosspoint conductances. The scaled copy keeps the division identical
+  // (one divide per (query, row), same operands, same order).
+  std::vector<double> scaled(batch * rows);
+  for (std::size_t q = 0; q < batch; ++q) {
+    const double* in = inputs + q * rows;
+    double* s = scaled.data() + q * rows;
+    for (std::size_t row = 0; row < rows; ++row) {
+      s[row] = in[row] / (dummy_g_[row] + row_sums_[row]);
+    }
+  }
+  gemm_operator_batch(ideal_op_.data(), nullptr, scaled.data(), rows, config_.cols, batch, out);
+}
+
 void RcmArray::build_parasitic_network(double v_bias) {
   net_ = std::make_unique<ResistiveNetwork>();
   transfer_built_ = false;
@@ -354,6 +392,14 @@ std::vector<double> RcmArray::column_currents_transfer(const std::vector<double>
   return out;
 }
 
+void RcmArray::column_currents_transfer_batch(const double* inputs, std::size_t batch,
+                                              double* out, double v_bias) const {
+  require(transfer_ready(v_bias),
+          "RcmArray::column_currents_transfer_batch: call prepare_parasitic() first");
+  gemm_operator_batch(transfer_.data(), transfer_offset_.data(), inputs, config_.rows,
+                      config_.cols, batch, out);
+}
+
 std::vector<double> RcmArray::column_currents_parasitic(
     const std::vector<double>& input_currents, double v_bias) {
   require(input_currents.size() == config_.rows,
@@ -381,6 +427,8 @@ void RcmArray::invalidate_parasitic_cache() {
   transfer_built_ = false;
   transfer_.clear();
   transfer_offset_.clear();
+  ideal_built_ = false;
+  ideal_op_.clear();
 }
 
 }  // namespace spinsim

@@ -131,6 +131,25 @@ class RcmArray {
   /// currents [A]: I_j = sum_i I_in(i) g_ij / G_TS(i).
   std::vector<double> column_currents_ideal(const std::vector<double>& input_currents) const;
 
+  /// Builds (or reuses) the cols x rows ideal operator (the crosspoint
+  /// conductances transposed into GEMM layout) and warms the row-sum
+  /// cache, so column_currents_ideal_batch() becomes callable from const
+  /// contexts (thread-parallel batch dispatch).
+  void prepare_ideal();
+
+  /// True once prepare_ideal() has run (and no reprogramming invalidated
+  /// the operator since).
+  bool ideal_ready() const { return ideal_built_; }
+
+  /// Batched ideal evaluation: `inputs` holds `batch` per-row input
+  /// current vectors back to back (batch x rows), `out` receives batch x
+  /// cols column currents. One cache-blocked GEMM against the cached
+  /// ideal operator; each query's result is bit-identical to
+  /// column_currents_ideal() on the same inputs. Requires ideal_ready();
+  /// const and thread-safe (callers may partition the batch across
+  /// threads via pointer offsets).
+  void column_currents_ideal_batch(const double* inputs, std::size_t batch, double* out) const;
+
   /// Selects the parasitic evaluation algorithm. All three paths agree to
   /// solver tolerance; kTransfer (the default) amortizes one factorization
   /// plus `cols` triangular solves across every subsequent query, which
@@ -162,6 +181,15 @@ class RcmArray {
   /// transfer_ready(v_bias); const and thread-safe.
   std::vector<double> column_currents_transfer(const std::vector<double>& input_currents,
                                                double v_bias = 0.0) const;
+
+  /// Batched transfer evaluation: `inputs` holds `batch` per-row input
+  /// current vectors back to back (batch x rows), `out` receives batch x
+  /// cols column currents. One cache-blocked GEMM against the cached
+  /// transfer operator; each query's result is bit-identical to
+  /// column_currents_transfer() on the same inputs. Requires
+  /// transfer_ready(v_bias); const and thread-safe.
+  void column_currents_transfer_batch(const double* inputs, std::size_t batch, double* out,
+                                      double v_bias = 0.0) const;
 
   /// Drops the cached parasitic network (after reprogramming).
   void invalidate_parasitic_cache();
@@ -214,6 +242,11 @@ class RcmArray {
   bool transfer_built_ = false;
   std::vector<double> transfer_;
   std::vector<double> transfer_offset_;
+
+  // Ideal operator in the same GEMM layout (ideal_op_[j * rows + r] =
+  // g_rj), built by prepare_ideal() and dropped on any reprogramming.
+  bool ideal_built_ = false;
+  std::vector<double> ideal_op_;
 };
 
 }  // namespace spinsim

@@ -1,5 +1,7 @@
 #include "datapath/input_stage_cache.hpp"
 
+#include <algorithm>
+
 namespace spinsim {
 
 std::uint64_t InputStageCache::hash_key(const std::vector<std::uint32_t>& key) {
@@ -34,6 +36,29 @@ std::vector<double> InputStageCache::lookup_or_compute(
   entry.currents = compute();
   bucket.push_back(std::move(entry));
   return bucket.back().currents;
+}
+
+void InputStageCache::lookup_or_compute_into(const std::vector<std::uint32_t>& key,
+                                             const std::function<void(double*)>& compute,
+                                             double* out, std::size_t count) {
+  const std::uint64_t h = hash_key(key);
+  LockGuard lock(mutex_);
+  ++stats_.lookups;
+  auto& bucket = entries_[h];
+  for (const Entry& entry : bucket) {
+    if (entry.key == key) {
+      ++stats_.hits;
+      std::copy(entry.currents.begin(), entry.currents.end(), out);
+      return;
+    }
+  }
+  ++stats_.computes;
+  Entry entry;
+  entry.key = key;
+  entry.currents.resize(count);
+  compute(entry.currents.data());
+  bucket.push_back(std::move(entry));
+  std::copy(bucket.back().currents.begin(), bucket.back().currents.end(), out);
 }
 
 void InputStageCache::clear() {

@@ -46,6 +46,15 @@ class InputStageCache {
       const std::vector<std::uint32_t>& key,
       const std::function<std::vector<double>()>& compute);
 
+  /// Allocation-free variant for the batch hot path: copies the `count`
+  /// cached row currents into `out` instead of returning a fresh vector.
+  /// On a miss, `compute(dst)` fills the cache entry in place (dst is
+  /// pre-sized to `count`) and the entry is then copied out. One copy on
+  /// a hit instead of the by-value return's allocate-and-copy.
+  void lookup_or_compute_into(const std::vector<std::uint32_t>& key,
+                              const std::function<void(double*)>& compute, double* out,
+                              std::size_t count);
+
   /// Drops every entry (the per-dispatch reset); counters survive.
   void clear();
 

@@ -52,7 +52,8 @@ RecognitionService::RecognitionService(const RecognitionServiceConfig& config,
                                        EngineFactory factory)
     : config_(config),
       factory_(std::move(factory)),
-      clock_(config.clock ? config.clock : SteadyClock::instance()) {
+      clock_(config.clock ? config.clock : SteadyClock::instance()),
+      wall_clock_(SteadyClock::instance()) {
   require(config_.shards >= 1, "RecognitionService: need at least one shard");
   require(config_.max_batch >= 1, "RecognitionService: max_batch must be positive");
   require(static_cast<bool>(factory_), "RecognitionService: empty engine factory");
@@ -162,6 +163,14 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     queries_since_scrub_ = 0;
     repair_alarm_active_ = false;
     {
+      // A worker of the old incarnation may have pushed a completion after
+      // the old collector drained its in-flight batches (an abandoned job
+      // finishing late); generations restart with the new shard set, so a
+      // stale entry could alias a fresh one.
+      LockGuard lock(done_mutex_);
+      completions_.clear();
+    }
+    {
       LockGuard lock(stats_mutex_);
       reset_stats_locked();
     }
@@ -244,9 +253,8 @@ void RecognitionService::store_templates(const std::vector<FeatureVector>& templ
     }
   }
 
-  for (auto& shard : shards_) {
-    Shard* raw = shard.get();
-    shard->worker = std::thread([this, raw] { shard_loop(raw); });
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { shard_loop(s); });
   }
   {
     LockGuard lock(stats_mutex_);
@@ -532,25 +540,55 @@ void RecognitionService::fail_stopped(std::vector<Request>& doomed) {
 }
 
 void RecognitionService::collector_loop() {
+  // The streaming pipeline: at most two batches are in flight (the one
+  // being served plus one double-buffered successor). Per-shard answers
+  // fold into the running merge as they land in completions_; batches
+  // finalise strictly in formation order.
+  std::deque<InFlight> inflight;
   for (;;) {
+    // ---- 1. Drain streamed completions and fold them in.
+    std::deque<Completion> ready;
+    {
+      LockGuard lock(done_mutex_);
+      ready.swap(completions_);
+    }
+    for (auto& done : ready) {
+      handle_completion(inflight, std::move(done));
+    }
+
+    // ---- 2. Abandon posts whose watchdog deadline passed.
+    expire_watchdog(inflight);
+
+    // ---- 3. Finalise settled batches, oldest first (delivery keeps
+    // formation order, like the barrier design).
+    while (!inflight.empty() && inflight.front().outstanding == 0) {
+      complete_dispatch(inflight.front());
+      inflight.pop_front();
+    }
+
+    // ---- 4. Form the next batch when there is room in the pipeline. A
+    // successor batch (inflight non-empty) is only worth forming once
+    // some shard could start it immediately; until then queued requests
+    // keep accumulating into a bigger, better-amortised batch — and the
+    // queue-cap/deadline semantics stay those of the barrier design.
+    const bool room =
+        inflight.size() < 2 && (inflight.empty() || has_idle_candidate());
+    bool stopping = false;
     std::vector<Request> batch;
     std::vector<Request> shed;
     {
       UniqueLock lock(queue_mutex_);
-      // The SPINSIM_NO_TSA predicates run with queue_mutex_ held — TSA
-      // cannot follow the cv's unlock/relock around them.
-      queue_cv_.wait(lock, [&]() SPINSIM_NO_TSA { return stopping_ || !queue_.empty(); });
-      if (!stopping_ && queue_.size() < config_.max_batch &&
-          config_.admission_window.count() > 0) {
-        // Admission window: from the moment work is pending, wait a
-        // bounded extra beat for more arrivals so they share one dispatch.
-        queue_cv_.wait_for(lock, config_.admission_window, [&]() SPINSIM_NO_TSA {
-          return stopping_ || queue_.size() >= config_.max_batch;
-        });
+      if (inflight.empty()) {
+        // Nothing in flight: block until work or shutdown. (The
+        // SPINSIM_NO_TSA predicates run with queue_mutex_ held — TSA
+        // cannot follow the cv's unlock/relock around them.)
+        queue_cv_.wait(lock, [&]() SPINSIM_NO_TSA { return stopping_ || !queue_.empty(); });
       }
-      if (stopping_) {
-        // Shutdown (or re-init): nothing queued gets dispatched, nothing
-        // gets dropped — every future fails with ServiceStopped.
+      stopping = stopping_;
+      if (stopping && inflight.empty()) {
+        // Shutdown (or re-init), with every in-flight batch already
+        // delivered: nothing still queued gets dispatched, nothing gets
+        // dropped — every future fails with ServiceStopped.
         std::vector<Request> doomed(std::make_move_iterator(queue_.begin()),
                                     std::make_move_iterator(queue_.end()));
         queue_.clear();
@@ -559,23 +597,37 @@ void RecognitionService::collector_loop() {
         fail_stopped(doomed);
         return;
       }
-      // Deadline shedding at batch formation: expired queries never reach
-      // a shard. (Expired entries deeper in the queue are shed when they
-      // surface — order is preserved, so they surface before anything
-      // that could still make its deadline behind them.)
-      const Clock::TimePoint now = clock_->now();
-      while (batch.size() < config_.max_batch && !queue_.empty()) {
-        Request request = std::move(queue_.front());
-        queue_.pop_front();
-        if (request.deadline <= now) {
-          shed.push_back(std::move(request));
-        } else {
-          batch.push_back(std::move(request));
+      if (!stopping && room && !queue_.empty()) {
+        if (queue_.size() < config_.max_batch && config_.admission_window.count() > 0) {
+          // Admission window: from the moment work is pending, wait a
+          // bounded extra beat for more arrivals so they share one
+          // dispatch. With a batch in flight the wait overlaps its
+          // compute — workers drain their own job queues meanwhile.
+          queue_cv_.wait_for(lock, config_.admission_window, [&]() SPINSIM_NO_TSA {
+            return stopping_ || queue_.size() >= config_.max_batch;
+          });
+          stopping = stopping_;
         }
-      }
-      in_flight_ += batch.size();
-      if (batch.empty() && queue_.empty() && in_flight_ == 0) {
-        idle_cv_.notify_all();
+        if (!stopping) {
+          // Deadline shedding at batch formation: expired queries never
+          // reach a shard. (Expired entries deeper in the queue are shed
+          // when they surface — order is preserved, so they surface
+          // before anything that could still make its deadline.)
+          const Clock::TimePoint now = clock_->now();
+          while (batch.size() < config_.max_batch && !queue_.empty()) {
+            Request request = std::move(queue_.front());
+            queue_.pop_front();
+            if (request.deadline <= now) {
+              shed.push_back(std::move(request));
+            } else {
+              batch.push_back(std::move(request));
+            }
+          }
+          in_flight_ += batch.size();
+          if (batch.empty() && queue_.empty() && in_flight_ == 0) {
+            idle_cv_.notify_all();
+          }
+        }
       }
     }
 
@@ -589,25 +641,50 @@ void RecognitionService::collector_loop() {
       stat_queries_ += shed.size();
       stat_shed_deadline_ += shed.size();
     }
-    if (batch.empty()) {
+
+    if (!batch.empty()) {
+      // ---- 5. Post the new batch into the shard job queues and loop:
+      // a zero-candidate post settles immediately and step 3 fails it.
+      inflight.emplace_back();
+      InFlight& flight = inflight.back();
+      flight.requests = std::move(batch);
+      auto inputs = std::make_shared<std::vector<FeatureVector>>();
+      inputs->reserve(flight.requests.size());
+      for (auto& request : flight.requests) {
+        inputs->push_back(std::move(request.input));  // dead after dispatch
+      }
+      flight.inputs = inputs;
+      const std::size_t n = flight.requests.size();
+      flight.best.resize(n);
+      flight.best_shard.assign(n, 0);
+      flight.second.assign(n, -std::numeric_limits<double>::infinity());
+      flight.has_best.assign(n, false);
+      post_dispatch(flight);
       continue;
     }
 
-    dispatch(batch);
-    maybe_raise_repair_alarm();
-
-    bool idle = false;
-    {
-      LockGuard lock(queue_mutex_);
-      in_flight_ -= batch.size();
-      idle = queue_.empty() && in_flight_ == 0;
-      if (idle) {
-        idle_cv_.notify_all();
+    // ---- 6. Nothing to form: block until a completion lands, bounded
+    // by the nearest watchdog deadline among outstanding posts.
+    if (!inflight.empty()) {
+      Clock::TimePoint nearest = Clock::TimePoint::max();
+      for (const InFlight& flight : inflight) {
+        for (const auto& pending : flight.pending) {
+          if (pending.posted && !pending.settled) {
+            nearest = std::min(nearest, pending.deadline);
+          }
+        }
       }
-    }
-    queries_since_scrub_ += batch.size();
-    if (idle) {
-      maybe_post_idle_scrub();
+      UniqueLock lock(done_mutex_);
+      const auto completed = [&]() SPINSIM_NO_TSA { return !completions_.empty(); };
+      if (nearest == Clock::TimePoint::max()) {
+        done_cv_.wait(lock, completed);
+      } else {
+        auto remaining = nearest - wall_clock_->now();
+        if (remaining.count() < 0) {
+          remaining = remaining.zero();
+        }
+        done_cv_.wait_for(lock, remaining, completed);
+      }
     }
   }
 }
@@ -671,29 +748,38 @@ void RecognitionService::maybe_post_idle_scrub() {
   stat_idle_scrubs_ += 1;
 }
 
-void RecognitionService::shard_loop(Shard* shard) {
+void RecognitionService::shard_loop(std::size_t index) {
+  Shard* shard = shards_[index].get();
   for (;;) {
     // Shared ownership of the batch: if the watchdog abandons this job
-    // the collector's dispatch frame (and its copy of the batch) is long
-    // gone by the time a wedged engine call returns — this reference
-    // keeps the inputs alive until then.
+    // the collector's InFlight record (and its copy of the batch) may be
+    // long gone by the time a wedged engine call returns — this
+    // reference keeps the inputs alive until then.
     std::shared_ptr<const std::vector<FeatureVector>> job;
     std::uint64_t gen = 0;
     bool do_scrub = false;
     {
       UniqueLock lock(shard->mutex);
       shard->cv.wait(lock, [&]() SPINSIM_NO_TSA {
-        return shard->stop || shard->job != nullptr || shard->scrub;
+        return shard->stop || !shard->jobs.empty() || shard->scrub;
       });
       if (shard->stop) {
         return;
       }
-      if (shard->job != nullptr) {
+      if (!shard->jobs.empty()) {
         // Serving beats scrubbing: a pending scrub flag survives to the
         // next wake-up.
-        job = std::move(shard->job);
-        gen = shard->job_gen;
-        shard->job = nullptr;
+        Shard::Job next = std::move(shard->jobs.front());
+        shard->jobs.pop_front();
+        if (next.gen <= shard->abandoned_gen) {
+          // Abandoned while still queued (e.g. a double-buffered batch
+          // behind a wedged probe) — drop it without touching `busy`.
+          continue;
+        }
+        job = std::move(next.inputs);
+        gen = next.gen;
+        shard->busy = true;
+        shard->running_gen = gen;
       } else {
         do_scrub = true;
         shard->scrub = false;
@@ -708,256 +794,302 @@ void RecognitionService::shard_loop(Shard* shard) {
       }
       continue;
     }
-    std::vector<Recognition> results;
-    std::exception_ptr error;
+    Completion done;
+    done.shard = index;
+    done.gen = gen;
     const Clock::TimePoint engine_start = clock_->now();
     try {
-      results = shard->engine->recognize_batch(*job, config_.engine_threads);
+      done.results = shard->engine->recognize_batch(*job, config_.engine_threads);
     } catch (...) {
       // Propagate through the collector to the client futures instead of
       // terminating the worker thread.
-      error = std::current_exception();
+      done.error = std::current_exception();
     }
     const double engine_us =
         std::chrono::duration<double, std::micro>(clock_->now() - engine_start).count();
     {
       LockGuard lock(shard->mutex);
       // A job the watchdog abandoned already got answered without this
-      // shard; its late results must not leak into the next batch.
-      const bool abandoned = shard->abandoned_gen >= gen;
-      if (!abandoned) {
-        shard->results = std::move(results);
-        shard->job_error = error;
-        shard->done_gen = gen;
+      // shard; its late results must not leak into the next batch. The
+      // abandon check and the push are atomic because kServiceDone ranks
+      // above kShard: the watchdog cannot abandon between them.
+      if (shard->abandoned_gen < gen) {
         shard->batch_latency_us.add(engine_us);
         shard->batches_run += 1;
+        LockGuard done_lock(done_mutex_);
+        completions_.push_back(std::move(done));
       }
       shard->busy = false;
     }
-    shard->cv.notify_all();
+    done_cv_.notify_all();
   }
 }
 
-void RecognitionService::post_job(Shard& shard,
-                                  const std::shared_ptr<const std::vector<FeatureVector>>& inputs) {
+void RecognitionService::post_to_shard(std::size_t index, InFlight& flight) {
+  Shard& shard = *shards_[index];
+  InFlight::PendingShard& pending = flight.pending[index];
+  std::uint64_t gen = 0;
   {
     LockGuard lock(shard.mutex);
-    shard.busy = true;
-    shard.job = inputs;
-    shard.job_gen += 1;
+    gen = ++shard.next_gen;
+    shard.jobs.push_back(Shard::Job{flight.inputs, gen});
   }
   shard.cv.notify_all();
+  if (!pending.posted) {
+    pending.posted = true;
+    flight.outstanding += 1;
+  }
+  pending.gen = gen;
+  // Watchdog deadlines run on the always-real wall clock: a FakeClock
+  // must not make a healthy shard look instantly wedged (or a wedged one
+  // look healthy forever).
+  pending.deadline = config_.shard_timeout.count() > 0
+                         ? wall_clock_->now() + config_.shard_timeout
+                         : Clock::TimePoint::max();
 }
 
-bool RecognitionService::await_job(Shard& shard, std::vector<Recognition>& results,
-                                   std::exception_ptr& error) {
-  UniqueLock lock(shard.mutex);
-  const std::uint64_t gen = shard.job_gen;
-  // TSA cannot follow the cv's unlock/relock; the predicate runs with
-  // shard.mutex held.
-  const auto done = [&]() SPINSIM_NO_TSA { return shard.done_gen == gen; };
-  if (config_.shard_timeout.count() > 0) {
-    if (!shard.cv.wait_for(lock, config_.shard_timeout, done)) {
-      // Stuck-shard watchdog: abandon the job. The worker keeps running
-      // and discards the stale results; `busy` stays set until then, so
-      // later dispatches skip this shard instead of queueing behind it.
-      shard.abandoned_gen = gen;
-      return false;
-    }
-  } else {
-    shard.cv.wait(lock, done);
-  }
-  error = shard.job_error;
-  shard.job_error = nullptr;
-  if (!error) {
-    results = std::move(shard.results);
-  }
-  return true;
-}
-
-Recognition RecognitionService::merge(const std::vector<Recognition*>& shard_answers,
-                                      const std::vector<std::size_t>& shard_ids) const {
-  // Highest score wins; ties resolve toward the lowest global template
-  // index — the rule a flat WTA/argmax applies, which is what makes a
-  // sharded service winner-for-winner identical to a flat engine when
-  // shard scores are comparable (see header). `shard_ids` names the
-  // shards that actually answered (all of them in the healthy case).
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < shard_answers.size(); ++k) {
-    if (shard_answers[k]->score > shard_answers[best]->score) {
-      best = k;
-    }
-  }
-  Recognition out = *shard_answers[best];
-  out.winner += shards_[shard_ids[best]]->base;
-  for (std::size_t k = 0; k < shard_answers.size(); ++k) {
-    if (k != best && shard_answers[k]->score == out.score) {
-      out.unique = false;
-    }
-  }
-  if (!out.unique) {
-    out.accepted = false;  // accepted implies unique, across shards too
-  }
-  // The winning shard's margin only measures its *local* runner-up; the
-  // global runner-up may live on another shard. Cap it with the relative
-  // cross-shard score gap so the merged margin never overstates the
-  // confidence a flat engine would have reported. The runner-up starts at
-  // -inf and takes the *actual* other-shard scores — backends may score
-  // at or below zero, and clamping the runner-up to 0 would mis-cap them.
-  if (shard_answers.size() > 1) {
-    if (out.score > 0.0) {
-      double second = -std::numeric_limits<double>::infinity();
-      for (std::size_t k = 0; k < shard_answers.size(); ++k) {
-        if (k != best) {
-          second = std::max(second, shard_answers[k]->score);
-        }
-      }
-      out.margin = std::min(out.margin, (out.score - second) / out.score);
-    } else {
-      // Non-positive winner: there is no positive scale to normalise a
-      // score gap against, and a best match at or below zero carries no
-      // confidence worth reporting — force escalation-grade margin.
-      out.margin = 0.0;
-    }
-  }
-  return out;
-}
-
-void RecognitionService::dispatch(std::vector<Request>& batch) {
+void RecognitionService::post_dispatch(InFlight& flight) {
   if (input_cache_ != nullptr) {
     // Per-dispatch semantics: entries never outlive their batch, so the
-    // cache footprint is bounded by the admission window.
+    // cache footprint stays bounded by the admission window. (With a
+    // batch still in flight this also drops its still-warm entries — a
+    // hit-rate cost only, never a correctness one.)
     input_cache_->clear();
   }
-  // Shared ownership (not a dispatch-frame local): an abandoned worker
-  // may still be reading these inputs long after this frame returned.
-  auto inputs = std::make_shared<std::vector<FeatureVector>>();
-  inputs->reserve(batch.size());
-  for (auto& request : batch) {
-    inputs->push_back(std::move(request.input));  // dead after dispatch
-  }
-  const std::shared_ptr<const std::vector<FeatureVector>> shared_inputs = inputs;
-
-  // Shard eligibility: skip workers still wedged in an abandoned job and
-  // shards whose breaker is open (an elapsed cooldown admits one
-  // half-open probe).
-  std::vector<std::size_t> candidates;
-  candidates.reserve(shards_.size());
-  {
-    const Clock::TimePoint now = clock_->now();
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      Shard& shard = *shards_[s];
-      bool busy = false;
-      {
-        LockGuard lock(shard.mutex);
-        busy = shard.busy;
-      }
-      if (busy) {
-        continue;
-      }
-      bool admit = true;
-      {
-        LockGuard lock(stats_mutex_);
-        Health& health = health_[s];
-        if (health.state == RecognitionServiceStats::BreakerState::kOpen) {
-          if (now >= health.open_until) {
-            health.state = RecognitionServiceStats::BreakerState::kHalfOpen;
-          } else {
-            admit = false;
-          }
-        }
-      }
-      if (admit) {
-        candidates.push_back(s);
-      }
-    }
-  }
-
-  // Breaker bookkeeping, collector-thread-only, under stats_mutex_ so
-  // stats() snapshots are consistent.
-  const auto note_success = [&](std::size_t s) {
-    LockGuard lock(stats_mutex_);
-    Health& health = health_[s];
-    health.state = RecognitionServiceStats::BreakerState::kClosed;
-    health.consecutive_failures = 0;
-    health.cooldown = std::chrono::microseconds{0};
-  };
-  const auto note_exclusion = [&](std::size_t s, bool timeout) {
-    LockGuard lock(stats_mutex_);
-    Health& health = health_[s];
-    if (timeout) {
-      health.timeouts += 1;
-    }
-    health.consecutive_failures += 1;
-    // A failed half-open probe re-opens immediately; a closed shard needs
-    // the full consecutive-failure run. The cooldown backs off
-    // exponentially per consecutive ejection, capped.
-    if (health.state == RecognitionServiceStats::BreakerState::kHalfOpen ||
-        health.consecutive_failures >= config_.breaker_failure_threshold) {
-      health.state = RecognitionServiceStats::BreakerState::kOpen;
-      if (health.cooldown.count() == 0) {
-        health.cooldown = config_.breaker_cooldown;
-      }
-      health.open_until = clock_->now() + health.cooldown;
-      health.cooldown = std::min(
-          std::chrono::microseconds{static_cast<std::int64_t>(
-              std::llround(static_cast<double>(health.cooldown.count()) *
-                           config_.breaker_backoff))},
-          config_.breaker_max_cooldown);
-      health.ejections += 1;
-    }
-  };
-
-  // Fan out to every candidate at once, then collect — retrying a shard
-  // whose engine threw, in place, up to shard_retries times.
-  for (const std::size_t s : candidates) {
-    post_job(*shards_[s], shared_inputs);
-  }
-  std::vector<std::vector<Recognition>> per_shard(shards_.size());
-  std::vector<std::size_t> answered;
-  std::exception_ptr first_error;
-  for (const std::size_t s : candidates) {
+  flight.pending.assign(shards_.size(), InFlight::PendingShard{});
+  // Shard eligibility: skip workers wedged in an abandoned job, skip
+  // shards whose pipeline is already full (depth 2: one running, one
+  // queued), and skip shards whose breaker is open (an elapsed cooldown
+  // admits one half-open probe).
+  const Clock::TimePoint now = clock_->now();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    std::size_t retries_left = config_.shard_retries;
-    for (;;) {
-      std::vector<Recognition> results;
-      std::exception_ptr error;
-      if (!await_job(shard, results, error)) {
-        note_exclusion(s, /*timeout=*/true);
-        break;
-      }
-      if (!error) {
-        per_shard[s] = std::move(results);
-        answered.push_back(s);
-        note_success(s);
-        break;
-      }
-      if (!first_error) {
-        first_error = error;
-      }
-      {
-        LockGuard lock(stats_mutex_);
-        health_[s].failures += 1;
-      }
-      if (retries_left > 0) {
-        --retries_left;
-        {
-          LockGuard lock(stats_mutex_);
-          health_[s].retries += 1;
+    bool full = false;
+    {
+      LockGuard lock(shard.mutex);
+      const bool wedged = shard.busy && shard.running_gen <= shard.abandoned_gen;
+      full = wedged || shard.jobs.size() + (shard.busy ? 1u : 0u) >= 2;
+    }
+    if (full) {
+      continue;
+    }
+    bool admit = true;
+    {
+      LockGuard lock(stats_mutex_);
+      Health& health = health_[s];
+      if (health.state == RecognitionServiceStats::BreakerState::kOpen) {
+        if (now >= health.open_until) {
+          health.state = RecognitionServiceStats::BreakerState::kHalfOpen;
+        } else {
+          admit = false;
         }
-        post_job(shard, shared_inputs);
+      }
+    }
+    if (!admit) {
+      continue;
+    }
+    flight.pending[s].retries_left = config_.shard_retries;
+    post_to_shard(s, flight);
+  }
+}
+
+bool RecognitionService::has_idle_candidate() {
+  // A successor batch is only worth double-buffering once some shard
+  // could start on it immediately: not busy, empty job queue, and a
+  // breaker that would admit it. Otherwise queued requests keep
+  // accumulating (preserving queue-cap and deadline-shed semantics).
+  const Clock::TimePoint now = clock_->now();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    {
+      LockGuard lock(shard.mutex);
+      if (shard.busy || !shard.jobs.empty()) {
         continue;
       }
-      note_exclusion(s, /*timeout=*/false);
+    }
+    LockGuard lock(stats_mutex_);
+    const Health& health = health_[s];
+    if (health.state == RecognitionServiceStats::BreakerState::kOpen &&
+        now < health.open_until) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void RecognitionService::note_shard_success(std::size_t index) {
+  LockGuard lock(stats_mutex_);
+  Health& health = health_[index];
+  health.state = RecognitionServiceStats::BreakerState::kClosed;
+  health.consecutive_failures = 0;
+  health.cooldown = std::chrono::microseconds{0};
+}
+
+void RecognitionService::note_shard_exclusion(std::size_t index, bool timeout) {
+  LockGuard lock(stats_mutex_);
+  Health& health = health_[index];
+  if (timeout) {
+    health.timeouts += 1;
+  }
+  health.consecutive_failures += 1;
+  // A failed half-open probe re-opens immediately; a closed shard needs
+  // the full consecutive-failure run. The cooldown backs off
+  // exponentially per consecutive ejection, capped.
+  if (health.state == RecognitionServiceStats::BreakerState::kHalfOpen ||
+      health.consecutive_failures >= config_.breaker_failure_threshold) {
+    health.state = RecognitionServiceStats::BreakerState::kOpen;
+    if (health.cooldown.count() == 0) {
+      health.cooldown = config_.breaker_cooldown;
+    }
+    health.open_until = clock_->now() + health.cooldown;
+    health.cooldown = std::min(
+        std::chrono::microseconds{static_cast<std::int64_t>(
+            std::llround(static_cast<double>(health.cooldown.count()) *
+                         config_.breaker_backoff))},
+        config_.breaker_max_cooldown);
+    health.ejections += 1;
+  }
+}
+
+void RecognitionService::fold_shard_results(InFlight& flight, std::size_t shard_index,
+                                            std::vector<Recognition>&& results) {
+  // Streamed merge: fold this shard's answers into the running best /
+  // runner-up per query. Highest score wins; ties resolve toward the
+  // lowest shard index (and with it the lowest global template index) —
+  // the rule a flat WTA/argmax applies, which is what makes the sharded
+  // service winner-for-winner identical to a flat engine when shard
+  // scores are comparable (see header). The runner-up takes the *actual*
+  // other-shard scores starting from -inf — backends may score at or
+  // below zero, and clamping it to 0 would mis-cap the margin.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Recognition& r = results[i];
+    if (!flight.has_best[i]) {
+      flight.best[i] = std::move(r);
+      flight.best_shard[i] = shard_index;
+      flight.has_best[i] = true;
+      continue;
+    }
+    Recognition& best = flight.best[i];
+    if (r.score > best.score ||
+        (r.score == best.score && shard_index < flight.best_shard[i])) {
+      flight.second[i] = std::max(flight.second[i], best.score);
+      best = std::move(r);
+      flight.best_shard[i] = shard_index;
+    } else {
+      flight.second[i] = std::max(flight.second[i], r.score);
+    }
+  }
+}
+
+void RecognitionService::handle_completion(std::deque<InFlight>& inflight, Completion&& done) {
+  // Match the completion against the in-flight batch that posted it;
+  // anything unmatched is a late echo of an abandoned or re-initialised
+  // post and is dropped.
+  InFlight* flight = nullptr;
+  for (InFlight& candidate : inflight) {
+    const InFlight::PendingShard& pending = candidate.pending[done.shard];
+    if (pending.posted && !pending.settled && pending.gen == done.gen) {
+      flight = &candidate;
       break;
     }
   }
+  if (flight == nullptr) {
+    return;
+  }
+  InFlight::PendingShard& pending = flight->pending[done.shard];
+  if (!done.error && done.results.size() != flight->requests.size()) {
+    // An engine that answers the wrong number of queries is as broken as
+    // one that throws — and not worth retrying.
+    done.error = std::make_exception_ptr(InvalidArgument(
+        "RecognitionService: shard answered a different number of queries than posted"));
+    pending.retries_left = 0;
+  }
+  if (done.error) {
+    if (!flight->first_error) {
+      flight->first_error = done.error;
+    }
+    {
+      LockGuard lock(stats_mutex_);
+      health_[done.shard].failures += 1;
+    }
+    if (pending.retries_left > 0) {
+      pending.retries_left -= 1;
+      {
+        LockGuard lock(stats_mutex_);
+        health_[done.shard].retries += 1;
+      }
+      post_to_shard(done.shard, *flight);  // repost in place
+      return;
+    }
+    note_shard_exclusion(done.shard, /*timeout=*/false);
+    pending.settled = true;
+    flight->outstanding -= 1;
+    return;
+  }
+  note_shard_success(done.shard);
+  fold_shard_results(*flight, done.shard, std::move(done.results));
+  pending.settled = true;
+  flight->outstanding -= 1;
+  flight->answered_shards += 1;
+  flight->covered_columns += shards_[done.shard]->columns;
+}
 
-  if (answered.empty()) {
+void RecognitionService::expire_watchdog(std::deque<InFlight>& inflight) {
+  if (config_.shard_timeout.count() <= 0) {
+    return;
+  }
+  const Clock::TimePoint now = wall_clock_->now();
+  std::vector<std::size_t> timed_out;
+  for (InFlight& flight : inflight) {
+    for (std::size_t s = 0; s < flight.pending.size(); ++s) {
+      InFlight::PendingShard& pending = flight.pending[s];
+      if (!pending.posted || pending.settled || now < pending.deadline) {
+        continue;
+      }
+      // Stuck-shard watchdog: abandon the post. Before abandoning,
+      // re-scan the completion queue under shard.mutex + done_mutex_ —
+      // the worker may have pushed the answer between our drain and this
+      // deadline check, and the rank order (kShard < kServiceDone) makes
+      // the rescue race-free against the worker's abandon-check+push.
+      Shard& shard = *shards_[s];
+      bool rescued = false;
+      {
+        LockGuard lock(shard.mutex);
+        LockGuard done_lock(done_mutex_);
+        for (const Completion& done : completions_) {
+          if (done.shard == s && done.gen == pending.gen) {
+            rescued = true;
+            break;
+          }
+        }
+        if (!rescued) {
+          shard.abandoned_gen = std::max(shard.abandoned_gen, pending.gen);
+        }
+      }
+      if (rescued) {
+        continue;  // the drained completion settles it on the next pass
+      }
+      // The worker keeps running and discards the stale results; `busy`
+      // stays set until then, so later dispatches skip this shard
+      // instead of queueing behind it.
+      pending.settled = true;
+      flight.outstanding -= 1;
+      timed_out.push_back(s);
+    }
+  }
+  for (const std::size_t s : timed_out) {
+    note_shard_exclusion(s, /*timeout=*/true);
+  }
+}
+
+void RecognitionService::complete_dispatch(InFlight& flight) {
+  std::vector<Request>& batch = flight.requests;
+  if (flight.answered_shards == 0) {
     // Nothing served the batch. Propagate the engine's own error when
     // there was one (the single-shard contract); otherwise the refusal
     // is capacity-shaped and retriable.
-    std::exception_ptr error = first_error;
+    std::exception_ptr error = flight.first_error;
     if (!error) {
       error = std::make_exception_ptr(
           Overloaded("RecognitionService: no healthy shard available for the batch"));
@@ -969,23 +1101,23 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
     // `queries` (and in `failed`), so mean_batch_size keeps meaning
     // dispatched/batches whatever the error rate. Latency stats only
     // track successes — see RecognitionServiceStats.
-    LockGuard lock(stats_mutex_);
-    stat_queries_ += batch.size();
-    stat_failed_ += batch.size();
-    stat_dispatched_ += batch.size();
-    stat_batches_ += 1;
+    {
+      LockGuard lock(stats_mutex_);
+      stat_queries_ += batch.size();
+      stat_failed_ += batch.size();
+      stat_dispatched_ += batch.size();
+      stat_batches_ += 1;
+    }
+    finish_dispatch(batch.size());
     return;
   }
 
   // Best-effort coverage: the fraction of the stored template set the
   // answering shards actually hold (1.0 in the healthy case).
-  std::size_t covered = 0;
-  for (const std::size_t s : answered) {
-    covered += shards_[s]->columns;
-  }
-  const double coverage =
-      total_columns_ == 0 ? 1.0
-                          : static_cast<double>(covered) / static_cast<double>(total_columns_);
+  const double coverage = total_columns_ == 0
+                              ? 1.0
+                              : static_cast<double>(flight.covered_columns) /
+                                    static_cast<double>(total_columns_);
   const bool degraded_now = brownout_;
 
   const Clock::TimePoint now = clock_->now();
@@ -995,12 +1127,29 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   latencies_us.reserve(batch.size());
   std::uint64_t escalated = 0;
   std::uint64_t rejected = 0;
-  std::vector<Recognition*> answers(answered.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    for (std::size_t k = 0; k < answered.size(); ++k) {
-      answers[k] = &per_shard[answered[k]][i];
+    Recognition answer = std::move(flight.best[i]);
+    answer.winner += shards_[flight.best_shard[i]]->base;
+    if (flight.answered_shards > 1) {
+      if (flight.second[i] == answer.score) {
+        answer.unique = false;
+      }
+      // The winning shard's margin only measures its *local* runner-up;
+      // the global runner-up may live on another shard. Cap it with the
+      // relative cross-shard score gap so the merged margin never
+      // overstates the confidence a flat engine would have reported.
+      if (answer.score > 0.0) {
+        answer.margin = std::min(answer.margin, (answer.score - flight.second[i]) / answer.score);
+      } else {
+        // Non-positive winner: there is no positive scale to normalise a
+        // score gap against, and a best match at or below zero carries
+        // no confidence worth reporting — force escalation-grade margin.
+        answer.margin = 0.0;
+      }
     }
-    Recognition answer = merge(answers, answered);
+    if (!answer.unique) {
+      answer.accepted = false;  // accepted implies unique, across shards too
+    }
     answer.coverage = coverage;
     if (degraded_now) {
       answer.degraded = true;
@@ -1041,6 +1190,27 @@ void RecognitionService::dispatch(std::vector<Request>& batch) {
   }
 
   controller_step(latencies_us);
+  finish_dispatch(batch.size());
+}
+
+void RecognitionService::finish_dispatch(std::size_t delivered) {
+  // Post-delivery bookkeeping, once per finalised batch: the repair-rate
+  // alarm edge check, the in-flight/idle accounting drain() waits on,
+  // and (when the service went idle) an opportunistic scrub post.
+  maybe_raise_repair_alarm();
+  bool idle = false;
+  {
+    LockGuard lock(queue_mutex_);
+    in_flight_ -= delivered;
+    idle = queue_.empty() && in_flight_ == 0;
+    if (idle) {
+      idle_cv_.notify_all();
+    }
+  }
+  queries_since_scrub_ += delivered;
+  if (idle) {
+    maybe_post_idle_scrub();
+  }
 }
 
 void RecognitionService::controller_step(const std::vector<double>& latencies_us) {

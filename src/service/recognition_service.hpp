@@ -6,10 +6,17 @@
 /// replicas (any backend — the factory decides). Clients submit single
 /// queries or whole batches and get futures back; a collector thread
 /// coalesces whatever is queued inside an *admission window* into one
-/// micro-batch, fans it out to the per-shard worker threads (each shard
-/// engine is touched by exactly one thread, so engines need no internal
-/// locking), merges the per-shard answers by score, and fulfils the
-/// futures. This is the layer the ROADMAP's heavy-traffic scenarios plug
+/// micro-batch and fans it out to the per-shard worker threads (each
+/// shard engine is touched by exactly one thread, so engines need no
+/// internal locking). Workers *stream* their finished per-shard answers
+/// into a completion queue as they land — the collector folds each one
+/// into a running per-query merge instead of barriering on the slowest
+/// shard — and up to one successor micro-batch is *double-buffered*: as
+/// soon as any shard goes idle the collector forms the next batch and
+/// posts it into every shard's depth-2 job queue, so workers roll from
+/// batch N straight into batch N+1 without a collector round-trip.
+/// Client-visible semantics (delivery order, merge rule, stats, fault
+/// handling) are unchanged from the barrier design. This is the layer the ROADMAP's heavy-traffic scenarios plug
 /// into: what lives behind the shard workers swaps freely without touching
 /// the client surface. Multi-backend *tiered* routing plugs in exactly
 /// there: make_tiered_factory() builds one TieredEngine per shard (cheap
@@ -379,48 +386,123 @@ class RecognitionService {
     /// store_templates() — the worker thread runs the scrubs.
     std::vector<LeafCacheEngine*> leaf_caches;
 
-    // Collector -> worker handoff: one batch at a time, generation-tagged
-    // so an abandoned (timed-out) job's late results are discarded
-    // instead of being mistaken for the next batch's.
+    /// One posted batch in the shard's job queue. Shared ownership of the
+    /// inputs, not a raw pointer: when the watchdog abandons a wedged
+    /// shard the collector's dispatch state is long gone by the time the
+    /// engine call returns, but the worker is still inside
+    /// recognize_batch on these inputs — the shared_ptr keeps them alive
+    /// until the worker lets go.
+    struct Job {
+      std::shared_ptr<const std::vector<FeatureVector>> inputs;
+      std::uint64_t gen = 0;  ///< generation tag (see next_gen)
+    };
+
+    // Collector -> worker handoff: a depth-2 job queue (the batch being
+    // served plus one double-buffered successor), generation-tagged so an
+    // abandoned (timed-out) job's late results are discarded instead of
+    // being mistaken for a later batch's.
     Mutex mutex{LockRank::kShard};
     CondVar cv;
-    /// The posted batch. Shared ownership, not a raw pointer: when the
-    /// watchdog abandons a wedged shard the dispatch returns and destroys
-    /// its local batch, but the worker is still inside recognize_batch on
-    /// these inputs — the shared_ptr keeps them alive until the worker
-    /// lets go.
-    std::shared_ptr<const std::vector<FeatureVector>> job SPINSIM_GUARDED_BY(mutex);
-    std::uint64_t job_gen SPINSIM_GUARDED_BY(mutex) = 0;  ///< posted generation
-    std::uint64_t done_gen SPINSIM_GUARDED_BY(mutex) = 0;  ///< last completed
-    /// Generations the collector gave up on.
+    std::deque<Job> jobs SPINSIM_GUARDED_BY(mutex);
+    /// Last generation the collector posted (monotone; 0 = none yet).
+    std::uint64_t next_gen SPINSIM_GUARDED_BY(mutex) = 0;
+    /// Generation the worker is currently executing (valid while busy).
+    std::uint64_t running_gen SPINSIM_GUARDED_BY(mutex) = 0;
+    /// Generations the collector gave up on: the worker discards results
+    /// for (and never starts) any job with gen <= abandoned_gen.
     std::uint64_t abandoned_gen SPINSIM_GUARDED_BY(mutex) = 0;
-    /// Worker holds a job it has not finished.
+    /// Worker is inside an engine call it has not finished.
     bool busy SPINSIM_GUARDED_BY(mutex) = false;
     bool scrub SPINSIM_GUARDED_BY(mutex) = false;  ///< pending idle scrub
-    std::vector<Recognition> results SPINSIM_GUARDED_BY(mutex);
-    std::exception_ptr job_error SPINSIM_GUARDED_BY(mutex);
     bool stop SPINSIM_GUARDED_BY(mutex) = false;
 
     // Engine time per dispatched batch [us], written by the worker under
-    // `mutex` while posting results, read by stats().
+    // `mutex` while posting its completion, read by stats().
     GeometricHistogram batch_latency_us SPINSIM_GUARDED_BY(mutex);
     std::uint64_t batches_run SPINSIM_GUARDED_BY(mutex) = 0;
   };
 
+  /// One shard's finished batch, streamed from its worker to the
+  /// collector through `completions_`. Workers push while still holding
+  /// their shard mutex (rank 20 -> 25), so a push can never race the
+  /// watchdog's abandon decision for the same generation.
+  struct Completion {
+    std::size_t shard = 0;
+    std::uint64_t gen = 0;
+    std::vector<Recognition> results;
+    std::exception_ptr error;  ///< set when the engine threw (results empty)
+  };
+
+  /// Collector-local state of one dispatched micro-batch whose per-shard
+  /// answers are still streaming in. The per-query merge is *folded* one
+  /// shard at a time (fold_shard_results), so non-winning shard results
+  /// are freed as they arrive instead of being held until every shard has
+  /// answered.
+  struct InFlight {
+    std::vector<Request> requests;
+    std::shared_ptr<const std::vector<FeatureVector>> inputs;
+
+    /// Dispatch state of one shard for this batch.
+    struct PendingShard {
+      bool posted = false;   ///< this shard participates in the batch
+      bool settled = false;  ///< answered, timed out, or out of retries
+      std::uint64_t gen = 0;  ///< generation of the latest post/repost
+      std::size_t retries_left = 0;
+      /// Watchdog deadline of the latest post, on the *wall* clock (cv
+      /// timed waits cannot run on a FakeClock); max() = no watchdog.
+      Clock::TimePoint deadline = Clock::TimePoint::max();
+    };
+    std::vector<PendingShard> pending;  ///< indexed like shards_
+    std::size_t outstanding = 0;        ///< posted && !settled count
+
+    // Running per-query fold: the best answer so far, the shard it came
+    // from, and the best score seen on any *other* shard (the cross-shard
+    // runner-up the merge caps the margin with).
+    std::vector<Recognition> best;
+    std::vector<std::size_t> best_shard;
+    std::vector<double> second;
+    std::vector<bool> has_best;
+    std::size_t answered_shards = 0;
+    std::size_t covered_columns = 0;
+    std::exception_ptr first_error;
+  };
+
   void collector_loop();
-  void shard_loop(Shard* shard);
-  void dispatch(std::vector<Request>& batch);
-  /// Hands a generation-tagged batch to the shard worker.
-  void post_job(Shard& shard,
-                const std::shared_ptr<const std::vector<FeatureVector>>& inputs)
-      SPINSIM_EXCLUDES(shard.mutex);
-  /// Waits for the posted job (bounded by shard_timeout when set).
-  /// Returns false when the watchdog abandoned it — the shard stays busy
-  /// until its worker notices and discards the stale results.
-  bool await_job(Shard& shard, std::vector<Recognition>& results, std::exception_ptr& error)
-      SPINSIM_EXCLUDES(shard.mutex);
-  Recognition merge(const std::vector<Recognition*>& shard_answers,
-                    const std::vector<std::size_t>& shard_ids) const;
+  void shard_loop(std::size_t index);
+  /// Clears the per-dispatch input cache and posts `flight` to every
+  /// eligible shard (not wedged, job queue not full, breaker admits —
+  /// an elapsed cooldown admits one half-open probe).
+  void post_dispatch(InFlight& flight);
+  /// Pushes a generation-tagged job for `flight` onto shard `index`'s
+  /// queue and records the post (generation, watchdog deadline) in
+  /// flight.pending. Serves both the first post and retry reposts.
+  void post_to_shard(std::size_t index, InFlight& flight);
+  /// Routes one streamed completion to its in-flight batch: folds a
+  /// success into the running merge, retries or excludes on error.
+  /// Completions for abandoned/superseded generations are dropped.
+  void handle_completion(std::deque<InFlight>& inflight, Completion&& done);
+  /// Abandons posts whose watchdog deadline passed. Re-checks the
+  /// completion queue under both the shard and completion locks first: a
+  /// completion that landed just before the deadline is a late answer,
+  /// not a timeout.
+  void expire_watchdog(std::deque<InFlight>& inflight);
+  /// Folds one shard's answers into `flight`'s running per-query merge
+  /// (highest score wins, ties toward the lowest global template index).
+  void fold_shard_results(InFlight& flight, std::size_t shard_index,
+                          std::vector<Recognition>&& results);
+  /// Finalises a fully-settled batch: per-query merge finish (uniqueness,
+  /// margin cap, global winner, coverage), stats, delivery, controller.
+  void complete_dispatch(InFlight& flight);
+  /// Post-delivery bookkeeping shared by both complete_dispatch paths:
+  /// repair-alarm edge check, in-flight/idle accounting, idle scrub.
+  void finish_dispatch(std::size_t delivered);
+  /// True when some shard could start a new batch immediately (idle
+  /// worker, empty job queue, breaker not holding it out) — the gate for
+  /// forming the double-buffered successor batch.
+  bool has_idle_candidate();
+  /// Breaker bookkeeping for one shard's dispatch outcome.
+  void note_shard_success(std::size_t index);
+  void note_shard_exclusion(std::size_t index, bool timeout);
   void enqueue(Request&& request);
   /// Fails every request in `doomed` with ServiceStopped (shutdown path).
   void fail_stopped(std::vector<Request>& doomed);
@@ -439,6 +521,10 @@ class RecognitionService {
   RecognitionServiceConfig config_;
   EngineFactory factory_;
   std::shared_ptr<Clock> clock_;
+  /// Always the real SteadyClock, whatever clock_ is: watchdog deadlines
+  /// bound cv timed waits, which a FakeClock cannot wake (see
+  /// core/clock.hpp), so they live on the wall clock like the waits do.
+  std::shared_ptr<Clock> wall_clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t total_columns_ = 0;
   std::shared_ptr<InputStageCache> input_cache_;  // set iff dedup_input_stage
@@ -460,6 +546,13 @@ class RecognitionService {
   std::size_t in_flight_ SPINSIM_GUARDED_BY(queue_mutex_) = 0;
   bool stopping_ SPINSIM_GUARDED_BY(queue_mutex_) = false;
   bool started_ SPINSIM_GUARDED_BY(queue_mutex_) = false;
+
+  /// Streamed worker completions. Rank kServiceDone: acquired after a
+  /// shard mutex (workers push under both; the watchdog re-checks under
+  /// both) and before stats_mutex_.
+  mutable Mutex done_mutex_{LockRank::kServiceDone};
+  CondVar done_cv_;
+  std::deque<Completion> completions_ SPINSIM_GUARDED_BY(done_mutex_);
 
   // Collector-thread-only overload-controller and alarm state: touched
   // exclusively by the collector thread between store_templates() calls

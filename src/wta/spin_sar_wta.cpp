@@ -53,6 +53,21 @@ SpinSarWta::SpinSarWta(const SpinWtaConfig& config)
       latches_.emplace_back(config.latch);
     }
   }
+
+  // The DWN carries no sampled mismatch, so one probe device yields the
+  // two MTJ read resistances every column's neuron can present; the
+  // per-column spread lives entirely in the latch offsets sampled above.
+  DomainWallNeuron probe(config.dwn);
+  probe.reset(true);
+  const double r_one = probe.mtj_resistance();
+  probe.reset(false);
+  const double r_zero = probe.mtj_resistance();
+  latch_above_one_.reserve(config.columns);
+  latch_above_zero_.reserve(config.columns);
+  for (std::size_t j = 0; j < config.columns; ++j) {
+    latch_above_one_.push_back(latches_[j].decide(r_one, r_reference_) ? 1 : 0);
+    latch_above_zero_.push_back(latches_[j].decide(r_zero, r_reference_) ? 1 : 0);
+  }
 }
 
 const DtcsDac& SpinSarWta::dac(std::size_t column) const {
@@ -68,42 +83,76 @@ SpinWtaOutcome SpinSarWta::run_query(const std::vector<double>& column_currents,
                                      std::uint64_t query_index) const {
   require(column_currents.size() == config_.columns,
           "SpinSarWta::run: need one current per column");
+  return run_query_span(column_currents.data(), query_index);
+}
 
+SpinWtaOutcome SpinSarWta::run_query_span(const double* column_currents,
+                                          std::uint64_t query_index) const {
   const std::size_t n = config_.columns;
   SpinWtaOutcome out;
   out.tracking.assign(n, true);  // TRs preset high (see header)
   out.dom_codes.assign(n, 0);
 
-  // Mutable PE state is per-query and stack-local: the neurons carry no
-  // sampled mismatch (their spread enters through the latch offsets), so
-  // fresh copies are exact, and the SARs restart every conversion anyway.
-  std::vector<DomainWallNeuron> neurons(n, DomainWallNeuron(config_.dwn));
-  std::vector<SarRegister> sars(n, SarRegister(config_.bits));
+  // Mutable PE state is per-query; the SAR registers and bit latches are
+  // reused from thread-local scratch so the batch hot path pays no heap
+  // allocation per query (each worker thread owns its own copies).
+  thread_local std::vector<SarRegister> sars;
+  thread_local std::vector<unsigned char> bit_decision;
+  sars.assign(n, SarRegister(config_.bits));
   for (auto& sar : sars) {
     sar.begin();
   }
+  bit_decision.assign(n, 0);
 
   Rng thermal_rng = query_stream(config_.seed, query_index);
   Rng* thermal = config_.thermal_noise ? &thermal_rng : nullptr;
 
-  std::vector<bool> bit_decision(n, false);
+  // Neuron objects are only needed when thermal flips are sampled: the
+  // noiseless step is replayed from the precomputed latch tables. The
+  // neurons carry no sampled mismatch (their spread enters through the
+  // latch offsets), so fresh copies are exact, and the SARs restart
+  // every conversion anyway.
+  std::vector<DomainWallNeuron> neurons;
+  if (thermal != nullptr) {
+    neurons.assign(n, DomainWallNeuron(config_.dwn));
+  }
+  const double i_threshold = config_.dwn.i_threshold;
 
   for (unsigned cycle = 0; cycle < config_.bits; ++cycle) {
     // --- analog compare + digitise step (all PEs in parallel) ---
-    for (std::size_t j = 0; j < n; ++j) {
-      // The DWN is preset to 0 each cycle; the net current (column minus
-      // SAR-DAC sink) must exceed +I_th to write a 1.
-      neurons[j].reset(false);
-      const double i_dac = dacs_[j].output_current(sars[j].code(), /*g_load=*/0.0);
-      const double i_net = column_currents[j] - i_dac;
-      neurons[j].apply_current(i_net, config_.cycle_time, thermal);
+    if (thermal == nullptr) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double i_dac = dacs_[j].output_current(sars[j].code(), /*g_load=*/0.0);
+        const double i_net = column_currents[j] - i_dac;
+        // Replays reset(false) + apply_current(i_net, cycle_time): from
+        // state 0 the neuron ends at 1 iff the drive points toward 1,
+        // exceeds I_th, and completes the wall transit within the cycle.
+        bool state = false;
+        if (i_net > 0.0 && std::abs(i_net) > i_threshold) {
+          state = config_.cycle_time / config_.dwn.switching_delay(std::abs(i_net)) >= 1.0;
+        }
+        const bool above = (state ? latch_above_one_[j] : latch_above_zero_[j]) != 0;
+        ++out.latch_decisions;
 
-      // Latch senses the DWN MTJ against the reference junction.
-      const bool above = latches_[j].decide(neurons[j].mtj_resistance(), r_reference_);
-      ++out.latch_decisions;
+        bit_decision[j] = above ? 1 : 0;
+        sars[j].feed(above);
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        // The DWN is preset to 0 each cycle; the net current (column minus
+        // SAR-DAC sink) must exceed +I_th to write a 1.
+        neurons[j].reset(false);
+        const double i_dac = dacs_[j].output_current(sars[j].code(), /*g_load=*/0.0);
+        const double i_net = column_currents[j] - i_dac;
+        neurons[j].apply_current(i_net, config_.cycle_time, thermal);
 
-      bit_decision[j] = above;
-      sars[j].feed(above);
+        // Latch senses the DWN MTJ against the reference junction.
+        const bool above = latches_[j].decide(neurons[j].mtj_resistance(), r_reference_);
+        ++out.latch_decisions;
+
+        bit_decision[j] = above ? 1 : 0;
+        sars[j].feed(above);
+      }
     }
 
     // --- digital winner tracking (Fig. 12) ---

@@ -91,6 +91,23 @@ class SpinSarWta {
   SpinWtaOutcome run_query(const std::vector<double>& column_currents,
                            std::uint64_t query_index) const;
 
+  /// Same winner search over a raw column-current slice
+  /// (`column_currents[0 .. columns)`) — the zero-copy entry the GEMM'd
+  /// batch path uses. Const and thread-safe; per-query mutable state is
+  /// reused from thread-local scratch, so the hot path pays no heap
+  /// allocation per query.
+  SpinWtaOutcome run_query_span(const double* column_currents, std::uint64_t query_index) const;
+
+  /// Reserves `count` consecutive query slots of the noise stream and
+  /// returns the first. A caller orchestrating its own fan-out (fused
+  /// GEMM + WTA chunks) consumes exactly the slots a sequential
+  /// run()/run_batch() sequence would, keeping outcomes bit-identical.
+  std::uint64_t reserve_query_slots(std::uint64_t count) {
+    const std::uint64_t base = query_counter_;
+    query_counter_ += count;
+    return base;
+  }
+
   /// Batched winner search over `batch.size()` query slots, dispatched
   /// across `threads` workers (0 = hardware concurrency). outcome[i] is
   /// bit-identical to what run() would have returned for batch[i] in a
@@ -111,6 +128,15 @@ class SpinSarWta {
   std::vector<ReadLatch> latches_;
   double r_reference_;
   std::uint64_t query_counter_ = 0;
+
+  // Precomputed per-column latch verdicts for the two possible DWN read
+  // states. With thermal noise off, a cycle's analog step is a pure
+  // function of the net current (the neuron is reset each cycle and the
+  // MTJ has exactly two resistances), so the noiseless fast path replays
+  // decide() from these tables instead of constructing a neuron bank per
+  // query. 0/1 in unsigned char (vector<bool> is bit-packed and slower).
+  std::vector<unsigned char> latch_above_one_;
+  std::vector<unsigned char> latch_above_zero_;
 };
 
 }  // namespace spinsim

@@ -85,5 +85,75 @@ TEST(Histogram, RejectsBadArgs) {
   EXPECT_THROW(Histogram::build(std::vector<double>{}, 2), InvalidArgument);
 }
 
+// Edge cases of the free-function percentile — the shapes admission
+// control and the bench actually feed it.
+TEST(PercentileEdge, EmptyInputThrows) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), InvalidArgument);
+}
+
+TEST(PercentileEdge, SingleSampleIsThatSampleAtEveryQuantile) {
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(PercentileEdge, ExtremesReturnMinAndMax) {
+  const std::vector<double> v{9.0, -3.0, 4.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 12.0);
+}
+
+TEST(PercentileEdge, OutOfRangeQuantileThrows) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(percentile(v, -0.001), InvalidArgument);
+  EXPECT_THROW(percentile(v, 100.001), InvalidArgument);
+}
+
+// GeometricHistogram::percentile — the fixed-footprint quantile the
+// service's latency stats report.
+TEST(GeometricHistogramPercentile, EmptyHistogramReportsZero) {
+  const GeometricHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(GeometricHistogramPercentile, SingleSampleBucketsEveryQuantileTogether) {
+  GeometricHistogram h;
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  // Every quantile lands in the one occupied bucket; ~26 % bucket
+  // resolution bounds the reported value around the true sample.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.percentile(q);
+    EXPECT_GT(v, 100.0 / 1.26 / 1.26) << "q=" << q;
+    EXPECT_LT(v, 100.0 * 1.26 * 1.26) << "q=" << q;
+  }
+}
+
+TEST(GeometricHistogramPercentile, QuantilesAreMonotoneAndOrdered) {
+  GeometricHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // Median of 1..1000 within one bucket ratio of 500.
+  EXPECT_GT(h.percentile(0.5), 500.0 / 1.26);
+  EXPECT_LT(h.percentile(0.5), 500.0 * 1.26);
+}
+
+TEST(GeometricHistogramPercentile, OutOfRangeQuantileThrows) {
+  GeometricHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.percentile(-0.01), InvalidArgument);
+  EXPECT_THROW(h.percentile(1.01), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace spinsim

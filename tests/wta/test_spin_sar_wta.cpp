@@ -266,5 +266,41 @@ TEST(SpinSarWta, RunBatchValidatesBeforeFanout) {
   EXPECT_THROW(wta.run_batch(bad, 4), InvalidArgument);
 }
 
+TEST(SpinSarWta, RunQuerySpanMatchesRunQueryNoiseless) {
+  // run_query_span is the zero-copy entry of the GEMM'd batch path, and
+  // with thermal noise off it takes the precomputed-latch fast path —
+  // which must stay bit-identical to the vector overload's outcome.
+  SpinWtaConfig c = clean_config(8);
+  c.sample_mismatch = true;  // realistic spread, deterministic per seed
+  SpinSarWta wta(c);
+  const auto batch = random_batch(16, c.columns, 42);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto by_vector = wta.run_query(batch[i], i);
+    const auto by_span = wta.run_query_span(batch[i].data(), i);
+    expect_outcomes_equal(by_span, by_vector, i);
+  }
+}
+
+TEST(SpinSarWta, RunQuerySpanMatchesRunQueryWithThermalNoise) {
+  // With flips actually occurring, the span entry must consume the same
+  // counter-based substream as the vector overload for the same slot.
+  SpinWtaConfig c = clean_config(8);
+  c.thermal_noise = true;
+  c.sample_mismatch = true;
+  c.dwn = DwnParams::from_barrier(2.0);  // flips actually occur
+  SpinSarWta wta(c);
+  auto batch = random_batch(16, c.columns, 43);
+  for (auto& currents : batch) {
+    for (auto& i : currents) {
+      i *= c.full_scale_current() / 30e-6;  // marginal drives
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto by_vector = wta.run_query(batch[i], i);
+    const auto by_span = wta.run_query_span(batch[i].data(), i);
+    expect_outcomes_equal(by_span, by_vector, i);
+  }
+}
+
 }  // namespace
 }  // namespace spinsim
